@@ -1,0 +1,50 @@
+// Ablation (DESIGN.md): the Step-3 placement choice of Algorithm 1.
+//
+// The paper uses best-fit on unlabelled devices ("utilize the resources of
+// existing vGPUs as much as possible") and worst-fit on labelled devices.
+// This bench quantifies the choice against worst-fit-everywhere and
+// first-fit under the Fig 8 inference workload: best-fit should complete
+// the workload holding fewer GPUs (frees whole devices for native pods)
+// at comparable throughput.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace ks;
+  bench::Banner("bench_ablation_placement: Step-3 placement policy",
+                "DESIGN.md ablation (Algorithm 1, Step 3)");
+
+  Table table({"policy", "jobs/min", "mean GPUs held", "peak GPUs held"});
+  const struct {
+    const char* name;
+    kubeshare::PlacementVariant variant;
+  } variants[] = {
+      {"paper (best-fit)", kubeshare::PlacementVariant::kPaper},
+      {"worst-fit", kubeshare::PlacementVariant::kWorstFitEverywhere},
+      {"first-fit", kubeshare::PlacementVariant::kFirstFit},
+  };
+  for (const auto& v : variants) {
+    bench::RunOptions opt;
+    opt.cluster.nodes = 8;
+    opt.cluster.gpus_per_node = 4;
+    opt.workload.total_jobs = 250;
+    opt.workload.mean_interarrival = Seconds(3.6 / 5);
+    opt.workload.demand_mean = 0.3;
+    opt.workload.demand_stddev = 0.1;
+    opt.workload.gpu_mem = 0.2;
+    opt.workload.seed = 909;
+    opt.kubeshare.placement = v.variant;
+    const auto result = bench::RunWorkload(opt);
+    table.AddRow({v.name, Cell(result.jobs_per_minute, 1),
+                  Cell(result.mean_gpus_held, 1),
+                  Cell(result.peak_gpus_held, 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: best-fit packs onto fewer devices (lower held-"
+               "GPU footprint)\nwithout losing throughput; worst-fit spreads "
+               "and hoards devices.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Figure 11: "The scheduling time of KubeShare" — scheduling latency as a
+// function of the number of SharePods in the system (the paper reports a
+// linear O(N) growth, < 400 ms at 100 SharePods for their Go controller).
+//
+// Two views:
+//  (a) the *modeled end-to-end* scheduling cycle (fixed cost + per-SharePod
+//      status query), which is what the paper's wall clock measures, and
+//  (b) the raw in-memory Algorithm 1 decision time of this C++
+//      implementation, measured with google-benchmark (shape: linear in
+//      the pool/attachment count; absolute numbers are microseconds, since
+//      there is no apiserver round trip in the hot loop).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "kubeshare/algorithm.hpp"
+#include "kubeshare/config.hpp"
+#include "kubeshare/kubeshare.hpp"
+
+namespace {
+
+using namespace ks;
+
+/// Builds a pool with `n` attached sharePods spread over enough devices.
+kubeshare::VgpuPool BuildPool(int n) {
+  kubeshare::VgpuPool pool;
+  std::vector<kubeshare::NodeFreeGpus> supply{{"node-0", n}};
+  for (int i = 0; i < n; ++i) {
+    kubeshare::ScheduleRequest r;
+    r.sharepod = "sp-" + std::to_string(i);
+    r.gpu.gpu_request = 0.3;
+    r.gpu.gpu_limit = 1.0;
+    r.gpu.gpu_mem = 0.25;
+    (void)kubeshare::ScheduleSharePod(pool, r, supply);
+  }
+  return pool;
+}
+
+void BM_Algorithm1Decision(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  kubeshare::VgpuPool pool = BuildPool(n);
+  std::vector<kubeshare::NodeFreeGpus> supply{{"node-0", n + 1}};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    kubeshare::ScheduleRequest r;
+    r.sharepod = "probe-" + std::to_string(i++);
+    r.gpu.gpu_request = 0.3;
+    r.gpu.gpu_limit = 1.0;
+    r.gpu.gpu_mem = 0.25;
+    auto id = kubeshare::ScheduleSharePod(pool, r, supply);
+    benchmark::DoNotOptimize(id);
+    state.PauseTiming();
+    if (id.ok()) (void)pool.Detach(r.sharepod);
+    state.ResumeTiming();
+  }
+  state.SetLabel(std::to_string(n) + " sharepods");
+}
+
+/// End-to-end: the time KubeShare-Sched takes to assign a GPUID to a new
+/// sharePod while N others are live in the system, measured through the
+/// full controller pipeline (watch delivery + serial cycle + O(N) query
+/// cost) in simulated time.
+Duration MeasuredSchedulingLatency(int live_sharepods) {
+  k8s::ClusterConfig ccfg;
+  ccfg.nodes = 8;
+  ccfg.gpus_per_node = 4;
+  k8s::Cluster cluster(ccfg);
+  kubeshare::KubeShare kubeshare(&cluster);
+  (void)cluster.Start();
+  (void)kubeshare.Start();
+
+  auto make_sharepod = [](const std::string& name) {
+    kubeshare::SharePod sp;
+    sp.meta.name = name;
+    sp.spec.gpu.gpu_request = 0.01;  // tiny: always packable
+    sp.spec.gpu.gpu_limit = 0.02;
+    sp.spec.gpu.gpu_mem = 0.005;
+    return sp;
+  };
+  for (int i = 0; i < live_sharepods; ++i) {
+    (void)kubeshare.CreateSharePod(make_sharepod("bg-" + std::to_string(i)));
+  }
+  cluster.sim().RunUntil(Minutes(3));  // background sharepods settle
+
+  const Time created = cluster.sim().Now();
+  (void)kubeshare.CreateSharePod(make_sharepod("probe"));
+  cluster.sim().RunUntil(created + Minutes(1));
+  auto probe = kubeshare.sharepods().Get("probe");
+  if (!probe.ok() || !probe->status.scheduled_time.has_value()) {
+    return Duration{-1};
+  }
+  return *probe->status.scheduled_time - created;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Algorithm1Decision)->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
+    ->Arg(200);
+
+int main(int argc, char** argv) {
+  bench::Banner("bench_fig11: KubeShare scheduling time vs #SharePods",
+                "Figure 11");
+
+  kubeshare::KubeShareConfig cfg;
+  std::cout << "\n(a) modeled end-to-end scheduling cycle "
+               "(fixed + per-SharePod query)\n\n";
+  Table table({"sharepods", "scheduling time (ms)"});
+  for (const int n : {10, 25, 50, 75, 100}) {
+    const Duration cycle = cfg.sched_fixed + cfg.sched_per_sharepod * n;
+    table.AddRow({Cell(static_cast<std::int64_t>(n)),
+                  Cell(ToMillis(cycle), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): linear, < 400 ms at 100 "
+               "SharePods.\n";
+
+  std::cout << "\n(b) measured through the full controller (watch + cycle + "
+               "O(N) query)\n\n";
+  Table measured({"live sharepods", "probe scheduling latency (ms)"});
+  for (const int n : {10, 25, 50, 100}) {
+    const Duration latency = MeasuredSchedulingLatency(n);
+    measured.AddRow({Cell(static_cast<std::int64_t>(n)),
+                     Cell(ToMillis(latency), 1)});
+  }
+  measured.Print(std::cout);
+
+  std::cout << "\n(c) raw Algorithm 1 decision time (google-benchmark)\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Figure 13: "The system throughput comparison under performance
+// interference workloads" — throughput vs the fraction of Job A in the
+// mix, for three settings:
+//   - native Kubernetes (no sharing at all),
+//   - KubeShare without locality labels (shares freely; B+B pairs suffer
+//     ~1.5x interference), and
+//   - KubeShare with an anti-affinity label on Job B (B's never share a
+//     GPU with each other).
+//
+// Job A: demand 0.25 / request 0.45 (resilient); Job B: demand 0.75 /
+// request 0.45 (sensitive). Requests are both < 0.5 so any pair fits.
+
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "k8s/resources.hpp"
+#include "workload/host.hpp"
+
+namespace {
+
+using namespace ks;
+
+enum class Setting { kNative, kKubeShare, kKubeShareAntiAffinity };
+
+double RunMix(Setting setting, double ratio_a, std::uint64_t seed) {
+  k8s::ClusterConfig ccfg;
+  ccfg.nodes = 8;
+  ccfg.gpus_per_node = 4;
+  k8s::Cluster cluster(ccfg);
+  std::unique_ptr<kubeshare::KubeShare> kubeshare;
+  if (setting != Setting::kNative) {
+    kubeshare = std::make_unique<kubeshare::KubeShare>(&cluster);
+  }
+  workload::WorkloadHost host(&cluster);
+  (void)cluster.Start();
+  if (kubeshare != nullptr) (void)kubeshare->Start();
+
+  Rng rng(seed);
+  const int total_jobs = 192;
+  const Duration solo = Seconds(45);
+  Time first_submit{0};
+  Time next = Seconds(1);
+  for (int i = 0; i < total_jobs; ++i) {
+    const bool is_a = rng.Chance(ratio_a);
+    const double demand = is_a ? 0.25 : 0.75;
+    const std::string name = "job-" + std::to_string(i);
+    workload::InferenceSpec spec = workload::InferenceSpec::ForDemand(
+        demand, static_cast<int>(demand / 0.020 * ToSeconds(solo)),
+        Millis(20));
+    spec.seed = seed + static_cast<std::uint64_t>(i);
+    if (i == 0) first_submit = next;
+    cluster.sim().ScheduleAt(next, [&, name, spec, is_a] {
+      host.ExpectJob(name, [spec] {
+        return std::make_unique<workload::InferenceJob>(spec);
+      });
+      if (kubeshare == nullptr) {
+        k8s::Pod pod;
+        pod.meta.name = name;
+        pod.spec.requests.Set(k8s::kResourceNvidiaGpu, 1);
+        (void)cluster.api().pods().Create(pod);
+      } else {
+        kubeshare::SharePod sp;
+        sp.meta.name = name;
+        sp.spec.gpu.gpu_request = 0.45;
+        sp.spec.gpu.gpu_limit = 0.90;
+        sp.spec.gpu.gpu_mem = 0.45;
+        if (!is_a && setting == Setting::kKubeShareAntiAffinity) {
+          sp.spec.locality.anti_affinity = Label("job-b");
+        }
+        (void)kubeshare->CreateSharePod(sp);
+      }
+    });
+    next += rng.ExponentialInterarrival(Millis(700));
+  }
+
+  const Duration slice = Seconds(10);
+  while (host.completed() + host.failed() <
+             static_cast<std::size_t>(total_jobs) &&
+         cluster.sim().Now() < Minutes(120)) {
+    cluster.sim().RunUntil(cluster.sim().Now() + slice);
+  }
+  const Duration makespan = host.completion_times().empty()
+                                ? Duration{0}
+                                : host.completion_times().back() - first_submit;
+  if (makespan.count() <= 0) return 0.0;
+  return static_cast<double>(host.completed()) / (ToSeconds(makespan) / 60.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "bench_fig13: throughput under interference vs Job-A ratio",
+      "Figure 13");
+
+  Table table({"job A ratio", "k8s", "kubeshare (no label)",
+               "kubeshare (anti-affinity on B)"});
+  for (const double ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double native = RunMix(Setting::kNative, ratio, 31);
+    const double plain = RunMix(Setting::kKubeShare, ratio, 31);
+    const double anti = RunMix(Setting::kKubeShareAntiAffinity, ratio, 31);
+    table.AddRow({Cell(ratio, 2), Cell(native, 1), Cell(plain, 1),
+                  Cell(anti, 1)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape (paper): at ratio 0, anti-affinity degenerates "
+         "to the\nnative behaviour while label-free sharing wins despite "
+         "interference; the\ncurves cross near ratio 0.5, after which "
+         "anti-affinity wins; at ratio 1\nboth KubeShare settings coincide "
+         "far above native Kubernetes.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figure 3: "Resource fragmentation can cause resource over-commitment and
+// under-utilization problems, if a scheduler is not aware of the identity
+// of the GPU assigned to a container in a node."
+//
+// The paper's illustrative example made measurable: six fractional jobs
+// (the paper's containers A..F) are placed on a 4-GPU node
+//   (a) by the scaling-factor baseline — kube-scheduler sees only the
+//       aggregate unit count and the kubelet hands out units first-fit, so
+//       containers land wherever their first unit lives (round-robin-ish,
+//       identity-blind), over-committing some GPUs and idling others;
+//   (b) by KubeShare's locality-aware Algorithm 1 — per-device packing.
+// The output is each GPU's committed demand and measured utilization.
+
+#include <iostream>
+
+#include "baselines/fractional_client.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "workload/host.hpp"
+
+namespace {
+
+using namespace ks;
+
+// The paper's Fig 3 containers: demands that sum to 2.4 GPUs, so a
+// locality-aware packer needs 3 devices while identity-blind placement
+// spreads and overcommits.
+struct JobDef {
+  const char* name;
+  double demand;
+};
+constexpr JobDef kJobs[] = {{"A", 0.6}, {"B", 0.5}, {"C", 0.5},
+                            {"D", 0.4}, {"E", 0.2}, {"F", 0.2}};
+
+void PrintGpuReport(k8s::Cluster& cluster, Time horizon) {
+  Table table({"GPU", "busy time (s)", "utilization"});
+  for (int g = 0; g < 4; ++g) {
+    gpu::GpuDevice* dev = cluster.FindGpu(GpuUuid("GPU-0-" + std::to_string(g)));
+    dev->utilization().Flush(cluster.sim().Now());
+    const double busy = ToSeconds(dev->utilization().TotalBusy());
+    table.AddRow({dev->uuid().value(), Cell(busy, 1),
+                  Cell(busy / ToSeconds(horizon), 2)});
+  }
+  table.Print(std::cout);
+}
+
+workload::WorkloadHost::JobFactory MakeJob(double demand) {
+  workload::InferenceSpec spec =
+      workload::InferenceSpec::ForDemand(demand, static_cast<int>(
+          demand / 0.020 * 120.0), Millis(20));
+  spec.seed = 5;
+  return [spec] { return std::make_unique<workload::InferenceJob>(spec); };
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("bench_fig3: fragmentation under identity-blind placement",
+                "Figure 3");
+
+  std::cout << "\n(a) scaling-factor baseline (no GPU identity)\n\n";
+  {
+    k8s::ClusterConfig cfg;
+    cfg.nodes = 1;
+    cfg.gpus_per_node = 4;
+    cfg.scaled_plugin = true;
+    k8s::Cluster cluster(cfg);
+    workload::WorkloadHost host(&cluster);
+    baselines::FractionalClient client(&cluster, &host,
+                                       baselines::GaiaGpuTraits());
+    (void)cluster.Start();
+    for (const JobDef& j : kJobs) {
+      (void)client.Submit(j.name, j.demand, 0.15, MakeJob(j.demand));
+    }
+    cluster.sim().RunUntil(Seconds(140));
+    PrintGpuReport(cluster, Seconds(120));
+    std::cout << "completed " << host.completed() << "/6 jobs in 120s of "
+              << "service time\n";
+  }
+
+  std::cout << "\n(b) KubeShare (first-class GPUs, Algorithm 1)\n\n";
+  {
+    k8s::ClusterConfig cfg;
+    cfg.nodes = 1;
+    cfg.gpus_per_node = 4;
+    k8s::Cluster cluster(cfg);
+    kubeshare::KubeShare kubeshare(&cluster);
+    workload::WorkloadHost host(&cluster);
+    (void)cluster.Start();
+    (void)kubeshare.Start();
+    for (const JobDef& j : kJobs) {
+      host.ExpectJob(j.name, MakeJob(j.demand));
+      kubeshare::SharePod sp;
+      sp.meta.name = j.name;
+      sp.spec.gpu.gpu_request = j.demand;
+      sp.spec.gpu.gpu_limit = std::min(1.0, j.demand + 0.1);
+      sp.spec.gpu.gpu_mem = 0.15;
+      (void)kubeshare.CreateSharePod(sp);
+    }
+    cluster.sim().RunUntil(Seconds(140));
+    PrintGpuReport(cluster, Seconds(120));
+    std::cout << "completed " << host.completed() << "/6 jobs; vGPUs "
+              << "acquired: " << kubeshare.devmgr().vgpus_created()
+              << " of 4 (all released after the run)\n";
+  }
+
+  std::cout << "\nExpected shape (paper): the identity-blind baseline "
+               "over-commits the\nfirst GPU(s) (utilization pinned at ~1.0, "
+               "jobs slowed) and leaves others\nidle; KubeShare packs the "
+               "same demands onto fewer GPUs without\nover-committing any "
+               "of them.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Extension study (paper §1 motivation): "low resource utilization when a
+// GPU device cannot be fully utilized by a single application due to the
+// burstiness of GPU workload".
+//
+// Phased training jobs (compute bursts separated by checkpoint/data-load
+// phases) with the duty cycle swept. Native Kubernetes pins one job per
+// GPU, so its throughput scales with the duty cycle; KubeShare interleaves
+// the bursts of co-located jobs — the sharing gain should approach
+// 1/duty_cycle until packing limits bind.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "workload/host.hpp"
+
+namespace {
+
+using namespace ks;
+
+struct Result {
+  double jobs_per_minute = 0.0;
+  double avg_util = 0.0;
+};
+
+Result Run(bool use_kubeshare, Duration io_per_epoch, double duty) {
+  k8s::ClusterConfig ccfg;
+  ccfg.nodes = 2;
+  ccfg.gpus_per_node = 2;
+  k8s::Cluster cluster(ccfg);
+  std::unique_ptr<kubeshare::KubeShare> kubeshare;
+  if (use_kubeshare) {
+    kubeshare = std::make_unique<kubeshare::KubeShare>(&cluster);
+  }
+  workload::WorkloadHost host(&cluster);
+  (void)cluster.Start();
+  if (kubeshare != nullptr) (void)kubeshare->Start();
+  cluster.nvml().Start();
+
+  const int total_jobs = 24;
+  Time next = Seconds(1);
+  for (int i = 0; i < total_jobs; ++i) {
+    const std::string name = "job-" + std::to_string(i);
+    workload::PhasedTrainingSpec spec;
+    spec.epochs = 12;
+    spec.steps_per_epoch = 100;  // 1 s of compute per epoch
+    spec.step_kernel = Millis(10);
+    spec.io_per_epoch = io_per_epoch;
+    cluster.sim().ScheduleAt(next, [&, name, spec, duty] {
+      host.ExpectJob(name, [spec] {
+        return std::make_unique<workload::PhasedTrainingJob>(spec);
+      });
+      if (kubeshare != nullptr) {
+        kubeshare::SharePod sp;
+        sp.meta.name = name;
+        sp.spec.gpu.gpu_request = duty;  // request the duty cycle
+        sp.spec.gpu.gpu_limit = 1.0;
+        sp.spec.gpu.gpu_mem = 0.2;
+        (void)kubeshare->CreateSharePod(sp);
+      } else {
+        k8s::Pod pod;
+        pod.meta.name = name;
+        pod.spec.requests.Set(k8s::kResourceNvidiaGpu, 1);
+        (void)cluster.api().pods().Create(pod);
+      }
+    });
+    next += Seconds(1);
+  }
+
+  const Duration slice = Seconds(10);
+  while (host.completed() + host.failed() <
+             static_cast<std::size_t>(total_jobs) &&
+         cluster.sim().Now() < Minutes(120)) {
+    cluster.sim().RunUntil(cluster.sim().Now() + slice);
+  }
+  Result r;
+  if (!host.completion_times().empty()) {
+    const Duration span = host.completion_times().back() - Seconds(1);
+    r.jobs_per_minute =
+        static_cast<double>(host.completed()) / (ToSeconds(span) / 60.0);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "bench_study_burstiness: sharing gain vs training duty cycle",
+      "extension study (paper §1 burstiness motivation)");
+
+  Table table({"io per epoch (s)", "duty cycle", "k8s jobs/min",
+               "kubeshare jobs/min", "gain", "1/duty"});
+  for (const double io_s : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    workload::PhasedTrainingSpec probe;
+    probe.steps_per_epoch = 100;
+    probe.step_kernel = Millis(10);
+    probe.io_per_epoch = Seconds(io_s);
+    const double duty = probe.duty_cycle();
+    const Result k8s = Run(false, Seconds(io_s), duty);
+    const Result kshare = Run(true, Seconds(io_s), duty);
+    table.AddRow({Cell(io_s, 1), Cell(duty, 2), Cell(k8s.jobs_per_minute, 1),
+                  Cell(kshare.jobs_per_minute, 1),
+                  Cell(k8s.jobs_per_minute > 0
+                           ? kshare.jobs_per_minute / k8s.jobs_per_minute
+                           : 0.0,
+                       2),
+                  Cell(1.0 / duty, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: with duty > 0.5 the jobs' gpu_requests exceed "
+               "half a GPU, so\nno pair fits and KubeShare only pays its "
+               "pod-creation overhead; once\nduty <= 0.5 jobs co-locate and "
+               "the gain grows toward 1/duty (bounded by\nqueueing and the "
+               "guarantee sums) — the utilization argument of the\npaper's "
+               "introduction, quantified.\n";
+  return 0;
+}

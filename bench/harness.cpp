@@ -1,0 +1,106 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "k8s/resources.hpp"
+
+namespace ks::bench {
+
+void Banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s — KubeShare (HPDC'20)\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+RunResult RunWorkload(const RunOptions& options) {
+  k8s::Cluster cluster(options.cluster);
+  std::unique_ptr<kubeshare::KubeShare> kubeshare;
+  if (options.use_kubeshare) {
+    kubeshare = std::make_unique<kubeshare::KubeShare>(&cluster,
+                                                       options.kubeshare);
+  }
+  workload::WorkloadHost host(&cluster);
+  workload::WorkloadDriver driver(
+      &cluster, &host,
+      options.use_kubeshare ? workload::WorkloadDriver::Mode::kKubeShare
+                            : workload::WorkloadDriver::Mode::kNative,
+      kubeshare.get(), options.workload);
+
+  if (!cluster.Start().ok()) return {};
+  if (kubeshare != nullptr && !kubeshare->Start().ok()) return {};
+
+  // GPUs-held probe: vGPU pool size under KubeShare; GPU-consuming bound
+  // pods under native Kubernetes.
+  metrics::PeriodicSampler gpus_held(
+      &cluster.sim(), Seconds(1), [&]() -> double {
+        if (kubeshare != nullptr) {
+          return static_cast<double>(kubeshare->pool().size());
+        }
+        double held = 0;
+        for (const k8s::Pod& p : cluster.api().pods().List()) {
+          if (p.terminal() || !p.scheduled()) continue;
+          held += static_cast<double>(
+              p.spec.requests.Get(k8s::kResourceNvidiaGpu));
+        }
+        return held;
+      });
+  gpus_held.Start();
+  cluster.nvml().Start();
+
+  driver.Start();
+  // Run in slices until the workload drains or the horizon passes.
+  const Duration slice = Seconds(10);
+  Time deadline = cluster.sim().Now() + options.horizon;
+  while (!driver.AllDone() && cluster.sim().Now() < deadline) {
+    cluster.sim().RunUntil(cluster.sim().Now() + slice);
+  }
+  gpus_held.Stop();
+  cluster.nvml().Stop();
+
+  RunResult result;
+  result.completed = host.completed();
+  result.failed = host.failed();
+  result.makespan = driver.Makespan();
+  result.jobs_per_minute = driver.JobsPerMinute();
+  result.mean_gpus_held = gpus_held.MeanValue();
+  result.peak_gpus_held = gpus_held.MaxValue();
+
+  // Average utilization across active GPUs, averaged over the samples in
+  // which at least one GPU was active (incremental "ever active" scan).
+  std::vector<const std::vector<gpu::NvmlSample>*> series;
+  std::size_t samples = 0;
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    for (const auto& dev : cluster.node(n).gpus) {
+      series.push_back(&cluster.nvml().SamplesFor(dev->uuid()));
+      samples = std::max(samples, series.back()->size());
+    }
+  }
+  std::vector<bool> ever_active(series.size(), false);
+  double util_total = 0.0;
+  std::size_t util_samples = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    double total = 0.0;
+    int active = 0;
+    for (std::size_t d = 0; d < series.size(); ++d) {
+      if (i >= series[d]->size()) continue;
+      const double u = (*series[d])[i].gpu_util;
+      if (u > 0.0) ever_active[d] = true;
+      if (ever_active[d]) {
+        total += u;
+        ++active;
+      }
+    }
+    if (active > 0) {
+      util_total += total / active;
+      ++util_samples;
+    }
+  }
+  if (util_samples > 0) {
+    result.avg_active_utilization = util_total / util_samples;
+  }
+  return result;
+}
+
+}  // namespace ks::bench

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "k8s/cluster.hpp"
+#include "kubeshare/kubeshare.hpp"
+#include "metrics/sampler.hpp"
+#include "workload/generator.hpp"
+#include "workload/host.hpp"
+
+namespace ks::bench {
+
+/// One cluster-scale experiment run: a generated inference workload pushed
+/// through either native Kubernetes or KubeShare, on a fresh simulated
+/// cluster. Returns the paper's headline quantities.
+struct RunOptions {
+  k8s::ClusterConfig cluster;
+  workload::WorkloadConfig workload;
+  bool use_kubeshare = true;
+  kubeshare::KubeShareConfig kubeshare;
+  /// Safety horizon: the run aborts (and reports what completed) if the
+  /// simulation passes this point.
+  Duration horizon = Minutes(240);
+};
+
+struct RunResult {
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  Duration makespan{0};
+  double jobs_per_minute = 0.0;
+  /// Mean of "average utilization across active GPUs" samples (Fig 9's
+  /// y-axis) over the busy part of the run.
+  double avg_active_utilization = 0.0;
+  /// Mean number of GPUs held (vGPU pool size for KubeShare; GPUs with
+  /// bound jobs for native).
+  double mean_gpus_held = 0.0;
+  double peak_gpus_held = 0.0;
+};
+
+RunResult RunWorkload(const RunOptions& options);
+
+/// Prints the standard benchmark banner.
+void Banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace ks::bench

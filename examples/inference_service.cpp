@@ -1,0 +1,90 @@
+// Inference service: TF-Serving-style model servers behind KubeShare.
+//
+// Three inference services with different client request rates share two
+// GPUs. Each service's GPU demand is proportional to its request rate
+// (paper Fig 5), so KubeShare packs them by their declared gpu_requests
+// and the device library throttles/elastically shares at runtime.
+//
+//   $ ./examples/inference_service
+
+#include <cstdio>
+
+#include "gpu/nvml.hpp"
+#include "k8s/cluster.hpp"
+#include "kubeshare/kubeshare.hpp"
+#include "workload/host.hpp"
+#include "workload/job.hpp"
+
+using namespace ks;
+
+int main() {
+  k8s::ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 2;
+  k8s::Cluster cluster(config);
+  kubeshare::KubeShare kubeshare(&cluster);
+  workload::WorkloadHost host(&cluster);
+  if (!cluster.Start().ok() || !kubeshare.Start().ok()) return 1;
+  cluster.nvml().Start();
+
+  struct Service {
+    const char* name;
+    double request_rate_hz;  // client requests per second
+    double gpu_request;      // declared demand
+  };
+  // demand = rate * 20ms kernel: 0.5, 0.3, 0.2. The declared requests add
+  // headroom over the measured demand; Algorithm 1's best-fit packs the
+  // detector into the segmenter's residual capacity (0.75 + 0.25 = 1.0)
+  // and the classifier gets the second GPU.
+  const Service services[] = {
+      {"segmenter", 25.0, 0.75},
+      {"classifier", 15.0, 0.35},
+      {"detector", 10.0, 0.25},
+  };
+
+  for (const Service& svc : services) {
+    workload::InferenceSpec spec;
+    spec.request_rate_hz = svc.request_rate_hz;
+    spec.kernel_per_request = Millis(20);
+    spec.total_requests = static_cast<int>(svc.request_rate_hz * 300);
+    spec.model_bytes = 3ull << 30;
+    spec.seed = 42;
+    host.ExpectJob(svc.name, [spec] {
+      return std::make_unique<workload::InferenceJob>(spec);
+    });
+
+    kubeshare::SharePod sp;
+    sp.meta.name = svc.name;
+    sp.spec.gpu.gpu_request = svc.gpu_request;
+    sp.spec.gpu.gpu_limit = 1.0;  // may absorb residual capacity
+    sp.spec.gpu.gpu_mem = 0.25;
+    (void)kubeshare.CreateSharePod(sp);
+  }
+
+  cluster.sim().RunUntil(Seconds(60));
+  std::printf("placements after 60s:\n");
+  for (const Service& svc : services) {
+    auto sp = kubeshare.sharepods().Get(svc.name);
+    std::printf("  %-10s -> vGPU %-8s on %s (%s)\n", svc.name,
+                sp->spec.gpu_id.value().c_str(), sp->spec.node_name.c_str(),
+                SharePodPhaseName(sp->status.phase));
+  }
+
+  cluster.sim().RunUntil(Seconds(310));
+  std::printf("\nserved requests after 310s:\n");
+  for (const Service& svc : services) {
+    const auto* rec = host.RecordOf(svc.name);
+    std::printf("  %-10s finished=%s\n", svc.name,
+                (rec != nullptr && rec->has_finished) ? "yes" : "no");
+  }
+  std::printf("\nper-GPU utilization (NVML):\n");
+  for (int g = 0; g < 2; ++g) {
+    const GpuUuid uuid("GPU-0-" + std::to_string(g));
+    std::printf("  %s: %.2f\n", uuid.value().c_str(),
+                cluster.nvml().AverageUtilization(uuid));
+  }
+  std::printf("\nEach service's usage tracks its client request rate; "
+              "best-fit packed\nthe detector into the segmenter's residual "
+              "GPU capacity.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// ksim — run a declarative KubeShare scenario.
+//
+//   $ ./examples/ksim scenario.ksim     # run a script
+//   $ ./examples/ksim --example         # print a sample script
+//   $ ./examples/ksim --example | ./examples/ksim -   # run the sample
+//
+// The scenario language (clusters, kubeshare policies, jobs with locality
+// labels, reports) is documented in src/scenario/scenario.hpp.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "scenario/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using ks::scenario::Scenario;
+
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " <scenario-file | - | --example>\n";
+    return 2;
+  }
+  const std::string arg = argv[1];
+  if (arg == "--example") {
+    std::cout << Scenario::ExampleScript();
+    return 0;
+  }
+
+  std::stringstream buffer;
+  if (arg == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream file(arg);
+    if (!file) {
+      std::cerr << "cannot open " << arg << "\n";
+      return 2;
+    }
+    buffer << file.rdbuf();
+  }
+
+  auto scenario = Scenario::Parse(buffer);
+  if (!scenario.ok()) {
+    std::cerr << "parse error: " << scenario.status() << "\n";
+    return 1;
+  }
+  const ks::Status run = scenario->Run(std::cout);
+  if (!run.ok()) {
+    std::cerr << "runtime error: " << run << "\n";
+    return 1;
+  }
+  return 0;
+}

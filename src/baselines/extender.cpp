@@ -1,0 +1,85 @@
+#include "baselines/extender.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+#include "k8s/device_plugin.hpp"
+#include "k8s/resources.hpp"
+
+namespace ks::baselines {
+
+ShareExtenderScheduler::ShareExtenderScheduler(k8s::Cluster* cluster)
+    : cluster_(cluster) {
+  assert(cluster_ != nullptr);
+  // The extender assumes ownership of EVERY GPU it can see; it never asks
+  // the apiserver what kube-scheduler already promised to native pods.
+  for (std::size_t n = 0; n < cluster_->node_count(); ++n) {
+    auto& node = cluster_->node(n);
+    for (auto& dev : node.gpus) {
+      gpus_[dev->uuid()] = {node.name, 0.0, 0.0};
+    }
+  }
+  cluster_->api().pods().Watch(
+      [this](const k8s::WatchEvent<k8s::Pod>& ev) { OnPodEvent(ev); });
+}
+
+Status ShareExtenderScheduler::Submit(const std::string& name, double demand,
+                                      double mem_fraction,
+                                      std::map<std::string, std::string> env) {
+  if (demand <= 0.0 || demand > 1.0) {
+    return InvalidArgumentError("demand must be in (0, 1]");
+  }
+  // First-fit over the private per-GPU ledger (gpushare's binpack).
+  GpuUuid chosen;
+  for (auto& [uuid, ledger] : gpus_) {
+    if (ledger.compute + demand <= 1.0 + 1e-9 &&
+        ledger.memory + mem_fraction <= 1.0 + 1e-9) {
+      chosen = uuid;
+      break;
+    }
+  }
+  if (chosen.empty()) {
+    return UnavailableError("extender ledger has no GPU with capacity");
+  }
+
+  k8s::Pod pod;
+  pod.meta.name = name;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", demand);
+  pod.meta.labels[kExtenderDemand] = buf;
+  pod.spec.requests.Set(k8s::kResourceCpu, 1000);
+  // The extender binds directly and injects the device itself — bypassing
+  // both kube-scheduler and the device plugin (so the kubelet's own GPU
+  // accounting never sees this pod either).
+  pod.status.node_name = gpus_.at(chosen).node;
+  pod.spec.env = std::move(env);
+  pod.spec.env[k8s::kNvidiaVisibleDevices] = chosen.value();
+  std::snprintf(buf, sizeof buf, "%.6f", mem_fraction);
+  pod.spec.env[kExtenderMem] = buf;
+  KS_RETURN_IF_ERROR(cluster_->api().pods().Create(pod));
+
+  gpus_.at(chosen).compute += demand;
+  gpus_.at(chosen).memory += mem_fraction;
+  placements_[name] = {chosen, demand, mem_fraction};
+  ++scheduled_;
+  return Status::Ok();
+}
+
+void ShareExtenderScheduler::OnPodEvent(
+    const k8s::WatchEvent<k8s::Pod>& event) {
+  const k8s::Pod& pod = event.object;
+  if (event.type != k8s::WatchEventType::kDeleted && !pod.terminal()) return;
+  auto it = placements_.find(pod.meta.name);
+  if (it == placements_.end()) return;
+  GpuLedger& ledger = gpus_.at(it->second.gpu);
+  ledger.compute -= it->second.demand;
+  ledger.memory -= it->second.mem;
+  placements_.erase(it);
+}
+
+double ShareExtenderScheduler::CommittedOn(const GpuUuid& uuid) const {
+  auto it = gpus_.find(uuid);
+  return it == gpus_.end() ? 0.0 : it->second.compute;
+}
+
+}  // namespace ks::baselines

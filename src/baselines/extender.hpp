@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "k8s/cluster.hpp"
+
+namespace ks::baselines {
+
+/// Annotation carrying a fractional GPU demand for extender-scheduled pods.
+inline constexpr const char* kExtenderDemand = "gpushare/demand";
+inline constexpr const char* kExtenderMem = "gpushare/mem";
+
+/// A gpushare-style *scheduler extender* (the architecture of the Aliyun
+/// and GaiaGPU baselines, paper §6): a second scheduler that owns every
+/// fractional-GPU pod. Unlike the §3.1 scaling-factor trick it DOES track
+/// per-GPU commitments (so it avoids intra-node fragmentation), but:
+///
+///  - it has no notion of locality labels or user-visible GPU identity;
+///    placement is first-fit over its private per-GPU ledger;
+///  - it does not coordinate with kube-scheduler: it assumes every GPU in
+///    the cluster is exclusively its own. Native GPU pods placed by
+///    kube-scheduler are invisible to its ledger (and vice versa), so
+///    mixing the two silently over-commits devices — the "cannot co-exist
+///    with kube-scheduler" row of Table 1, demonstrable.
+///
+/// Pods are submitted through Submit(): the extender picks a (node, GPU)
+/// immediately, binds the pod itself and injects NVIDIA_VISIBLE_DEVICES.
+class ShareExtenderScheduler {
+ public:
+  explicit ShareExtenderScheduler(k8s::Cluster* cluster);
+
+  /// Creates and binds a fractional-GPU pod. `demand` and `mem_fraction`
+  /// are recorded against the chosen GPU's ledger for the pod's lifetime.
+  Status Submit(const std::string& name, double demand, double mem_fraction,
+                std::map<std::string, std::string> env = {});
+
+  /// Committed compute fraction on a device, per the extender's ledger.
+  double CommittedOn(const GpuUuid& uuid) const;
+
+  std::uint64_t scheduled_count() const { return scheduled_; }
+
+ private:
+  struct GpuLedger {
+    std::string node;
+    double compute = 0.0;
+    double memory = 0.0;
+  };
+  struct Placement {
+    GpuUuid gpu;
+    double demand = 0.0;
+    double mem = 0.0;
+  };
+
+  void OnPodEvent(const k8s::WatchEvent<k8s::Pod>& event);
+
+  k8s::Cluster* cluster_;
+  std::map<GpuUuid, GpuLedger> gpus_;
+  std::map<std::string, Placement> placements_;  // by pod name
+  std::uint64_t scheduled_ = 0;
+};
+
+}  // namespace ks::baselines

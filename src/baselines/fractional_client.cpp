@@ -1,0 +1,89 @@
+#include "baselines/fractional_client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "baselines/memory_hook.hpp"
+#include "k8s/resources.hpp"
+#include "vgpu/frontend_hook.hpp"
+
+namespace ks::baselines {
+
+FractionalClient::FractionalClient(k8s::Cluster* cluster,
+                                   workload::WorkloadHost* host,
+                                   BaselineTraits traits, int scale)
+    : cluster_(cluster), host_(host), traits_(traits), scale_(scale) {
+  assert(cluster_ != nullptr && host_ != nullptr);
+  assert(scale_ > 0);
+  InstallDecorator();
+}
+
+void FractionalClient::InstallDecorator() {
+  const BaselineTraits traits = traits_;
+  k8s::Cluster* cluster = cluster_;
+  host_->SetApiDecorator(
+      [traits, cluster](cuda::CudaApi* inner,
+                        const k8s::ContainerInstance& inst,
+                        gpu::GpuDevice* device)
+          -> std::unique_ptr<cuda::CudaApi> {
+        auto mem_it = inst.env.find(kEnvBaselineMem);
+        if (mem_it == inst.env.end()) return nullptr;  // not a baseline pod
+        const double mem_frac = std::strtod(mem_it->second.c_str(), nullptr);
+        const auto quota = static_cast<std::uint64_t>(
+            mem_frac * static_cast<double>(device->spec().memory_bytes));
+
+        if (traits.compute_isolation) {
+          // GaiaGPU-style: kernel-time throttling via the same token
+          // mechanism, but hard-capped at the request (no elastic residual
+          // sharing) and with no scheduler awareness of which GPU this is.
+          double request = 0.0;
+          if (auto it = inst.env.find(kEnvBaselineRequest);
+              it != inst.env.end()) {
+            request = std::strtod(it->second.c_str(), nullptr);
+          }
+          vgpu::ResourceSpec spec;
+          spec.gpu_request = std::min(1.0, request);
+          spec.gpu_limit = std::min(1.0, request);
+          spec.gpu_mem = std::min(1.0, mem_frac);
+          return std::make_unique<vgpu::FrontendHook>(
+              inner, cluster->BackendForGpu(device->uuid()), inst.id,
+              device->uuid(), spec, device->spec().memory_bytes);
+        }
+        if (traits.memory_isolation) {
+          return std::make_unique<MemoryOnlyHook>(inner, quota);
+        }
+        return nullptr;  // Deepomatic: fractional accounting, no isolation
+      });
+}
+
+Status FractionalClient::Submit(const std::string& name, double demand,
+                                double mem_fraction,
+                                workload::WorkloadHost::JobFactory factory) {
+  if (demand <= 0.0 || demand > 1.0) {
+    return InvalidArgumentError("demand must be in (0, 1]");
+  }
+  if (!traits_.multi_gpu_per_node && cluster_->config().gpus_per_node > 1) {
+    return FailedPreconditionError(
+        traits_.name + " only supports nodes with a single GPU");
+  }
+  host_->ExpectJob(name, std::move(factory));
+
+  k8s::Pod pod;
+  pod.meta.name = name;
+  pod.spec.requests.Set(k8s::kResourceCpu, 2000);
+  // The scaling-factor trick: fractions become integer device units, with
+  // granularity limited to 1/scale.
+  const auto units = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::lround(demand * scale_)));
+  pod.spec.requests.Set(k8s::kResourceNvidiaGpu, units);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", mem_fraction);
+  pod.spec.env[kEnvBaselineMem] = buf;
+  std::snprintf(buf, sizeof buf, "%.6f", demand);
+  pod.spec.env[kEnvBaselineRequest] = buf;
+  return cluster_->api().pods().Create(pod);
+}
+
+}  // namespace ks::baselines

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "baselines/traits.hpp"
+#include "k8s/cluster.hpp"
+#include "workload/host.hpp"
+
+namespace ks::baselines {
+
+/// Environment variables the baseline "device libraries" read, mirroring
+/// how the real gpushare/GaiaGPU stacks pass quotas into containers.
+inline constexpr const char* kEnvBaselineMem = "BASELINE_GPU_MEM";
+inline constexpr const char* kEnvBaselineRequest = "BASELINE_GPU_REQUEST";
+
+/// Client for the scaling-factor GPU sharing baselines (§3.1 / §6): jobs
+/// request `round(demand * scale)` integer device units of the scaled
+/// device plugin, and the pod is placed by the stock kube-scheduler on
+/// aggregate unit counts. Which physical GPU the units map to is decided
+/// by the kubelet's unit pick — the implicit, late, fragmentation-prone
+/// binding the paper criticizes.
+///
+/// The traits decide which in-container hooks the decorator installs:
+/// memory-only (Aliyun), memory+compute (GaiaGPU), or none (Deepomatic).
+class FractionalClient {
+ public:
+  FractionalClient(k8s::Cluster* cluster, workload::WorkloadHost* host,
+                   BaselineTraits traits, int scale = 100);
+
+  /// Submits a job that claims `demand` of a GPU and `mem_fraction` of its
+  /// memory. The job object comes from `factory` when the container starts.
+  Status Submit(const std::string& name, double demand, double mem_fraction,
+                workload::WorkloadHost::JobFactory factory);
+
+  const BaselineTraits& traits() const { return traits_; }
+  int scale() const { return scale_; }
+
+ private:
+  /// Builds the decorator matching the traits and installs it on the host.
+  void InstallDecorator();
+
+  k8s::Cluster* cluster_;
+  workload::WorkloadHost* host_;
+  BaselineTraits traits_;
+  int scale_;
+};
+
+}  // namespace ks::baselines

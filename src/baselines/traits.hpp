@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+
+namespace ks::baselines {
+
+/// Capability matrix of a GPU sharing solution — the rows of the paper's
+/// Table 1. Each existing system is described by the subset of properties
+/// it implements; `bench_table1` probes each claim against the running
+/// implementation.
+struct BaselineTraits {
+  std::string name;
+  bool multi_gpu_per_node = false;
+  bool fine_grained_allocation = false;  // "limited" == true with scale quantum
+  bool arbitrary_fractions = false;      // KubeShare: any double, not 1/scale
+  bool memory_isolation = false;
+  bool compute_isolation = false;
+  bool first_class_identity = false;
+  bool locality_constraints = false;
+  bool coexists_with_kube_scheduler = false;
+};
+
+/// Deepomatic's shared-GPU device plugin: fractional allocation only, no
+/// isolation, single GPU per node.
+inline BaselineTraits DeepomaticTraits() {
+  BaselineTraits t;
+  t.name = "Deepomatic";
+  t.multi_gpu_per_node = false;
+  t.fine_grained_allocation = true;  // limited (scaling factor quantum)
+  return t;
+}
+
+/// Aliyun/Alibaba gpushare scheduler-extender: multi-GPU, memory isolation
+/// only.
+inline BaselineTraits AliyunTraits() {
+  BaselineTraits t;
+  t.name = "Aliyun";
+  t.multi_gpu_per_node = true;
+  t.fine_grained_allocation = true;
+  t.memory_isolation = true;
+  return t;
+}
+
+/// GaiaGPU (the paper's "GigaGPU"): extends Aliyun with LD_PRELOAD-based
+/// compute isolation.
+inline BaselineTraits GaiaGpuTraits() {
+  BaselineTraits t;
+  t.name = "GaiaGPU";
+  t.multi_gpu_per_node = true;
+  t.fine_grained_allocation = true;
+  t.memory_isolation = true;
+  t.compute_isolation = true;
+  return t;
+}
+
+inline BaselineTraits KubeShareTraits() {
+  BaselineTraits t;
+  t.name = "KubeShare";
+  t.multi_gpu_per_node = true;
+  t.fine_grained_allocation = true;
+  t.arbitrary_fractions = true;
+  t.memory_isolation = true;
+  t.compute_isolation = true;
+  t.first_class_identity = true;
+  t.locality_constraints = true;
+  t.coexists_with_kube_scheduler = true;
+  return t;
+}
+
+}  // namespace ks::baselines

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ks {
+
+/// A strongly typed string identifier. Each Tag instantiation is a distinct
+/// type, so a GPU UUID can never be passed where a virtual GPUID is
+/// expected — the confusion between the two is exactly the bug class the
+/// paper's DevMgr design is careful about (GPUID is virtual, UUID is the
+/// physical device identity).
+template <typename Tag>
+class StringId {
+ public:
+  StringId() = default;
+  explicit StringId(std::string value) : value_(std::move(value)) {}
+
+  const std::string& value() const { return value_; }
+  bool empty() const { return value_.empty(); }
+
+  friend auto operator<=>(const StringId&, const StringId&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const StringId& id) {
+    return os << id.value_;
+  }
+
+ private:
+  std::string value_;
+};
+
+struct GpuIdTag {};
+struct GpuUuidTag {};
+struct NodeNameTag {};
+struct PodNameTag {};
+struct ContainerIdTag {};
+struct LabelTag {};
+
+/// Virtual vGPU identifier assigned by KubeShare when a physical GPU joins
+/// the vGPU pool (paper §4.1). Users and KubeShare-Sched refer to devices by
+/// GPUID only.
+using GpuId = StringId<GpuIdTag>;
+
+/// Physical device identity as reported by the (simulated) NVIDIA driver and
+/// consumed via NVIDIA_VISIBLE_DEVICES. Only KubeShare-DevMgr sees UUIDs.
+using GpuUuid = StringId<GpuUuidTag>;
+
+using NodeName = StringId<NodeNameTag>;
+using PodName = StringId<PodNameTag>;
+using ContainerId = StringId<ContainerIdTag>;
+
+/// Locality label (an arbitrary string, paper §4.2).
+using Label = StringId<LabelTag>;
+
+/// Numeric job identifier used by the workload layer.
+using JobId = std::uint64_t;
+
+}  // namespace ks
+
+namespace std {
+template <typename Tag>
+struct hash<ks::StringId<Tag>> {
+  size_t operator()(const ks::StringId<Tag>& id) const noexcept {
+    return hash<string>{}(id.value());
+  }
+};
+}  // namespace std

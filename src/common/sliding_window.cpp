@@ -1,0 +1,63 @@
+#include "common/sliding_window.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ks {
+
+void SlidingWindowUsage::Start(Time now) {
+  if (!origin_set_) {
+    origin_ = now;
+    origin_set_ = true;
+  }
+  if (active_) return;
+  active_ = true;
+  active_since_ = now;
+}
+
+void SlidingWindowUsage::Stop(Time now) {
+  if (!active_) return;
+  assert(now >= active_since_);
+  if (now > active_since_) {
+    intervals_.push_back({active_since_, now});
+  }
+  active_ = false;
+}
+
+void SlidingWindowUsage::Compact(Time now) {
+  const Time cutoff = (now.count() > window_.count()) ? now - window_
+                                                      : kTimeZero;
+  while (!intervals_.empty() && intervals_.front().end <= cutoff) {
+    intervals_.pop_front();
+  }
+}
+
+Duration SlidingWindowUsage::BusyTime(Time now) const {
+  const Time cutoff = (now.count() > window_.count()) ? now - window_
+                                                      : kTimeZero;
+  Duration busy{0};
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= cutoff) continue;
+    const Time s = std::max(iv.start, cutoff);
+    const Time e = std::min(iv.end, now);
+    if (e > s) busy += e - s;
+  }
+  if (active_ && now > active_since_) {
+    const Time s = std::max(active_since_, cutoff);
+    if (now > s) busy += now - s;
+  }
+  return busy;
+}
+
+double SlidingWindowUsage::Usage(Time now) const {
+  Duration denom = window_;
+  if (origin_set_ && now - origin_ < window_) {
+    denom = now - origin_;
+  }
+  if (denom.count() <= 0) return active_ ? 1.0 : 0.0;
+  const Duration busy = BusyTime(now);
+  return std::min(1.0, static_cast<double>(busy.count()) /
+                           static_cast<double>(denom.count()));
+}
+
+}  // namespace ks

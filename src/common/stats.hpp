@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ks {
+
+/// Streaming mean/variance accumulator (Welford). Used by the metrics layer
+/// to summarize per-run throughput and latency samples.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile over a copy of the samples (nearest-rank). p in [0, 100].
+double Percentile(std::vector<double> samples, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& samples);
+
+}  // namespace ks

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ks {
+
+/// Console / CSV table used by the benchmark harnesses to print the rows a
+/// paper table or figure series reports. Columns are sized to fit; numeric
+/// formatting is the caller's responsibility (pass preformatted strings or
+/// use the Cell() helpers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Pretty-prints with aligned columns and a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// Emits RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string Cell(double value, int decimals = 2);
+std::string Cell(std::int64_t value);
+
+}  // namespace ks

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ks {
+
+/// Simulation time. All cluster-scale experiments run on a virtual clock
+/// measured in microseconds since simulation start. Using the chrono
+/// duration type (rather than a bare integer) keeps unit errors out of the
+/// scheduler and token-accounting code.
+using Time = std::chrono::microseconds;
+
+/// Duration is the same representation as Time; the alias exists purely to
+/// document intent at call sites (a point in time vs. a span of time).
+using Duration = std::chrono::microseconds;
+
+inline constexpr Time kTimeZero{0};
+
+constexpr Duration Micros(std::int64_t us) { return Duration{us}; }
+constexpr Duration Millis(std::int64_t ms) { return Duration{ms * 1000}; }
+constexpr Duration Seconds(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e6)};
+}
+constexpr Duration Minutes(double m) { return Seconds(m * 60.0); }
+
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+/// Formats a time as seconds with millisecond precision, e.g. "123.456s".
+std::string FormatTime(Time t);
+
+inline std::string FormatTime(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fs", ToSeconds(t));
+  return buf;
+}
+
+}  // namespace ks

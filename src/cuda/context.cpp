@@ -1,0 +1,214 @@
+#include "cuda/context.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ks::cuda {
+
+CudaContext::CudaContext(gpu::GpuDevice* device, ContainerId owner)
+    : device_(device), owner_(std::move(owner)) {
+  assert(device_ != nullptr);
+  streams_.try_emplace(kDefaultStream);
+}
+
+CudaContext::~CudaContext() {
+  // Context destruction releases every allocation this context owns, as
+  // cuCtxDestroy does, and orphans in-flight kernels so their completion
+  // events cannot call back into this (freed) context.
+  device_->DetachOwner(owner_);
+  device_->FreeAll(owner_);
+}
+
+CudaResult CudaContext::MemAlloc(gpu::DevicePtr* out, std::uint64_t bytes) {
+  if (out == nullptr || bytes == 0) return CudaResult::kErrorInvalidValue;
+  auto result = device_->Allocate(owner_, bytes);
+  if (!result.ok()) return CudaResult::kErrorOutOfMemory;
+  *out = *result;
+  owned_ptrs_.insert(*result);
+  allocated_bytes_ += bytes;
+  return CudaResult::kSuccess;
+}
+
+CudaResult CudaContext::MemFree(gpu::DevicePtr ptr) {
+  auto it = owned_ptrs_.find(ptr);
+  if (it == owned_ptrs_.end()) return CudaResult::kErrorInvalidValue;
+  const std::uint64_t before = device_->MemoryUsedBy(owner_);
+  if (!device_->Free(ptr).ok()) return CudaResult::kErrorInvalidValue;
+  allocated_bytes_ -= before - device_->MemoryUsedBy(owner_);
+  owned_ptrs_.erase(it);
+  return CudaResult::kSuccess;
+}
+
+CudaResult CudaContext::ArrayCreate(gpu::DevicePtr* out, std::uint64_t width,
+                                    std::uint64_t height,
+                                    std::uint64_t element_bytes) {
+  if (width == 0 || height == 0 || element_bytes == 0) {
+    return CudaResult::kErrorInvalidValue;
+  }
+  return MemAlloc(out, width * height * element_bytes);
+}
+
+CudaResult CudaContext::StreamCreate(StreamId* out) {
+  if (out == nullptr) return CudaResult::kErrorInvalidValue;
+  const StreamId id = next_stream_++;
+  streams_.try_emplace(id);
+  *out = id;
+  return CudaResult::kSuccess;
+}
+
+CudaResult CudaContext::StreamDestroy(StreamId stream) {
+  if (stream == kDefaultStream) return CudaResult::kErrorInvalidValue;
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return CudaResult::kErrorInvalidHandle;
+  if (it->second.in_flight || !it->second.queue.empty()) {
+    return CudaResult::kErrorNotReady;
+  }
+  streams_.erase(it);
+  return CudaResult::kSuccess;
+}
+
+CudaResult CudaContext::LaunchKernel(const gpu::KernelDesc& desc,
+                                     StreamId stream, HostFn on_complete) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return CudaResult::kErrorInvalidHandle;
+  if (desc.nominal_duration.count() <= 0) {
+    return CudaResult::kErrorInvalidValue;
+  }
+  ++pending_kernels_;
+  Entry entry;
+  entry.desc = desc;
+  entry.fn = std::move(on_complete);
+  it->second.queue.push_back(std::move(entry));
+  if (!it->second.in_flight) SubmitNext(stream);
+  return CudaResult::kSuccess;
+}
+
+void CudaContext::SubmitNext(StreamId stream_id) {
+  Stream& stream = streams_.at(stream_id);
+  // Event markers at the head of the queue complete immediately — every
+  // earlier kernel on this FIFO stream has retired.
+  while (!stream.in_flight && !stream.queue.empty() &&
+         stream.queue.front().is_event) {
+    const EventId event = stream.queue.front().event;
+    stream.queue.pop_front();
+    CompleteEvent(event);
+  }
+  if (stream.in_flight || stream.queue.empty()) return;
+  Entry entry = std::move(stream.queue.front());
+  stream.queue.pop_front();
+  stream.in_flight = true;
+  device_->Submit(owner_, entry.desc,
+                  [this, stream_id, user_fn = std::move(entry.fn)]() mutable {
+                    OnKernelRetired(stream_id, std::move(user_fn));
+                  });
+}
+
+void CudaContext::OnKernelRetired(StreamId stream_id, HostFn user_fn) {
+  auto it = streams_.find(stream_id);
+  if (it != streams_.end()) {
+    it->second.in_flight = false;
+  }
+  --pending_kernels_;
+  if (user_fn) user_fn();
+  if (it != streams_.end()) SubmitNext(stream_id);
+  MaybeFireSync();
+}
+
+CudaResult CudaContext::Synchronize(HostFn fn) {
+  if (!fn) return CudaResult::kErrorInvalidValue;
+  if (pending_kernels_ == 0) {
+    fn();
+    return CudaResult::kSuccess;
+  }
+  sync_waiters_.push_back(std::move(fn));
+  return CudaResult::kSuccess;
+}
+
+void CudaContext::MaybeFireSync() {
+  if (pending_kernels_ != 0 || sync_waiters_.empty()) return;
+  auto waiters = std::move(sync_waiters_);
+  sync_waiters_.clear();
+  for (auto& fn : waiters) fn();
+}
+
+CudaResult CudaContext::EventCreate(EventId* out) {
+  if (out == nullptr) return CudaResult::kErrorInvalidValue;
+  const EventId id = next_event_++;
+  events_.try_emplace(id);
+  *out = id;
+  return CudaResult::kSuccess;
+}
+
+CudaResult CudaContext::EventRecord(EventId event, StreamId stream) {
+  auto eit = events_.find(event);
+  if (eit == events_.end()) return CudaResult::kErrorInvalidHandle;
+  auto sit = streams_.find(stream);
+  if (sit == streams_.end()) return CudaResult::kErrorInvalidHandle;
+  // Re-recording resets the event.
+  eit->second.recorded = true;
+  eit->second.complete = false;
+  if (!sit->second.in_flight && sit->second.queue.empty()) {
+    CompleteEvent(event);
+    return CudaResult::kSuccess;
+  }
+  Entry marker;
+  marker.is_event = true;
+  marker.event = event;
+  sit->second.queue.push_back(std::move(marker));
+  return CudaResult::kSuccess;
+}
+
+void CudaContext::CompleteEvent(EventId event) {
+  auto it = events_.find(event);
+  if (it == events_.end()) return;  // destroyed while in a queue
+  it->second.complete = true;
+  it->second.completed_at = device_->sim()->Now();
+  auto waiters = std::move(it->second.waiters);
+  it->second.waiters.clear();
+  for (auto& fn : waiters) {
+    if (fn) fn();
+  }
+}
+
+CudaResult CudaContext::EventQuery(EventId event) {
+  auto it = events_.find(event);
+  if (it == events_.end()) return CudaResult::kErrorInvalidHandle;
+  if (!it->second.recorded) return CudaResult::kErrorInvalidValue;
+  return it->second.complete ? CudaResult::kSuccess
+                             : CudaResult::kErrorNotReady;
+}
+
+CudaResult CudaContext::EventSynchronize(EventId event, HostFn fn) {
+  if (!fn) return CudaResult::kErrorInvalidValue;
+  auto it = events_.find(event);
+  if (it == events_.end()) return CudaResult::kErrorInvalidHandle;
+  if (!it->second.recorded) return CudaResult::kErrorInvalidValue;
+  if (it->second.complete) {
+    fn();
+  } else {
+    it->second.waiters.push_back(std::move(fn));
+  }
+  return CudaResult::kSuccess;
+}
+
+CudaResult CudaContext::EventElapsedTime(Duration* out, EventId start,
+                                         EventId end) {
+  if (out == nullptr) return CudaResult::kErrorInvalidValue;
+  auto sit = events_.find(start);
+  auto eit = events_.find(end);
+  if (sit == events_.end() || eit == events_.end()) {
+    return CudaResult::kErrorInvalidHandle;
+  }
+  if (!sit->second.complete || !eit->second.complete) {
+    return CudaResult::kErrorNotReady;
+  }
+  *out = eit->second.completed_at - sit->second.completed_at;
+  return CudaResult::kSuccess;
+}
+
+CudaResult CudaContext::EventDestroy(EventId event) {
+  if (events_.erase(event) == 0) return CudaResult::kErrorInvalidHandle;
+  return CudaResult::kSuccess;
+}
+
+}  // namespace ks::cuda

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "cuda/api.hpp"
+#include "gpu/device.hpp"
+
+namespace ks::cuda {
+
+/// Driver-level CUDA context: binds one container to one device and
+/// implements the CudaApi surface directly against the simulated GPU.
+///
+/// Stream ordering is enforced here (the device itself executes whatever it
+/// is given): each stream is a FIFO — at most one kernel of a stream is in
+/// flight on the device; the next is submitted when the previous retires.
+/// Kernels of different streams (or different contexts) overlap on the
+/// device, which is what makes the no-compute-isolation baselines
+/// measurably interfere.
+class CudaContext final : public CudaApi {
+ public:
+  CudaContext(gpu::GpuDevice* device, ContainerId owner);
+  ~CudaContext() override;
+
+  CudaContext(const CudaContext&) = delete;
+  CudaContext& operator=(const CudaContext&) = delete;
+
+  const ContainerId& owner() const { return owner_; }
+  gpu::GpuDevice* device() const { return device_; }
+
+  CudaResult MemAlloc(gpu::DevicePtr* out, std::uint64_t bytes) override;
+  CudaResult MemFree(gpu::DevicePtr ptr) override;
+  CudaResult ArrayCreate(gpu::DevicePtr* out, std::uint64_t width,
+                         std::uint64_t height,
+                         std::uint64_t element_bytes) override;
+
+  CudaResult StreamCreate(StreamId* out) override;
+  CudaResult StreamDestroy(StreamId stream) override;
+
+  CudaResult LaunchKernel(const gpu::KernelDesc& desc, StreamId stream,
+                          HostFn on_complete) override;
+  CudaResult Synchronize(HostFn fn) override;
+
+  CudaResult EventCreate(EventId* out) override;
+  CudaResult EventRecord(EventId event, StreamId stream) override;
+  CudaResult EventQuery(EventId event) override;
+  CudaResult EventSynchronize(EventId event, HostFn fn) override;
+  CudaResult EventElapsedTime(Duration* out, EventId start,
+                              EventId end) override;
+  CudaResult EventDestroy(EventId event) override;
+
+  std::uint64_t AllocatedBytes() const override { return allocated_bytes_; }
+  std::size_t PendingKernels() const override { return pending_kernels_; }
+
+ private:
+  /// A stream queue entry: a kernel, or an event marker that completes the
+  /// event once every earlier kernel on the stream has retired.
+  struct Entry {
+    bool is_event = false;
+    gpu::KernelDesc desc;
+    HostFn fn;
+    EventId event = 0;
+  };
+  struct Stream {
+    std::deque<Entry> queue;
+    bool in_flight = false;
+  };
+  struct EventState {
+    bool recorded = false;
+    bool complete = false;
+    Time completed_at{0};
+    std::vector<HostFn> waiters;
+  };
+
+  void SubmitNext(StreamId stream_id);
+  void OnKernelRetired(StreamId stream_id, HostFn user_fn);
+  void CompleteEvent(EventId event);
+  void MaybeFireSync();
+
+  gpu::GpuDevice* device_;
+  ContainerId owner_;
+
+  std::uint64_t allocated_bytes_ = 0;
+  std::unordered_set<gpu::DevicePtr> owned_ptrs_;
+
+  StreamId next_stream_ = 1;
+  std::unordered_map<StreamId, Stream> streams_;
+
+  EventId next_event_ = 1;
+  std::unordered_map<EventId, EventState> events_;
+
+  std::size_t pending_kernels_ = 0;
+  std::vector<HostFn> sync_waiters_;
+};
+
+}  // namespace ks::cuda

@@ -1,0 +1,148 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ks::gpu {
+
+GpuDevice::GpuDevice(sim::Simulation* sim, GpuUuid uuid, GpuSpec spec)
+    : sim_(sim), uuid_(std::move(uuid)), spec_(spec) {
+  assert(sim_ != nullptr);
+}
+
+Expected<DevicePtr> GpuDevice::Allocate(const ContainerId& owner,
+                                        std::uint64_t bytes) {
+  if (bytes == 0) return InvalidArgumentError("zero-byte allocation");
+  if (used_memory_ + bytes > spec_.memory_bytes) {
+    return ResourceExhaustedError("device out of memory on " + uuid_.value());
+  }
+  used_memory_ += bytes;
+  const DevicePtr ptr = next_ptr_++;
+  allocations_.emplace(ptr, Allocation{owner, bytes});
+  return ptr;
+}
+
+Status GpuDevice::Free(DevicePtr ptr) {
+  auto it = allocations_.find(ptr);
+  if (it == allocations_.end()) {
+    return NotFoundError("unknown device pointer");
+  }
+  used_memory_ -= it->second.bytes;
+  allocations_.erase(it);
+  return Status::Ok();
+}
+
+void GpuDevice::FreeAll(const ContainerId& owner) {
+  for (auto it = allocations_.begin(); it != allocations_.end();) {
+    if (it->second.owner == owner) {
+      used_memory_ -= it->second.bytes;
+      it = allocations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t GpuDevice::MemoryUsedBy(const ContainerId& owner) const {
+  std::uint64_t total = 0;
+  for (const auto& [ptr, alloc] : allocations_) {
+    if (alloc.owner == owner) total += alloc.bytes;
+  }
+  return total;
+}
+
+double GpuDevice::CurrentRatePerKernel() const {
+  if (running_.empty()) return 0.0;
+  double bw = 0.0;
+  for (const Running& r : running_) bw += r.bandwidth_demand;
+  const double stretch =
+      std::max(1.0, bw / std::max(1e-9, spec_.bandwidth_capacity));
+  return 1.0 / (static_cast<double>(running_.size()) * stretch);
+}
+
+void GpuDevice::Progress() {
+  const Time now = sim_->Now();
+  if (running_.empty() || now <= last_update_) {
+    last_update_ = now;
+    return;
+  }
+  const double rate = CurrentRatePerKernel();
+  const auto elapsed = static_cast<double>((now - last_update_).count());
+  const auto burn = Duration{static_cast<std::int64_t>(elapsed * rate)};
+  for (Running& r : running_) {
+    r.remaining = (r.remaining > burn) ? r.remaining - burn : Duration{0};
+  }
+  last_update_ = now;
+}
+
+void GpuDevice::Reschedule() {
+  if (completion_event_ != sim::kInvalidEvent) {
+    sim_->Cancel(completion_event_);
+    completion_event_ = sim::kInvalidEvent;
+  }
+  if (running_.empty()) {
+    util_.Stop(sim_->Now());
+    return;
+  }
+  util_.Start(sim_->Now());
+  const double rate = CurrentRatePerKernel();
+  Duration min_remaining = running_.front().remaining;
+  for (const Running& r : running_) {
+    min_remaining = std::min(min_remaining, r.remaining);
+  }
+  const auto wall = Duration{static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(min_remaining.count()) / rate))};
+  completion_event_ =
+      sim_->ScheduleAfter(std::max(Duration{0}, wall), [this] {
+        OnCompletionEvent();
+      });
+}
+
+KernelId GpuDevice::Submit(const ContainerId& owner, const KernelDesc& desc,
+                           std::function<void()> on_complete) {
+  Progress();
+  const KernelId id = next_kernel_++;
+  Running r;
+  r.id = id;
+  r.owner = owner;
+  r.bandwidth_demand = desc.bandwidth_demand;
+  r.remaining = std::max(Duration{1}, desc.nominal_duration);
+  r.on_complete = std::move(on_complete);
+  running_.push_back(std::move(r));
+  Reschedule();
+  return id;
+}
+
+void GpuDevice::DetachOwner(const ContainerId& owner) {
+  for (Running& r : running_) {
+    if (r.owner == owner) r.on_complete = nullptr;
+  }
+}
+
+void GpuDevice::OnCompletionEvent() {
+  completion_event_ = sim::kInvalidEvent;
+  Progress();
+  // Collect every kernel that has (numerically) finished. Completion
+  // callbacks run after the running set is updated so re-entrant Submit()
+  // calls from a callback see a consistent device state.
+  std::vector<std::function<void()>> done;
+  for (auto it = running_.begin(); it != running_.end();) {
+    // 1 us tolerance absorbs the floor/ceil rounding between Progress()
+    // and the completion-event timing; without it a kernel could hover at
+    // remaining == 1 and re-fire the event indefinitely.
+    if (it->remaining <= Duration{1}) {
+      done.push_back(std::move(it->on_complete));
+      it = running_.erase(it);
+      ++completed_;
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+  for (auto& fn : done) {
+    if (fn) fn();
+  }
+}
+
+}  // namespace ks::gpu

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "gpu/utilization.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::gpu {
+
+/// Static properties of a simulated device. Defaults model the paper's
+/// testbed GPU (NVIDIA Tesla V100, 16 GB device memory).
+struct GpuSpec {
+  std::uint64_t memory_bytes = 16ull * 1024 * 1024 * 1024;
+  /// Aggregate memory-bandwidth capacity in normalized units. Concurrent
+  /// kernels whose bandwidth demands sum past this stretch uniformly.
+  double bandwidth_capacity = 1.0;
+};
+
+/// A unit of GPU work. `nominal_duration` is the run time of the kernel when
+/// it has the device to itself; concurrent kernels share the SMs
+/// processor-sharing style, and bandwidth oversubscription stretches
+/// everything uniformly (the contention the paper's intro attributes to
+/// "limited memory bandwidth").
+struct KernelDesc {
+  Duration nominal_duration{0};
+  double bandwidth_demand = 0.0;
+  std::string name;
+};
+
+using KernelId = std::uint64_t;
+using DevicePtr = std::uint64_t;
+
+/// Simulated GPU device: a memory ledger plus a processor-sharing kernel
+/// execution engine driven by the discrete-event simulation.
+///
+/// The execution model is deliberately simple but captures what the paper's
+/// isolation mechanism depends on:
+///  - kernels are non-preemptive (a kernel in flight always completes);
+///  - kernels submitted concurrently (e.g. by containers sharing a GPU with
+///    no compute isolation, as under the Aliyun-style baseline) divide the
+///    SMs evenly;
+///  - device memory is physically bounded: allocation past capacity fails,
+///    which is the crash mode KubeShare's memory interception prevents.
+class GpuDevice {
+ public:
+  GpuDevice(sim::Simulation* sim, GpuUuid uuid, GpuSpec spec = {});
+  GpuDevice(const GpuDevice&) = delete;
+  GpuDevice& operator=(const GpuDevice&) = delete;
+
+  const GpuUuid& uuid() const { return uuid_; }
+  const GpuSpec& spec() const { return spec_; }
+  sim::Simulation* sim() const { return sim_; }
+
+  // --- Memory ---------------------------------------------------------
+  Expected<DevicePtr> Allocate(const ContainerId& owner, std::uint64_t bytes);
+  Status Free(DevicePtr ptr);
+  /// Releases every allocation owned by `owner` (container teardown).
+  void FreeAll(const ContainerId& owner);
+
+  std::uint64_t used_memory() const { return used_memory_; }
+  std::uint64_t MemoryUsedBy(const ContainerId& owner) const;
+
+  // --- Execution ------------------------------------------------------
+  /// Enqueues a kernel for execution; `on_complete` fires (via the event
+  /// queue) when it finishes. Execution begins immediately — stream
+  /// ordering is enforced by the CUDA layer above, not by the device.
+  KernelId Submit(const ContainerId& owner, const KernelDesc& desc,
+                  std::function<void()> on_complete);
+
+  /// Drops the completion callbacks of every in-flight kernel owned by
+  /// `owner`. The kernels still run to completion (the device cannot
+  /// preempt), but nothing is invoked when they retire. Called when a
+  /// container is torn down while its kernels are on the device — the
+  /// callbacks would otherwise dangle into freed per-container state.
+  void DetachOwner(const ContainerId& owner);
+
+  std::size_t active_kernels() const { return running_.size(); }
+  bool busy() const { return !running_.empty(); }
+
+  /// Device-level utilization (fraction of time >= 1 kernel active).
+  const UtilizationTracker& utilization() const { return util_; }
+  UtilizationTracker& utilization() { return util_; }
+
+  /// Total kernels completed — a cheap progress probe for tests.
+  std::uint64_t completed_kernels() const { return completed_; }
+
+ private:
+  struct Running {
+    KernelId id;
+    ContainerId owner;
+    double bandwidth_demand;
+    Duration remaining;  // work left at full (exclusive) rate
+    std::function<void()> on_complete;
+  };
+
+  /// Re-times the pending completion event after the active set changed.
+  void Reschedule();
+  /// Advances all running kernels' remaining work by the time since
+  /// last_update_ at the current sharing rate.
+  void Progress();
+  double CurrentRatePerKernel() const;
+  void OnCompletionEvent();
+
+  sim::Simulation* sim_;
+  GpuUuid uuid_;
+  GpuSpec spec_;
+
+  std::uint64_t used_memory_ = 0;
+  DevicePtr next_ptr_ = 1;
+  struct Allocation {
+    ContainerId owner;
+    std::uint64_t bytes;
+  };
+  std::unordered_map<DevicePtr, Allocation> allocations_;
+
+  KernelId next_kernel_ = 1;
+  std::vector<Running> running_;
+  Time last_update_{0};
+  sim::EventId completion_event_ = sim::kInvalidEvent;
+  UtilizationTracker util_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace ks::gpu

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "k8s/events.hpp"
+#include "k8s/latency.hpp"
+#include "k8s/objects.hpp"
+#include "k8s/store.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::k8s {
+
+/// The frontend to shared cluster state: typed stores for the built-in
+/// kinds plus helpers for the mutations the components perform (bind,
+/// phase transitions). Custom resource kinds (KubeShare's sharePod) live in
+/// their own ObjectStore owned by the extension — the apiserver does not
+/// need to know about them, which is the compatibility property the paper
+/// emphasizes (§4.6).
+class ApiServer {
+ public:
+  ApiServer(sim::Simulation* sim, LatencyModel latency = {})
+      : sim_(sim),
+        latency_(latency),
+        pods_(sim, latency.watch_propagation),
+        nodes_(sim, latency.watch_propagation),
+        events_(sim) {}
+
+  ObjectStore<Pod>& pods() { return pods_; }
+  const ObjectStore<Pod>& pods() const { return pods_; }
+  ObjectStore<Node>& nodes() { return nodes_; }
+  const ObjectStore<Node>& nodes() const { return nodes_; }
+  EventRecorder& events() { return events_; }
+  const EventRecorder& events() const { return events_; }
+
+  sim::Simulation* sim() { return sim_; }
+  const LatencyModel& latency() const { return latency_; }
+
+  /// Binds a pending pod to a node (the scheduler's Bind subresource call).
+  Status BindPod(const std::string& pod_name, const std::string& node_name) {
+    auto pod = pods_.Get(pod_name);
+    if (!pod.ok()) return pod.status();
+    if (pod->scheduled()) {
+      return FailedPreconditionError("pod already bound: " + pod_name);
+    }
+    if (!nodes_.Contains(node_name)) {
+      return NotFoundError("no node: " + node_name);
+    }
+    pod->status.node_name = node_name;
+    pod->status.scheduled_time = sim_->Now();
+    return pods_.Update(*std::move(pod));
+  }
+
+  /// Kubelet status updates.
+  Status SetPodPhase(const std::string& pod_name, PodPhase phase,
+                     const std::string& message = "") {
+    auto pod = pods_.Get(pod_name);
+    if (!pod.ok()) return pod.status();
+    pod->status.phase = phase;
+    if (!message.empty()) pod->status.message = message;
+    if (phase == PodPhase::kRunning) pod->status.running_time = sim_->Now();
+    if (phase == PodPhase::kSucceeded || phase == PodPhase::kFailed) {
+      pod->status.finished_time = sim_->Now();
+    }
+    return pods_.Update(*std::move(pod));
+  }
+
+  Status SetPodEnv(const std::string& pod_name,
+                   std::map<std::string, std::string> env) {
+    auto pod = pods_.Get(pod_name);
+    if (!pod.ok()) return pod.status();
+    pod->status.effective_env = std::move(env);
+    return pods_.Update(*std::move(pod));
+  }
+
+ private:
+  sim::Simulation* sim_;
+  LatencyModel latency_;
+  ObjectStore<Pod> pods_;
+  ObjectStore<Node> nodes_;
+  EventRecorder events_;
+};
+
+}  // namespace ks::k8s

@@ -1,0 +1,112 @@
+#include "k8s/cluster.hpp"
+
+#include <cassert>
+
+namespace ks::k8s {
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  api_ = std::make_unique<ApiServer>(&sim_, config_.latency);
+  scheduler_ = std::make_unique<KubeScheduler>(api_.get());
+  nvml_ = std::make_unique<gpu::NvmlMonitor>(&sim_, Seconds(1));
+
+  for (int n = 0; n < config_.nodes; ++n) {
+    auto handle = std::make_unique<NodeHandle>();
+    handle->name = "node-" + std::to_string(n);
+
+    std::vector<gpu::GpuDevice*> raw_gpus;
+    for (int g = 0; g < config_.gpus_per_node; ++g) {
+      auto dev = std::make_unique<gpu::GpuDevice>(
+          &sim_, GpuUuid("GPU-" + std::to_string(n) + "-" + std::to_string(g)),
+          config_.gpu_spec);
+      nvml_->Register(dev.get());
+      raw_gpus.push_back(dev.get());
+      handle->gpus.push_back(std::move(dev));
+    }
+
+    if (config_.scaled_plugin) {
+      handle->plugin = std::make_unique<ScaledNvidiaDevicePlugin>(
+          raw_gpus, config_.plugin_scale);
+    } else {
+      handle->plugin = std::make_unique<NvidiaDevicePlugin>(raw_gpus);
+    }
+
+    handle->runtime = std::make_unique<ContainerRuntime>(
+        &sim_, handle->name, raw_gpus, config_.latency);
+
+    ResourceList machine;
+    machine.Set(kResourceCpu, config_.cpu_millicores);
+    machine.Set(kResourceMemory, config_.memory_bytes);
+    handle->kubelet = std::make_unique<Kubelet>(
+        api_.get(), handle->name, machine, handle->runtime.get(),
+        handle->plugin.get());
+
+    handle->token_backend =
+        std::make_unique<vgpu::TokenBackend>(&sim_, config_.backend);
+    for (gpu::GpuDevice* g : raw_gpus) {
+      handle->token_backend->RegisterDevice(g->uuid());
+    }
+
+    nodes_.push_back(std::move(handle));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Status Cluster::Start() {
+  if (started_) return FailedPreconditionError("cluster already started");
+  started_ = true;
+  for (auto& node : nodes_) {
+    KS_RETURN_IF_ERROR(node->kubelet->Start());
+  }
+  KS_RETURN_IF_ERROR(scheduler_->Start());
+  return Status::Ok();
+}
+
+Cluster::NodeHandle* Cluster::FindNode(const std::string& name) {
+  for (auto& node : nodes_) {
+    if (node->name == name) return node.get();
+  }
+  return nullptr;
+}
+
+gpu::GpuDevice* Cluster::FindGpu(const GpuUuid& uuid) {
+  for (auto& node : nodes_) {
+    for (auto& dev : node->gpus) {
+      if (dev->uuid() == uuid) return dev.get();
+    }
+  }
+  return nullptr;
+}
+
+vgpu::TokenBackend* Cluster::BackendForGpu(const GpuUuid& uuid) {
+  for (auto& node : nodes_) {
+    for (auto& dev : node->gpus) {
+      if (dev->uuid() == uuid) return node->token_backend.get();
+    }
+  }
+  return nullptr;
+}
+
+void Cluster::SetContainerStartHook(ContainerRuntime::StartHook hook) {
+  for (auto& node : nodes_) {
+    node->runtime->SetStartHook(hook);
+  }
+}
+
+void Cluster::SetContainerStopHook(ContainerRuntime::StopHook hook) {
+  for (auto& node : nodes_) {
+    node->runtime->SetStopHook(hook);
+  }
+}
+
+Status Cluster::ExitPodContainer(const std::string& pod_name, bool success) {
+  auto pod = api_->pods().Get(pod_name);
+  if (!pod.ok()) return pod.status();
+  NodeHandle* node = FindNode(pod->status.node_name);
+  if (node == nullptr) {
+    return NotFoundError("pod not bound to a known node: " + pod_name);
+  }
+  return node->runtime->ExitContainerByPod(pod_name, success);
+}
+
+}  // namespace ks::k8s

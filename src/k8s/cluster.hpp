@@ -1,0 +1,95 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "gpu/device.hpp"
+#include "gpu/nvml.hpp"
+#include "k8s/apiserver.hpp"
+#include "k8s/device_plugin.hpp"
+#include "k8s/kubelet.hpp"
+#include "k8s/runtime.hpp"
+#include "k8s/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "vgpu/token_backend.hpp"
+
+namespace ks::k8s {
+
+/// Shape of the simulated testbed. Defaults model the paper's evaluation
+/// cluster: 8 AWS p3.8xlarge nodes, each with a 36-core CPU, 244 GB RAM and
+/// 4 Tesla V100 GPUs (§5.1).
+struct ClusterConfig {
+  int nodes = 8;
+  int gpus_per_node = 4;
+  std::int64_t cpu_millicores = 36000;
+  std::int64_t memory_bytes = 244ll * 1024 * 1024 * 1024;
+  gpu::GpuSpec gpu_spec;
+  LatencyModel latency;
+  vgpu::BackendConfig backend;
+  /// Use the scaling-factor device plugin (the §3.1 trick) instead of the
+  /// stock whole-GPU plugin. Used by the fragmentation baselines.
+  bool scaled_plugin = false;
+  int plugin_scale = 100;
+};
+
+/// A fully-wired simulated Kubernetes cluster: apiserver, kube-scheduler,
+/// and per node a kubelet, container runtime, device plugin, the physical
+/// GPUs, and the vGPU token-backend daemon KubeShare's device library talks
+/// to. Owns every component; everything runs on one Simulation.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Starts kubelets (registering nodes) and the scheduler. Call once,
+  /// before running the simulation.
+  Status Start();
+
+  sim::Simulation& sim() { return sim_; }
+  ApiServer& api() { return *api_; }
+  KubeScheduler& scheduler() { return *scheduler_; }
+  gpu::NvmlMonitor& nvml() { return *nvml_; }
+  const ClusterConfig& config() const { return config_; }
+
+  struct NodeHandle {
+    std::string name;
+    std::vector<std::unique_ptr<gpu::GpuDevice>> gpus;
+    std::unique_ptr<DevicePlugin> plugin;
+    std::unique_ptr<ContainerRuntime> runtime;
+    std::unique_ptr<Kubelet> kubelet;
+    std::unique_ptr<vgpu::TokenBackend> token_backend;
+  };
+
+  std::size_t node_count() const { return nodes_.size(); }
+  NodeHandle& node(std::size_t i) { return *nodes_.at(i); }
+  NodeHandle* FindNode(const std::string& name);
+
+  gpu::GpuDevice* FindGpu(const GpuUuid& uuid);
+  /// Token backend of the node hosting `uuid` (every GPU has exactly one).
+  vgpu::TokenBackend* BackendForGpu(const GpuUuid& uuid);
+
+  /// Installs one application-side start/stop hook across all node
+  /// runtimes (the workload layer's attachment point).
+  void SetContainerStartHook(ContainerRuntime::StartHook hook);
+  void SetContainerStopHook(ContainerRuntime::StopHook hook);
+
+  /// Convenience for workloads: exits the container of `pod_name` wherever
+  /// it runs.
+  Status ExitPodContainer(const std::string& pod_name, bool success);
+
+ private:
+  ClusterConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<ApiServer> api_;
+  std::unique_ptr<KubeScheduler> scheduler_;
+  std::unique_ptr<gpu::NvmlMonitor> nvml_;
+  std::vector<std::unique_ptr<NodeHandle>> nodes_;
+  bool started_ = false;
+};
+
+}  // namespace ks::k8s

@@ -1,0 +1,103 @@
+#include "k8s/device_plugin.hpp"
+
+#include <algorithm>
+
+#include "k8s/resources.hpp"
+
+namespace ks::k8s {
+
+namespace {
+std::string JoinIds(const std::vector<std::string>& ids) {
+  std::string out;
+  for (const std::string& id : ids) {
+    if (!out.empty()) out += ',';
+    out += id;
+  }
+  return out;
+}
+}  // namespace
+
+NvidiaDevicePlugin::NvidiaDevicePlugin(std::vector<gpu::GpuDevice*> gpus)
+    : gpus_(std::move(gpus)) {}
+
+std::vector<PluginDevice> NvidiaDevicePlugin::ListDevices() const {
+  std::vector<PluginDevice> out;
+  out.reserve(gpus_.size());
+  for (const gpu::GpuDevice* g : gpus_) {
+    auto it = health_.find(g->uuid().value());
+    out.push_back({g->uuid().value(), it == health_.end() || it->second});
+  }
+  return out;
+}
+
+Status NvidiaDevicePlugin::SetDeviceHealth(const std::string& uuid,
+                                           bool healthy) {
+  const bool known = std::any_of(
+      gpus_.begin(), gpus_.end(),
+      [&](const gpu::GpuDevice* g) { return g->uuid().value() == uuid; });
+  if (!known) return NotFoundError("unknown device: " + uuid);
+  health_[uuid] = healthy;
+  return Status::Ok();
+}
+
+Expected<AllocateResponse> NvidiaDevicePlugin::Allocate(
+    const std::vector<std::string>& device_ids) {
+  if (device_ids.empty()) {
+    return InvalidArgumentError("empty device id list");
+  }
+  for (const std::string& id : device_ids) {
+    const bool known = std::any_of(
+        gpus_.begin(), gpus_.end(),
+        [&](const gpu::GpuDevice* g) { return g->uuid().value() == id; });
+    if (!known) return NotFoundError("unknown device id: " + id);
+  }
+  AllocateResponse resp;
+  resp.env[kNvidiaVisibleDevices] = JoinIds(device_ids);
+  return resp;
+}
+
+ScaledNvidiaDevicePlugin::ScaledNvidiaDevicePlugin(
+    std::vector<gpu::GpuDevice*> gpus, int scale)
+    : gpus_(std::move(gpus)), scale_(scale > 0 ? scale : 1) {}
+
+std::vector<PluginDevice> ScaledNvidiaDevicePlugin::ListDevices() const {
+  std::vector<PluginDevice> out;
+  out.reserve(gpus_.size() * static_cast<std::size_t>(scale_));
+  for (const gpu::GpuDevice* g : gpus_) {
+    for (int unit = 0; unit < scale_; ++unit) {
+      out.push_back({g->uuid().value() + "#" + std::to_string(unit), true});
+    }
+  }
+  return out;
+}
+
+Expected<std::string> ScaledNvidiaDevicePlugin::GpuOfUnit(
+    const std::string& unit_id) const {
+  const auto hash = unit_id.rfind('#');
+  if (hash == std::string::npos) {
+    return InvalidArgumentError("not a scaled unit id: " + unit_id);
+  }
+  const std::string uuid = unit_id.substr(0, hash);
+  for (const gpu::GpuDevice* g : gpus_) {
+    if (g->uuid().value() == uuid) return uuid;
+  }
+  return NotFoundError("unknown device id: " + unit_id);
+}
+
+Expected<AllocateResponse> ScaledNvidiaDevicePlugin::Allocate(
+    const std::vector<std::string>& device_ids) {
+  if (device_ids.empty()) {
+    return InvalidArgumentError("empty device id list");
+  }
+  // The kubelet hands over whatever free units it picked; the container can
+  // only be attached to one GPU, so the plugin uses the owner of the first
+  // unit and ignores where the rest live. Fractional accounting is thereby
+  // only correct in aggregate — the fragmentation problem of §3.1.
+  auto owner = GpuOfUnit(device_ids.front());
+  if (!owner.ok()) return owner.status();
+  AllocateResponse resp;
+  resp.env[kNvidiaVisibleDevices] = *owner;
+  return resp;
+}
+
+}  // namespace ks::k8s

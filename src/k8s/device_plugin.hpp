@@ -1,0 +1,101 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "gpu/device.hpp"
+#include "k8s/resources.hpp"
+
+namespace ks::k8s {
+
+/// Environment variable through which GPUs are attached to containers (the
+/// nvidia-docker2 mechanism the paper describes in §2.2).
+inline constexpr const char* kNvidiaVisibleDevices = "NVIDIA_VISIBLE_DEVICES";
+
+struct PluginDevice {
+  std::string id;
+  bool healthy = true;
+};
+
+/// What a plugin returns from Allocate: everything the kubelet needs to
+/// attach the device (we model the env-var part, which is all the NVIDIA
+/// plugin uses).
+struct AllocateResponse {
+  std::map<std::string, std::string> env;
+};
+
+/// The Kubernetes device-plugin framework interface (§2.2): a plugin
+/// registers a resource name, advertises device instances via ListAndWatch,
+/// and answers Allocate calls for device IDs that the *kubelet* picked.
+///
+/// Two framework properties matter for the paper's argument and are
+/// preserved here: device quantities are integers only, and the plugin is
+/// never told which pod an Allocate call is for (implicit, late binding —
+/// §3.2).
+class DevicePlugin {
+ public:
+  virtual ~DevicePlugin() = default;
+
+  virtual std::string resource_name() const = 0;
+
+  /// Snapshot of the ListAndWatch stream.
+  virtual std::vector<PluginDevice> ListDevices() const = 0;
+
+  /// Vendor-specific allocation for kubelet-chosen device IDs.
+  virtual Expected<AllocateResponse> Allocate(
+      const std::vector<std::string>& device_ids) = 0;
+};
+
+/// The stock NVIDIA device plugin: one device unit per physical GPU;
+/// Allocate returns NVIDIA_VISIBLE_DEVICES with the GPU UUIDs. Whole-GPU
+/// granularity — the native-Kubernetes baseline.
+class NvidiaDevicePlugin final : public DevicePlugin {
+ public:
+  explicit NvidiaDevicePlugin(std::vector<gpu::GpuDevice*> gpus);
+
+  std::string resource_name() const override { return kResourceNvidiaGpu; }
+  std::vector<PluginDevice> ListDevices() const override;
+  Expected<AllocateResponse> Allocate(
+      const std::vector<std::string>& device_ids) override;
+
+  /// Health transition (XID error, thermal trip, ...). The kubelet picks
+  /// the change up on its next ListAndWatch refresh — "whenever a device
+  /// state changes ... its device plugin returns the new device list to
+  /// kubelet" (§2.2).
+  Status SetDeviceHealth(const std::string& uuid, bool healthy);
+
+ private:
+  std::vector<gpu::GpuDevice*> gpus_;
+  std::map<std::string, bool> health_;  // default healthy
+};
+
+/// The scaling-factor trick (§3.1): each physical GPU is advertised as
+/// `scale` integer units so users can express fractions as integers. The
+/// allocated units map back to the physical GPU that owns the *first*
+/// allocated unit — when a request's units straddle GPUs (fragmentation),
+/// the container is still attached to a single GPU, silently
+/// over-committing it. This reproduces the Fig 3a failure mode of sharing
+/// solutions that do not treat GPUs as first-class resources.
+class ScaledNvidiaDevicePlugin final : public DevicePlugin {
+ public:
+  ScaledNvidiaDevicePlugin(std::vector<gpu::GpuDevice*> gpus, int scale);
+
+  std::string resource_name() const override { return kResourceNvidiaGpu; }
+  std::vector<PluginDevice> ListDevices() const override;
+  Expected<AllocateResponse> Allocate(
+      const std::vector<std::string>& device_ids) override;
+
+  int scale() const { return scale_; }
+
+  /// Unit id -> owning GPU uuid (exposed for tests and the fragmentation
+  /// benchmark).
+  Expected<std::string> GpuOfUnit(const std::string& unit_id) const;
+
+ private:
+  std::vector<gpu::GpuDevice*> gpus_;
+  int scale_;
+};
+
+}  // namespace ks::k8s

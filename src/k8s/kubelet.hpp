@@ -1,0 +1,87 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "k8s/apiserver.hpp"
+#include "k8s/device_plugin.hpp"
+#include "k8s/runtime.hpp"
+
+namespace ks::k8s {
+
+/// The node agent: watches for pods bound to its node, admits them against
+/// node capacity, performs device-plugin allocation, and drives the
+/// container runtime. It also advertises the node (with the device plugin's
+/// resource count folded into capacity) to the apiserver, which is how the
+/// scheduler learns about custom devices (§2.2).
+///
+/// Faithful to the framework limitation the paper leans on: the kubelet
+/// picks device IDs from the plugin's free list itself, in registration
+/// order — neither the scheduler nor the user can influence which physical
+/// device a pod lands on (implicit, late binding — §3.2).
+class Kubelet {
+ public:
+  Kubelet(ApiServer* api, std::string node_name, ResourceList machine_capacity,
+          ContainerRuntime* runtime, DevicePlugin* plugin);
+
+  /// Registers the node object and starts watching for work.
+  Status Start();
+
+  /// ListAndWatch refresh: re-reads the plugin's device list, marks units
+  /// (un)healthy, and re-advertises the node capacity. In-use units that
+  /// turned unhealthy stay attached to their pod until it releases them;
+  /// they just stop being allocatable (matching the real framework).
+  Status RefreshDevices();
+
+  const std::string& node_name() const { return node_name_; }
+
+  /// Resources currently reserved by admitted (non-terminal) pods.
+  const ResourceList& allocated() const { return allocated_; }
+
+  /// Free device units of the plugin resource.
+  std::size_t FreeDeviceUnits() const;
+
+  /// Device units currently assigned to a pod (empty if none).
+  std::vector<std::string> UnitsOf(const std::string& pod_name) const;
+
+ private:
+  enum class PodState { kSyncing, kStarting, kRunning, kTerminated };
+
+  void OnPodEvent(const WatchEvent<Pod>& event);
+  void SyncPod(const Pod& pod);
+  void StartViaRuntime(const std::string& name,
+                       std::map<std::string, std::string> env);
+  void FinishPod(const std::string& pod_name, bool success);
+  void ReleasePod(const std::string& pod_name);
+  Expected<std::vector<std::string>> PickDeviceUnits(std::int64_t count);
+
+  ApiServer* api_;
+  sim::Simulation* sim_;
+  std::string node_name_;
+  ResourceList capacity_;
+  ContainerRuntime* runtime_;
+  DevicePlugin* plugin_;  // may be null (CPU-only node)
+
+  ResourceList allocated_;
+  struct UnitSlot {
+    std::string id;
+    bool in_use = false;
+    bool healthy = true;
+  };
+  std::vector<UnitSlot> units_;
+
+  struct PodRecord {
+    PodState state = PodState::kSyncing;
+    ResourceList requests;
+    std::vector<std::string> unit_ids;
+  };
+  std::unordered_map<std::string, PodRecord> pods_;
+  bool started_ = false;
+};
+
+}  // namespace ks::k8s

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "common/time.hpp"
+
+namespace ks::k8s {
+
+/// Latencies of the pod-creation pipeline and control-plane operations.
+/// Defaults are calibrated so a solo pod creation lands in the "a few
+/// seconds" range the paper reports (Fig 10 dashed line), dominated by the
+/// container runtime start.
+struct LatencyModel {
+  /// apiserver write / etcd persist per mutating call.
+  Duration api_write = Millis(15);
+  /// Watch propagation (store -> informer caches).
+  Duration watch_propagation = Millis(1);
+  /// kube-scheduler: fixed overhead per pod scheduling cycle...
+  Duration sched_fixed = Millis(10);
+  /// ...plus per-node filter/score cost.
+  Duration sched_per_node = Millis(1);
+  /// kubelet pod sync: admission, cgroup setup, volume mounts.
+  Duration kubelet_sync = Millis(200);
+  /// Device plugin Allocate RPC.
+  Duration device_allocate = Millis(50);
+  /// Container runtime (Docker) create+start for a cached image.
+  Duration container_start = Millis(1800);
+  /// One-time image pull per (image, node); 0 disables the model (every
+  /// image pre-pulled, the paper's steady-state assumption). Concurrent
+  /// starts of the same image on a node coalesce onto one pull.
+  Duration image_pull = Duration{0};
+  /// Runtime work the node can do concurrently; extra pod creations on the
+  /// same node queue behind this many parallel workers, which is what makes
+  /// creation latency grow with concurrent requests in Fig 10.
+  int runtime_workers = 2;
+  /// Container teardown.
+  Duration container_stop = Millis(300);
+};
+
+}  // namespace ks::k8s

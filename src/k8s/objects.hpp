@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "k8s/resources.hpp"
+
+namespace ks::k8s {
+
+/// Object metadata common to every API object (a slice of ObjectMeta).
+struct ObjectMeta {
+  std::string name;
+  std::uint64_t uid = 0;
+  std::map<std::string, std::string> labels;
+  Time creation_time{0};
+  std::uint64_t resource_version = 0;
+};
+
+/// Pod lifecycle phase, matching the Kubernetes PodPhase values.
+enum class PodPhase {
+  kPending,    // accepted, not all containers running (includes unscheduled)
+  kRunning,    // bound to a node, containers started
+  kSucceeded,  // all containers terminated successfully
+  kFailed,     // a container terminated in failure
+};
+
+inline const char* PodPhaseName(PodPhase p) {
+  switch (p) {
+    case PodPhase::kPending: return "Pending";
+    case PodPhase::kRunning: return "Running";
+    case PodPhase::kSucceeded: return "Succeeded";
+    case PodPhase::kFailed: return "Failed";
+  }
+  return "Unknown";
+}
+
+/// The user-supplied specification of a pod (one container per pod, as the
+/// paper assumes: "container and pod are interchangeable terms").
+struct PodSpec {
+  std::string image = "workload:latest";
+  ResourceList requests;
+  ResourceList limits;
+  /// Simple nodeSelector: every entry must match a node label.
+  std::map<std::string, std::string> node_selector;
+  /// Environment supplied by the user; the kubelet merges device-plugin
+  /// env on top (e.g. NVIDIA_VISIBLE_DEVICES).
+  std::map<std::string, std::string> env;
+};
+
+/// Observed pod state maintained by the control plane and the kubelet.
+struct PodStatus {
+  PodPhase phase = PodPhase::kPending;
+  /// Node the scheduler bound the pod to; empty while unscheduled.
+  std::string node_name;
+  /// Effective container environment after device allocation.
+  std::map<std::string, std::string> effective_env;
+  std::optional<Time> scheduled_time;
+  std::optional<Time> running_time;
+  std::optional<Time> finished_time;
+  std::string message;
+};
+
+struct Pod {
+  ObjectMeta meta;
+  PodSpec spec;
+  PodStatus status;
+
+  bool scheduled() const { return !status.node_name.empty(); }
+  bool terminal() const {
+    return status.phase == PodPhase::kSucceeded ||
+           status.phase == PodPhase::kFailed;
+  }
+};
+
+/// A cluster node: capacity advertised by the kubelet (including device
+/// plugin resources) and labels for nodeSelector matching.
+struct Node {
+  ObjectMeta meta;
+  ResourceList capacity;
+  bool ready = true;
+};
+
+}  // namespace ks::k8s

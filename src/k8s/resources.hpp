@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ks::k8s {
+
+/// Well-known resource names. CPU is counted in millicores and memory in
+/// bytes, following Kubernetes conventions; custom device resources (the
+/// subject of this paper) are plain integers.
+inline constexpr const char* kResourceCpu = "cpu";
+inline constexpr const char* kResourceMemory = "memory";
+inline constexpr const char* kResourceNvidiaGpu = "nvidia.com/gpu";
+
+/// A set of named resource quantities (a Kubernetes ResourceList). The
+/// device-plugin framework forces custom device quantities to be integers —
+/// the limitation KubeShare exists to work around (§3.1).
+class ResourceList {
+ public:
+  ResourceList() = default;
+  ResourceList(std::initializer_list<std::pair<const std::string, std::int64_t>>
+                   items)
+      : quantities_(items) {}
+
+  std::int64_t Get(const std::string& name) const {
+    auto it = quantities_.find(name);
+    return it == quantities_.end() ? 0 : it->second;
+  }
+
+  void Set(const std::string& name, std::int64_t quantity) {
+    if (quantity == 0) {
+      quantities_.erase(name);
+    } else {
+      quantities_[name] = quantity;
+    }
+  }
+
+  /// this += other
+  void Add(const ResourceList& other) {
+    for (const auto& [name, qty] : other.quantities_) {
+      Set(name, Get(name) + qty);
+    }
+  }
+
+  /// this -= other (clamped at zero; under-flow indicates an accounting bug
+  /// upstream, but the store must stay consistent).
+  void Subtract(const ResourceList& other) {
+    for (const auto& [name, qty] : other.quantities_) {
+      const std::int64_t next = Get(name) - qty;
+      Set(name, next < 0 ? 0 : next);
+    }
+  }
+
+  /// True when every quantity in `request` is available in *this.
+  bool Fits(const ResourceList& request) const {
+    for (const auto& [name, qty] : request.quantities_) {
+      if (qty > Get(name)) return false;
+    }
+    return true;
+  }
+
+  bool empty() const { return quantities_.empty(); }
+
+  const std::map<std::string, std::int64_t>& items() const {
+    return quantities_;
+  }
+
+  friend bool operator==(const ResourceList&, const ResourceList&) = default;
+
+ private:
+  std::map<std::string, std::int64_t> quantities_;
+};
+
+}  // namespace ks::k8s

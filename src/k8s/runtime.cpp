@@ -1,0 +1,164 @@
+#include "k8s/runtime.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "k8s/device_plugin.hpp"
+
+namespace ks::k8s {
+
+ContainerRuntime::ContainerRuntime(sim::Simulation* sim,
+                                   std::string node_name,
+                                   std::vector<gpu::GpuDevice*> gpus,
+                                   LatencyModel latency)
+    : sim_(sim),
+      node_name_(std::move(node_name)),
+      gpus_(std::move(gpus)),
+      latency_(latency) {
+  assert(sim_ != nullptr);
+}
+
+std::vector<gpu::GpuDevice*> ContainerRuntime::ResolveVisibleGpus(
+    const std::map<std::string, std::string>& env) const {
+  std::vector<gpu::GpuDevice*> out;
+  auto it = env.find(kNvidiaVisibleDevices);
+  if (it == env.end()) return out;
+  std::stringstream ss(it->second);
+  std::string uuid;
+  while (std::getline(ss, uuid, ',')) {
+    for (gpu::GpuDevice* g : gpus_) {
+      if (g->uuid().value() == uuid) {
+        out.push_back(g);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void ContainerRuntime::StartContainer(
+    const std::string& pod_name, std::map<std::string, std::string> env,
+    std::function<void(const ContainerInstance&)> on_running,
+    const std::string& image) {
+  StartRequest request{pod_name, std::move(env), std::move(on_running)};
+  if (image.empty() || latency_.image_pull.count() <= 0) {
+    Enqueue(std::move(request));
+    return;
+  }
+  ImageState& state = images_[image];
+  if (state.cached) {
+    Enqueue(std::move(request));
+    return;
+  }
+  state.waiters.push_back(std::move(request));
+  if (state.pulling) return;  // coalesce onto the in-flight pull
+  state.pulling = true;
+  ++image_pulls_;
+  sim_->ScheduleAfter(latency_.image_pull, [this, image] {
+    ImageState& s = images_[image];
+    s.cached = true;
+    s.pulling = false;
+    auto waiters = std::move(s.waiters);
+    s.waiters.clear();
+    for (StartRequest& w : waiters) Enqueue(std::move(w));
+  });
+}
+
+void ContainerRuntime::Enqueue(StartRequest request) {
+  start_queue_.push_back(std::move(request));
+  PumpStartQueue();
+}
+
+void ContainerRuntime::PumpStartQueue() {
+  while (busy_workers_ < latency_.runtime_workers && !start_queue_.empty()) {
+    StartRequest req = std::move(start_queue_.front());
+    start_queue_.pop_front();
+    ++busy_workers_;
+    sim_->ScheduleAfter(latency_.container_start, [this,
+                                                   req = std::move(req)] {
+      --busy_workers_;
+      ContainerInstance inst;
+      inst.id = ContainerId(node_name_ + "/" + req.pod_name + "#" +
+                            std::to_string(next_container_++));
+      inst.pod_name = req.pod_name;
+      inst.node_name = node_name_;
+      inst.env = req.env;
+      inst.visible_gpus = ResolveVisibleGpus(req.env);
+      running_.emplace(inst.id, inst);
+      by_pod_[req.pod_name] = inst.id;
+      if (req.on_running) req.on_running(inst);
+      if (start_hook_) start_hook_(inst);
+      PumpStartQueue();
+    });
+  }
+}
+
+Status ContainerRuntime::ExitContainer(const ContainerId& id, bool success) {
+  auto it = running_.find(id);
+  if (it == running_.end()) {
+    return NotFoundError("no running container: " + id.value());
+  }
+  ContainerInstance inst = std::move(it->second);
+  running_.erase(it);
+  by_pod_.erase(inst.pod_name);
+  if (stop_hook_) stop_hook_(inst);
+  if (exit_fn_) exit_fn_(inst.pod_name, success);
+  return Status::Ok();
+}
+
+Status ContainerRuntime::ExitContainerByPod(const std::string& pod_name,
+                                            bool success) {
+  auto it = by_pod_.find(pod_name);
+  if (it == by_pod_.end()) {
+    return NotFoundError("no running container for pod: " + pod_name);
+  }
+  return ExitContainer(it->second, success);
+}
+
+Status ContainerRuntime::KillContainer(const std::string& pod_name,
+                                       std::function<void()> on_stopped) {
+  auto it = by_pod_.find(pod_name);
+  if (it == by_pod_.end()) {
+    // The pod may still be queued for start; cancel the pending request.
+    for (auto qit = start_queue_.begin(); qit != start_queue_.end(); ++qit) {
+      if (qit->pod_name == pod_name) {
+        start_queue_.erase(qit);
+        if (on_stopped) on_stopped();
+        return Status::Ok();
+      }
+    }
+    // ... or still waiting on an image pull.
+    for (auto& [image, state] : images_) {
+      for (auto wit = state.waiters.begin(); wit != state.waiters.end();
+           ++wit) {
+        if (wit->pod_name == pod_name) {
+          state.waiters.erase(wit);
+          if (on_stopped) on_stopped();
+          return Status::Ok();
+        }
+      }
+    }
+    return NotFoundError("no container for pod: " + pod_name);
+  }
+  const ContainerId id = it->second;
+  sim_->ScheduleAfter(latency_.container_stop, [this, id,
+                                                on_stopped =
+                                                    std::move(on_stopped)] {
+    auto rit = running_.find(id);
+    if (rit != running_.end()) {
+      ContainerInstance inst = std::move(rit->second);
+      running_.erase(rit);
+      by_pod_.erase(inst.pod_name);
+      if (stop_hook_) stop_hook_(inst);
+    }
+    if (on_stopped) on_stopped();
+  });
+  return Status::Ok();
+}
+
+bool ContainerRuntime::IsRunning(const std::string& pod_name) const {
+  return by_pod_.count(pod_name) > 0;
+}
+
+}  // namespace ks::k8s

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "gpu/device.hpp"
+#include "k8s/latency.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::k8s {
+
+/// A started container as seen by the application layer: identity, the
+/// effective environment, and the GPUs resolved from
+/// NVIDIA_VISIBLE_DEVICES.
+struct ContainerInstance {
+  ContainerId id;
+  std::string pod_name;
+  std::string node_name;
+  std::map<std::string, std::string> env;
+  std::vector<gpu::GpuDevice*> visible_gpus;
+};
+
+/// Simulated Docker daemon for one node.
+///
+/// Start requests are executed by a bounded worker pool
+/// (LatencyModel::runtime_workers): with more concurrent creations than
+/// workers, requests queue — the mechanism behind pod-creation latency
+/// growing with concurrency in Fig 10.
+///
+/// The application side attaches via the start hook: when a container
+/// reaches running state, the hook receives the ContainerInstance and can
+/// build its in-container stack (CUDA context, vGPU frontend, workload).
+/// Containers finish by calling ExitContainer, which is what the kubelet
+/// observes.
+class ContainerRuntime {
+ public:
+  using StartHook = std::function<void(const ContainerInstance&)>;
+  using StopHook = std::function<void(const ContainerInstance&)>;
+  /// (pod_name, success) reported upward to the kubelet.
+  using ExitFn = std::function<void(const std::string&, bool)>;
+
+  ContainerRuntime(sim::Simulation* sim, std::string node_name,
+                   std::vector<gpu::GpuDevice*> gpus, LatencyModel latency);
+
+  /// Registers the application-side hook fired when a container starts.
+  void SetStartHook(StartHook hook) { start_hook_ = std::move(hook); }
+  /// Fired when a container is torn down (either exit or kill).
+  void SetStopHook(StopHook hook) { stop_hook_ = std::move(hook); }
+  /// Registers the kubelet's exit listener.
+  void SetExitListener(ExitFn fn) { exit_fn_ = std::move(fn); }
+
+  /// Queues a container start. `on_running` fires once the container is up
+  /// (after the image pull if `image` is not yet cached on this node, plus
+  /// worker queueing and container_start latency). An empty image is
+  /// treated as pre-pulled.
+  void StartContainer(const std::string& pod_name,
+                      std::map<std::string, std::string> env,
+                      std::function<void(const ContainerInstance&)> on_running,
+                      const std::string& image = "");
+
+  bool ImageCached(const std::string& image) const {
+    auto it = images_.find(image);
+    return it != images_.end() && it->second.cached;
+  }
+  std::uint64_t image_pulls() const { return image_pulls_; }
+
+  /// Application-initiated exit (the main process returned).
+  Status ExitContainer(const ContainerId& id, bool success);
+
+  /// Exit lookup by pod name (one container per pod in this model).
+  Status ExitContainerByPod(const std::string& pod_name, bool success);
+
+  /// Kubelet-initiated kill (pod deleted). Fires the stop hook after
+  /// container_stop latency; `on_stopped` runs afterwards.
+  Status KillContainer(const std::string& pod_name,
+                       std::function<void()> on_stopped = nullptr);
+
+  std::size_t running_containers() const { return running_.size(); }
+  std::size_t queued_starts() const { return start_queue_.size(); }
+  bool IsRunning(const std::string& pod_name) const;
+
+  /// Container id of a running pod's container, if any.
+  std::optional<ContainerId> ContainerIdOf(const std::string& pod_name) const {
+    auto it = by_pod_.find(pod_name);
+    if (it == by_pod_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  struct StartRequest {
+    std::string pod_name;
+    std::map<std::string, std::string> env;
+    std::function<void(const ContainerInstance&)> on_running;
+  };
+
+  void PumpStartQueue();
+  void Enqueue(StartRequest request);
+  std::vector<gpu::GpuDevice*> ResolveVisibleGpus(
+      const std::map<std::string, std::string>& env) const;
+
+  sim::Simulation* sim_;
+  std::string node_name_;
+  std::vector<gpu::GpuDevice*> gpus_;
+  LatencyModel latency_;
+
+  StartHook start_hook_;
+  StopHook stop_hook_;
+  ExitFn exit_fn_;
+
+  struct ImageState {
+    bool cached = false;
+    bool pulling = false;
+    std::vector<StartRequest> waiters;
+  };
+  std::map<std::string, ImageState> images_;
+  std::uint64_t image_pulls_ = 0;
+
+  std::deque<StartRequest> start_queue_;
+  int busy_workers_ = 0;
+  std::uint64_t next_container_ = 1;
+  std::unordered_map<ContainerId, ContainerInstance> running_;
+  std::unordered_map<std::string, ContainerId> by_pod_;
+};
+
+}  // namespace ks::k8s

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::k8s {
+
+enum class WatchEventType { kAdded, kModified, kDeleted };
+
+template <typename T>
+struct WatchEvent {
+  WatchEventType type;
+  T object;  // final state (for kDeleted, the state at deletion)
+};
+
+using WatchId = std::uint64_t;
+
+/// Typed object store with watch semantics — the etcd + apiserver storage
+/// path reduced to what the controllers in this reproduction observe:
+/// linearized CRUD on named objects, monotonically increasing resource
+/// versions, and asynchronous watch notification (events are delivered
+/// through the event queue after a small propagation latency, never
+/// synchronously, mirroring how real controllers see a delayed cache).
+///
+/// Every API object kind gets its own store; adding a custom resource kind
+/// (KubeShare's sharePod) is just instantiating another store — the
+/// "operator pattern" needs no apiserver change.
+template <typename T>
+class ObjectStore {
+ public:
+  using WatchFn = std::function<void(const WatchEvent<T>&)>;
+
+  explicit ObjectStore(sim::Simulation* sim,
+                       Duration notify_latency = Millis(1))
+      : sim_(sim), notify_latency_(notify_latency) {}
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  Status Create(T object) {
+    const std::string name = object.meta.name;
+    if (name.empty()) return InvalidArgumentError("object has no name");
+    if (objects_.count(name) > 0) {
+      return AlreadyExistsError("object exists: " + name);
+    }
+    object.meta.uid = next_uid_++;
+    object.meta.resource_version = ++version_;
+    object.meta.creation_time = sim_->Now();
+    objects_.emplace(name, object);
+    Notify({WatchEventType::kAdded, std::move(object)});
+    return Status::Ok();
+  }
+
+  Expected<T> Get(const std::string& name) const {
+    auto it = objects_.find(name);
+    if (it == objects_.end()) return NotFoundError("no object: " + name);
+    return it->second;
+  }
+
+  bool Contains(const std::string& name) const {
+    return objects_.count(name) > 0;
+  }
+
+  std::vector<T> List() const {
+    std::vector<T> out;
+    out.reserve(objects_.size());
+    for (const auto& [name, obj] : objects_) out.push_back(obj);
+    return out;
+  }
+
+  std::size_t size() const { return objects_.size(); }
+
+  /// Replaces the stored object. The update wins unconditionally (no
+  /// optimistic-concurrency conflict in this single-writer-per-field
+  /// model), but the uid and creation time are preserved.
+  Status Update(T object) {
+    auto it = objects_.find(object.meta.name);
+    if (it == objects_.end()) {
+      return NotFoundError("no object: " + object.meta.name);
+    }
+    object.meta.uid = it->second.meta.uid;
+    object.meta.creation_time = it->second.meta.creation_time;
+    object.meta.resource_version = ++version_;
+    it->second = object;
+    Notify({WatchEventType::kModified, std::move(object)});
+    return Status::Ok();
+  }
+
+  Status Delete(const std::string& name) {
+    auto it = objects_.find(name);
+    if (it == objects_.end()) return NotFoundError("no object: " + name);
+    T final_state = it->second;
+    objects_.erase(it);
+    ++version_;
+    Notify({WatchEventType::kDeleted, std::move(final_state)});
+    return Status::Ok();
+  }
+
+  /// Registers a watcher. Watchers receive all subsequent events; existing
+  /// objects are replayed as kAdded events (the informer "list" phase) so a
+  /// controller starting late still converges.
+  WatchId Watch(WatchFn fn) {
+    const WatchId id = next_watch_++;
+    watchers_.emplace(id, std::move(fn));
+    for (const auto& [name, obj] : objects_) {
+      T copy = obj;
+      const WatchId wid = id;
+      sim_->ScheduleAfter(notify_latency_, [this, wid, copy = std::move(copy)] {
+        auto it = watchers_.find(wid);
+        if (it == watchers_.end()) return;
+        it->second(WatchEvent<T>{WatchEventType::kAdded, copy});
+      });
+    }
+    return id;
+  }
+
+  void Unwatch(WatchId id) { watchers_.erase(id); }
+
+  std::uint64_t version() const { return version_; }
+
+ private:
+  void Notify(WatchEvent<T> event) {
+    // Snapshot the watcher ids; a watcher registered during delivery must
+    // not observe this event twice (it replays current state instead).
+    std::vector<WatchId> ids;
+    ids.reserve(watchers_.size());
+    for (const auto& [id, fn] : watchers_) ids.push_back(id);
+    for (const WatchId id : ids) {
+      sim_->ScheduleAfter(notify_latency_, [this, id, event] {
+        auto it = watchers_.find(id);
+        if (it == watchers_.end()) return;
+        it->second(event);
+      });
+    }
+  }
+
+  sim::Simulation* sim_;
+  Duration notify_latency_;
+  std::map<std::string, T> objects_;
+  std::map<WatchId, WatchFn> watchers_;
+  std::uint64_t next_uid_ = 1;
+  std::uint64_t version_ = 0;
+  WatchId next_watch_ = 1;
+};
+
+}  // namespace ks::k8s

@@ -1,0 +1,187 @@
+#include "kubeshare/algorithm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ks::kubeshare {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+bool NodeAllowed(const ScheduleRequest& r, const std::string& node) {
+  return r.node_constraint.empty() || r.node_constraint == node;
+}
+
+bool FitsResources(const ScheduleRequest& r, const VgpuInfo& d,
+                   bool mem_overcommit) {
+  if (r.gpu.gpu_request > d.residual_util() + kEps) return false;
+  return mem_overcommit || r.gpu.gpu_mem <= d.residual_mem() + kEps;
+}
+
+/// Picks the node with the most free physical GPUs (spreading new vGPUs,
+/// so the native scheduler keeps room too). Returns nullptr when no node
+/// has supply.
+const NodeFreeGpus* PickNodeForNewDevice(
+    const ScheduleRequest& r, const std::vector<NodeFreeGpus>& free_gpus) {
+  const NodeFreeGpus* best = nullptr;
+  for (const NodeFreeGpus& n : free_gpus) {
+    if (n.free <= 0 || !NodeAllowed(r, n.node)) continue;
+    if (best == nullptr || n.free > best->free) best = &n;
+  }
+  return best;
+}
+
+Expected<GpuId> AttachOrPropagate(VgpuPool& pool, const GpuId& id,
+                                  const ScheduleRequest& r) {
+  const Status s = pool.Attach(id, r.sharepod, r.gpu, r.locality);
+  if (!s.ok()) return s;
+  return id;
+}
+
+}  // namespace
+
+Expected<GpuId> ScheduleSharePod(VgpuPool& pool, const ScheduleRequest& r,
+                                 const std::vector<NodeFreeGpus>& free_gpus,
+                                 PlacementVariant variant) {
+  KS_RETURN_IF_ERROR(r.gpu.Validate());
+
+  const auto devices = pool.List();
+
+  // ---- Step 1: affinity label (lines 1-14) ---------------------------
+  if (r.locality.affinity.has_value()) {
+    const VgpuInfo* labelled = nullptr;
+    for (const VgpuInfo* d : devices) {
+      if (d->affinity.count(*r.locality.affinity) > 0 &&
+          NodeAllowed(r, d->node)) {
+        labelled = d;
+        break;
+      }
+    }
+    if (labelled != nullptr) {
+      // The affinity constraint forces this device; any conflict is a hard
+      // rejection (lines 4-6).
+      if (r.locality.exclusion != labelled->exclusion) {
+        return RejectedError("exclusion conflict with affinity device " +
+                             labelled->id.value());
+      }
+      if (r.locality.anti_affinity.has_value() &&
+          labelled->anti_affinity.count(*r.locality.anti_affinity) > 0) {
+        return RejectedError("anti-affinity conflict on affinity device " +
+                             labelled->id.value());
+      }
+      if (!FitsResources(r, *labelled, pool.memory_overcommit())) {
+        return RejectedError("insufficient resources on affinity device " +
+                             labelled->id.value());
+      }
+      return AttachOrPropagate(pool, labelled->id, r);
+    }
+    // First container of this affinity group: prefer an idle device so the
+    // group has maximal room (lines 9-14), else create one.
+    for (const VgpuInfo* d : devices) {
+      if (d->idle() && NodeAllowed(r, d->node)) {
+        return AttachOrPropagate(pool, d->id, r);
+      }
+    }
+    const NodeFreeGpus* node = PickNodeForNewDevice(r, free_gpus);
+    if (node == nullptr) {
+      return UnavailableError("no free physical GPU for new vGPU");
+    }
+    VgpuInfo& fresh = pool.Create(node->node);
+    return AttachOrPropagate(pool, fresh.id, r);
+  }
+
+  // ---- Step 2: filter by exclusion / anti-affinity / resources
+  //      (lines 15-20; idle devices skip the checks, line 17) -----------
+  std::vector<const VgpuInfo*> candidates;
+  for (const VgpuInfo* d : devices) {
+    if (!NodeAllowed(r, d->node)) continue;
+    if (d->idle()) {
+      candidates.push_back(d);
+      continue;
+    }
+    const bool excl_conflict =
+        (r.locality.exclusion.has_value() || d->exclusion.has_value()) &&
+        r.locality.exclusion != d->exclusion;
+    if (excl_conflict) continue;
+    if (r.locality.anti_affinity.has_value() &&
+        d->anti_affinity.count(*r.locality.anti_affinity) > 0) {
+      continue;
+    }
+    if (!FitsResources(r, *d, pool.memory_overcommit())) continue;
+    candidates.push_back(d);
+  }
+
+  // ---- Step 3: placement (lines 21-26) --------------------------------
+  // Ties (typical among idle devices, which all have full residual) break
+  // toward the least-loaded node so simultaneous placements spread like
+  // the native scheduler's instead of queueing on one kubelet.
+  std::map<std::string, int> node_attached;
+  for (const VgpuInfo* d : pool.List()) {
+    node_attached[d->node] += static_cast<int>(d->attached.size());
+  }
+  auto tie_break_better = [&](const VgpuInfo* d, const VgpuInfo* pick) {
+    return node_attached[d->node] < node_attached[pick->node];
+  };
+  auto best_fit = [&](bool labelled) {
+    const VgpuInfo* pick = nullptr;
+    for (const VgpuInfo* d : candidates) {
+      if (d->affinity.empty() == labelled) continue;
+      if (pick == nullptr ||
+          d->residual_util() < pick->residual_util() - kEps ||
+          (std::abs(d->residual_util() - pick->residual_util()) <= kEps &&
+           (d->residual_mem() < pick->residual_mem() - kEps ||
+            (std::abs(d->residual_mem() - pick->residual_mem()) <= kEps &&
+             tie_break_better(d, pick))))) {
+        pick = d;
+      }
+    }
+    return pick;
+  };
+  auto worst_fit = [&](bool labelled) {
+    const VgpuInfo* pick = nullptr;
+    for (const VgpuInfo* d : candidates) {
+      if (d->affinity.empty() == labelled) continue;
+      if (pick == nullptr ||
+          d->residual_util() > pick->residual_util() + kEps ||
+          (std::abs(d->residual_util() - pick->residual_util()) <= kEps &&
+           (d->residual_mem() > pick->residual_mem() + kEps ||
+            (std::abs(d->residual_mem() - pick->residual_mem()) <= kEps &&
+             tie_break_better(d, pick))))) {
+        pick = d;
+      }
+    }
+    return pick;
+  };
+
+  const VgpuInfo* pick = nullptr;
+  switch (variant) {
+    case PlacementVariant::kPaper:
+      // Best fit among unlabelled devices (squeeze into the tightest hole
+      // so existing vGPUs fill up before new ones open), then worst fit
+      // among labelled devices (leave them roomy for their groups).
+      pick = best_fit(/*labelled=*/false);
+      if (pick == nullptr) pick = worst_fit(/*labelled=*/true);
+      break;
+    case PlacementVariant::kWorstFitEverywhere:
+      pick = worst_fit(false);
+      if (pick == nullptr) pick = worst_fit(true);
+      break;
+    case PlacementVariant::kFirstFit:
+      if (!candidates.empty()) pick = candidates.front();
+      break;
+  }
+  if (pick != nullptr) {
+    return AttachOrPropagate(pool, pick->id, r);
+  }
+
+  const NodeFreeGpus* node = PickNodeForNewDevice(r, free_gpus);
+  if (node == nullptr) {
+    return UnavailableError("no device fits and no free physical GPU");
+  }
+  VgpuInfo& fresh = pool.Create(node->node);
+  return AttachOrPropagate(pool, fresh.id, r);
+}
+
+}  // namespace ks::kubeshare

@@ -1,0 +1,15 @@
+#pragma once
+
+namespace ks::kubeshare {
+
+/// Placement variants for the Step-3 design-choice ablation. kPaper is
+/// Algorithm 1 as published (best-fit on unlabelled devices, worst-fit on
+/// labelled ones); the alternatives quantify that choice in
+/// bench_ablation_placement.
+enum class PlacementVariant {
+  kPaper,
+  kWorstFitEverywhere,  // spread: always the roomiest feasible device
+  kFirstFit,            // naive: first feasible device in pool order
+};
+
+}  // namespace ks::kubeshare

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "common/time.hpp"
+#include "kubeshare/algorithm_variant.hpp"
+
+namespace ks::kubeshare {
+
+/// vGPU pool lifecycle policy (paper §4.4): on-demand releases idle vGPUs
+/// back to Kubernetes immediately (lowest GPU hoarding, pays the
+/// acquisition latency per miss); reservation keeps idle vGPUs around
+/// (fast re-binding, but the kube-scheduler sees them as allocated);
+/// hybrid — the "hybrid strategy can also be designed" the paper sketches
+/// — keeps up to `hybrid_reserve` idle vGPUs and releases the rest.
+enum class PoolPolicy { kOnDemand, kReservation, kHybrid };
+
+struct KubeShareConfig {
+  /// Fixed cost per KubeShare-Sched cycle...
+  Duration sched_fixed = Millis(3);
+  /// ...plus the per-SharePod status query cost — the O(N) term measured
+  /// in Fig 11 (the paper's Go implementation stays under 400 ms at 100
+  /// SharePods; 1.5 ms/SharePod keeps the same linear shape inside that
+  /// bound without making the serial scheduler the throughput bottleneck).
+  Duration sched_per_sharepod = Micros(1500);
+  /// Backoff before retrying a SharePod that found no capacity.
+  Duration sched_retry = Millis(500);
+  /// DevMgr's vGPU info query + container environment preparation — the
+  /// bulk of the ~15% no-creation overhead of Fig 10.
+  Duration devmgr_query = Millis(250);
+  PoolPolicy pool_policy = PoolPolicy::kOnDemand;
+  /// Idle vGPUs kept warm under PoolPolicy::kHybrid.
+  int hybrid_reserve = 2;
+  /// GPUswap-style memory over-commitment (DESIGN.md extension): the
+  /// scheduler stops rejecting placements whose gpu_mem sum exceeds 1.0,
+  /// and the device library swaps working sets on token grants. The
+  /// workload host must also enable over-commitment so the frontends are
+  /// wired to a SwapManager.
+  bool allow_memory_overcommit = false;
+  /// Step-3 placement policy (kPaper = Algorithm 1 as published; the other
+  /// variants exist for the design-choice ablation).
+  PlacementVariant placement = PlacementVariant::kPaper;
+};
+
+}  // namespace ks::kubeshare

@@ -1,0 +1,352 @@
+#include "kubeshare/devmgr.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+#include "k8s/device_plugin.hpp"
+#include "k8s/resources.hpp"
+
+namespace ks::kubeshare {
+
+namespace {
+std::string FormatFraction(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+}  // namespace
+
+KubeShareDevMgr::KubeShareDevMgr(k8s::Cluster* cluster,
+                                 k8s::ObjectStore<SharePod>* sharepods,
+                                 VgpuPool* pool, KubeShareConfig config)
+    : cluster_(cluster),
+      sharepods_(sharepods),
+      pool_(pool),
+      config_(config) {
+  assert(cluster_ != nullptr && sharepods_ != nullptr && pool_ != nullptr);
+}
+
+Status KubeShareDevMgr::Start() {
+  if (started_) return FailedPreconditionError("KubeShare-DevMgr started");
+  started_ = true;
+  sharepods_->Watch(
+      [this](const k8s::WatchEvent<SharePod>& ev) { OnSharePodEvent(ev); });
+  cluster_->api().pods().Watch(
+      [this](const k8s::WatchEvent<k8s::Pod>& ev) { OnPodEvent(ev); });
+  return Status::Ok();
+}
+
+void KubeShareDevMgr::OnSharePodEvent(const k8s::WatchEvent<SharePod>& event) {
+  if (event.type == k8s::WatchEventType::kDeleted) {
+    TearDown(event.object.meta.name);
+    return;
+  }
+  // Reconcile against the store's *current* state, not the event payload:
+  // watch events are delivered with a delay, so a stale Modified event can
+  // trail a teardown — acting on its snapshot would resurrect a finished
+  // sharePod (re-acquiring a GPU for nobody).
+  auto pod = sharepods_->Get(event.object.meta.name);
+  if (!pod.ok() || pod->terminal() || !pod->scheduled()) return;
+  if (records_.count(pod->meta.name) > 0) return;  // already handled
+  HandleScheduled(*pod);
+}
+
+Status KubeShareDevMgr::EnsureAttached(const SharePod& pod) {
+  if (pool_->DeviceOf(pod.meta.name) == pod.spec.gpu_id) return Status::Ok();
+  // User-pinned GPUID: the vGPU may not exist yet. Creating it requires
+  // knowing the node; that is part of the first-class contract (Script 1
+  // carries both GPUID and nodeName).
+  if (!pool_->Contains(pod.spec.gpu_id)) {
+    if (pod.spec.node_name.empty()) {
+      return InvalidArgumentError(
+          "pinned GPUID with no nodeName: " + pod.spec.gpu_id.value());
+    }
+    KS_RETURN_IF_ERROR(
+        pool_->CreateWithId(pod.spec.gpu_id, pod.spec.node_name).status());
+  }
+  return pool_->Attach(pod.spec.gpu_id, pod.meta.name, pod.spec.gpu,
+                       pod.spec.locality);
+}
+
+void KubeShareDevMgr::HandleScheduled(const SharePod& pod) {
+  const std::string name = pod.meta.name;
+  const Status attached = EnsureAttached(pod);
+  if (!attached.ok()) {
+    SetSharePodPhase(name, SharePodPhase::kRejected, attached.ToString());
+    return;
+  }
+
+  SharePodRec rec;
+  rec.device = pod.spec.gpu_id;
+  records_.emplace(name, rec);
+
+  VgpuInfo* dev = pool_->Find(pod.spec.gpu_id);
+  assert(dev != nullptr);
+  if (dev->uuid.has_value()) {
+    records_.at(name).state = RecState::kLaunching;
+    // The vGPU info query (GPUID -> UUID translation through the
+    // apiserver) before the workload pod can be created.
+    cluster_->sim().ScheduleAfter(config_.devmgr_query, [this, name] {
+      LaunchWorkloadPod(name);
+    });
+  } else {
+    EnsureVgpu(pod.spec.gpu_id);  // workload launches on activation
+  }
+  SetSharePodPhase(name, SharePodPhase::kScheduled);
+}
+
+void KubeShareDevMgr::EnsureVgpu(const GpuId& id) {
+  if (acquisition_pods_.count(id) > 0) return;  // already acquiring
+  VgpuInfo* dev = pool_->Find(id);
+  if (dev == nullptr || dev->uuid.has_value()) return;
+
+  // "The sole purpose of this pod is to allocate the GPU without running
+  // any workload" (§4.4).
+  k8s::Pod acq;
+  acq.meta.name = "kubeshare-vgpu-" + std::to_string(next_acq_++);
+  acq.meta.labels[kManagedLabel] = "true";
+  acq.meta.labels[kRoleLabel] = kRoleAcquisition;
+  acq.spec.image = "kubeshare/pause:latest";
+  acq.spec.requests.Set(k8s::kResourceNvidiaGpu, 1);
+  acq.spec.node_selector["kubernetes.io/hostname"] = dev->node;
+  const Status created = cluster_->api().pods().Create(acq);
+  if (!created.ok()) {
+    KS_LOG(kError) << "acquisition pod create failed: " << created;
+    return;
+  }
+  ++vgpus_created_;
+  acquisition_pods_[id] = acq.meta.name;
+  acquisition_owner_[acq.meta.name] = id;
+  cluster_->api().events().Record("kubeshare-devmgr", "vgpu/" + id.value(),
+                                  "Acquiring", "via pod " + acq.meta.name +
+                                                   " on " + dev->node);
+}
+
+Expected<GpuId> KubeShareDevMgr::ReserveVgpu(const std::string& node) {
+  VgpuInfo& dev = pool_->Create(node);
+  EnsureVgpu(dev.id);
+  return dev.id;
+}
+
+void KubeShareDevMgr::LaunchWorkloadPod(const std::string& sharepod_name) {
+  auto it = records_.find(sharepod_name);
+  if (it == records_.end()) return;  // torn down meanwhile
+  auto sp = sharepods_->Get(sharepod_name);
+  if (!sp.ok() || sp->terminal()) return;
+  VgpuInfo* dev = pool_->Find(it->second.device);
+  if (dev == nullptr || !dev->uuid.has_value()) return;
+
+  k8s::Pod pod;
+  pod.meta.name = sharepod_name + "-pod";
+  pod.meta.labels[kManagedLabel] = "true";
+  pod.meta.labels[kRoleLabel] = kRoleWorkload;
+  pod.spec = sp->spec.pod;
+  // The sharePod must not also request whole GPUs from the plugin.
+  pod.spec.requests.Set(k8s::kResourceNvidiaGpu, 0);
+  // Explicit binding: DevMgr chooses the node (and thereby the exact GPU),
+  // bypassing kube-scheduler (§4.4).
+  pod.status.node_name = dev->node;
+  // Device attachment + device-library configuration via environment.
+  pod.spec.env[k8s::kNvidiaVisibleDevices] = dev->uuid->value();
+  pod.spec.env[kEnvSharePod] = sharepod_name;
+  pod.spec.env[kEnvGpuId] = dev->id.value();
+  pod.spec.env[kEnvGpuRequest] = FormatFraction(sp->spec.gpu.gpu_request);
+  pod.spec.env[kEnvGpuLimit] = FormatFraction(sp->spec.gpu.gpu_limit);
+  pod.spec.env[kEnvGpuMem] = FormatFraction(sp->spec.gpu.gpu_mem);
+
+  const Status created = cluster_->api().pods().Create(pod);
+  if (!created.ok()) {
+    SetSharePodPhase(sharepod_name, SharePodPhase::kFailed,
+                     "workload pod creation failed: " + created.ToString());
+    return;
+  }
+  ++workload_launched_;
+  it->second.state = RecState::kLaunching;
+  it->second.workload_pod = pod.meta.name;
+  workload_owner_[pod.meta.name] = sharepod_name;
+
+  auto sp_now = sharepods_->Get(sharepod_name);
+  if (sp_now.ok()) {
+    SharePod updated = *sp_now;
+    updated.status.workload_pod = pod.meta.name;
+    (void)sharepods_->Update(updated);
+  }
+}
+
+void KubeShareDevMgr::OnPodEvent(const k8s::WatchEvent<k8s::Pod>& event) {
+  const k8s::Pod& pod = event.object;
+
+  // --- Acquisition pods ------------------------------------------------
+  if (auto ait = acquisition_owner_.find(pod.meta.name);
+      ait != acquisition_owner_.end()) {
+    const GpuId vgpu = ait->second;
+    if (event.type == k8s::WatchEventType::kDeleted) {
+      // A release we initiated erases the owner map first; reaching here
+      // means someone ELSE deleted the pod that holds this vGPU's physical
+      // GPU. The binding (UUID) is gone — fail the attached sharePods and
+      // drop the vGPU rather than run containers on a device Kubernetes
+      // may hand to someone else.
+      acquisition_owner_.erase(ait);
+      acquisition_pods_.erase(vgpu);
+      cluster_->api().events().Record(
+          "kubeshare-devmgr", "vgpu/" + vgpu.value(), "Lost",
+          "acquisition pod deleted externally");
+      VgpuInfo* dev = pool_->Find(vgpu);
+      if (dev != nullptr) {
+        const auto attached = dev->attached;  // copy: FinishSharePod mutates
+        for (const std::string& name : attached) {
+          FinishSharePod(name, SharePodPhase::kFailed,
+                         "vGPU lost: acquisition pod deleted");
+        }
+      }
+      if (pool_->Contains(vgpu)) {
+        (void)pool_->Remove(vgpu);
+        ++vgpus_released_;
+      }
+      return;
+    }
+    if (pod.status.phase == k8s::PodPhase::kRunning) {
+      VgpuInfo* dev = pool_->Find(vgpu);
+      if (dev == nullptr || dev->uuid.has_value()) return;
+      auto env = pod.status.effective_env.find(k8s::kNvidiaVisibleDevices);
+      if (env == pod.status.effective_env.end()) {
+        KS_LOG(kError) << "acquisition pod has no visible devices";
+        return;
+      }
+      (void)pool_->Activate(vgpu, GpuUuid(env->second));
+      cluster_->api().events().Record("kubeshare-devmgr",
+                                      "vgpu/" + vgpu.value(), "Activated",
+                                      "UUID " + env->second);
+      // Launch every sharePod that was waiting on this vGPU.
+      for (const std::string& name : pool_->Find(vgpu)->attached) {
+        auto rit = records_.find(name);
+        if (rit == records_.end() ||
+            rit->second.state != RecState::kAwaitingVgpu) {
+          continue;
+        }
+        rit->second.state = RecState::kLaunching;
+        cluster_->sim().ScheduleAfter(config_.devmgr_query, [this, name] {
+          LaunchWorkloadPod(name);
+        });
+      }
+      // An idle reservation stays idle until someone attaches.
+    } else if (pod.status.phase == k8s::PodPhase::kFailed) {
+      // The node had no free GPU after all; fail the attached sharePods.
+      VgpuInfo* dev = pool_->Find(vgpu);
+      if (dev != nullptr) {
+        const auto attached = dev->attached;  // copy: FinishSharePod mutates
+        for (const std::string& name : attached) {
+          FinishSharePod(name, SharePodPhase::kFailed,
+                         "vGPU acquisition failed");
+        }
+      }
+    }
+    return;
+  }
+
+  // --- Workload pods ---------------------------------------------------
+  auto wit = workload_owner_.find(pod.meta.name);
+  if (wit == workload_owner_.end()) return;
+  const std::string sharepod_name = wit->second;
+  if (event.type == k8s::WatchEventType::kDeleted) return;
+
+  switch (pod.status.phase) {
+    case k8s::PodPhase::kRunning: {
+      auto rit = records_.find(sharepod_name);
+      if (rit != records_.end() && rit->second.state == RecState::kLaunching) {
+        rit->second.state = RecState::kRunning;
+        auto sp = sharepods_->Get(sharepod_name);
+        if (sp.ok() && !sp->terminal()) {
+          SharePod updated = *sp;
+          updated.status.phase = SharePodPhase::kRunning;
+          updated.status.running_time = cluster_->sim().Now();
+          (void)sharepods_->Update(updated);
+        }
+      }
+      return;
+    }
+    case k8s::PodPhase::kSucceeded:
+      FinishSharePod(sharepod_name, SharePodPhase::kSucceeded);
+      return;
+    case k8s::PodPhase::kFailed:
+      FinishSharePod(sharepod_name, SharePodPhase::kFailed,
+                     pod.status.message);
+      return;
+    case k8s::PodPhase::kPending:
+      return;
+  }
+}
+
+void KubeShareDevMgr::SetSharePodPhase(const std::string& name,
+                                       SharePodPhase phase,
+                                       const std::string& message) {
+  auto sp = sharepods_->Get(name);
+  if (!sp.ok()) return;
+  SharePod updated = *sp;
+  if (updated.terminal()) return;
+  updated.status.phase = phase;
+  if (!message.empty()) updated.status.message = message;
+  if (phase == SharePodPhase::kRunning) {
+    updated.status.running_time = cluster_->sim().Now();
+  }
+  if (phase == SharePodPhase::kSucceeded || phase == SharePodPhase::kFailed ||
+      phase == SharePodPhase::kRejected) {
+    updated.status.finished_time = cluster_->sim().Now();
+  }
+  (void)sharepods_->Update(updated);
+}
+
+void KubeShareDevMgr::FinishSharePod(const std::string& name,
+                                     SharePodPhase phase,
+                                     const std::string& message) {
+  SetSharePodPhase(name, phase, message);
+  TearDown(name);
+}
+
+void KubeShareDevMgr::TearDown(const std::string& name) {
+  auto it = records_.find(name);
+  if (it == records_.end()) {
+    // Not yet scheduled or already cleaned; still detach any reservation.
+    if (auto dev = pool_->Detach(name); dev.ok()) MaybeReleaseVgpu(*dev);
+    return;
+  }
+  const std::string workload = it->second.workload_pod;
+  records_.erase(it);
+  if (!workload.empty()) {
+    workload_owner_.erase(workload);
+    auto pod = cluster_->api().pods().Get(workload);
+    if (pod.ok() && !pod->terminal()) {
+      (void)cluster_->api().pods().Delete(workload);
+    }
+  }
+  auto device = pool_->Detach(name);
+  if (device.ok()) MaybeReleaseVgpu(*device);
+}
+
+void KubeShareDevMgr::MaybeReleaseVgpu(const GpuId& id) {
+  VgpuInfo* dev = pool_->Find(id);
+  if (dev == nullptr || !dev->attached.empty()) return;
+  if (config_.pool_policy == PoolPolicy::kReservation) return;  // keep idle
+  if (config_.pool_policy == PoolPolicy::kHybrid) {
+    // Keep up to hybrid_reserve idle vGPUs warm; release beyond that.
+    int idle = 0;
+    for (const VgpuInfo* d : pool_->List()) {
+      if (d->state == VgpuState::kIdle) ++idle;
+    }
+    if (idle <= config_.hybrid_reserve) return;
+  }
+  // On-demand: hand the physical GPU back to Kubernetes immediately.
+  auto ait = acquisition_pods_.find(id);
+  if (ait != acquisition_pods_.end()) {
+    acquisition_owner_.erase(ait->second);
+    (void)cluster_->api().pods().Delete(ait->second);
+    acquisition_pods_.erase(ait);
+  }
+  (void)pool_->Remove(id);
+  ++vgpus_released_;
+  cluster_->api().events().Record("kubeshare-devmgr", "vgpu/" + id.value(),
+                                  "Released",
+                                  "returned physical GPU to Kubernetes");
+}
+
+}  // namespace ks::kubeshare

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "k8s/cluster.hpp"
+#include "k8s/store.hpp"
+#include "kubeshare/config.hpp"
+#include "kubeshare/pool.hpp"
+#include "kubeshare/sharepod.hpp"
+
+namespace ks::kubeshare {
+
+/// KubeShare-DevMgr: the custom controller that owns the vGPU lifecycle and
+/// the explicit container <-> device binding (paper §4.4).
+///
+/// For each scheduled sharePod it:
+///  1. ensures the target vGPU exists — acquiring a physical GPU from
+///     Kubernetes by launching an empty *acquisition pod* that requests one
+///     nvidia.com/gpu on the chosen node, and reading the device UUID out
+///     of the environment the device plugin injected;
+///  2. launches the *workload pod* bound directly to the node (bypassing
+///     kube-scheduler), with NVIDIA_VISIBLE_DEVICES set to the vGPU's UUID
+///     and the KUBESHARE_* variables the in-container device library reads;
+///  3. mirrors the workload pod's phase back onto the sharePod; and
+///  4. on detachment, applies the pool policy: on-demand releases idle
+///     vGPUs (deleting the acquisition pod, handing the GPU back to
+///     Kubernetes) while reservation keeps them idle for reuse.
+class KubeShareDevMgr {
+ public:
+  KubeShareDevMgr(k8s::Cluster* cluster, k8s::ObjectStore<SharePod>* sharepods,
+                  VgpuPool* pool, KubeShareConfig config);
+
+  Status Start();
+
+  /// Reservation-mode helper: pre-acquires a vGPU on `node` so later
+  /// sharePods skip the acquisition latency (§4.4 "reservation manner").
+  Expected<GpuId> ReserveVgpu(const std::string& node);
+
+  std::uint64_t vgpus_created() const { return vgpus_created_; }
+  std::uint64_t vgpus_released() const { return vgpus_released_; }
+  std::uint64_t workload_pods_launched() const { return workload_launched_; }
+
+ private:
+  enum class RecState {
+    kAwaitingVgpu,    // vGPU still acquiring its physical GPU
+    kLaunching,       // workload pod being created
+    kRunning,
+    kDone,
+  };
+  struct SharePodRec {
+    RecState state = RecState::kAwaitingVgpu;
+    GpuId device;
+    std::string workload_pod;
+  };
+
+  void OnSharePodEvent(const k8s::WatchEvent<SharePod>& event);
+  void OnPodEvent(const k8s::WatchEvent<k8s::Pod>& event);
+
+  void HandleScheduled(const SharePod& pod);
+  /// Pinned-GPUID path: the user wrote gpu_id directly; DevMgr validates
+  /// and reserves the placement that KubeShare-Sched would otherwise have
+  /// made.
+  Status EnsureAttached(const SharePod& pod);
+  void EnsureVgpu(const GpuId& id);
+  void LaunchWorkloadPod(const std::string& sharepod_name);
+  void FinishSharePod(const std::string& name, SharePodPhase phase,
+                      const std::string& message = "");
+  void TearDown(const std::string& name);
+  void MaybeReleaseVgpu(const GpuId& id);
+  void SetSharePodPhase(const std::string& name, SharePodPhase phase,
+                        const std::string& message = "");
+
+  k8s::Cluster* cluster_;
+  k8s::ObjectStore<SharePod>* sharepods_;
+  VgpuPool* pool_;
+  KubeShareConfig config_;
+  bool started_ = false;
+
+  std::unordered_map<std::string, SharePodRec> records_;
+  std::map<GpuId, std::string> acquisition_pods_;   // vGPU -> pod name
+  std::map<std::string, GpuId> acquisition_owner_;  // pod name -> vGPU
+  std::map<std::string, std::string> workload_owner_;  // pod -> sharePod
+
+  std::uint64_t vgpus_created_ = 0;
+  std::uint64_t vgpus_released_ = 0;
+  std::uint64_t workload_launched_ = 0;
+  std::uint64_t next_acq_ = 1;
+};
+
+}  // namespace ks::kubeshare

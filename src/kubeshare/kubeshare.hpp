@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "k8s/cluster.hpp"
+#include "kubeshare/config.hpp"
+#include "kubeshare/devmgr.hpp"
+#include "kubeshare/pool.hpp"
+#include "kubeshare/scheduler.hpp"
+#include "kubeshare/sharepod.hpp"
+
+namespace ks::kubeshare {
+
+/// The framework facade: the sharePod custom resource store plus the two
+/// controllers (KubeShare-Sched and KubeShare-DevMgr) installed onto an
+/// existing cluster — the operator pattern of §4.6. Nothing in the cluster
+/// (apiserver, kube-scheduler, kubelets) is modified; native pods keep
+/// working side by side.
+class KubeShare {
+ public:
+  explicit KubeShare(k8s::Cluster* cluster, KubeShareConfig config = {});
+
+  Status Start();
+
+  k8s::ObjectStore<SharePod>& sharepods() { return sharepods_; }
+  const k8s::ObjectStore<SharePod>& sharepods() const { return sharepods_; }
+  VgpuPool& pool() { return pool_; }
+  const VgpuPool& pool() const { return pool_; }
+  KubeShareSched& sched() { return *sched_; }
+  KubeShareDevMgr& devmgr() { return *devmgr_; }
+  const KubeShareConfig& config() const { return config_; }
+
+  /// Validates and submits a sharePod (the client entry point).
+  Status CreateSharePod(SharePod pod);
+
+  /// Vertical elasticity (the dynamic-adjustment direction KubeShare's
+  /// successors explore): changes a sharePod's gpu_request/gpu_limit in
+  /// place. The pool reservation is adjusted (growth is bounded by the
+  /// device's residual capacity — no migration), and if the workload
+  /// container is already running, the node's token backend applies the
+  /// new spec at its next grant decision. gpu_mem cannot be resized:
+  /// allocations are already placed.
+  Status ResizeSharePod(const std::string& name, double gpu_request,
+                        double gpu_limit);
+
+  /// Gang admission for co-scheduled groups (e.g. the workers of one
+  /// distributed training job, §4.2's affinity use case): the group is
+  /// validated by a dry run of Algorithm 1 against a copy of the current
+  /// pool — if any member has no feasible placement, nothing is created
+  /// (all-or-nothing). On success every member is submitted; the real
+  /// placements happen through the normal controller path and may differ
+  /// from the dry run if the cluster changes in between (best-effort gang,
+  /// like kube-scheduler coscheduling plugins).
+  Status CreateSharePodGroup(std::vector<SharePod> pods);
+
+  /// What the in-container device library needs, decoded from the
+  /// environment DevMgr injected. Returns nullopt for containers that are
+  /// not KubeShare workloads.
+  struct Binding {
+    std::string sharepod;
+    GpuId gpu_id;
+    vgpu::ResourceSpec spec;
+  };
+  static std::optional<Binding> ParseBinding(
+      const std::map<std::string, std::string>& env);
+
+ private:
+  k8s::Cluster* cluster_;
+  KubeShareConfig config_;
+  k8s::ObjectStore<SharePod> sharepods_;
+  VgpuPool pool_;
+  std::unique_ptr<KubeShareSched> sched_;
+  std::unique_ptr<KubeShareDevMgr> devmgr_;
+  bool started_ = false;
+};
+
+}  // namespace ks::kubeshare

@@ -1,0 +1,187 @@
+#include "kubeshare/pool.hpp"
+
+#include <cassert>
+
+namespace ks::kubeshare {
+
+namespace {
+constexpr double kCapacityEps = 1e-9;
+}
+
+VgpuInfo& VgpuPool::Create(const std::string& node) {
+  // The paper's new_dev() "generates a device variable with a new hashed
+  // id"; a counter-derived id is equally unique and keeps runs
+  // deterministic.
+  GpuId id("vgpu-" + std::to_string(next_id_++));
+  VgpuInfo info;
+  info.id = id;
+  info.node = node;
+  auto [it, inserted] = entries_.emplace(id, std::move(info));
+  assert(inserted);
+  return it->second;
+}
+
+Expected<GpuId> VgpuPool::CreateWithId(const GpuId& id,
+                                       const std::string& node) {
+  if (id.empty()) return InvalidArgumentError("empty GPUID");
+  if (entries_.count(id) > 0) {
+    return AlreadyExistsError("vGPU exists: " + id.value());
+  }
+  VgpuInfo info;
+  info.id = id;
+  info.node = node;
+  entries_.emplace(id, std::move(info));
+  return id;
+}
+
+Expected<VgpuInfo> VgpuPool::Get(const GpuId& id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return NotFoundError("no vGPU: " + id.value());
+  return it->second;
+}
+
+VgpuInfo* VgpuPool::Find(const GpuId& id) {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const VgpuInfo*> VgpuPool::List() const {
+  std::vector<const VgpuInfo*> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, info] : entries_) out.push_back(&info);
+  return out;
+}
+
+std::size_t VgpuPool::CountOnNode(const std::string& node) const {
+  std::size_t n = 0;
+  for (const auto& [id, info] : entries_) {
+    if (info.node == node) ++n;
+  }
+  return n;
+}
+
+Status VgpuPool::Activate(const GpuId& id, const GpuUuid& uuid) {
+  VgpuInfo* dev = Find(id);
+  if (dev == nullptr) return NotFoundError("no vGPU: " + id.value());
+  if (dev->uuid.has_value()) {
+    return FailedPreconditionError("vGPU already activated: " + id.value());
+  }
+  dev->uuid = uuid;
+  dev->state = dev->attached.empty() ? VgpuState::kIdle : VgpuState::kActive;
+  return Status::Ok();
+}
+
+Status VgpuPool::Attach(const GpuId& id, const std::string& sharepod,
+                        const vgpu::ResourceSpec& gpu,
+                        const LocalitySpec& locality) {
+  VgpuInfo* dev = Find(id);
+  if (dev == nullptr) return NotFoundError("no vGPU: " + id.value());
+  if (attachments_.count(sharepod) > 0) {
+    return AlreadyExistsError("sharePod already attached: " + sharepod);
+  }
+  if (gpu.gpu_request > dev->residual_util() + kCapacityEps) {
+    return ResourceExhaustedError("insufficient compute on " + id.value());
+  }
+  if (!memory_overcommit_ &&
+      gpu.gpu_mem > dev->residual_mem() + kCapacityEps) {
+    return ResourceExhaustedError("insufficient memory on " + id.value());
+  }
+  if (dev->exclusion.has_value() && locality.exclusion != dev->exclusion &&
+      !dev->attached.empty()) {
+    return RejectedError("exclusion label mismatch on " + id.value());
+  }
+  if (locality.anti_affinity.has_value() &&
+      dev->anti_affinity.count(*locality.anti_affinity) > 0) {
+    return RejectedError("anti-affinity violation on " + id.value());
+  }
+
+  dev->used_util += gpu.gpu_request;
+  dev->used_mem += gpu.gpu_mem;
+  if (locality.affinity.has_value()) dev->affinity.insert(*locality.affinity);
+  if (locality.anti_affinity.has_value()) {
+    dev->anti_affinity.insert(*locality.anti_affinity);
+  }
+  dev->exclusion = locality.exclusion;
+  dev->attached.insert(sharepod);
+  if (dev->uuid.has_value()) dev->state = VgpuState::kActive;
+  attachments_[sharepod] = {id, gpu, locality};
+  return Status::Ok();
+}
+
+Status VgpuPool::UpdateAttachment(const std::string& sharepod,
+                                  double gpu_request, double gpu_limit) {
+  auto it = attachments_.find(sharepod);
+  if (it == attachments_.end()) {
+    return NotFoundError("sharePod not attached: " + sharepod);
+  }
+  vgpu::ResourceSpec updated = it->second.gpu;
+  updated.gpu_request = gpu_request;
+  updated.gpu_limit = gpu_limit;
+  KS_RETURN_IF_ERROR(updated.Validate());
+  VgpuInfo* dev = Find(it->second.device);
+  assert(dev != nullptr);
+  const double delta = gpu_request - it->second.gpu.gpu_request;
+  if (delta > dev->residual_util() + kCapacityEps) {
+    return ResourceExhaustedError("insufficient compute on " +
+                                  it->second.device.value());
+  }
+  it->second.gpu = updated;
+  dev->used_util += delta;
+  return Status::Ok();
+}
+
+Expected<GpuId> VgpuPool::Detach(const std::string& sharepod) {
+  auto it = attachments_.find(sharepod);
+  if (it == attachments_.end()) {
+    return NotFoundError("sharePod not attached: " + sharepod);
+  }
+  const GpuId device = it->second.device;
+  attachments_.erase(it);
+  VgpuInfo* dev = Find(device);
+  if (dev != nullptr) {
+    dev->attached.erase(sharepod);
+    RecomputeDevice(*dev);
+    if (dev->attached.empty() && dev->uuid.has_value()) {
+      dev->state = VgpuState::kIdle;
+    }
+  }
+  return device;
+}
+
+void VgpuPool::RecomputeDevice(VgpuInfo& dev) {
+  dev.used_util = 0.0;
+  dev.used_mem = 0.0;
+  dev.affinity.clear();
+  dev.anti_affinity.clear();
+  dev.exclusion.reset();
+  for (const std::string& name : dev.attached) {
+    const Attachment& a = attachments_.at(name);
+    dev.used_util += a.gpu.gpu_request;
+    dev.used_mem += a.gpu.gpu_mem;
+    if (a.locality.affinity.has_value()) {
+      dev.affinity.insert(*a.locality.affinity);
+    }
+    if (a.locality.anti_affinity.has_value()) {
+      dev.anti_affinity.insert(*a.locality.anti_affinity);
+    }
+    if (a.locality.exclusion.has_value()) dev.exclusion = a.locality.exclusion;
+  }
+}
+
+Status VgpuPool::Remove(const GpuId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return NotFoundError("no vGPU: " + id.value());
+  if (!it->second.attached.empty()) {
+    return FailedPreconditionError("vGPU still attached: " + id.value());
+  }
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+std::optional<GpuId> VgpuPool::DeviceOf(const std::string& sharepod) const {
+  auto it = attachments_.find(sharepod);
+  if (it == attachments_.end()) return std::nullopt;
+  return it->second.device;
+}
+
+}  // namespace ks::kubeshare

@@ -1,0 +1,73 @@
+#include "kubeshare/replicaset.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace ks::kubeshare {
+
+SharePodReplicaSet::SharePodReplicaSet(KubeShare* kubeshare, Spec spec)
+    : kubeshare_(kubeshare), spec_(std::move(spec)) {
+  assert(kubeshare_ != nullptr);
+  assert(!spec_.name.empty());
+}
+
+Status SharePodReplicaSet::Start() {
+  if (started_) return FailedPreconditionError("replicaset already started");
+  if (spec_.replicas < 0) return InvalidArgumentError("negative replicas");
+  started_ = true;
+  kubeshare_->sharepods().Watch(
+      [this](const k8s::WatchEvent<SharePod>& ev) { OnSharePodEvent(ev); });
+  Reconcile();
+  return Status::Ok();
+}
+
+void SharePodReplicaSet::OnSharePodEvent(
+    const k8s::WatchEvent<SharePod>& event) {
+  const SharePod& pod = event.object;
+  auto it = pod.meta.labels.find(kOwnerLabel);
+  if (it == pod.meta.labels.end() || it->second != spec_.name) return;
+
+  if (event.type == k8s::WatchEventType::kDeleted || pod.terminal()) {
+    if (live_.erase(pod.meta.name) > 0) Reconcile();
+    return;
+  }
+  live_.insert(pod.meta.name);
+}
+
+std::string SharePodReplicaSet::NextName() {
+  return spec_.name + "-" + std::to_string(next_index_++);
+}
+
+void SharePodReplicaSet::Scale(int replicas) {
+  if (replicas < 0) replicas = 0;
+  spec_.replicas = replicas;
+  if (started_) Reconcile();
+}
+
+void SharePodReplicaSet::Reconcile() {
+  // Scale up: create replacements from the template.
+  while (static_cast<int>(live_.size()) < spec_.replicas) {
+    const std::string name = NextName();
+    if (hook_) hook_(name);
+    SharePod pod;
+    pod.meta.name = name;
+    pod.meta.labels[kOwnerLabel] = spec_.name;
+    pod.spec = spec_.template_spec;
+    const Status s = kubeshare_->CreateSharePod(pod);
+    if (!s.ok()) {
+      KS_LOG(kError) << "replica create failed: " << s;
+      return;
+    }
+    ++created_total_;
+    live_.insert(name);
+  }
+  // Scale down: delete the newest surplus replicas.
+  while (static_cast<int>(live_.size()) > spec_.replicas) {
+    const std::string victim = *live_.rbegin();
+    live_.erase(victim);
+    (void)kubeshare_->sharepods().Delete(victim);
+  }
+}
+
+}  // namespace ks::kubeshare

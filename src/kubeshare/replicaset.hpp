@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "kubeshare/kubeshare.hpp"
+
+namespace ks::kubeshare {
+
+/// A ReplicationController-style operator over sharePods, demonstrating
+/// the paper's compatibility claim (§4.6): "any higher level controllers
+/// (e.g. replication controller, deployment controller) can seamlessly
+/// integrate or adapt to our solution by requesting a sharePod instead of
+/// the native pod."
+///
+/// The controller keeps `replicas` non-terminal sharePods stamped from a
+/// template alive: replacements are created when replicas finish, fail or
+/// are deleted; surplus replicas are deleted on scale-down. Reconciliation
+/// is edge-triggered from the sharePod watch, like any other controller in
+/// this codebase.
+class SharePodReplicaSet {
+ public:
+  struct Spec {
+    std::string name;          // also the label value stamped on replicas
+    int replicas = 1;
+    SharePodSpec template_spec;
+  };
+
+  /// Invoked with each new replica's name just before its sharePod is
+  /// created — the hook where the application layer registers the job that
+  /// will run in the replica (WorkloadHost::ExpectJob).
+  using ReplicaHook = std::function<void(const std::string& replica_name)>;
+
+  SharePodReplicaSet(KubeShare* kubeshare, Spec spec);
+
+  Status Start();
+  void SetReplicaHook(ReplicaHook hook) { hook_ = std::move(hook); }
+
+  /// Changes the desired replica count and reconciles.
+  void Scale(int replicas);
+
+  int desired() const { return spec_.replicas; }
+  std::size_t live() const { return live_.size(); }
+  std::uint64_t created_total() const { return created_total_; }
+
+  /// Label key stamped on owned sharePods.
+  static constexpr const char* kOwnerLabel = "kubeshare.io/replicaset";
+
+ private:
+  void OnSharePodEvent(const k8s::WatchEvent<SharePod>& event);
+  void Reconcile();
+  std::string NextName();
+
+  KubeShare* kubeshare_;
+  Spec spec_;
+  ReplicaHook hook_;
+  std::set<std::string> live_;  // non-terminal owned replicas
+  std::uint64_t next_index_ = 0;
+  std::uint64_t created_total_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ks::kubeshare

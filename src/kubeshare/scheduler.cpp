@@ -1,0 +1,173 @@
+#include "kubeshare/scheduler.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <iterator>
+
+#include "common/log.hpp"
+#include "k8s/resources.hpp"
+
+namespace ks::kubeshare {
+
+KubeShareSched::KubeShareSched(k8s::Cluster* cluster,
+                               k8s::ObjectStore<SharePod>* sharepods,
+                               VgpuPool* pool, KubeShareConfig config)
+    : cluster_(cluster),
+      sharepods_(sharepods),
+      pool_(pool),
+      config_(config) {
+  assert(cluster_ != nullptr && sharepods_ != nullptr && pool_ != nullptr);
+}
+
+Status KubeShareSched::Start() {
+  if (started_) return FailedPreconditionError("KubeShare-Sched started");
+  started_ = true;
+  sharepods_->Watch(
+      [this](const k8s::WatchEvent<SharePod>& ev) { OnSharePodEvent(ev); });
+  return Status::Ok();
+}
+
+std::vector<NodeFreeGpus> KubeShareSched::FreePhysicalGpus() const {
+  std::vector<NodeFreeGpus> out;
+  // Native (non-KubeShare) GPU pods per node.
+  std::map<std::string, int> native;
+  for (const k8s::Pod& pod : cluster_->api().pods().List()) {
+    if (pod.terminal() || !pod.scheduled()) continue;
+    if (pod.meta.labels.count(kManagedLabel) > 0) continue;
+    const auto gpus = pod.spec.requests.Get(k8s::kResourceNvidiaGpu);
+    if (gpus > 0) native[pod.status.node_name] += static_cast<int>(gpus);
+  }
+  for (const k8s::Node& node : cluster_->api().nodes().List()) {
+    NodeFreeGpus entry;
+    entry.node = node.meta.name;
+    // Physical GPU count: with the stock plugin this equals the advertised
+    // capacity; KubeShare requires the stock (unscaled) plugin.
+    entry.free = static_cast<int>(node.capacity.Get(k8s::kResourceNvidiaGpu)) -
+                 static_cast<int>(pool_->CountOnNode(node.meta.name)) -
+                 native[node.meta.name];
+    out.push_back(entry);
+  }
+  return out;
+}
+
+void KubeShareSched::OnSharePodEvent(const k8s::WatchEvent<SharePod>& event) {
+  if (event.type == k8s::WatchEventType::kDeleted) return;
+  const SharePod& pod = event.object;
+  if (pod.terminal()) return;
+  if (pod.scheduled()) return;  // already has a GPUID
+  Enqueue(pod.meta.name);
+}
+
+void KubeShareSched::Enqueue(const std::string& name) {
+  if (queued_.count(name) > 0) return;
+  queued_.insert(name);
+  queue_.push_back(name);
+  Pump();
+}
+
+void KubeShareSched::Pump() {
+  if (cycle_active_ || queue_.empty()) return;
+  cycle_active_ = true;
+  // Highest priority first; FIFO among equals (queue_ is in arrival
+  // order). Unresolvable names fall back to priority 0 and get cleaned up
+  // by ScheduleOne.
+  auto pick = queue_.begin();
+  int best_priority = 0;
+  if (auto sp = sharepods_->Get(*pick); sp.ok()) {
+    best_priority = sp->spec.priority;
+  }
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    int priority = 0;
+    if (auto sp = sharepods_->Get(*it); sp.ok()) priority = sp->spec.priority;
+    if (priority > best_priority) {
+      best_priority = priority;
+      pick = it;
+    }
+  }
+  const std::string name = *pick;
+  queue_.erase(pick);
+  queued_.erase(name);
+  // The O(N) term counts *live* sharePods (Fig 11): each cycle re-reads
+  // the status of every non-terminal sharePod through the apiserver.
+  // Completed sharePods drop out of the loop.
+  std::int64_t live = 0;
+  for (const SharePod& sp : sharepods_->List()) {
+    if (!sp.terminal()) ++live;
+  }
+  const Duration cycle =
+      config_.sched_fixed + config_.sched_per_sharepod * live;
+  cluster_->sim().ScheduleAfter(cycle, [this, name] {
+    cycle_active_ = false;
+    ScheduleOne(name);
+    Pump();
+  });
+}
+
+void KubeShareSched::ScheduleOne(const std::string& name) {
+  auto pod = sharepods_->Get(name);
+  if (!pod.ok() || pod->terminal()) return;
+  if (pod->scheduled()) return;
+
+  ScheduleRequest request;
+  request.sharepod = name;
+  request.gpu = pod->spec.gpu;
+  request.locality = pod->spec.locality;
+  request.node_constraint = pod->spec.node_name;
+
+  const auto free = FreePhysicalGpus();
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto result = ScheduleSharePod(*pool_, request, free, config_.placement);
+  const auto wall_end = std::chrono::steady_clock::now();
+  decision_stats_.Add(
+      std::chrono::duration<double, std::micro>(wall_end - wall_start)
+          .count());
+
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kUnavailable) {
+      // No capacity right now: park it and flush all waiters together
+      // after the backoff, so priority re-orders the contenders.
+      ++retry_count_;
+      waiting_.insert(name);
+      if (!flush_scheduled_) {
+        flush_scheduled_ = true;
+        cluster_->sim().ScheduleAfter(config_.sched_retry, [this] {
+          flush_scheduled_ = false;
+          auto parked = std::move(waiting_);
+          waiting_.clear();
+          // Batch: everyone joins the queue before the next cycle starts,
+          // so the priority pick sees the whole group.
+          for (const std::string& waiter : parked) {
+            auto p = sharepods_->Get(waiter);
+            if (!p.ok() || p->terminal() || p->scheduled()) continue;
+            if (queued_.insert(waiter).second) queue_.push_back(waiter);
+          }
+          Pump();
+        });
+      }
+      return;
+    }
+    // Constraint violation: Algorithm 1 "return -1".
+    ++rejected_count_;
+    cluster_->api().events().Record("kubeshare-sched", "sharepod/" + name,
+                                    "Rejected", result.status().message());
+    SharePod updated = *pod;
+    updated.status.phase = SharePodPhase::kRejected;
+    updated.status.message = result.status().ToString();
+    (void)sharepods_->Update(updated);
+    return;
+  }
+
+  auto device = pool_->Get(*result);
+  assert(device.ok());
+  SharePod updated = *pod;
+  updated.spec.gpu_id = *result;
+  updated.spec.node_name = device->node;
+  updated.status.scheduled_time = cluster_->sim().Now();
+  (void)sharepods_->Update(updated);
+  ++scheduled_count_;
+  cluster_->api().events().Record(
+      "kubeshare-sched", "sharepod/" + name, "Scheduled",
+      "vGPU " + result->value() + " on " + device->node);
+}
+
+}  // namespace ks::kubeshare

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+#include "k8s/cluster.hpp"
+#include "k8s/store.hpp"
+#include "kubeshare/algorithm.hpp"
+#include "kubeshare/config.hpp"
+#include "kubeshare/pool.hpp"
+#include "kubeshare/sharepod.hpp"
+
+namespace ks::kubeshare {
+
+/// KubeShare-Sched: the controller that decides the container -> vGPU
+/// mapping (paper §4.3). It watches unscheduled sharePods, runs Algorithm 1
+/// against the vGPU pool, and writes the chosen GPUID/nodeName back into
+/// the SharePodSpec; KubeShare-DevMgr picks the update up from there.
+///
+/// Scheduling is serial, one cycle at a time, costing
+/// sched_fixed + sched_per_sharepod * |sharePods| (the O(N) complexity of
+/// Fig 11 — each cycle re-reads every sharePod's status through the
+/// apiserver).
+class KubeShareSched {
+ public:
+  KubeShareSched(k8s::Cluster* cluster,
+                 k8s::ObjectStore<SharePod>* sharepods, VgpuPool* pool,
+                 KubeShareConfig config);
+
+  Status Start();
+
+  /// Free physical (not-yet-vGPU) GPUs per node: node capacity minus vGPUs
+  /// already acquired there minus native GPU pods. This is the supply
+  /// Algorithm 1's new_dev() can draw on.
+  std::vector<NodeFreeGpus> FreePhysicalGpus() const;
+
+  std::uint64_t scheduled_count() const { return scheduled_count_; }
+  std::uint64_t rejected_count() const { return rejected_count_; }
+  std::uint64_t retry_count() const { return retry_count_; }
+  /// Pure-algorithm time (wall clock) per decision — Fig 11's subject.
+  const RunningStats& decision_stats() const { return decision_stats_; }
+
+ private:
+  void OnSharePodEvent(const k8s::WatchEvent<SharePod>& event);
+  void Enqueue(const std::string& name);
+  void Pump();
+  void ScheduleOne(const std::string& name);
+  void HandlePinned(SharePod pod);
+
+  k8s::Cluster* cluster_;
+  k8s::ObjectStore<SharePod>* sharepods_;
+  VgpuPool* pool_;
+  KubeShareConfig config_;
+
+  std::deque<std::string> queue_;
+  std::unordered_set<std::string> queued_;
+  /// Unschedulable sharePods parked until the next flush. Flushing them
+  /// back as a group (rather than per-pod timers) lets priority reorder
+  /// the contenders every time capacity might have freed up.
+  std::unordered_set<std::string> waiting_;
+  bool flush_scheduled_ = false;
+  bool cycle_active_ = false;
+  bool started_ = false;
+
+  std::uint64_t scheduled_count_ = 0;
+  std::uint64_t rejected_count_ = 0;
+  std::uint64_t retry_count_ = 0;
+  RunningStats decision_stats_;
+};
+
+}  // namespace ks::kubeshare

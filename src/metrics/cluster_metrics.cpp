@@ -1,0 +1,66 @@
+#include "metrics/cluster_metrics.hpp"
+
+#include <map>
+
+namespace ks::metrics {
+
+void ExportClusterMetrics(k8s::Cluster& cluster,
+                          kubeshare::KubeShare* kubeshare,
+                          PrometheusExporter& exporter) {
+  const Time now = cluster.sim().Now();
+
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    auto& node = cluster.node(n);
+    for (auto& dev : node.gpus) {
+      dev->utilization().Flush(now);
+      const PrometheusExporter::Labels labels{{"uuid", dev->uuid().value()},
+                                              {"node", node.name}};
+      exporter.Gauge("ks_gpu_busy_seconds_total",
+                     "Cumulative device busy time", labels,
+                     ToSeconds(dev->utilization().TotalBusy()));
+      exporter.Gauge("ks_gpu_memory_used_fraction",
+                     "Fraction of device memory allocated", labels,
+                     static_cast<double>(dev->used_memory()) /
+                         static_cast<double>(dev->spec().memory_bytes));
+    }
+  }
+
+  std::map<std::string, int> pods_by_phase;
+  for (const k8s::Pod& pod : cluster.api().pods().List()) {
+    ++pods_by_phase[k8s::PodPhaseName(pod.status.phase)];
+  }
+  for (const auto& [phase, count] : pods_by_phase) {
+    exporter.Gauge("ks_pods", "Pod count by phase", {{"phase", phase}},
+                   count);
+  }
+
+  if (kubeshare == nullptr) return;
+
+  std::map<std::string, int> vgpus_by_state;
+  for (const kubeshare::VgpuInfo* dev : kubeshare->pool().List()) {
+    ++vgpus_by_state[kubeshare::VgpuStateName(dev->state)];
+    exporter.Gauge("ks_vgpu_used_util",
+                   "Committed compute fraction (sum of gpu_requests)",
+                   {{"id", dev->id.value()}, {"node", dev->node}},
+                   dev->used_util);
+  }
+  for (const auto& [state, count] : vgpus_by_state) {
+    exporter.Gauge("ks_vgpu_pool_size", "vGPU count by lifecycle state",
+                   {{"state", state}}, count);
+  }
+
+  std::map<std::string, int> sharepods_by_phase;
+  for (const kubeshare::SharePod& sp : kubeshare->sharepods().List()) {
+    ++sharepods_by_phase[kubeshare::SharePodPhaseName(sp.status.phase)];
+  }
+  for (const auto& [phase, count] : sharepods_by_phase) {
+    exporter.Gauge("ks_sharepods", "SharePod count by phase",
+                   {{"phase", phase}}, count);
+  }
+  exporter.Gauge("ks_vgpus_created_total", "vGPU acquisitions", {},
+                 static_cast<double>(kubeshare->devmgr().vgpus_created()));
+  exporter.Gauge("ks_vgpus_released_total", "vGPU releases", {},
+                 static_cast<double>(kubeshare->devmgr().vgpus_released()));
+}
+
+}  // namespace ks::metrics

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "k8s/cluster.hpp"
+#include "kubeshare/kubeshare.hpp"
+#include "metrics/prometheus.hpp"
+
+namespace ks::metrics {
+
+/// Snapshots the observable state of a cluster (and KubeShare, when
+/// installed) into Prometheus gauges:
+///   ks_gpu_busy_seconds_total{uuid,node}     device busy time
+///   ks_gpu_memory_used_fraction{uuid,node}   device memory in use
+///   ks_pods{phase}                           pod counts by phase
+///   ks_vgpu_pool_size{state}                 vGPU counts by lifecycle state
+///   ks_vgpu_used_util{id,node}               per-vGPU committed compute
+///   ks_sharepods{phase}                      sharePod counts by phase
+///   ks_vgpus_created_total / _released_total lifecycle counters
+void ExportClusterMetrics(k8s::Cluster& cluster,
+                          kubeshare::KubeShare* kubeshare,
+                          PrometheusExporter& exporter);
+
+}  // namespace ks::metrics

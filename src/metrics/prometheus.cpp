@@ -1,0 +1,62 @@
+#include "metrics/prometheus.hpp"
+
+#include <cmath>
+
+namespace ks::metrics {
+
+void PrometheusExporter::Gauge(const std::string& name,
+                               const std::string& help, Labels labels,
+                               double value) {
+  Family& family = families_[name];
+  if (family.help.empty()) family.help = help;
+  family.samples.push_back({std::move(labels), value});
+}
+
+std::string PrometheusExporter::EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void PrometheusExporter::Write(std::ostream& os) const {
+  for (const auto& [name, family] : families_) {
+    os << "# HELP " << name << ' ' << family.help << '\n';
+    os << "# TYPE " << name << " gauge\n";
+    for (const Sample& s : family.samples) {
+      os << name;
+      if (!s.labels.empty()) {
+        os << '{';
+        bool first = true;
+        for (const auto& [k, v] : s.labels) {
+          if (!first) os << ',';
+          first = false;
+          os << k << "=\"" << EscapeLabelValue(v) << '"';
+        }
+        os << '}';
+      }
+      os << ' ';
+      if (std::isnan(s.value)) {
+        os << "NaN";
+      } else {
+        os << s.value;
+      }
+      os << '\n';
+    }
+  }
+}
+
+std::size_t PrometheusExporter::sample_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, family] : families_) n += family.samples.size();
+  return n;
+}
+
+}  // namespace ks::metrics

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ks::metrics {
+
+/// Minimal Prometheus text-exposition-format writer (the scrape format of
+/// the real KubeShare's monitoring side-cars). Gauges only — counters in
+/// this simulation are just monotone gauges.
+///
+///   PrometheusExporter exp;
+///   exp.Gauge("kubeshare_vgpu_pool_size", "vGPUs held", {}, 3);
+///   exp.Gauge("gpu_utilization", "busy fraction",
+///             {{"uuid", "GPU-0-0"}}, 0.82);
+///   exp.Write(os);
+class PrometheusExporter {
+ public:
+  using Labels = std::map<std::string, std::string>;
+
+  /// Records one sample. Repeated calls with the same metric name but
+  /// different labels become one family under a single HELP/TYPE header.
+  void Gauge(const std::string& name, const std::string& help, Labels labels,
+             double value);
+
+  /// Emits the exposition format: families sorted by name, samples in
+  /// insertion order.
+  void Write(std::ostream& os) const;
+
+  void Clear() { families_.clear(); }
+  std::size_t sample_count() const;
+
+  /// Escapes a label value per the exposition format (backslash, quote,
+  /// newline).
+  static std::string EscapeLabelValue(const std::string& value);
+
+ private:
+  struct Sample {
+    Labels labels;
+    double value;
+  };
+  struct Family {
+    std::string help;
+    std::vector<Sample> samples;
+  };
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace ks::metrics

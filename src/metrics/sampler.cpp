@@ -1,0 +1,49 @@
+#include "metrics/sampler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ks::metrics {
+
+PeriodicSampler::PeriodicSampler(sim::Simulation* sim, Duration period,
+                                 Probe probe)
+    : sim_(sim), period_(period), probe_(std::move(probe)) {
+  assert(sim_ != nullptr);
+  assert(period_.count() > 0);
+  assert(probe_);
+}
+
+void PeriodicSampler::Start() {
+  if (running_) return;
+  running_ = true;
+  event_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+}
+
+void PeriodicSampler::Stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_->Cancel(event_);
+  event_ = sim::kInvalidEvent;
+}
+
+void PeriodicSampler::Tick() {
+  series_.push_back({sim_->Now(), probe_()});
+  if (running_) {
+    event_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+  }
+}
+
+double PeriodicSampler::MaxValue() const {
+  double best = 0.0;
+  for (const Sample& s : series_) best = std::max(best, s.value);
+  return best;
+}
+
+double PeriodicSampler::MeanValue() const {
+  if (series_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Sample& s : series_) total += s.value;
+  return total / static_cast<double>(series_.size());
+}
+
+}  // namespace ks::metrics

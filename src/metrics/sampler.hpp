@@ -1,0 +1,42 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::metrics {
+
+/// Periodically samples a scalar (pool size, active GPUs, queue depth, ...)
+/// into a time series — the generic instrument behind the Fig 9 timelines.
+class PeriodicSampler {
+ public:
+  using Probe = std::function<double()>;
+
+  PeriodicSampler(sim::Simulation* sim, Duration period, Probe probe);
+
+  void Start();
+  void Stop();
+
+  struct Sample {
+    Time at{0};
+    double value = 0.0;
+  };
+  const std::vector<Sample>& series() const { return series_; }
+
+  double MaxValue() const;
+  double MeanValue() const;
+
+ private:
+  void Tick();
+
+  sim::Simulation* sim_;
+  Duration period_;
+  Probe probe_;
+  bool running_ = false;
+  sim::EventId event_ = sim::kInvalidEvent;
+  std::vector<Sample> series_;
+};
+
+}  // namespace ks::metrics

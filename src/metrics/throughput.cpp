@@ -1,0 +1,41 @@
+#include "metrics/throughput.hpp"
+
+#include <algorithm>
+
+namespace ks::metrics {
+
+double ThroughputTimeline::JobsPerMinute(Time from, Time to) const {
+  if (to <= from) return 0.0;
+  std::size_t n = 0;
+  for (const Time t : completions_) {
+    if (t >= from && t < to) ++n;
+  }
+  return static_cast<double>(n) / (ToSeconds(to - from) / 60.0);
+}
+
+double ThroughputTimeline::OverallJobsPerMinute(Time origin) const {
+  if (completions_.empty()) return 0.0;
+  const Time end = completions_.back();
+  if (end <= origin) return 0.0;
+  return static_cast<double>(completions_.size()) /
+         (ToSeconds(end - origin) / 60.0);
+}
+
+double ThroughputTimeline::PeakJobsPerMinute(Duration window) const {
+  if (completions_.empty() || window.count() <= 0) return 0.0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < completions_.size(); ++i) {
+    const Time from = completions_[i];
+    const Time to = from + window;
+    std::size_t n = 0;
+    for (std::size_t j = i; j < completions_.size() && completions_[j] < to;
+         ++j) {
+      ++n;
+    }
+    best = std::max(best,
+                    static_cast<double>(n) / (ToSeconds(window) / 60.0));
+  }
+  return best;
+}
+
+}  // namespace ks::metrics

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sliding_window.hpp"
+
+namespace ks::runtime {
+
+/// Configuration of the real-thread token server.
+struct TokenServerConfig {
+  std::chrono::microseconds quota{100'000};         // 100 ms
+  std::chrono::microseconds usage_window{2'000'000};  // 2 s
+};
+
+/// The vGPU backend's token protocol implemented with real threads,
+/// mutexes and condition variables — the shape the per-node daemon takes
+/// outside the simulation. Client threads block in Acquire() until the
+/// token is theirs, run kernels while Valid() holds, and Release() when
+/// the quota expires or their queue drains.
+///
+/// The grant policy is the same three-step elastic allocation as
+/// vgpu::TokenBackend (filter at gpu_limit, prioritize below gpu_request,
+/// then lowest usage), with usage measured over a sliding window of real
+/// time. Thread-safety: one mutex guards all state; waiters are parked on
+/// a single condition variable and re-evaluated on every release (plus a
+/// short poll so limit-throttled clients re-qualify as their usage
+/// decays).
+class TokenServer {
+ public:
+  explicit TokenServer(TokenServerConfig config = {});
+  ~TokenServer();
+
+  TokenServer(const TokenServer&) = delete;
+  TokenServer& operator=(const TokenServer&) = delete;
+
+  void RegisterClient(const std::string& id, double gpu_request,
+                      double gpu_limit);
+  void UnregisterClient(const std::string& id);
+
+  /// Blocks until the token is granted to `id` (or the server shuts down /
+  /// the client is unregistered — then returns false). Re-entrant acquire
+  /// by the current holder returns true immediately.
+  bool Acquire(const std::string& id);
+
+  /// True while `id` holds the token and its quota has not expired.
+  bool Valid(const std::string& id) const;
+
+  /// Gives the token back. No-op if `id` is not the holder.
+  void Release(const std::string& id);
+
+  double UsageOf(const std::string& id) const;
+  std::uint64_t grants() const;
+
+  /// Consistent view of every registered client taken under one lock —
+  /// what a monitoring scrape sees.
+  struct ClientView {
+    std::string id;
+    double request = 0.0;
+    double limit = 1.0;
+    double usage = 0.0;
+    bool holding = false;
+    bool waiting = false;
+  };
+  std::vector<ClientView> Snapshot() const;
+
+  /// Wakes every waiter with failure; subsequent Acquires fail fast.
+  void Shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Time NowTicks() const;
+  /// Returns the id the policy would grant to, or nullopt. Caller holds
+  /// the mutex.
+  std::optional<std::string> PickNextLocked();
+
+  struct Client {
+    double request = 0.0;
+    double limit = 1.0;
+    SlidingWindowUsage usage;
+    bool waiting = false;
+    std::uint64_t enqueue_seq = 0;
+    explicit Client(Duration window) : usage(window) {}
+  };
+
+  TokenServerConfig config_;
+  Clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, Client> clients_;
+  std::optional<std::string> holder_;
+  Clock::time_point holder_deadline_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t grants_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ks::runtime

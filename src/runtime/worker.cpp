@@ -1,0 +1,106 @@
+#include "runtime/worker.hpp"
+
+namespace ks::runtime {
+
+GreedyWorker::GreedyWorker(TokenServer* server, std::string id,
+                           double gpu_request, double gpu_limit,
+                           std::chrono::microseconds kernel)
+    : server_(server), id_(std::move(id)), kernel_(kernel) {
+  server_->RegisterClient(id_, gpu_request, gpu_limit);
+}
+
+GreedyWorker::~GreedyWorker() { Stop(); }
+
+void GreedyWorker::Start() {
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void GreedyWorker::Stop() {
+  if (!started_) {
+    server_->UnregisterClient(id_);  // idempotent
+    return;
+  }
+  stop_.store(true);
+  // Unregistering unblocks a pending Acquire without disturbing the other
+  // clients of the shared server.
+  server_->UnregisterClient(id_);
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+void GreedyWorker::Run() {
+  while (!stop_.load()) {
+    if (!server_->Acquire(id_)) return;
+    // Hold the token and run kernels until the quota expires. A kernel in
+    // flight when the lease lapses still completes (non-preemptive).
+    while (!stop_.load() && server_->Valid(id_)) {
+      std::this_thread::sleep_for(kernel_);
+      work_done_us_.fetch_add(kernel_.count());
+    }
+    server_->Release(id_);
+  }
+}
+
+BurstyWorker::BurstyWorker(TokenServer* server, std::string id,
+                           double gpu_request, double gpu_limit,
+                           std::chrono::microseconds kernel,
+                           int kernels_per_burst,
+                           std::chrono::microseconds gap, std::uint64_t seed)
+    : server_(server),
+      id_(std::move(id)),
+      kernel_(kernel),
+      kernels_per_burst_(kernels_per_burst),
+      gap_(gap),
+      rng_state_(seed * 2654435761u + 1) {
+  server_->RegisterClient(id_, gpu_request, gpu_limit);
+}
+
+BurstyWorker::~BurstyWorker() { Stop(); }
+
+void BurstyWorker::Start() {
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void BurstyWorker::Stop() {
+  if (!started_) {
+    server_->UnregisterClient(id_);
+    return;
+  }
+  stop_.store(true);
+  server_->UnregisterClient(id_);
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+void BurstyWorker::Run() {
+  while (!stop_.load()) {
+    // One burst: acquire, run the batch (re-acquiring when the quota lapses
+    // mid-burst), release, idle out the gap.
+    int remaining = kernels_per_burst_;
+    while (remaining > 0 && !stop_.load()) {
+      if (!server_->Acquire(id_)) return;
+      while (remaining > 0 && !stop_.load() && server_->Valid(id_)) {
+        std::this_thread::sleep_for(kernel_);
+        work_done_us_.fetch_add(kernel_.count());
+        --remaining;
+      }
+      server_->Release(id_);
+    }
+    bursts_.fetch_add(1);
+    // xorshift jitter on the gap (0.5x .. 1.5x) so bursts desynchronize.
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    const auto jitter = gap_.count() / 2 +
+                        static_cast<std::int64_t>(rng_state_ %
+                                                  static_cast<std::uint64_t>(
+                                                      gap_.count() + 1));
+    std::this_thread::sleep_for(std::chrono::microseconds(jitter));
+  }
+}
+
+}  // namespace ks::runtime

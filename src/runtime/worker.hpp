@@ -1,0 +1,86 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "runtime/token_server.hpp"
+
+namespace ks::runtime {
+
+/// A client thread that always has another kernel to run — the real-thread
+/// analogue of a training job. Each "kernel" is a fixed-length chunk of
+/// work executed only while the token lease is valid; the worker releases
+/// at quota expiry and immediately queues again.
+class GreedyWorker {
+ public:
+  GreedyWorker(TokenServer* server, std::string id, double gpu_request,
+               double gpu_limit,
+               std::chrono::microseconds kernel = std::chrono::milliseconds(1));
+  ~GreedyWorker();
+
+  GreedyWorker(const GreedyWorker&) = delete;
+  GreedyWorker& operator=(const GreedyWorker&) = delete;
+
+  void Start();
+  /// Signals the thread, joins it, and unregisters the client.
+  void Stop();
+
+  /// Total kernel time executed, in microseconds.
+  std::int64_t work_done_us() const { return work_done_us_.load(); }
+  const std::string& id() const { return id_; }
+
+ private:
+  void Run();
+
+  TokenServer* server_;
+  std::string id_;
+  std::chrono::microseconds kernel_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> work_done_us_{0};
+  bool started_ = false;
+};
+
+/// A client thread with bursty demand: batches of kernels separated by
+/// idle gaps (an inference service's shape). Between bursts it holds no
+/// token at all — the real-thread analogue of the frontend's early
+/// release.
+class BurstyWorker {
+ public:
+  BurstyWorker(TokenServer* server, std::string id, double gpu_request,
+               double gpu_limit,
+               std::chrono::microseconds kernel = std::chrono::milliseconds(1),
+               int kernels_per_burst = 4,
+               std::chrono::microseconds gap = std::chrono::milliseconds(6),
+               std::uint64_t seed = 1);
+  ~BurstyWorker();
+
+  BurstyWorker(const BurstyWorker&) = delete;
+  BurstyWorker& operator=(const BurstyWorker&) = delete;
+
+  void Start();
+  void Stop();
+
+  std::int64_t work_done_us() const { return work_done_us_.load(); }
+  std::uint64_t bursts_completed() const { return bursts_.load(); }
+  const std::string& id() const { return id_; }
+
+ private:
+  void Run();
+
+  TokenServer* server_;
+  std::string id_;
+  std::chrono::microseconds kernel_;
+  int kernels_per_burst_;
+  std::chrono::microseconds gap_;
+  std::uint64_t rng_state_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> work_done_us_{0};
+  std::atomic<std::uint64_t> bursts_{0};
+  bool started_ = false;
+};
+
+}  // namespace ks::runtime

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "k8s/cluster.hpp"
+#include "kubeshare/kubeshare.hpp"
+#include "workload/host.hpp"
+#include "workload/trace.hpp"
+
+namespace ks::scenario {
+
+/// A declarative simulation scenario — the `ksim` tool's input language.
+/// Line-oriented; `#` starts a comment. Commands:
+///
+///   cluster nodes=8 gpus=4 [cpu=36000] [scaled=on] [scale=100]
+///   kubeshare [pool=ondemand|reservation|hybrid] [reserve=2]
+///             [overcommit=on]
+///   mode kubeshare|native
+///   job name=train1 kind=training at=0 steps=2000 [kernel_ms=10]
+///       [request=0.4] [limit=0.8] [mem=0.3] [model_gb=2]
+///       [affinity=grp] [anti_affinity=lbl] [exclusion=tenant]
+///   job name=svc kind=inference at=5 demand=0.3 duration=60 ...
+///   trace file=workload.csv            # load jobs from a CSV trace
+///   health node=0 gpu=1 state=unhealthy|healthy   # device health flip
+///   resize name=svc request=0.5 limit=0.9   # vertical elasticity
+///   run until=300
+///   report jobs|gpus|pool|sharepods|metrics|events [tail=20]
+///
+/// Parse validates the whole script up front; Run executes it against a
+/// fresh simulated cluster and writes every report to `out`.
+class Scenario {
+ public:
+  static Expected<Scenario> Parse(std::istream& in);
+
+  /// Runs the scenario to completion. Idempotence is not supported: build
+  /// a Scenario per run.
+  Status Run(std::ostream& out);
+
+  /// A commented example script (printed by `ksim --example`).
+  static std::string ExampleScript();
+
+ private:
+  struct Directive {
+    enum class Kind {
+      kCluster,
+      kKubeShare,
+      kMode,
+      kJob,
+      kTrace,
+      kHealth,
+      kResize,
+      kRun,
+      kReport
+    };
+    Kind kind;
+    int lineno = 0;
+    // cluster / kubeshare knobs
+    k8s::ClusterConfig cluster;
+    kubeshare::KubeShareConfig kconfig;
+    bool use_kubeshare_mode = true;
+    // job
+    workload::TraceEntry job;
+    // trace
+    std::string trace_file;
+    // health
+    int health_node = 0;
+    int health_gpu = 0;
+    bool health_state = true;
+    // resize
+    std::string resize_name;
+    double resize_request = 0.0;
+    double resize_limit = 1.0;
+    // run
+    double until_s = 0.0;
+    // report
+    std::string report_what;
+    std::size_t tail = 0;
+  };
+
+  Status Execute(const Directive& d, std::ostream& out);
+  void ReportJobs(std::ostream& out) const;
+  void ReportGpus(std::ostream& out) const;
+  void ReportPool(std::ostream& out) const;
+  void ReportSharePods(std::ostream& out) const;
+
+  std::vector<Directive> directives_;
+
+  // Runtime state (built during Run).
+  std::unique_ptr<k8s::Cluster> cluster_;
+  std::unique_ptr<kubeshare::KubeShare> kubeshare_;
+  std::unique_ptr<workload::WorkloadHost> host_;
+  std::unique_ptr<workload::TraceReplayer> replayer_;
+  bool mode_kubeshare_ = true;
+  bool kubeshare_requested_ = false;
+};
+
+}  // namespace ks::scenario

@@ -1,0 +1,62 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ks::sim {
+
+EventId Simulation::ScheduleAt(Time t, std::function<void()> fn) {
+  assert(fn && "cannot schedule an empty callback");
+  if (t < now_) t = now_;  // clamp: scheduling in the past fires "now"
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulation::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  if (delay.count() < 0) delay = Duration{0};
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulation::Cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.at >= now_);
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run(std::uint64_t max_events) {
+  while (max_events-- > 0 && Step()) {
+  }
+}
+
+void Simulation::RunUntil(Time t) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.at > t) break;
+    Step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace ks::sim

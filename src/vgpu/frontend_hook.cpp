@@ -1,0 +1,349 @@
+#include "vgpu/frontend_hook.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace ks::vgpu {
+
+FrontendHook::FrontendHook(cuda::CudaApi* inner, TokenBackend* backend,
+                           ContainerId container, GpuUuid device,
+                           ResourceSpec spec,
+                           std::uint64_t device_memory_bytes)
+    : inner_(inner),
+      backend_(backend),
+      container_(std::move(container)),
+      device_(std::move(device)),
+      spec_(spec),
+      memory_quota_bytes_(static_cast<std::uint64_t>(
+          static_cast<double>(device_memory_bytes) * spec.gpu_mem)) {
+  assert(inner_ != nullptr);
+  assert(backend_ != nullptr);
+  streams_.try_emplace(cuda::kDefaultStream);
+  const Status s =
+      backend_->RegisterContainer(container_, device_, spec_, this);
+  if (!s.ok()) {
+    KS_LOG(kError) << "frontend registration failed: " << s;
+  }
+}
+
+FrontendHook::~FrontendHook() {
+  if (swap_ != nullptr) {
+    if (swap_event_ != sim::kInvalidEvent) sim_->Cancel(swap_event_);
+    swap_->FreeAll(container_);
+  }
+  (void)backend_->UnregisterContainer(container_);
+}
+
+void FrontendHook::EnableMemoryOvercommit(SwapManager* swap,
+                                          sim::Simulation* sim) {
+  assert(swap != nullptr && sim != nullptr);
+  assert(allocated_bytes_ == 0 &&
+         "enable over-commitment before the first allocation");
+  swap_ = swap;
+  sim_ = sim;
+}
+
+cuda::CudaResult FrontendHook::MemAlloc(gpu::DevicePtr* out,
+                                        std::uint64_t bytes) {
+  if (out == nullptr || bytes == 0) {
+    return cuda::CudaResult::kErrorInvalidValue;
+  }
+  if (allocated_bytes_ + bytes > memory_quota_bytes_) {
+    // Paper §4.5: "our frontend module simply throws out of memory
+    // exceptions when a container attempts to allocate more space than it
+    // requests" — translated to the driver API's error code.
+    ++oom_rejections_;
+    return cuda::CudaResult::kErrorOutOfMemory;
+  }
+  if (swap_ != nullptr) {
+    // Over-commitment mode: the SwapManager backs the allocation; host
+    // memory is the overflow, so only the per-container quota applies.
+    if (!swap_->Allocate(container_, bytes).ok()) {
+      return cuda::CudaResult::kErrorInvalidValue;
+    }
+    *out = next_swap_ptr_++;
+    allocated_bytes_ += bytes;
+    ptr_bytes_[*out] = bytes;
+    return cuda::CudaResult::kSuccess;
+  }
+  const cuda::CudaResult r = inner_->MemAlloc(out, bytes);
+  if (r == cuda::CudaResult::kSuccess) {
+    allocated_bytes_ += bytes;
+    ptr_bytes_[*out] = bytes;
+  }
+  return r;
+}
+
+cuda::CudaResult FrontendHook::MemFree(gpu::DevicePtr ptr) {
+  if (swap_ != nullptr) {
+    auto it = ptr_bytes_.find(ptr);
+    if (it == ptr_bytes_.end()) return cuda::CudaResult::kErrorInvalidValue;
+    (void)swap_->Free(container_, it->second);
+    allocated_bytes_ -= it->second;
+    ptr_bytes_.erase(it);
+    return cuda::CudaResult::kSuccess;
+  }
+  const cuda::CudaResult r = inner_->MemFree(ptr);
+  if (r == cuda::CudaResult::kSuccess) {
+    auto it = ptr_bytes_.find(ptr);
+    if (it != ptr_bytes_.end()) {
+      allocated_bytes_ -= it->second;
+      ptr_bytes_.erase(it);
+    }
+  }
+  return r;
+}
+
+cuda::CudaResult FrontendHook::ArrayCreate(gpu::DevicePtr* out,
+                                           std::uint64_t width,
+                                           std::uint64_t height,
+                                           std::uint64_t element_bytes) {
+  if (width == 0 || height == 0 || element_bytes == 0) {
+    return cuda::CudaResult::kErrorInvalidValue;
+  }
+  // Route through our MemAlloc so the quota check covers array creation —
+  // the paper's hook intercepts cuArrayCreate for the same reason.
+  return MemAlloc(out, width * height * element_bytes);
+}
+
+cuda::CudaResult FrontendHook::StreamCreate(cuda::StreamId* out) {
+  const cuda::CudaResult r = inner_->StreamCreate(out);
+  if (r == cuda::CudaResult::kSuccess) streams_.try_emplace(*out);
+  return r;
+}
+
+cuda::CudaResult FrontendHook::StreamDestroy(cuda::StreamId stream) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return cuda::CudaResult::kErrorInvalidHandle;
+  if (it->second.in_flight || !it->second.pending.empty()) {
+    return cuda::CudaResult::kErrorNotReady;
+  }
+  const cuda::CudaResult r = inner_->StreamDestroy(stream);
+  if (r == cuda::CudaResult::kSuccess) streams_.erase(stream);
+  return r;
+}
+
+cuda::CudaResult FrontendHook::LaunchKernel(const gpu::KernelDesc& desc,
+                                            cuda::StreamId stream,
+                                            cuda::HostFn on_complete) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return cuda::CudaResult::kErrorInvalidHandle;
+  if (desc.nominal_duration.count() <= 0) {
+    return cuda::CudaResult::kErrorInvalidValue;
+  }
+  ++pending_kernels_;
+  PendingEntry entry;
+  entry.desc = desc;
+  entry.fn = std::move(on_complete);
+  it->second.pending.push_back(std::move(entry));
+  if (token_valid_) {
+    Drain();
+  } else if (!token_held_ && !token_requested_) {
+    token_requested_ = true;
+    (void)backend_->RequestToken(container_);
+  }
+  return cuda::CudaResult::kSuccess;
+}
+
+void FrontendHook::FlushMarkers() {
+  for (auto& [stream_id, q] : streams_) {
+    while (!q.in_flight && !q.pending.empty() &&
+           q.pending.front().is_event) {
+      const cuda::EventId event = q.pending.front().event;
+      q.pending.pop_front();
+      (void)inner_->EventRecord(event, stream_id);
+      // Waiters registered while the marker was still queued here.
+      auto wit = queued_events_.find(event);
+      if (wit != queued_events_.end()) {
+        auto waiters = std::move(wit->second);
+        queued_events_.erase(wit);
+        for (auto& fn : waiters) {
+          (void)inner_->EventSynchronize(event, std::move(fn));
+        }
+      }
+    }
+  }
+}
+
+void FrontendHook::Drain() {
+  FlushMarkers();
+  if (!token_valid_ || swap_pending_) return;
+  for (auto& [stream_id, q] : streams_) {
+    if (q.in_flight || q.pending.empty()) continue;
+    if (q.pending.front().is_event) continue;  // handled by FlushMarkers
+    PendingEntry entry = std::move(q.pending.front());
+    q.pending.pop_front();
+    q.in_flight = true;
+    ++in_flight_;
+    const cuda::StreamId sid = stream_id;
+    const cuda::CudaResult r = inner_->LaunchKernel(
+        entry.desc, sid, [this, sid, user_fn = std::move(entry.fn)]() mutable {
+          OnKernelRetired(sid, std::move(user_fn));
+        });
+    if (r != cuda::CudaResult::kSuccess) {
+      KS_LOG(kError) << "inner launch failed: " << cuda::CudaResultName(r);
+      q.in_flight = false;
+      --in_flight_;
+      --pending_kernels_;
+    }
+  }
+}
+
+void FrontendHook::OnKernelRetired(cuda::StreamId stream,
+                                   cuda::HostFn user_fn) {
+  auto it = streams_.find(stream);
+  if (it != streams_.end()) it->second.in_flight = false;
+  --in_flight_;
+  --pending_kernels_;
+  if (user_fn) user_fn();
+  FlushMarkers();  // events behind the retired kernel are now orderable
+  if (token_valid_) {
+    Drain();
+  }
+  MaybeReleaseOrRerequest();
+  MaybeFireSync();
+}
+
+bool FrontendHook::HasQueuedWork() const {
+  // Event markers don't need the token; only kernels count as work.
+  for (const auto& [id, q] : streams_) {
+    for (const PendingEntry& e : q.pending) {
+      if (!e.is_event) return true;
+    }
+  }
+  return false;
+}
+
+void FrontendHook::MaybeReleaseOrRerequest() {
+  if (!token_held_) {
+    // Kernel retired after the token was already released/expired; if work
+    // remains, get back in line.
+    if (HasQueuedWork() && !token_requested_) {
+      token_requested_ = true;
+      (void)backend_->RequestToken(container_);
+    }
+    return;
+  }
+  if (in_flight_ > 0) return;
+  if (token_valid_ && HasQueuedWork()) return;  // keep running
+  // Either the quota expired (yield once in-flight work retired) or the
+  // queues drained (early release — "revoked by its holder").
+  token_held_ = false;
+  token_valid_ = false;
+  // Re-request BEFORE releasing: the release triggers the backend's next
+  // grant decision, and this container's remaining work must be in that
+  // comparison (otherwise two sharers strictly alternate and the
+  // gpu_request priorities never engage).
+  if (HasQueuedWork() && !token_requested_) {
+    token_requested_ = true;
+    (void)backend_->RequestToken(container_);
+  }
+  (void)backend_->ReleaseToken(container_);
+}
+
+void FrontendHook::OnTokenGranted(Time /*expiry*/) {
+  token_requested_ = false;
+  token_held_ = true;
+  token_valid_ = true;
+  if (!HasQueuedWork() && in_flight_ == 0) {
+    // Work evaporated between request and grant (possible via Synchronize
+    // bookkeeping); give the token straight back.
+    token_held_ = false;
+    token_valid_ = false;
+    (void)backend_->ReleaseToken(container_);
+    return;
+  }
+  if (swap_ != nullptr) {
+    // Bring the working set on-device before any kernel runs. The quota is
+    // extended by the migration time — the time slice covers compute;
+    // otherwise a migration longer than the quota would expire every grant
+    // before a single kernel launches (thrash with zero progress).
+    const Duration migration = swap_->MakeResident(container_, sim_->Now());
+    if (migration.count() > 0) {
+      (void)backend_->ExtendQuota(container_, migration);
+      swap_pending_ = true;
+      swap_event_ = sim_->ScheduleAfter(migration, [this] {
+        swap_event_ = sim::kInvalidEvent;
+        swap_pending_ = false;
+        Drain();  // no-ops if the token lapsed during the migration
+      });
+      return;
+    }
+  }
+  Drain();
+}
+
+void FrontendHook::OnTokenExpired() {
+  token_valid_ = false;
+  MaybeReleaseOrRerequest();
+}
+
+cuda::CudaResult FrontendHook::Synchronize(cuda::HostFn fn) {
+  if (!fn) return cuda::CudaResult::kErrorInvalidValue;
+  if (pending_kernels_ == 0) {
+    fn();
+    return cuda::CudaResult::kSuccess;
+  }
+  sync_waiters_.push_back(std::move(fn));
+  return cuda::CudaResult::kSuccess;
+}
+
+void FrontendHook::MaybeFireSync() {
+  if (pending_kernels_ != 0 || sync_waiters_.empty()) return;
+  auto waiters = std::move(sync_waiters_);
+  sync_waiters_.clear();
+  for (auto& fn : waiters) fn();
+}
+
+cuda::CudaResult FrontendHook::EventCreate(cuda::EventId* out) {
+  return inner_->EventCreate(out);
+}
+
+cuda::CudaResult FrontendHook::EventRecord(cuda::EventId event,
+                                           cuda::StreamId stream) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return cuda::CudaResult::kErrorInvalidHandle;
+  if (!it->second.in_flight && it->second.pending.empty()) {
+    // Nothing ahead of it in our queue; the driver orders against its own
+    // (already drained) stream.
+    return inner_->EventRecord(event, stream);
+  }
+  PendingEntry marker;
+  marker.is_event = true;
+  marker.event = event;
+  it->second.pending.push_back(std::move(marker));
+  queued_events_.try_emplace(event);
+  return cuda::CudaResult::kSuccess;
+}
+
+cuda::CudaResult FrontendHook::EventQuery(cuda::EventId event) {
+  if (queued_events_.count(event) > 0) {
+    return cuda::CudaResult::kErrorNotReady;  // marker not forwarded yet
+  }
+  return inner_->EventQuery(event);
+}
+
+cuda::CudaResult FrontendHook::EventSynchronize(cuda::EventId event,
+                                                cuda::HostFn fn) {
+  if (!fn) return cuda::CudaResult::kErrorInvalidValue;
+  auto it = queued_events_.find(event);
+  if (it != queued_events_.end()) {
+    it->second.push_back(std::move(fn));
+    return cuda::CudaResult::kSuccess;
+  }
+  return inner_->EventSynchronize(event, std::move(fn));
+}
+
+cuda::CudaResult FrontendHook::EventElapsedTime(Duration* out,
+                                                cuda::EventId start,
+                                                cuda::EventId end) {
+  return inner_->EventElapsedTime(out, start, end);
+}
+
+cuda::CudaResult FrontendHook::EventDestroy(cuda::EventId event) {
+  return inner_->EventDestroy(event);
+}
+
+}  // namespace ks::vgpu

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "cuda/api.hpp"
+#include "vgpu/resource_spec.hpp"
+#include "vgpu/swap.hpp"
+#include "vgpu/token_backend.hpp"
+
+namespace ks::vgpu {
+
+/// The per-container frontend of the vGPU device library (paper §4.5).
+///
+/// In the real system this is a dynamic library injected with LD_PRELOAD
+/// that interposes on every memory- and compute-related CUDA driver call.
+/// Here it is a CudaApi decorator installed between the workload and the
+/// driver-level CudaContext — the same structural position, so every call
+/// the workload makes flows through the same checks:
+///
+///  - memory calls (MemAlloc / ArrayCreate) are rejected with
+///    CUDA_ERROR_OUT_OF_MEMORY once the container's gpu_mem quota would be
+///    exceeded (no over-commitment, per the paper);
+///  - kernel launches are held in per-stream queues until the container
+///    holds a valid token from the node's TokenBackend; when the token
+///    expires the frontend stops submitting, lets the in-flight kernels
+///    retire, and releases the token; when its queues drain it releases
+///    the token early ("revoked by its holder").
+class FrontendHook final : public cuda::CudaApi, public TokenClient {
+ public:
+  /// `inner` is the driver-level API (not owned). `device_memory_bytes` is
+  /// the physical capacity used to convert the fractional gpu_mem into a
+  /// byte quota. Registration with the backend happens in the constructor;
+  /// the destructor unregisters.
+  FrontendHook(cuda::CudaApi* inner, TokenBackend* backend,
+               ContainerId container, GpuUuid device, ResourceSpec spec,
+               std::uint64_t device_memory_bytes);
+  ~FrontendHook() override;
+
+  FrontendHook(const FrontendHook&) = delete;
+  FrontendHook& operator=(const FrontendHook&) = delete;
+
+  // --- CudaApi ----------------------------------------------------------
+  cuda::CudaResult MemAlloc(gpu::DevicePtr* out, std::uint64_t bytes) override;
+  cuda::CudaResult MemFree(gpu::DevicePtr ptr) override;
+  cuda::CudaResult ArrayCreate(gpu::DevicePtr* out, std::uint64_t width,
+                               std::uint64_t height,
+                               std::uint64_t element_bytes) override;
+  cuda::CudaResult StreamCreate(cuda::StreamId* out) override;
+  cuda::CudaResult StreamDestroy(cuda::StreamId stream) override;
+  cuda::CudaResult LaunchKernel(const gpu::KernelDesc& desc,
+                                cuda::StreamId stream,
+                                cuda::HostFn on_complete) override;
+  cuda::CudaResult Synchronize(cuda::HostFn fn) override;
+
+  // Events keep stream order through the hook's own queues: a record is
+  // forwarded to the driver only after every kernel launched before it on
+  // the same stream has been forwarded and retired. Forwarding a marker
+  // needs no token — events consume no GPU time.
+  cuda::CudaResult EventCreate(cuda::EventId* out) override;
+  cuda::CudaResult EventRecord(cuda::EventId event,
+                               cuda::StreamId stream) override;
+  cuda::CudaResult EventQuery(cuda::EventId event) override;
+  cuda::CudaResult EventSynchronize(cuda::EventId event,
+                                    cuda::HostFn fn) override;
+  cuda::CudaResult EventElapsedTime(Duration* out, cuda::EventId start,
+                                    cuda::EventId end) override;
+  cuda::CudaResult EventDestroy(cuda::EventId event) override;
+
+  std::uint64_t AllocatedBytes() const override { return allocated_bytes_; }
+  std::size_t PendingKernels() const override { return pending_kernels_; }
+
+  // --- TokenClient --------------------------------------------------------
+  void OnTokenGranted(Time expiry) override;
+  void OnTokenExpired() override;
+
+  // --- Memory over-commitment extension -----------------------------------
+  /// Switches memory management to GPUswap-style over-commitment
+  /// (DESIGN.md extension; paper §4.5 points at [4,19,32]): allocations
+  /// are served by the device's shared SwapManager instead of the physical
+  /// ledger, and each token grant first migrates this container's working
+  /// set on-device — kernel submission is delayed by the migration time.
+  /// Must be called before the first allocation; `swap` is shared by every
+  /// container on the device.
+  void EnableMemoryOvercommit(SwapManager* swap, sim::Simulation* sim);
+  bool overcommit_enabled() const { return swap_ != nullptr; }
+
+  // --- Introspection ------------------------------------------------------
+  bool holds_valid_token() const { return token_valid_; }
+  std::uint64_t memory_quota_bytes() const { return memory_quota_bytes_; }
+  const ContainerId& container() const { return container_; }
+  /// Count of launches rejected before reaching the driver (should stay 0;
+  /// launches are queued, never rejected, but kept for failure injection).
+  std::uint64_t oom_rejections() const { return oom_rejections_; }
+
+ private:
+  struct PendingEntry {
+    bool is_event = false;
+    gpu::KernelDesc desc;
+    cuda::HostFn fn;
+    cuda::EventId event = 0;
+  };
+  struct StreamQueue {
+    std::deque<PendingEntry> pending;
+    bool in_flight = false;
+  };
+
+  /// Forwards the next kernel of every stream that has one, while the token
+  /// is valid.
+  void Drain();
+  /// Forwards event markers at queue heads (token-independent).
+  void FlushMarkers();
+  void OnKernelRetired(cuda::StreamId stream, cuda::HostFn user_fn);
+  void MaybeReleaseOrRerequest();
+  void MaybeFireSync();
+  bool HasQueuedWork() const;
+
+  cuda::CudaApi* inner_;
+  TokenBackend* backend_;
+  ContainerId container_;
+  GpuUuid device_;
+  ResourceSpec spec_;
+  std::uint64_t memory_quota_bytes_;
+
+  std::uint64_t allocated_bytes_ = 0;
+  std::unordered_map<gpu::DevicePtr, std::uint64_t> ptr_bytes_;
+  std::uint64_t oom_rejections_ = 0;
+
+  std::unordered_map<cuda::StreamId, StreamQueue> streams_;
+  /// Events recorded through the hook whose marker has not reached the
+  /// driver yet, with any synchronize-waiters registered meanwhile.
+  std::unordered_map<cuda::EventId, std::vector<cuda::HostFn>>
+      queued_events_;
+  std::size_t pending_kernels_ = 0;  // queued here + in flight below
+  std::size_t in_flight_ = 0;
+
+  bool token_valid_ = false;
+  bool token_held_ = false;  // holder (valid or overrun) per backend
+  bool token_requested_ = false;
+
+  SwapManager* swap_ = nullptr;
+  sim::Simulation* sim_ = nullptr;
+  bool swap_pending_ = false;
+  sim::EventId swap_event_ = sim::kInvalidEvent;
+  gpu::DevicePtr next_swap_ptr_ = 1ull << 48;  // distinct from device ptrs
+
+  std::vector<cuda::HostFn> sync_waiters_;
+};
+
+}  // namespace ks::vgpu

@@ -1,0 +1,102 @@
+#include "vgpu/swap.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ks::vgpu {
+
+SwapManager::SwapManager(std::uint64_t capacity_bytes,
+                         double link_bandwidth_bytes_per_s)
+    : capacity_bytes_(capacity_bytes),
+      bandwidth_(link_bandwidth_bytes_per_s) {
+  assert(capacity_bytes_ > 0);
+  assert(bandwidth_ > 0);
+}
+
+Status SwapManager::Allocate(const ContainerId& owner, std::uint64_t bytes) {
+  if (bytes == 0) return InvalidArgumentError("zero-byte allocation");
+  State& s = containers_[owner];
+  s.allocated += bytes;
+  total_allocated_ += bytes;
+  // Greedily place the new pages on-device while space is free; the
+  // remainder starts swapped out.
+  const std::uint64_t free = capacity_bytes_ - total_resident_;
+  const std::uint64_t place = std::min(bytes, free);
+  s.resident += place;
+  total_resident_ += place;
+  return Status::Ok();
+}
+
+Status SwapManager::Free(const ContainerId& owner, std::uint64_t bytes) {
+  auto it = containers_.find(owner);
+  if (it == containers_.end() || it->second.allocated < bytes) {
+    return InvalidArgumentError("freeing more than allocated");
+  }
+  State& s = it->second;
+  s.allocated -= bytes;
+  total_allocated_ -= bytes;
+  // Release resident pages first.
+  const std::uint64_t from_resident = std::min(bytes, s.resident);
+  s.resident -= from_resident;
+  total_resident_ -= from_resident;
+  return Status::Ok();
+}
+
+void SwapManager::FreeAll(const ContainerId& owner) {
+  auto it = containers_.find(owner);
+  if (it == containers_.end()) return;
+  total_allocated_ -= it->second.allocated;
+  total_resident_ -= it->second.resident;
+  containers_.erase(it);
+}
+
+Duration SwapManager::MakeResident(const ContainerId& owner, Time now) {
+  auto it = containers_.find(owner);
+  if (it == containers_.end()) return Duration{0};
+  State& s = it->second;
+  s.last_run = now;
+  if (s.resident >= s.allocated) return Duration{0};
+
+  std::uint64_t need = s.allocated - s.resident;
+  assert(s.allocated <= capacity_bytes_ &&
+         "a single container cannot exceed physical memory");
+  std::uint64_t evicted = 0;
+
+  // Evict least-recently-running victims until the working set fits.
+  while (capacity_bytes_ - total_resident_ < need) {
+    State* victim = nullptr;
+    for (auto& [id, st] : containers_) {
+      if (id == owner || st.resident == 0) continue;
+      if (victim == nullptr || st.last_run < victim->last_run) victim = &st;
+    }
+    if (victim == nullptr) break;  // nothing evictable
+    const std::uint64_t shortfall =
+        need - (capacity_bytes_ - total_resident_);
+    const std::uint64_t take = std::min(victim->resident, shortfall);
+    victim->resident -= take;
+    total_resident_ -= take;
+    evicted += take;
+  }
+
+  const std::uint64_t place =
+      std::min(need, capacity_bytes_ - total_resident_);
+  s.resident += place;
+  total_resident_ += place;
+  ++swap_ins_;
+  const std::uint64_t moved = place + evicted;
+  bytes_migrated_ += moved;
+  return Duration{static_cast<std::int64_t>(
+      static_cast<double>(moved) / bandwidth_ * 1e6)};
+}
+
+std::uint64_t SwapManager::AllocatedBy(const ContainerId& owner) const {
+  auto it = containers_.find(owner);
+  return it == containers_.end() ? 0 : it->second.allocated;
+}
+
+std::uint64_t SwapManager::ResidentOf(const ContainerId& owner) const {
+  auto it = containers_.find(owner);
+  return it == containers_.end() ? 0 : it->second.resident;
+}
+
+}  // namespace ks::vgpu

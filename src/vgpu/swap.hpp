@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace ks::vgpu {
+
+/// GPUswap-style memory over-commitment for one device (the extension the
+/// paper points at in §4.5: "there are some existing approaches [4,19,32]
+/// to support memory over-commitment, and our work can be integrated with
+/// these solutions").
+///
+/// Containers may allocate more, in aggregate, than physical device
+/// memory. A container's pages must be resident while it runs; bringing
+/// them in evicts the least-recently-running containers' pages to host
+/// memory, and the migration time (bytes moved over the host-device link)
+/// is charged to the in-bound container — the "performance overhead from
+/// the memory swapping operations due to the limited memory bandwidth"
+/// the paper warns about.
+///
+/// Residency is tracked at byte granularity (no page table is modeled:
+/// what matters for the evaluation is *how many bytes* move per token
+/// hand-off).
+class SwapManager {
+ public:
+  /// `capacity_bytes` is the physical device memory; `link_bandwidth` is
+  /// the effective host<->device migration rate (PCIe-gen3-ish default).
+  explicit SwapManager(std::uint64_t capacity_bytes,
+                       double link_bandwidth_bytes_per_s = 12e9);
+
+  std::uint64_t capacity() const { return capacity_bytes_; }
+
+  /// Allocates `bytes` for `owner`. The allocation lands resident when
+  /// space is free, otherwise swapped-out (it will be migrated in when the
+  /// owner runs). Only fails for zero-byte requests — host backing store
+  /// is unbounded in this model.
+  Status Allocate(const ContainerId& owner, std::uint64_t bytes);
+
+  /// Releases `bytes` of `owner`'s allocation (resident pages first).
+  Status Free(const ContainerId& owner, std::uint64_t bytes);
+
+  /// Drops every allocation of `owner`.
+  void FreeAll(const ContainerId& owner);
+
+  /// Makes all of `owner`'s pages resident, evicting other containers'
+  /// pages (least-recently-resident first) as needed. Returns the
+  /// migration time: (bytes swapped in + bytes evicted) / link bandwidth.
+  /// Also stamps `owner` as most recently run.
+  Duration MakeResident(const ContainerId& owner, Time now);
+
+  std::uint64_t AllocatedBy(const ContainerId& owner) const;
+  std::uint64_t ResidentOf(const ContainerId& owner) const;
+  std::uint64_t total_allocated() const { return total_allocated_; }
+  std::uint64_t total_resident() const { return total_resident_; }
+  std::uint64_t swap_ins() const { return swap_ins_; }
+  std::uint64_t bytes_migrated() const { return bytes_migrated_; }
+
+ private:
+  struct State {
+    std::uint64_t allocated = 0;
+    std::uint64_t resident = 0;
+    Time last_run{0};
+  };
+
+  std::uint64_t capacity_bytes_;
+  double bandwidth_;
+  std::map<ContainerId, State> containers_;
+  std::uint64_t total_allocated_ = 0;
+  std::uint64_t total_resident_ = 0;
+  std::uint64_t swap_ins_ = 0;
+  std::uint64_t bytes_migrated_ = 0;
+};
+
+}  // namespace ks::vgpu

@@ -1,0 +1,291 @@
+#include "vgpu/token_backend.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace ks::vgpu {
+
+TokenBackend::TokenBackend(sim::Simulation* sim, BackendConfig config)
+    : sim_(sim), config_(config) {
+  assert(sim_ != nullptr);
+}
+
+void TokenBackend::RegisterDevice(const GpuUuid& device) {
+  devices_.try_emplace(device);
+}
+
+Status TokenBackend::RegisterContainer(const ContainerId& container,
+                                       const GpuUuid& device,
+                                       const ResourceSpec& spec,
+                                       TokenClient* client) {
+  KS_RETURN_IF_ERROR(spec.Validate());
+  if (client == nullptr) return InvalidArgumentError("null token client");
+  if (containers_.count(container) > 0) {
+    return AlreadyExistsError("container already registered: " +
+                              container.value());
+  }
+  RegisterDevice(device);
+  ContainerState state{config_.usage_window};
+  state.device = device;
+  state.spec = spec;
+  state.client = client;
+  containers_.emplace(container, std::move(state));
+  return Status::Ok();
+}
+
+Status TokenBackend::UnregisterContainer(const ContainerId& container) {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return NotFoundError("container not registered: " + container.value());
+  }
+  DeviceState& dev = devices_.at(it->second.device);
+  const GpuUuid device_id = it->second.device;
+  // Drop from the wait queue if present.
+  dev.queue.erase(std::remove(dev.queue.begin(), dev.queue.end(), container),
+                  dev.queue.end());
+  const bool was_holder = dev.holder.has_value() && *dev.holder == container;
+  if (was_holder) {
+    if (dev.expiry_event != sim::kInvalidEvent) {
+      sim_->Cancel(dev.expiry_event);
+      dev.expiry_event = sim::kInvalidEvent;
+    }
+    dev.holder.reset();
+    dev.token_valid = false;
+    dev.grant_in_flight = false;
+  }
+  containers_.erase(it);
+  if (was_holder) TryGrant(device_id);
+  return Status::Ok();
+}
+
+Status TokenBackend::UpdateSpec(const ContainerId& container,
+                                const ResourceSpec& spec) {
+  KS_RETURN_IF_ERROR(spec.Validate());
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return NotFoundError("container not registered: " + container.value());
+  }
+  it->second.spec.gpu_request = spec.gpu_request;
+  it->second.spec.gpu_limit = spec.gpu_limit;
+  // A raised limit may unblock throttled waiters right away.
+  TryGrant(it->second.device);
+  return Status::Ok();
+}
+
+Status TokenBackend::RequestToken(const ContainerId& container) {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return NotFoundError("container not registered: " + container.value());
+  }
+  ContainerState& state = it->second;
+  DeviceState& dev = devices_.at(state.device);
+  if (dev.holder.has_value() && *dev.holder == container &&
+      (dev.token_valid || dev.grant_in_flight)) {
+    return Status::Ok();  // already holding (or being granted) a valid token
+  }
+  // An expired holder may queue BEFORE it releases: its re-request must be
+  // on the table when the release triggers the next grant decision, or a
+  // two-container device degenerates to strict alternation and gpu_request
+  // pinning never engages (the releaser would always be absent from the
+  // queue the policy chooses from).
+  if (state.queued) return Status::Ok();
+  state.queued = true;
+  state.enqueue_seq = next_seq_++;
+  dev.queue.push_back(container);
+  TryGrant(state.device);
+  return Status::Ok();
+}
+
+Status TokenBackend::ReleaseToken(const ContainerId& container) {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return NotFoundError("container not registered: " + container.value());
+  }
+  ContainerState& state = it->second;
+  DeviceState& dev = devices_.at(state.device);
+  if (!dev.holder.has_value() || *dev.holder != container) {
+    return FailedPreconditionError("container does not hold the token: " +
+                                   container.value());
+  }
+  state.usage.Stop(sim_->Now());
+  // Hold accounting: total hold time and the slice past the quota deadline
+  // (overrun from non-preemptive kernels).
+  const Time now = sim_->Now();
+  if (now > state.grant_time) {
+    state.stats.held_total += now - state.grant_time;
+  }
+  if (!dev.token_valid && now > dev.expiry) {
+    state.stats.overrun_total += now - dev.expiry;
+  }
+  if (dev.expiry_event != sim::kInvalidEvent) {
+    sim_->Cancel(dev.expiry_event);
+    dev.expiry_event = sim::kInvalidEvent;
+  }
+  dev.holder.reset();
+  dev.token_valid = false;
+  TryGrant(state.device);
+  return Status::Ok();
+}
+
+TokenBackend::ContainerStats TokenBackend::StatsOf(
+    const ContainerId& container) const {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return {};
+  return it->second.stats;
+}
+
+Status TokenBackend::ExtendQuota(const ContainerId& container,
+                                 Duration extra) {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return NotFoundError("container not registered: " + container.value());
+  }
+  DeviceState& dev = devices_.at(it->second.device);
+  if (!dev.holder.has_value() || *dev.holder != container ||
+      !dev.token_valid) {
+    return FailedPreconditionError("container holds no valid token: " +
+                                   container.value());
+  }
+  if (extra.count() <= 0) return Status::Ok();
+  const GpuUuid device_id = it->second.device;
+  sim_->Cancel(dev.expiry_event);
+  dev.expiry += extra;
+  dev.expiry_event = sim_->ScheduleAt(dev.expiry, [this, device_id] {
+    OnExpiry(device_id);
+  });
+  return Status::Ok();
+}
+
+double TokenBackend::UsageOf(const ContainerId& container) const {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return 0.0;
+  return it->second.usage.Usage(sim_->Now());
+}
+
+std::optional<ContainerId> TokenBackend::HolderOf(const GpuUuid& device) const {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) return std::nullopt;
+  return it->second.holder;
+}
+
+std::size_t TokenBackend::QueueLength(const GpuUuid& device) const {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) return 0;
+  return it->second.queue.size();
+}
+
+void TokenBackend::ScheduleReeval(DeviceState& dev, const GpuUuid& device_id) {
+  if (dev.reeval_event != sim::kInvalidEvent) return;
+  dev.reeval_event = sim_->ScheduleAfter(config_.reeval_period, [this,
+                                                                 device_id] {
+    auto it = devices_.find(device_id);
+    if (it == devices_.end()) return;
+    it->second.reeval_event = sim::kInvalidEvent;
+    TryGrant(device_id);
+  });
+}
+
+void TokenBackend::TryGrant(const GpuUuid& device_id) {
+  DeviceState& dev = devices_.at(device_id);
+  if (dev.holder.has_value() || dev.grant_in_flight) return;
+  if (dev.queue.empty()) return;
+
+  const Time now = sim_->Now();
+
+  // Step 1: filter requesters already at their gpu_limit.
+  std::vector<ContainerId> eligible;
+  for (const ContainerId& c : dev.queue) {
+    const ContainerState& s = containers_.at(c);
+    if (s.usage.Usage(now) < s.spec.gpu_limit) eligible.push_back(c);
+  }
+  if (eligible.empty()) {
+    // Everyone is throttled; usage decays as the window slides, so check
+    // again shortly.
+    ScheduleReeval(dev, device_id);
+    return;
+  }
+
+  // Step 2: prefer the container farthest below its guaranteed minimum.
+  const ContainerId* pick = nullptr;
+  double best_deficit = 0.0;
+  std::uint64_t best_seq = 0;
+  for (const ContainerId& c : eligible) {
+    const ContainerState& s = containers_.at(c);
+    const double deficit = s.spec.gpu_request - s.usage.Usage(now);
+    if (deficit <= 0.0) continue;
+    if (pick == nullptr || deficit > best_deficit ||
+        (deficit == best_deficit && s.enqueue_seq < best_seq)) {
+      pick = &c;
+      best_deficit = deficit;
+      best_seq = s.enqueue_seq;
+    }
+  }
+
+  // Step 3: all requesters have met their minimum — grant to the lowest
+  // current usage so residual capacity is divided fairly.
+  if (pick == nullptr) {
+    double best_usage = 0.0;
+    for (const ContainerId& c : eligible) {
+      const ContainerState& s = containers_.at(c);
+      const double usage = s.usage.Usage(now);
+      if (pick == nullptr || usage < best_usage ||
+          (usage == best_usage && s.enqueue_seq < best_seq)) {
+        pick = &c;
+        best_usage = usage;
+        best_seq = s.enqueue_seq;
+      }
+    }
+  }
+
+  assert(pick != nullptr);
+  GrantTo(dev, device_id, *pick);
+}
+
+void TokenBackend::GrantTo(DeviceState& dev, const GpuUuid& device_id,
+                           const ContainerId& container) {
+  ContainerState& state = containers_.at(container);
+  dev.queue.erase(std::remove(dev.queue.begin(), dev.queue.end(), container),
+                  dev.queue.end());
+  state.queued = false;
+  dev.holder = container;
+  dev.grant_in_flight = true;
+  ++grants_;
+
+  // The hand-off costs one exchange latency, during which the device is
+  // idle; the token is valid from the end of the exchange for one quota.
+  const ContainerId granted = container;
+  sim_->ScheduleAfter(config_.exchange_latency, [this, device_id, granted] {
+    auto dit = devices_.find(device_id);
+    if (dit == devices_.end()) return;
+    DeviceState& d = dit->second;
+    if (!d.holder.has_value() || *d.holder != granted) return;  // unregistered
+    auto cit = containers_.find(granted);
+    if (cit == containers_.end()) return;
+    d.grant_in_flight = false;
+    d.token_valid = true;
+    d.expiry = sim_->Now() + config_.quota;
+    cit->second.grant_time = sim_->Now();
+    ++cit->second.stats.grants;
+    cit->second.usage.Start(sim_->Now());
+    d.expiry_event = sim_->ScheduleAt(d.expiry, [this, device_id] {
+      OnExpiry(device_id);
+    });
+    cit->second.client->OnTokenGranted(d.expiry);
+  });
+}
+
+void TokenBackend::OnExpiry(const GpuUuid& device_id) {
+  DeviceState& dev = devices_.at(device_id);
+  dev.expiry_event = sim::kInvalidEvent;
+  if (!dev.holder.has_value()) return;
+  dev.token_valid = false;
+  auto it = containers_.find(*dev.holder);
+  if (it == containers_.end()) return;
+  // The holder keeps the token (and keeps accruing usage) until it releases
+  // — its in-flight kernel is non-preemptive.
+  it->second.client->OnTokenExpired();
+}
+
+}  // namespace ks::vgpu

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/sliding_window.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+#include "vgpu/resource_spec.hpp"
+
+namespace ks::vgpu {
+
+/// Tuning knobs of the per-node backend daemon (paper §4.5).
+struct BackendConfig {
+  /// Time quota attached to each valid token. The paper settles on 100 ms
+  /// (Fig 7: <=5% slowdown even at 30 ms; smaller quota = finer control but
+  /// more token exchanges).
+  Duration quota = Millis(100);
+  /// Cost of one token hand-off: the IPC round trip between frontend and
+  /// backend plus the CUDA synchronization before yielding. The GPU is idle
+  /// for this long on every grant, which is exactly the Fig 7 overhead.
+  Duration exchange_latency = Micros(1500);
+  /// Sliding window over which per-container usage rates are measured.
+  Duration usage_window = Seconds(10.0);
+  /// Re-evaluation period while every queued requester sits at its
+  /// gpu_limit (usage decays as the window slides, so a requester will
+  /// become eligible again without any new event arriving).
+  Duration reeval_period = Millis(5);
+};
+
+/// Callback surface of the per-container frontend, as seen by the backend.
+/// In the real system these are messages over a Unix socket; here they are
+/// direct calls dispatched from simulation events.
+class TokenClient {
+ public:
+  virtual ~TokenClient() = default;
+
+  /// The token is now valid for this container until `expiry`. The frontend
+  /// may submit kernels until then.
+  virtual void OnTokenGranted(Time expiry) = 0;
+
+  /// The quota ran out. The frontend must stop submitting new kernels and
+  /// call ReleaseToken() once its in-flight kernel (if any) retires —
+  /// kernels are non-preemptive, so a small overrun is possible.
+  virtual void OnTokenExpired() = 0;
+};
+
+/// The per-node backend daemon: one instance manages the tokens of every
+/// GPU on a node independently (paper: "only one backend module is needed
+/// on a host machine").
+///
+/// Token scheduling follows the paper's three-step elastic policy verbatim:
+///  1. filter requesters whose sliding-window usage already reached their
+///     gpu_limit;
+///  2. among the rest, prefer the container farthest below its gpu_request
+///     (guaranteeing minimum demands — KubeShare-Sched never over-commits
+///     the sum of gpu_requests on a device);
+///  3. if every requester has reached its gpu_request, grant to the one
+///     with the lowest current usage (fair division of residual capacity).
+class TokenBackend {
+ public:
+  TokenBackend(sim::Simulation* sim, BackendConfig config = {});
+
+  const BackendConfig& config() const { return config_; }
+
+  /// Makes a device known to the backend. Idempotent.
+  void RegisterDevice(const GpuUuid& device);
+
+  /// Registers a container that will contend for `device`. The client
+  /// pointer must outlive the registration.
+  Status RegisterContainer(const ContainerId& container, const GpuUuid& device,
+                           const ResourceSpec& spec, TokenClient* client);
+
+  /// Removes a container; an outstanding token is reclaimed immediately.
+  Status UnregisterContainer(const ContainerId& container);
+
+  /// Vertical resize: replaces a running container's compute spec. Takes
+  /// effect at the next grant decision (the current hold is untouched);
+  /// gpu_mem changes are ignored — allocations are already placed.
+  Status UpdateSpec(const ContainerId& container, const ResourceSpec& spec);
+
+  /// Frontend request: the container has kernels to run and needs the
+  /// token. Idempotent while already queued or holding.
+  Status RequestToken(const ContainerId& container);
+
+  /// Frontend release: the holder yields (early, with no more work, or
+  /// after expiry once its in-flight kernel retired).
+  Status ReleaseToken(const ContainerId& container);
+
+  /// Postpones the holder's quota expiry by `extra`. Used by the memory
+  /// over-commitment extension: the time slice should cover kernel
+  /// execution, not the page migration that precedes it — without the
+  /// extension a migration longer than the quota would expire every grant
+  /// before a single kernel runs (swap thrash with zero progress).
+  Status ExtendQuota(const ContainerId& container, Duration extra);
+
+  /// Sliding-window usage rate of a container — the quantity Fig 6 plots
+  /// per job ("the GPU utilization of individual container is measured by
+  /// the allocated usage time from our vGPU device library").
+  double UsageOf(const ContainerId& container) const;
+
+  /// Current holder of a device's token (valid or in overrun), if any.
+  std::optional<ContainerId> HolderOf(const GpuUuid& device) const;
+
+  /// Number of containers queued for a device's token.
+  std::size_t QueueLength(const GpuUuid& device) const;
+
+  /// Total number of token grants performed (all devices) — the Fig 7
+  /// exchange count.
+  std::uint64_t grants() const { return grants_; }
+
+  /// Per-container accounting, for observability and the isolation
+  /// analyses: how often the container got the token, how long it held it
+  /// in total, and how much of that was overrun past the quota (the
+  /// non-preemptive-kernel effect bench_ablation_kernel_length measures).
+  struct ContainerStats {
+    std::uint64_t grants = 0;
+    Duration held_total{0};
+    Duration overrun_total{0};
+  };
+  ContainerStats StatsOf(const ContainerId& container) const;
+
+ private:
+  struct ContainerState {
+    GpuUuid device;
+    ResourceSpec spec;
+    TokenClient* client = nullptr;
+    SlidingWindowUsage usage;
+    bool queued = false;
+    std::uint64_t enqueue_seq = 0;  // FIFO tie-break
+    Time grant_time{0};             // of the current hold
+    ContainerStats stats;
+    explicit ContainerState(Duration window) : usage(window) {}
+  };
+
+  struct DeviceState {
+    std::deque<ContainerId> queue;
+    std::optional<ContainerId> holder;
+    bool token_valid = false;       // false while expired-but-not-released
+    bool grant_in_flight = false;   // exchange latency elapsing
+    Time expiry{0};                 // current quota deadline
+    sim::EventId expiry_event = sim::kInvalidEvent;
+    sim::EventId reeval_event = sim::kInvalidEvent;
+  };
+
+  void TryGrant(const GpuUuid& device);
+  void GrantTo(DeviceState& dev, const GpuUuid& device_id,
+               const ContainerId& container);
+  void OnExpiry(const GpuUuid& device);
+  void ScheduleReeval(DeviceState& dev, const GpuUuid& device_id);
+
+  sim::Simulation* sim_;
+  BackendConfig config_;
+  std::unordered_map<GpuUuid, DeviceState> devices_;
+  std::unordered_map<ContainerId, ContainerState> containers_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t grants_ = 0;
+};
+
+}  // namespace ks::vgpu

@@ -1,0 +1,98 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "k8s/resources.hpp"
+
+namespace ks::workload {
+
+WorkloadDriver::WorkloadDriver(k8s::Cluster* cluster, WorkloadHost* host,
+                               Mode mode, kubeshare::KubeShare* kubeshare,
+                               WorkloadConfig config)
+    : cluster_(cluster),
+      host_(host),
+      mode_(mode),
+      kubeshare_(kubeshare),
+      config_(config),
+      rng_(config.seed) {
+  assert(cluster_ != nullptr && host_ != nullptr);
+  assert(mode_ != Mode::kKubeShare || kubeshare_ != nullptr);
+}
+
+void WorkloadDriver::Start() {
+  if (started_) return;
+  started_ = true;
+  first_submit_ = cluster_->sim().Now();
+  if (config_.total_jobs <= 0) return;
+  SubmitOne();  // first job arrives immediately
+}
+
+void WorkloadDriver::ScheduleNextArrival() {
+  if (submitted_ >= config_.total_jobs) return;
+  cluster_->sim().ScheduleAfter(
+      rng_.ExponentialInterarrival(config_.mean_interarrival),
+      [this] { SubmitOne(); });
+}
+
+void WorkloadDriver::SubmitOne() {
+  const int index = submitted_++;
+  const std::string name = "job-" + std::to_string(index);
+  const double demand =
+      rng_.TruncatedNormal(config_.demand_mean, config_.demand_stddev,
+                           config_.demand_min, config_.demand_max);
+
+  // Client request count so the unthrottled duration is job_duration.
+  const double rate = demand / ToSeconds(config_.kernel);
+  const int requests = std::max(
+      1, static_cast<int>(std::lround(rate * ToSeconds(config_.job_duration))));
+  InferenceSpec spec;
+  spec.total_requests = requests;
+  spec.request_rate_hz = rate;
+  spec.kernel_per_request = config_.kernel;
+  spec.model_bytes = config_.model_bytes;
+  spec.seed = config_.seed + static_cast<std::uint64_t>(index) * 7919 + 1;
+
+  host_->ExpectJob(name, [spec] { return std::make_unique<InferenceJob>(spec); });
+
+  if (mode_ == Mode::kKubeShare) {
+    kubeshare::SharePod sp;
+    sp.meta.name = name;
+    sp.spec.pod.requests.Set(k8s::kResourceCpu, config_.cpu_millicores);
+    sp.spec.gpu.gpu_request = demand;
+    sp.spec.gpu.gpu_limit = std::max(demand, config_.gpu_limit);
+    sp.spec.gpu.gpu_mem = config_.gpu_mem;
+    const Status s = kubeshare_->CreateSharePod(sp);
+    if (!s.ok()) KS_LOG(kError) << "sharePod submit failed: " << s;
+  } else {
+    k8s::Pod pod;
+    pod.meta.name = name;
+    pod.spec.requests.Set(k8s::kResourceCpu, config_.cpu_millicores);
+    pod.spec.requests.Set(k8s::kResourceNvidiaGpu, 1);
+    const Status s = cluster_->api().pods().Create(pod);
+    if (!s.ok()) KS_LOG(kError) << "pod submit failed: " << s;
+  }
+
+  ScheduleNextArrival();
+}
+
+bool WorkloadDriver::AllDone() const {
+  return AllSubmitted() &&
+         host_->completed() + host_->failed() >=
+             static_cast<std::size_t>(config_.total_jobs);
+}
+
+Duration WorkloadDriver::Makespan() const {
+  if (host_->completion_times().empty()) return Duration{0};
+  return host_->completion_times().back() - first_submit_;
+}
+
+double WorkloadDriver::JobsPerMinute() const {
+  const Duration span = Makespan();
+  if (span.count() <= 0) return 0.0;
+  return static_cast<double>(host_->completed()) / (ToSeconds(span) / 60.0);
+}
+
+}  // namespace ks::workload

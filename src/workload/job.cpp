@@ -1,0 +1,187 @@
+#include "workload/job.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ks::workload {
+
+// ---- TrainingJob ----------------------------------------------------------
+
+void TrainingJob::Start(cuda::CudaApi* api, sim::Simulation* /*sim*/,
+                        DoneFn done) {
+  assert(api != nullptr);
+  api_ = api;
+  done_ = std::move(done);
+
+  gpu::DevicePtr model = 0;
+  const cuda::CudaResult alloc = api_->MemAlloc(&model, spec_.model_bytes);
+  if (alloc != cuda::CudaResult::kSuccess) {
+    // Over-quota model: the device library rejected the allocation — the
+    // crash mode the paper's memory interception turns into a clean error.
+    if (done_) done_(false);
+    return;
+  }
+  if (spec_.steps <= 0) {
+    if (done_) done_(true);
+    return;
+  }
+  NextStep();
+}
+
+void TrainingJob::NextStep() {
+  if (stopped_) return;
+  gpu::KernelDesc kernel;
+  kernel.nominal_duration = spec_.step_kernel;
+  kernel.bandwidth_demand = spec_.bandwidth_demand;
+  kernel.name = "train-step";
+  const cuda::CudaResult r =
+      api_->LaunchKernel(kernel, cuda::kDefaultStream, [this] {
+        if (stopped_) return;
+        ++completed_steps_;
+        if (completed_steps_ >= spec_.steps) {
+          if (done_) done_(true);
+          return;
+        }
+        NextStep();
+      });
+  if (r != cuda::CudaResult::kSuccess && done_) done_(false);
+}
+
+// ---- PhasedTrainingJob ------------------------------------------------------
+
+void PhasedTrainingJob::Start(cuda::CudaApi* api, sim::Simulation* sim,
+                              DoneFn done) {
+  assert(api != nullptr && sim != nullptr);
+  api_ = api;
+  sim_ = sim;
+  done_ = std::move(done);
+
+  gpu::DevicePtr model = 0;
+  if (api_->MemAlloc(&model, spec_.model_bytes) != cuda::CudaResult::kSuccess) {
+    if (done_) done_(false);
+    return;
+  }
+  if (spec_.epochs <= 0 || spec_.steps_per_epoch <= 0) {
+    if (done_) done_(true);
+    return;
+  }
+  NextStep();
+}
+
+void PhasedTrainingJob::Stop() {
+  stopped_ = true;
+  if (sim_ != nullptr && io_event_ != sim::kInvalidEvent) {
+    sim_->Cancel(io_event_);
+    io_event_ = sim::kInvalidEvent;
+  }
+}
+
+void PhasedTrainingJob::NextStep() {
+  if (stopped_) return;
+  gpu::KernelDesc kernel;
+  kernel.nominal_duration = spec_.step_kernel;
+  kernel.bandwidth_demand = spec_.bandwidth_demand;
+  kernel.name = "phased-step";
+  const cuda::CudaResult r =
+      api_->LaunchKernel(kernel, cuda::kDefaultStream, [this] {
+        if (stopped_) return;
+        if (++steps_in_epoch_ >= spec_.steps_per_epoch) {
+          FinishEpoch();
+        } else {
+          NextStep();
+        }
+      });
+  if (r != cuda::CudaResult::kSuccess && done_) done_(false);
+}
+
+void PhasedTrainingJob::FinishEpoch() {
+  steps_in_epoch_ = 0;
+  ++completed_epochs_;
+  if (completed_epochs_ >= spec_.epochs) {
+    if (done_) done_(true);
+    return;
+  }
+  // The off-GPU phase: checkpoint + input pipeline. The GPU (and the
+  // token) are free for anyone else.
+  io_event_ = sim_->ScheduleAfter(spec_.io_per_epoch, [this] {
+    io_event_ = sim::kInvalidEvent;
+    NextStep();
+  });
+}
+
+// ---- InferenceJob ---------------------------------------------------------
+
+InferenceSpec InferenceSpec::ForDemand(double demand, int total_requests,
+                                       Duration kernel) {
+  InferenceSpec spec;
+  spec.total_requests = total_requests;
+  spec.kernel_per_request = kernel;
+  spec.request_rate_hz = std::max(1e-6, demand / ToSeconds(kernel));
+  return spec;
+}
+
+void InferenceJob::Start(cuda::CudaApi* api, sim::Simulation* sim,
+                         DoneFn done) {
+  assert(api != nullptr && sim != nullptr);
+  api_ = api;
+  sim_ = sim;
+  done_ = std::move(done);
+  rng_ = std::make_unique<Rng>(spec_.seed);
+
+  gpu::DevicePtr model = 0;
+  if (api_->MemAlloc(&model, spec_.model_bytes) != cuda::CudaResult::kSuccess) {
+    if (done_) done_(false);
+    return;
+  }
+  if (spec_.total_requests <= 0) {
+    if (done_) done_(true);
+    return;
+  }
+  ScheduleNextArrival();
+}
+
+void InferenceJob::Stop() {
+  stopped_ = true;
+  if (sim_ != nullptr && next_arrival_ != sim::kInvalidEvent) {
+    sim_->Cancel(next_arrival_);
+    next_arrival_ = sim::kInvalidEvent;
+  }
+}
+
+void InferenceJob::ScheduleNextArrival() {
+  if (stopped_ || arrived_ >= spec_.total_requests) return;
+  const auto mean =
+      Duration{static_cast<std::int64_t>(1e6 / spec_.request_rate_hz)};
+  next_arrival_ = sim_->ScheduleAfter(rng_->ExponentialInterarrival(mean),
+                                      [this] { OnArrival(); });
+}
+
+void InferenceJob::OnArrival() {
+  next_arrival_ = sim::kInvalidEvent;
+  if (stopped_) return;
+  ++arrived_;
+  gpu::KernelDesc kernel;
+  kernel.nominal_duration = spec_.kernel_per_request;
+  kernel.bandwidth_demand = spec_.bandwidth_demand;
+  kernel.name = "inference";
+  const Time arrival = sim_->Now();
+  const cuda::CudaResult r =
+      api_->LaunchKernel(kernel, cuda::kDefaultStream,
+                         [this, arrival] { OnServed(arrival); });
+  if (r != cuda::CudaResult::kSuccess) {
+    if (done_) done_(false);
+    return;
+  }
+  ScheduleNextArrival();
+}
+
+void InferenceJob::OnServed(Time arrival) {
+  if (stopped_) return;
+  ++served_;
+  latencies_.push_back(sim_->Now() - arrival);
+  if (served_ >= spec_.total_requests) {
+    if (done_) done_(true);
+  }
+}
+
+}  // namespace ks::workload

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kubeshare/kubeshare.hpp"
+#include "workload/host.hpp"
+
+namespace ks::workload {
+
+/// One job of a workload trace. Traces are the file interface of this
+/// reproduction: the synthetic generators can be snapshotted to a trace,
+/// edited, and replayed bit-for-bit — or a user can bring their own
+/// cluster log converted to this format.
+struct TraceEntry {
+  double submit_s = 0.0;
+  std::string name;
+  std::string kind = "inference";  // "inference" | "training"
+  // Inference: client demand + nominal duration; training: steps.
+  double demand = 0.3;
+  double duration_s = 60.0;
+  int steps = 0;
+  double kernel_ms = 20.0;
+  // SharePod resource spec.
+  double gpu_request = 0.3;
+  double gpu_limit = 1.0;
+  double gpu_mem = 0.2;
+  double model_gb = 2.0;
+  // Locality labels (empty = none).
+  std::string affinity;
+  std::string anti_affinity;
+  std::string exclusion;
+};
+
+/// CSV header used by Parse/Format (one line per entry, '#' comments and
+/// blank lines ignored):
+///   submit_s,name,kind,demand,duration_s,steps,kernel_ms,
+///   gpu_request,gpu_limit,gpu_mem,model_gb,affinity,anti_affinity,exclusion
+Expected<std::vector<TraceEntry>> ParseTrace(std::istream& in);
+void FormatTrace(const std::vector<TraceEntry>& entries, std::ostream& out);
+
+/// Builds the Job object described by a trace entry.
+std::unique_ptr<Job> MakeTraceJob(const TraceEntry& entry,
+                                  std::uint64_t seed);
+
+/// Materializes the synthetic §5.3 workload (Poisson arrivals, normal
+/// demand) as a concrete trace — the bridge between the generators and the
+/// file format: generate once, inspect/edit the CSV, replay bit-for-bit.
+std::vector<TraceEntry> GenerateTrace(const struct WorkloadConfig& config);
+
+/// Replays a trace against a cluster, through KubeShare (sharePods) or as
+/// native whole-GPU pods.
+class TraceReplayer {
+ public:
+  enum class Mode { kNative, kKubeShare };
+
+  TraceReplayer(k8s::Cluster* cluster, WorkloadHost* host, Mode mode,
+                kubeshare::KubeShare* kubeshare);
+
+  /// Schedules every entry's submission. Entries must have unique names.
+  Status Load(std::vector<TraceEntry> entries, std::uint64_t seed = 1);
+
+  bool AllDone() const;
+  std::size_t submitted() const { return submitted_; }
+
+ private:
+  void SubmitEntry(const TraceEntry& entry, std::uint64_t seed);
+
+  k8s::Cluster* cluster_;
+  WorkloadHost* host_;
+  Mode mode_;
+  kubeshare::KubeShare* kubeshare_;
+  std::size_t total_ = 0;
+  std::size_t submitted_ = 0;
+};
+
+}  // namespace ks::workload

@@ -1,0 +1,102 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace ks {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform(0, 1) == b.Uniform(0, 1)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.UniformInt(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Normal(0.3, 0.1));
+  EXPECT_NEAR(stats.mean(), 0.3, 0.005);
+  EXPECT_NEAR(stats.stddev(), 0.1, 0.005);
+}
+
+TEST(Rng, NormalZeroStddevIsDeterministic) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.Normal(0.5, 0.0), 0.5);
+}
+
+TEST(Rng, TruncatedNormalStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.TruncatedNormal(0.3, 0.5, 0.05, 1.0);
+    EXPECT_GE(x, 0.05);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalPathologicalMeanClamps) {
+  Rng rng(17);
+  const double x = rng.TruncatedNormal(5.0, 1e-9, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Rng, ExponentialInterarrivalMeanIsClose) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(ToSeconds(rng.ExponentialInterarrival(Seconds(10))));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.3);
+}
+
+TEST(Rng, ExponentialInterarrivalAlwaysPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.ExponentialInterarrival(Millis(1)).count(), 0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace ks

@@ -1,0 +1,95 @@
+#include "common/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ks {
+namespace {
+
+TEST(SlidingWindowUsage, StartsAtZero) {
+  SlidingWindowUsage w(Seconds(10));
+  EXPECT_DOUBLE_EQ(w.Usage(kTimeZero), 0.0);
+  EXPECT_DOUBLE_EQ(w.Usage(Seconds(5)), 0.0);
+  EXPECT_FALSE(w.active());
+}
+
+TEST(SlidingWindowUsage, FullyBusyReportsOne) {
+  SlidingWindowUsage w(Seconds(10));
+  w.Start(kTimeZero);
+  EXPECT_TRUE(w.active());
+  EXPECT_DOUBLE_EQ(w.Usage(Seconds(10)), 1.0);
+  EXPECT_DOUBLE_EQ(w.Usage(Seconds(100)), 1.0);
+}
+
+TEST(SlidingWindowUsage, HalfBusyWithinWindow) {
+  SlidingWindowUsage w(Seconds(10));
+  w.Start(kTimeZero);
+  w.Stop(Seconds(5));
+  EXPECT_DOUBLE_EQ(w.Usage(Seconds(10)), 0.5);
+}
+
+TEST(SlidingWindowUsage, OldIntervalsSlideOut) {
+  SlidingWindowUsage w(Seconds(10));
+  w.Start(kTimeZero);
+  w.Stop(Seconds(5));
+  // At t=15 only [5,15] is in the window; the busy part [0,5] overlaps none
+  // of [5,15].
+  EXPECT_DOUBLE_EQ(w.Usage(Seconds(15)), 0.0);
+  // At t=12 the window is [2,12]; busy overlap is [2,5] = 3s.
+  EXPECT_NEAR(w.Usage(Seconds(12)), 0.3, 1e-9);
+}
+
+TEST(SlidingWindowUsage, EarlyRampUsesElapsedDenominator) {
+  SlidingWindowUsage w(Seconds(10));
+  w.Start(Seconds(1));
+  // One second after first activity, the container has been busy the whole
+  // observed time — the usage must read 1.0, not 0.1.
+  EXPECT_DOUBLE_EQ(w.Usage(Seconds(2)), 1.0);
+  w.Stop(Seconds(2));
+  EXPECT_NEAR(w.Usage(Seconds(3)), 0.5, 1e-9);
+}
+
+TEST(SlidingWindowUsage, OpenIntervalCountsUpToNow) {
+  SlidingWindowUsage w(Seconds(10));
+  w.Start(kTimeZero);
+  w.Stop(Seconds(2));
+  w.Start(Seconds(4));
+  EXPECT_NEAR(w.Usage(Seconds(8)), (2.0 + 4.0) / 8.0, 1e-9);
+}
+
+TEST(SlidingWindowUsage, StartStopIdempotent) {
+  SlidingWindowUsage w(Seconds(10));
+  w.Start(kTimeZero);
+  w.Start(Seconds(1));  // no-op
+  w.Stop(Seconds(2));
+  w.Stop(Seconds(3));  // no-op
+  EXPECT_NEAR(w.Usage(Seconds(10)), 0.2, 1e-9);
+}
+
+TEST(SlidingWindowUsage, BusyTimeMatchesUsage) {
+  SlidingWindowUsage w(Seconds(5));
+  w.Start(Seconds(1));
+  w.Stop(Seconds(2));
+  w.Start(Seconds(3));
+  w.Stop(Seconds(4));
+  EXPECT_EQ(w.BusyTime(Seconds(5)), Seconds(2));
+}
+
+TEST(SlidingWindowUsage, CompactDropsOldIntervalsOnly) {
+  SlidingWindowUsage w(Seconds(2));
+  for (int i = 0; i < 100; ++i) {
+    w.Start(Seconds(i));
+    w.Stop(Seconds(i) + Millis(500));
+  }
+  w.Compact(Seconds(100));
+  // Window [98,100]: intervals [98,98.5] and [99,99.5] remain -> 1s busy.
+  EXPECT_NEAR(w.Usage(Seconds(100)), 0.5, 1e-9);
+}
+
+TEST(SlidingWindowUsage, ZeroElapsedActive) {
+  SlidingWindowUsage w(Seconds(10));
+  w.Start(kTimeZero);
+  EXPECT_DOUBLE_EQ(w.Usage(kTimeZero), 1.0);
+}
+
+}  // namespace
+}  // namespace ks

@@ -1,0 +1,63 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ks {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("gpu-1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "gpu-1");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: gpu-1");
+}
+
+TEST(Status, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(ResourceExhaustedError("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnavailableError("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(RejectedError("").code(), StatusCode::kRejected);
+  EXPECT_EQ(FailedPreconditionError("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_TRUE(e.status().ok());
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(UnavailableError("no device"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> e(std::string("hello"));
+  std::string s = std::move(e).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ReturnIfError, PropagatesFailure) {
+  auto fails = [] { return InternalError("boom"); };
+  auto wrapper = [&]() -> Status {
+    KS_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace ks

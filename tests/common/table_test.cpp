@@ -1,0 +1,46 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ks {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvQuotesSpecials) {
+  Table t({"k", "v"});
+  t.AddRow({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(CellFn, FormatsNumbers) {
+  EXPECT_EQ(Cell(1.23456, 2), "1.23");
+  EXPECT_EQ(Cell(1.0, 0), "1");
+  EXPECT_EQ(Cell(static_cast<std::int64_t>(42)), "42");
+}
+
+}  // namespace
+}  // namespace ks

@@ -1,0 +1,37 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ks {
+namespace {
+
+TEST(TimeHelpers, Constructors) {
+  EXPECT_EQ(Micros(5).count(), 5);
+  EXPECT_EQ(Millis(3).count(), 3000);
+  EXPECT_EQ(Seconds(2).count(), 2'000'000);
+  EXPECT_EQ(Seconds(0.5).count(), 500'000);
+  EXPECT_EQ(Minutes(1.5).count(), 90'000'000);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Micros(1500)), 1.5);
+}
+
+TEST(TimeHelpers, FormatTime) {
+  EXPECT_EQ(FormatTime(kTimeZero), "0.000s");
+  EXPECT_EQ(FormatTime(Seconds(12.3456)), "12.346s");
+  EXPECT_EQ(FormatTime(Millis(1)), "0.001s");
+}
+
+TEST(TimeHelpers, ArithmeticIsTypeSafe) {
+  const Time t = Seconds(10);
+  const Duration d = Millis(500);
+  EXPECT_EQ((t + d).count(), 10'500'000);
+  EXPECT_EQ((t - d).count(), 9'500'000);
+  EXPECT_EQ((d * 4).count(), 2'000'000);
+}
+
+}  // namespace
+}  // namespace ks

@@ -1,0 +1,206 @@
+#include "cuda/context.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ks::cuda {
+namespace {
+
+class CudaContextTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+  gpu::GpuDevice dev_{&sim_, GpuUuid("GPU-X")};
+  CudaContext ctx_{&dev_, ContainerId("job-1")};
+};
+
+TEST_F(CudaContextTest, MemAllocAndFree) {
+  gpu::DevicePtr p = 0;
+  EXPECT_EQ(ctx_.MemAlloc(&p, 1 << 20), CudaResult::kSuccess);
+  EXPECT_EQ(ctx_.AllocatedBytes(), 1u << 20);
+  EXPECT_EQ(ctx_.MemFree(p), CudaResult::kSuccess);
+  EXPECT_EQ(ctx_.AllocatedBytes(), 0u);
+}
+
+TEST_F(CudaContextTest, MemAllocRejectsBadArgs) {
+  gpu::DevicePtr p = 0;
+  EXPECT_EQ(ctx_.MemAlloc(nullptr, 1), CudaResult::kErrorInvalidValue);
+  EXPECT_EQ(ctx_.MemAlloc(&p, 0), CudaResult::kErrorInvalidValue);
+}
+
+TEST_F(CudaContextTest, MemAllocOutOfMemory) {
+  gpu::DevicePtr p = 0;
+  EXPECT_EQ(ctx_.MemAlloc(&p, dev_.spec().memory_bytes + 1),
+            CudaResult::kErrorOutOfMemory);
+}
+
+TEST_F(CudaContextTest, FreeForeignPointerFails) {
+  EXPECT_EQ(ctx_.MemFree(12345), CudaResult::kErrorInvalidValue);
+}
+
+TEST_F(CudaContextTest, ArrayCreateAllocatesProduct) {
+  gpu::DevicePtr p = 0;
+  EXPECT_EQ(ctx_.ArrayCreate(&p, 100, 100, 4), CudaResult::kSuccess);
+  EXPECT_EQ(ctx_.AllocatedBytes(), 40000u);
+  EXPECT_EQ(ctx_.ArrayCreate(&p, 0, 100, 4), CudaResult::kErrorInvalidValue);
+}
+
+TEST_F(CudaContextTest, DefaultStreamKernelsRunFifo) {
+  std::vector<int> order;
+  ASSERT_EQ(ctx_.LaunchKernel({Millis(10), 0.0, "a"}, kDefaultStream,
+                              [&] { order.push_back(1); }),
+            CudaResult::kSuccess);
+  ASSERT_EQ(ctx_.LaunchKernel({Millis(10), 0.0, "b"}, kDefaultStream,
+                              [&] { order.push_back(2); }),
+            CudaResult::kSuccess);
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // FIFO: serialized, so ~20ms total, not 20ms of 2-way sharing.
+  EXPECT_NEAR(ToMillis(Duration(sim_.Now())), 20.0, 0.1);
+}
+
+TEST_F(CudaContextTest, DistinctStreamsOverlap) {
+  StreamId s = 0;
+  ASSERT_EQ(ctx_.StreamCreate(&s), CudaResult::kSuccess);
+  Time t1{0}, t2{0};
+  ctx_.LaunchKernel({Millis(10), 0.0, "a"}, kDefaultStream,
+                    [&] { t1 = sim_.Now(); });
+  ctx_.LaunchKernel({Millis(10), 0.0, "b"}, s, [&] { t2 = sim_.Now(); });
+  sim_.Run();
+  // Overlapping processor-sharing: both finish at ~20ms.
+  EXPECT_NEAR(ToMillis(Duration(t1)), 20.0, 0.1);
+  EXPECT_NEAR(ToMillis(Duration(t2)), 20.0, 0.1);
+}
+
+TEST_F(CudaContextTest, LaunchOnUnknownStreamFails) {
+  EXPECT_EQ(ctx_.LaunchKernel({Millis(1), 0.0, "x"}, 999, nullptr),
+            CudaResult::kErrorInvalidHandle);
+}
+
+TEST_F(CudaContextTest, LaunchZeroDurationFails) {
+  EXPECT_EQ(ctx_.LaunchKernel({Duration{0}, 0.0, "x"}, kDefaultStream, nullptr),
+            CudaResult::kErrorInvalidValue);
+}
+
+TEST_F(CudaContextTest, StreamDestroyRules) {
+  StreamId s = 0;
+  ASSERT_EQ(ctx_.StreamCreate(&s), CudaResult::kSuccess);
+  EXPECT_EQ(ctx_.StreamDestroy(kDefaultStream), CudaResult::kErrorInvalidValue);
+  EXPECT_EQ(ctx_.StreamDestroy(999), CudaResult::kErrorInvalidHandle);
+  ctx_.LaunchKernel({Millis(5), 0.0, "x"}, s, nullptr);
+  EXPECT_EQ(ctx_.StreamDestroy(s), CudaResult::kErrorNotReady);
+  sim_.Run();
+  EXPECT_EQ(ctx_.StreamDestroy(s), CudaResult::kSuccess);
+}
+
+TEST_F(CudaContextTest, SynchronizeFiresAfterAllWork) {
+  bool synced = false;
+  ctx_.LaunchKernel({Millis(10), 0.0, "a"}, kDefaultStream, nullptr);
+  ctx_.LaunchKernel({Millis(10), 0.0, "b"}, kDefaultStream, nullptr);
+  ctx_.Synchronize([&] { synced = true; });
+  EXPECT_FALSE(synced);
+  sim_.Run();
+  EXPECT_TRUE(synced);
+}
+
+TEST_F(CudaContextTest, SynchronizeFiresImmediatelyWhenIdle) {
+  bool synced = false;
+  ctx_.Synchronize([&] { synced = true; });
+  EXPECT_TRUE(synced);
+}
+
+TEST_F(CudaContextTest, PendingKernelsCountsQueuedWork) {
+  ctx_.LaunchKernel({Millis(10), 0.0, "a"}, kDefaultStream, nullptr);
+  ctx_.LaunchKernel({Millis(10), 0.0, "b"}, kDefaultStream, nullptr);
+  EXPECT_EQ(ctx_.PendingKernels(), 2u);
+  sim_.Run();
+  EXPECT_EQ(ctx_.PendingKernels(), 0u);
+}
+
+TEST_F(CudaContextTest, DestructorFreesDeviceMemory) {
+  {
+    CudaContext tmp(&dev_, ContainerId("ephemeral"));
+    gpu::DevicePtr p = 0;
+    ASSERT_EQ(tmp.MemAlloc(&p, 1 << 20), CudaResult::kSuccess);
+    EXPECT_GE(dev_.used_memory(), 1u << 20);
+  }
+  EXPECT_EQ(dev_.used_memory(), 0u);
+}
+
+TEST_F(CudaContextTest, EventCompletesAfterPriorKernels) {
+  EventId ev = 0;
+  ASSERT_EQ(ctx_.EventCreate(&ev), CudaResult::kSuccess);
+  ctx_.LaunchKernel({Millis(10), 0.0, "a"}, kDefaultStream, nullptr);
+  ctx_.LaunchKernel({Millis(10), 0.0, "b"}, kDefaultStream, nullptr);
+  ASSERT_EQ(ctx_.EventRecord(ev, kDefaultStream), CudaResult::kSuccess);
+  EXPECT_EQ(ctx_.EventQuery(ev), CudaResult::kErrorNotReady);
+  bool fired = false;
+  ASSERT_EQ(ctx_.EventSynchronize(ev, [&] { fired = true; }),
+            CudaResult::kSuccess);
+  sim_.Run();
+  EXPECT_EQ(ctx_.EventQuery(ev), CudaResult::kSuccess);
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(CudaContextTest, EventOnIdleStreamCompletesImmediately) {
+  EventId ev = 0;
+  ASSERT_EQ(ctx_.EventCreate(&ev), CudaResult::kSuccess);
+  ASSERT_EQ(ctx_.EventRecord(ev, kDefaultStream), CudaResult::kSuccess);
+  EXPECT_EQ(ctx_.EventQuery(ev), CudaResult::kSuccess);
+  bool fired = false;
+  ctx_.EventSynchronize(ev, [&] { fired = true; });
+  EXPECT_TRUE(fired);  // immediate for complete events
+}
+
+TEST_F(CudaContextTest, EventElapsedTimeMeasuresKernelSpan) {
+  EventId start = 0, end = 0;
+  ASSERT_EQ(ctx_.EventCreate(&start), CudaResult::kSuccess);
+  ASSERT_EQ(ctx_.EventCreate(&end), CudaResult::kSuccess);
+  ctx_.EventRecord(start, kDefaultStream);  // completes at t=0
+  ctx_.LaunchKernel({Millis(30), 0.0, "k"}, kDefaultStream, nullptr);
+  ctx_.EventRecord(end, kDefaultStream);
+  Duration elapsed{0};
+  EXPECT_EQ(ctx_.EventElapsedTime(&elapsed, start, end),
+            CudaResult::kErrorNotReady);
+  sim_.Run();
+  ASSERT_EQ(ctx_.EventElapsedTime(&elapsed, start, end),
+            CudaResult::kSuccess);
+  EXPECT_NEAR(ToMillis(elapsed), 30.0, 0.1);
+}
+
+TEST_F(CudaContextTest, EventErrorPaths) {
+  EventId ev = 0;
+  EXPECT_EQ(ctx_.EventCreate(nullptr), CudaResult::kErrorInvalidValue);
+  ASSERT_EQ(ctx_.EventCreate(&ev), CudaResult::kSuccess);
+  EXPECT_EQ(ctx_.EventQuery(ev), CudaResult::kErrorInvalidValue);  // unrecorded
+  EXPECT_EQ(ctx_.EventRecord(ev, 999), CudaResult::kErrorInvalidHandle);
+  EXPECT_EQ(ctx_.EventRecord(999, kDefaultStream),
+            CudaResult::kErrorInvalidHandle);
+  EXPECT_EQ(ctx_.EventDestroy(ev), CudaResult::kSuccess);
+  EXPECT_EQ(ctx_.EventDestroy(ev), CudaResult::kErrorInvalidHandle);
+}
+
+TEST_F(CudaContextTest, ReRecordResetsEvent) {
+  EventId ev = 0;
+  ASSERT_EQ(ctx_.EventCreate(&ev), CudaResult::kSuccess);
+  ctx_.EventRecord(ev, kDefaultStream);
+  EXPECT_EQ(ctx_.EventQuery(ev), CudaResult::kSuccess);
+  ctx_.LaunchKernel({Millis(10), 0.0, "k"}, kDefaultStream, nullptr);
+  ctx_.EventRecord(ev, kDefaultStream);
+  EXPECT_EQ(ctx_.EventQuery(ev), CudaResult::kErrorNotReady);
+  sim_.Run();
+  EXPECT_EQ(ctx_.EventQuery(ev), CudaResult::kSuccess);
+}
+
+TEST_F(CudaContextTest, CompletionCallbackCanLaunchAgain) {
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 3) {
+      ctx_.LaunchKernel({Millis(5), 0.0, "chain"}, kDefaultStream, next);
+    }
+  };
+  ctx_.LaunchKernel({Millis(5), 0.0, "chain"}, kDefaultStream, next);
+  sim_.Run();
+  EXPECT_EQ(chain, 3);
+}
+
+}  // namespace
+}  // namespace ks::cuda

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kubeshare/kubeshare.hpp"
+#include "workload/host.hpp"
+#include "workload/job.hpp"
+
+namespace ks {
+namespace {
+
+/// Cluster-level churn: random sharePod submissions (mixed training and
+/// inference, random locality labels) interleaved with random deletions,
+/// while global invariants are checked continuously:
+///  - no vGPU is ever over-committed by requests;
+///  - the vGPU count never exceeds the physical supply;
+///  - kubelet CPU accounting never exceeds capacity;
+///  - after the storm drains, every GPU is back in Kubernetes' hands.
+struct ChurnParam {
+  std::uint64_t seed;
+};
+
+class ClusterChurnStress : public ::testing::TestWithParam<ChurnParam> {};
+
+TEST_P(ClusterChurnStress, InvariantsHoldUnderRandomChurn) {
+  Rng rng(GetParam().seed);
+  k8s::ClusterConfig ccfg;
+  ccfg.nodes = 4;
+  ccfg.gpus_per_node = 2;
+  k8s::Cluster cluster(ccfg);
+  kubeshare::KubeShare kubeshare(&cluster);
+  workload::WorkloadHost host(&cluster);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(kubeshare.Start().ok());
+
+  const int physical_gpus = ccfg.nodes * ccfg.gpus_per_node;
+  std::vector<std::string> live;
+  int next_id = 0;
+
+  auto submit = [&] {
+    const std::string name = "churn-" + std::to_string(next_id++);
+    kubeshare::SharePod sp;
+    sp.meta.name = name;
+    sp.spec.gpu.gpu_request = rng.Uniform(0.1, 0.6);
+    sp.spec.gpu.gpu_limit =
+        std::min(1.0, sp.spec.gpu.gpu_request + rng.Uniform(0.0, 0.4));
+    sp.spec.gpu.gpu_mem = rng.Uniform(0.1, 0.4);
+    sp.spec.priority = static_cast<int>(rng.UniformInt(0, 3));
+    if (rng.Chance(0.2)) {
+      sp.spec.locality.anti_affinity =
+          Label("anti-" + std::to_string(rng.UniformInt(0, 1)));
+    }
+    if (rng.Chance(0.1)) {
+      sp.spec.locality.exclusion =
+          Label("excl-" + std::to_string(rng.UniformInt(0, 1)));
+    }
+    if (rng.Chance(0.5)) {
+      workload::InferenceSpec spec = workload::InferenceSpec::ForDemand(
+          rng.Uniform(0.1, 0.5), static_cast<int>(rng.UniformInt(50, 400)),
+          Millis(20));
+      spec.seed = rng.UniformInt(1, 1 << 20);
+      host.ExpectJob(name, [spec] {
+        return std::make_unique<workload::InferenceJob>(spec);
+      });
+    } else {
+      workload::TrainingSpec spec;
+      spec.steps = static_cast<int>(rng.UniformInt(100, 2000));
+      spec.step_kernel = Millis(10);
+      spec.model_bytes = 1ull << 30;
+      host.ExpectJob(name, [spec] {
+        return std::make_unique<workload::TrainingJob>(spec);
+      });
+    }
+    ASSERT_TRUE(kubeshare.CreateSharePod(sp).ok());
+    live.push_back(name);
+  };
+
+  auto check_invariants = [&] {
+    for (const kubeshare::VgpuInfo* dev : kubeshare.pool().List()) {
+      ASSERT_LE(dev->used_util, 1.0 + 1e-9) << dev->id;
+      ASSERT_LE(dev->used_mem, 1.0 + 1e-9) << dev->id;
+    }
+    ASSERT_LE(kubeshare.pool().size(),
+              static_cast<std::size_t>(physical_gpus));
+    for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+      const auto& kubelet = *cluster.node(n).kubelet;
+      ASSERT_LE(kubelet.allocated().Get(k8s::kResourceCpu),
+                cluster.config().cpu_millicores);
+    }
+  };
+
+  for (int round = 0; round < 80; ++round) {
+    if (live.size() < 12 && rng.Chance(0.7)) submit();
+    if (!live.empty() && rng.Chance(0.3)) {
+      const auto idx = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+      // Deleting a sharePod that may be pending, acquiring, launching,
+      // running, or already finished — all paths must be safe.
+      (void)kubeshare.sharepods().Delete(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    cluster.sim().RunUntil(cluster.sim().Now() +
+                           Millis(rng.UniformInt(200, 3000)));
+    check_invariants();
+  }
+
+  // Drain: delete the survivors and let everything settle.
+  for (const std::string& name : live) {
+    (void)kubeshare.sharepods().Delete(name);
+  }
+  cluster.sim().RunUntil(cluster.sim().Now() + Minutes(3));
+  check_invariants();
+  EXPECT_EQ(kubeshare.pool().size(), 0u);  // on-demand: all GPUs returned
+  // Every managed pod is gone or terminal.
+  for (const k8s::Pod& p : cluster.api().pods().List()) {
+    EXPECT_TRUE(p.terminal()) << p.meta.name;
+  }
+  // A native pod can now take any whole GPU.
+  k8s::Pod native;
+  native.meta.name = "native-after-storm";
+  native.spec.requests.Set(k8s::kResourceNvidiaGpu, 2);
+  ASSERT_TRUE(cluster.api().pods().Create(native).ok());
+  cluster.sim().RunUntil(cluster.sim().Now() + Minutes(1));
+  EXPECT_EQ(cluster.api().pods().Get("native-after-storm")->status.phase,
+            k8s::PodPhase::kRunning);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterChurnStress,
+                         ::testing::Values(ChurnParam{21}, ChurnParam{42},
+                                           ChurnParam{63}, ChurnParam{84}),
+                         [](const ::testing::TestParamInfo<ChurnParam>& i) {
+                           return "seed" + std::to_string(i.param.seed);
+                         });
+
+}  // namespace
+}  // namespace ks

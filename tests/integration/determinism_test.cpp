@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+#include "workload/host.hpp"
+
+namespace ks {
+namespace {
+
+/// Runs a full mixed KubeShare workload and returns a fingerprint of the
+/// outcome (completion count, makespan, completion-time sequence).
+struct Fingerprint {
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::vector<Time> completions;
+  std::uint64_t vgpus_created = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+Fingerprint RunOnce(std::uint64_t seed) {
+  k8s::ClusterConfig ccfg;
+  ccfg.nodes = 4;
+  ccfg.gpus_per_node = 2;
+  k8s::Cluster cluster(ccfg);
+  kubeshare::KubeShare kubeshare(&cluster);
+  workload::WorkloadHost host(&cluster);
+  workload::WorkloadConfig wcfg;
+  wcfg.total_jobs = 40;
+  wcfg.mean_interarrival = Seconds(1.5);
+  wcfg.demand_mean = 0.35;
+  wcfg.demand_stddev = 0.15;
+  wcfg.job_duration = Seconds(20);
+  wcfg.seed = seed;
+  workload::WorkloadDriver driver(&cluster, &host,
+                                  workload::WorkloadDriver::Mode::kKubeShare,
+                                  &kubeshare, wcfg);
+  EXPECT_TRUE(cluster.Start().ok());
+  EXPECT_TRUE(kubeshare.Start().ok());
+  driver.Start();
+  cluster.sim().RunUntil(Minutes(30));
+
+  Fingerprint fp;
+  fp.completed = host.completed();
+  fp.failed = host.failed();
+  fp.completions = host.completion_times();
+  fp.vgpus_created = kubeshare.devmgr().vgpus_created();
+  return fp;
+}
+
+/// The whole stack — event queue, watches, both schedulers, the token
+/// protocol, workload arrivals — must be bit-deterministic given a seed.
+/// This is the property that makes every figure in EXPERIMENTS.md
+/// reproducible.
+TEST(Determinism, IdenticalSeedsProduceIdenticalRuns) {
+  const Fingerprint a = RunOnce(1234);
+  const Fingerprint b = RunOnce(1234);
+  EXPECT_EQ(a.completed, 40u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const Fingerprint a = RunOnce(1);
+  const Fingerprint b = RunOnce(2);
+  EXPECT_EQ(a.completed, b.completed);  // same job count completes...
+  EXPECT_NE(a.completions, b.completions);  // ...on different schedules
+}
+
+}  // namespace
+}  // namespace ks

@@ -1,0 +1,64 @@
+#include "k8s/apiserver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ks::k8s {
+namespace {
+
+class ApiServerTest : public ::testing::Test {
+ protected:
+  ApiServerTest() {
+    Node node;
+    node.meta.name = "node-0";
+    EXPECT_TRUE(api_.nodes().Create(node).ok());
+    Pod pod;
+    pod.meta.name = "p";
+    EXPECT_TRUE(api_.pods().Create(pod).ok());
+  }
+
+  sim::Simulation sim_;
+  ApiServer api_{&sim_};
+};
+
+TEST_F(ApiServerTest, BindPodSetsNodeAndTimestamp) {
+  sim_.RunUntil(Seconds(5));
+  ASSERT_TRUE(api_.BindPod("p", "node-0").ok());
+  auto pod = api_.pods().Get("p");
+  EXPECT_EQ(pod->status.node_name, "node-0");
+  ASSERT_TRUE(pod->status.scheduled_time.has_value());
+  EXPECT_EQ(*pod->status.scheduled_time, Seconds(5));
+}
+
+TEST_F(ApiServerTest, BindPodErrorPaths) {
+  EXPECT_EQ(api_.BindPod("ghost", "node-0").code(), StatusCode::kNotFound);
+  EXPECT_EQ(api_.BindPod("p", "no-node").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(api_.BindPod("p", "node-0").ok());
+  EXPECT_EQ(api_.BindPod("p", "node-0").code(),
+            StatusCode::kFailedPrecondition);  // double bind
+}
+
+TEST_F(ApiServerTest, PhaseTransitionsStampTimes) {
+  sim_.RunUntil(Seconds(1));
+  ASSERT_TRUE(api_.SetPodPhase("p", PodPhase::kRunning).ok());
+  sim_.RunUntil(Seconds(9));
+  ASSERT_TRUE(api_.SetPodPhase("p", PodPhase::kSucceeded, "done").ok());
+  auto pod = api_.pods().Get("p");
+  EXPECT_EQ(*pod->status.running_time, Seconds(1));
+  EXPECT_EQ(*pod->status.finished_time, Seconds(9));
+  EXPECT_EQ(pod->status.message, "done");
+  EXPECT_TRUE(pod->terminal());
+}
+
+TEST_F(ApiServerTest, SetPodEnvReplacesEffectiveEnv) {
+  ASSERT_TRUE(api_.SetPodEnv("p", {{"K", "v"}}).ok());
+  EXPECT_EQ(api_.pods().Get("p")->status.effective_env.at("K"), "v");
+  EXPECT_EQ(api_.SetPodEnv("ghost", {}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ApiServerTest, PhaseOnMissingPodFails) {
+  EXPECT_EQ(api_.SetPodPhase("ghost", PodPhase::kRunning).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ks::k8s

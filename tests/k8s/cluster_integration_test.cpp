@@ -1,0 +1,190 @@
+#include "k8s/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ks::k8s {
+namespace {
+
+Pod GpuPod(const std::string& name, int gpus = 1) {
+  Pod p;
+  p.meta.name = name;
+  p.spec.requests.Set(kResourceCpu, 4000);
+  p.spec.requests.Set(kResourceMemory, 8ll << 30);
+  if (gpus > 0) p.spec.requests.Set(kResourceNvidiaGpu, gpus);
+  return p;
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  static ClusterConfig SmallCluster() {
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.gpus_per_node = 2;
+    return cfg;
+  }
+
+  ClusterTest() : cluster_(SmallCluster()) {}
+
+  Cluster cluster_;
+};
+
+TEST_F(ClusterTest, StartRegistersNodes) {
+  ASSERT_TRUE(cluster_.Start().ok());
+  cluster_.sim().Run();
+  EXPECT_EQ(cluster_.api().nodes().size(), 2u);
+  auto node = cluster_.api().nodes().Get("node-0");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->capacity.Get(kResourceNvidiaGpu), 2);
+  EXPECT_EQ(node->capacity.Get(kResourceCpu), 36000);
+}
+
+TEST_F(ClusterTest, PodIsScheduledAndRuns) {
+  ASSERT_TRUE(cluster_.Start().ok());
+  ASSERT_TRUE(cluster_.api().pods().Create(GpuPod("job-1")).ok());
+  cluster_.sim().RunUntil(Seconds(10));
+  auto pod = cluster_.api().pods().Get("job-1");
+  ASSERT_TRUE(pod.ok());
+  EXPECT_EQ(pod->status.phase, PodPhase::kRunning);
+  EXPECT_FALSE(pod->status.node_name.empty());
+  // Device plugin env is visible on the pod status.
+  EXPECT_EQ(pod->status.effective_env.count(kNvidiaVisibleDevices), 1u);
+}
+
+TEST_F(ClusterTest, StartHookReceivesResolvedGpus) {
+  ASSERT_TRUE(cluster_.Start().ok());
+  std::vector<ContainerInstance> started;
+  cluster_.SetContainerStartHook(
+      [&](const ContainerInstance& inst) { started.push_back(inst); });
+  ASSERT_TRUE(cluster_.api().pods().Create(GpuPod("job-1")).ok());
+  cluster_.sim().RunUntil(Seconds(10));
+  ASSERT_EQ(started.size(), 1u);
+  ASSERT_EQ(started[0].visible_gpus.size(), 1u);
+  EXPECT_EQ(started[0].pod_name, "job-1");
+}
+
+TEST_F(ClusterTest, ExitPodContainerCompletesPod) {
+  ASSERT_TRUE(cluster_.Start().ok());
+  ASSERT_TRUE(cluster_.api().pods().Create(GpuPod("job-1")).ok());
+  cluster_.sim().RunUntil(Seconds(10));
+  ASSERT_TRUE(cluster_.ExitPodContainer("job-1", true).ok());
+  cluster_.sim().RunUntil(Seconds(11));
+  auto pod = cluster_.api().pods().Get("job-1");
+  EXPECT_EQ(pod->status.phase, PodPhase::kSucceeded);
+}
+
+TEST_F(ClusterTest, WholeGpuAllocationIsExclusive) {
+  ASSERT_TRUE(cluster_.Start().ok());
+  // 4 GPUs in the cluster; the 5th pod must wait.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        cluster_.api().pods().Create(GpuPod("job-" + std::to_string(i))).ok());
+  }
+  cluster_.sim().RunUntil(Seconds(20));
+  int running = 0, pending = 0;
+  for (const Pod& p : cluster_.api().pods().List()) {
+    if (p.status.phase == PodPhase::kRunning) ++running;
+    if (p.status.phase == PodPhase::kPending) ++pending;
+  }
+  EXPECT_EQ(running, 4);
+  EXPECT_EQ(pending, 1);
+
+  // Finish one job; the waiting pod gets its GPU via scheduler retry.
+  ASSERT_TRUE(cluster_.ExitPodContainer("job-0", true).ok());
+  cluster_.sim().RunUntil(Seconds(40));
+  running = 0;
+  for (const Pod& p : cluster_.api().pods().List()) {
+    if (p.status.phase == PodPhase::kRunning) ++running;
+  }
+  EXPECT_EQ(running, 4);
+  EXPECT_GE(cluster_.scheduler().retry_count(), 1u);
+}
+
+TEST_F(ClusterTest, SchedulerSpreadsAcrossNodes) {
+  ASSERT_TRUE(cluster_.Start().ok());
+  ASSERT_TRUE(cluster_.api().pods().Create(GpuPod("a")).ok());
+  ASSERT_TRUE(cluster_.api().pods().Create(GpuPod("b")).ok());
+  cluster_.sim().RunUntil(Seconds(10));
+  auto a = cluster_.api().pods().Get("a");
+  auto b = cluster_.api().pods().Get("b");
+  EXPECT_NE(a->status.node_name, b->status.node_name);
+}
+
+TEST_F(ClusterTest, PreBoundPodBypassesScheduler) {
+  ASSERT_TRUE(cluster_.Start().ok());
+  Pod p = GpuPod("direct", 0);
+  p.status.node_name = "node-1";  // bound at creation, KubeShare-style
+  p.spec.env[kNvidiaVisibleDevices] = "GPU-1-0";
+  ASSERT_TRUE(cluster_.api().pods().Create(p).ok());
+  cluster_.sim().RunUntil(Seconds(10));
+  auto pod = cluster_.api().pods().Get("direct");
+  EXPECT_EQ(pod->status.phase, PodPhase::kRunning);
+  EXPECT_EQ(pod->status.node_name, "node-1");
+  EXPECT_EQ(cluster_.scheduler().scheduled_count(), 0u);
+}
+
+TEST_F(ClusterTest, PodDeletionKillsContainer) {
+  ASSERT_TRUE(cluster_.Start().ok());
+  std::vector<std::string> stopped;
+  cluster_.SetContainerStopHook(
+      [&](const ContainerInstance& inst) { stopped.push_back(inst.pod_name); });
+  ASSERT_TRUE(cluster_.api().pods().Create(GpuPod("victim")).ok());
+  cluster_.sim().RunUntil(Seconds(10));
+  ASSERT_TRUE(cluster_.api().pods().Delete("victim").ok());
+  cluster_.sim().RunUntil(Seconds(15));
+  ASSERT_EQ(stopped.size(), 1u);
+  EXPECT_EQ(stopped[0], "victim");
+  // The GPU unit is free again: a new pod can use it.
+  ASSERT_TRUE(cluster_.api().pods().Create(GpuPod("next")).ok());
+  cluster_.sim().RunUntil(Seconds(30));
+  EXPECT_EQ(cluster_.api().pods().Get("next")->status.phase,
+            PodPhase::kRunning);
+}
+
+TEST_F(ClusterTest, NodeSelectorRestrictsPlacement) {
+  ClusterConfig cfg = SmallCluster();
+  Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.Start().ok());
+  cluster.sim().Run();
+  // Label node-1 after registration.
+  auto node = cluster.api().nodes().Get("node-1");
+  node->meta.labels["zone"] = "a";
+  ASSERT_TRUE(cluster.api().nodes().Update(*node).ok());
+  Pod p = GpuPod("picky");
+  p.spec.node_selector["zone"] = "a";
+  ASSERT_TRUE(cluster.api().pods().Create(p).ok());
+  cluster.sim().RunUntil(Seconds(10));
+  EXPECT_EQ(cluster.api().pods().Get("picky")->status.node_name, "node-1");
+}
+
+TEST_F(ClusterTest, OversizedPodStaysPendingForever) {
+  ASSERT_TRUE(cluster_.Start().ok());
+  ASSERT_TRUE(cluster_.api().pods().Create(GpuPod("huge", 3)).ok());
+  cluster_.sim().RunUntil(Seconds(10));
+  EXPECT_EQ(cluster_.api().pods().Get("huge")->status.phase,
+            PodPhase::kPending);
+  EXPECT_GE(cluster_.scheduler().retry_count(), 1u);
+}
+
+TEST_F(ClusterTest, FindGpuAndBackend) {
+  ASSERT_TRUE(cluster_.Start().ok());
+  gpu::GpuDevice* dev = cluster_.FindGpu(GpuUuid("GPU-1-1"));
+  ASSERT_NE(dev, nullptr);
+  EXPECT_EQ(dev->uuid().value(), "GPU-1-1");
+  EXPECT_NE(cluster_.BackendForGpu(GpuUuid("GPU-1-1")), nullptr);
+  EXPECT_EQ(cluster_.FindGpu(GpuUuid("GPU-9-9")), nullptr);
+  EXPECT_EQ(cluster_.BackendForGpu(GpuUuid("GPU-9-9")), nullptr);
+}
+
+TEST_F(ClusterTest, ScaledPluginAdvertisesScaledCapacity) {
+  ClusterConfig cfg = SmallCluster();
+  cfg.scaled_plugin = true;
+  cfg.plugin_scale = 100;
+  Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.Start().ok());
+  cluster.sim().Run();
+  auto node = cluster.api().nodes().Get("node-0");
+  EXPECT_EQ(node->capacity.Get(kResourceNvidiaGpu), 200);
+}
+
+}  // namespace
+}  // namespace ks::k8s

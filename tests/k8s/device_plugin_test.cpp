@@ -1,0 +1,92 @@
+#include "k8s/device_plugin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace ks::k8s {
+namespace {
+
+class DevicePluginTest : public ::testing::Test {
+ protected:
+  DevicePluginTest() {
+    for (int i = 0; i < 2; ++i) {
+      gpus_.push_back(std::make_unique<gpu::GpuDevice>(
+          &sim_, GpuUuid("GPU-" + std::to_string(i))));
+      raw_.push_back(gpus_.back().get());
+    }
+  }
+
+  sim::Simulation sim_;
+  std::vector<std::unique_ptr<gpu::GpuDevice>> gpus_;
+  std::vector<gpu::GpuDevice*> raw_;
+};
+
+TEST_F(DevicePluginTest, NvidiaListsOneUnitPerGpu) {
+  NvidiaDevicePlugin plugin(raw_);
+  EXPECT_EQ(plugin.resource_name(), kResourceNvidiaGpu);
+  auto devices = plugin.ListDevices();
+  ASSERT_EQ(devices.size(), 2u);
+  EXPECT_EQ(devices[0].id, "GPU-0");
+  EXPECT_EQ(devices[1].id, "GPU-1");
+}
+
+TEST_F(DevicePluginTest, NvidiaAllocateSetsVisibleDevices) {
+  NvidiaDevicePlugin plugin(raw_);
+  auto resp = plugin.Allocate({"GPU-1"});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->env.at(kNvidiaVisibleDevices), "GPU-1");
+  auto multi = plugin.Allocate({"GPU-0", "GPU-1"});
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->env.at(kNvidiaVisibleDevices), "GPU-0,GPU-1");
+}
+
+TEST_F(DevicePluginTest, NvidiaAllocateRejectsUnknownOrEmpty) {
+  NvidiaDevicePlugin plugin(raw_);
+  EXPECT_FALSE(plugin.Allocate({}).ok());
+  EXPECT_FALSE(plugin.Allocate({"GPU-9"}).ok());
+}
+
+TEST_F(DevicePluginTest, ScaledAdvertisesScaleUnitsPerGpu) {
+  ScaledNvidiaDevicePlugin plugin(raw_, 100);
+  auto devices = plugin.ListDevices();
+  EXPECT_EQ(devices.size(), 200u);
+  EXPECT_EQ(devices.front().id, "GPU-0#0");
+  EXPECT_EQ(devices.back().id, "GPU-1#99");
+}
+
+TEST_F(DevicePluginTest, ScaledAllocateBindsToFirstUnitsGpu) {
+  ScaledNvidiaDevicePlugin plugin(raw_, 100);
+  auto resp = plugin.Allocate({"GPU-0#3", "GPU-0#4"});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->env.at(kNvidiaVisibleDevices), "GPU-0");
+}
+
+TEST_F(DevicePluginTest, ScaledAllocateStraddlingGpusSilentlyOvercommits) {
+  ScaledNvidiaDevicePlugin plugin(raw_, 100);
+  // 50 units from GPU-0 + 10 from GPU-1: the container is still attached
+  // only to GPU-0 — the §3.1 fragmentation failure mode.
+  std::vector<std::string> units;
+  for (int i = 50; i < 100; ++i) units.push_back("GPU-0#" + std::to_string(i));
+  for (int i = 0; i < 10; ++i) units.push_back("GPU-1#" + std::to_string(i));
+  auto resp = plugin.Allocate(units);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->env.at(kNvidiaVisibleDevices), "GPU-0");
+}
+
+TEST_F(DevicePluginTest, ScaledGpuOfUnit) {
+  ScaledNvidiaDevicePlugin plugin(raw_, 10);
+  auto owner = plugin.GpuOfUnit("GPU-1#7");
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, "GPU-1");
+  EXPECT_FALSE(plugin.GpuOfUnit("GPU-1").ok());
+  EXPECT_FALSE(plugin.GpuOfUnit("GPU-9#0").ok());
+}
+
+TEST_F(DevicePluginTest, ScaledRejectsNonPositiveScale) {
+  ScaledNvidiaDevicePlugin plugin(raw_, 0);
+  EXPECT_EQ(plugin.scale(), 1);
+}
+
+}  // namespace
+}  // namespace ks::k8s

@@ -1,0 +1,79 @@
+#include "k8s/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "k8s/cluster.hpp"
+#include "k8s/resources.hpp"
+
+namespace ks::k8s {
+namespace {
+
+TEST(EventRecorder, RecordsWithTimestamps) {
+  sim::Simulation sim;
+  EventRecorder recorder(&sim);
+  recorder.Record("c1", "pod/a", "Created");
+  sim.RunUntil(Seconds(5));
+  recorder.Record("c2", "pod/a", "Started", "detail");
+  ASSERT_EQ(recorder.events().size(), 2u);
+  EXPECT_EQ(recorder.events()[0].at, kTimeZero);
+  EXPECT_EQ(recorder.events()[1].at, Seconds(5));
+  EXPECT_EQ(recorder.events()[1].message, "detail");
+}
+
+TEST(EventRecorder, FilterByObjectAndReason) {
+  sim::Simulation sim;
+  EventRecorder recorder(&sim);
+  recorder.Record("c", "pod/a", "Started");
+  recorder.Record("c", "pod/b", "Started");
+  recorder.Record("c", "pod/a", "Killed");
+  EXPECT_EQ(recorder.For("pod/a").size(), 2u);
+  EXPECT_EQ(recorder.For("pod/z").size(), 0u);
+  EXPECT_EQ(recorder.CountReason("Started"), 2u);
+  EXPECT_EQ(recorder.CountReason("Nope"), 0u);
+}
+
+TEST(EventRecorder, PrintTailLimitsOutput) {
+  sim::Simulation sim;
+  EventRecorder recorder(&sim);
+  for (int i = 0; i < 5; ++i) {
+    recorder.Record("c", "pod/" + std::to_string(i), "E");
+  }
+  std::stringstream all_stream, tail_stream;
+  recorder.Print(all_stream);
+  recorder.Print(tail_stream, 2);
+  const std::string all = all_stream.str();
+  const std::string tail = tail_stream.str();
+  EXPECT_EQ(std::count(all.begin(), all.end(), '\n'), 5);
+  EXPECT_EQ(std::count(tail.begin(), tail.end(), '\n'), 2);
+  EXPECT_NE(tail.find("pod/4"), std::string::npos);
+  EXPECT_EQ(tail.find("pod/0"), std::string::npos);
+}
+
+TEST(EventRecorder, ClusterComponentsEmitEvents) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.gpus_per_node = 1;
+  Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.Start().ok());
+  Pod pod;
+  pod.meta.name = "p";
+  pod.spec.requests.Set(kResourceNvidiaGpu, 1);
+  ASSERT_TRUE(cluster.api().pods().Create(pod).ok());
+  cluster.sim().RunUntil(Seconds(10));
+  const EventRecorder& events = cluster.api().events();
+  EXPECT_EQ(events.CountReason("Scheduled"), 1u);
+  EXPECT_EQ(events.CountReason("Started"), 1u);
+  // Unschedulable pod leaves FailedScheduling events.
+  Pod big;
+  big.meta.name = "big";
+  big.spec.requests.Set(kResourceNvidiaGpu, 5);
+  ASSERT_TRUE(cluster.api().pods().Create(big).ok());
+  cluster.sim().RunUntil(Seconds(13));
+  EXPECT_GE(events.CountReason("FailedScheduling"), 1u);
+}
+
+}  // namespace
+}  // namespace ks::k8s

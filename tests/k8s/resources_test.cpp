@@ -1,0 +1,62 @@
+#include "k8s/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ks::k8s {
+namespace {
+
+TEST(ResourceList, GetDefaultsToZero) {
+  ResourceList r;
+  EXPECT_EQ(r.Get(kResourceCpu), 0);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ResourceList, SetAndGet) {
+  ResourceList r;
+  r.Set(kResourceCpu, 4000);
+  r.Set(kResourceNvidiaGpu, 2);
+  EXPECT_EQ(r.Get(kResourceCpu), 4000);
+  EXPECT_EQ(r.Get(kResourceNvidiaGpu), 2);
+}
+
+TEST(ResourceList, SetZeroErases) {
+  ResourceList r;
+  r.Set(kResourceCpu, 100);
+  r.Set(kResourceCpu, 0);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ResourceList, AddAccumulates) {
+  ResourceList a{{kResourceCpu, 1000}};
+  ResourceList b{{kResourceCpu, 500}, {kResourceNvidiaGpu, 1}};
+  a.Add(b);
+  EXPECT_EQ(a.Get(kResourceCpu), 1500);
+  EXPECT_EQ(a.Get(kResourceNvidiaGpu), 1);
+}
+
+TEST(ResourceList, SubtractClampsAtZero) {
+  ResourceList a{{kResourceCpu, 100}};
+  a.Subtract(ResourceList{{kResourceCpu, 500}});
+  EXPECT_EQ(a.Get(kResourceCpu), 0);
+}
+
+TEST(ResourceList, FitsChecksEveryQuantity) {
+  ResourceList cap{{kResourceCpu, 1000}, {kResourceNvidiaGpu, 4}};
+  EXPECT_TRUE(cap.Fits(ResourceList{{kResourceCpu, 1000}}));
+  EXPECT_TRUE(cap.Fits(
+      ResourceList{{kResourceCpu, 500}, {kResourceNvidiaGpu, 4}}));
+  EXPECT_FALSE(cap.Fits(ResourceList{{kResourceNvidiaGpu, 5}}));
+  EXPECT_FALSE(cap.Fits(ResourceList{{"fpga", 1}}));
+  EXPECT_TRUE(cap.Fits(ResourceList{}));
+}
+
+TEST(ResourceList, Equality) {
+  ResourceList a{{kResourceCpu, 1}};
+  ResourceList b{{kResourceCpu, 1}};
+  EXPECT_EQ(a, b);
+  b.Set(kResourceCpu, 2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ks::k8s

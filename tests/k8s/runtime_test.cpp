@@ -1,0 +1,234 @@
+#include "k8s/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "k8s/device_plugin.hpp"
+
+namespace ks::k8s {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() {
+    gpu_ = std::make_unique<gpu::GpuDevice>(&sim_, GpuUuid("GPU-0"));
+    latency_.container_start = Millis(1000);
+    latency_.container_stop = Millis(100);
+    latency_.runtime_workers = 2;
+    runtime_ = std::make_unique<ContainerRuntime>(
+        &sim_, "node-0", std::vector<gpu::GpuDevice*>{gpu_.get()}, latency_);
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<gpu::GpuDevice> gpu_;
+  LatencyModel latency_;
+  std::unique_ptr<ContainerRuntime> runtime_;
+};
+
+TEST_F(RuntimeTest, StartTakesContainerStartLatency) {
+  Time started{0};
+  runtime_->StartContainer("p", {}, [&](const ContainerInstance&) {
+    started = sim_.Now();
+  });
+  sim_.Run();
+  EXPECT_EQ(started, Millis(1000));
+  EXPECT_EQ(runtime_->running_containers(), 1u);
+}
+
+TEST_F(RuntimeTest, WorkerPoolQueuesExcessStarts) {
+  std::vector<Time> times;
+  for (int i = 0; i < 4; ++i) {
+    runtime_->StartContainer("p" + std::to_string(i), {},
+                             [&](const ContainerInstance&) {
+                               times.push_back(sim_.Now());
+                             });
+  }
+  EXPECT_EQ(runtime_->queued_starts(), 2u);  // 2 workers busy, 2 queued
+  sim_.Run();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_EQ(times[0], Millis(1000));
+  EXPECT_EQ(times[1], Millis(1000));
+  EXPECT_EQ(times[2], Millis(2000));
+  EXPECT_EQ(times[3], Millis(2000));
+}
+
+TEST_F(RuntimeTest, EnvResolvesVisibleGpus) {
+  std::vector<gpu::GpuDevice*> seen;
+  runtime_->StartContainer("p", {{kNvidiaVisibleDevices, "GPU-0"}},
+                           [&](const ContainerInstance& inst) {
+                             seen = inst.visible_gpus;
+                           });
+  sim_.Run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], gpu_.get());
+}
+
+TEST_F(RuntimeTest, UnknownUuidResolvesToNothing) {
+  std::size_t count = 99;
+  runtime_->StartContainer("p", {{kNvidiaVisibleDevices, "GPU-other"}},
+                           [&](const ContainerInstance& inst) {
+                             count = inst.visible_gpus.size();
+                           });
+  sim_.Run();
+  EXPECT_EQ(count, 0u);
+}
+
+TEST_F(RuntimeTest, ExitNotifiesListenerAndStopHook) {
+  ContainerId id;
+  runtime_->StartContainer("p", {}, [&](const ContainerInstance& inst) {
+    id = inst.id;
+  });
+  std::string exited;
+  bool exit_ok = false;
+  runtime_->SetExitListener([&](const std::string& pod, bool ok) {
+    exited = pod;
+    exit_ok = ok;
+  });
+  int stops = 0;
+  runtime_->SetStopHook([&](const ContainerInstance&) { ++stops; });
+  sim_.Run();
+  ASSERT_TRUE(runtime_->ExitContainer(id, true).ok());
+  EXPECT_EQ(exited, "p");
+  EXPECT_TRUE(exit_ok);
+  EXPECT_EQ(stops, 1);
+  EXPECT_EQ(runtime_->running_containers(), 0u);
+  EXPECT_FALSE(runtime_->ExitContainer(id, true).ok());
+}
+
+TEST_F(RuntimeTest, ExitByPodName) {
+  runtime_->StartContainer("p", {}, nullptr);
+  sim_.Run();
+  EXPECT_TRUE(runtime_->IsRunning("p"));
+  ASSERT_TRUE(runtime_->ExitContainerByPod("p", false).ok());
+  EXPECT_FALSE(runtime_->IsRunning("p"));
+  EXPECT_FALSE(runtime_->ExitContainerByPod("p", false).ok());
+}
+
+TEST_F(RuntimeTest, KillRunningContainer) {
+  runtime_->StartContainer("p", {}, nullptr);
+  sim_.Run();
+  bool stopped = false;
+  ASSERT_TRUE(runtime_->KillContainer("p", [&] { stopped = true; }).ok());
+  EXPECT_FALSE(stopped);  // stop latency
+  sim_.Run();
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(runtime_->running_containers(), 0u);
+}
+
+TEST_F(RuntimeTest, KillQueuedStartCancelsIt) {
+  // Fill both workers, then queue one more and kill it before it starts.
+  runtime_->StartContainer("a", {}, nullptr);
+  runtime_->StartContainer("b", {}, nullptr);
+  bool victim_started = false;
+  runtime_->StartContainer("victim", {}, [&](const ContainerInstance&) {
+    victim_started = true;
+  });
+  bool stopped = false;
+  ASSERT_TRUE(runtime_->KillContainer("victim", [&] { stopped = true; }).ok());
+  EXPECT_TRUE(stopped);  // cancelled synchronously from the queue
+  sim_.Run();
+  EXPECT_FALSE(victim_started);
+  EXPECT_EQ(runtime_->running_containers(), 2u);
+}
+
+TEST_F(RuntimeTest, KillUnknownPodFails) {
+  EXPECT_FALSE(runtime_->KillContainer("ghost").ok());
+}
+
+class ImagePullTest : public ::testing::Test {
+ protected:
+  ImagePullTest() {
+    latency_.container_start = Millis(1000);
+    latency_.image_pull = Millis(3000);
+    latency_.runtime_workers = 2;
+    runtime_ = std::make_unique<ContainerRuntime>(
+        &sim_, "node-0", std::vector<gpu::GpuDevice*>{}, latency_);
+  }
+
+  sim::Simulation sim_;
+  LatencyModel latency_;
+  std::unique_ptr<ContainerRuntime> runtime_;
+};
+
+TEST_F(ImagePullTest, FirstStartPaysThePull) {
+  Time started{0};
+  runtime_->StartContainer("p", {}, [&](const ContainerInstance&) {
+    started = sim_.Now();
+  }, "tensorflow:2.1");
+  sim_.Run();
+  EXPECT_EQ(started, Millis(4000));  // 3s pull + 1s start
+  EXPECT_TRUE(runtime_->ImageCached("tensorflow:2.1"));
+  EXPECT_EQ(runtime_->image_pulls(), 1u);
+}
+
+TEST_F(ImagePullTest, CachedImageSkipsThePull) {
+  runtime_->StartContainer("p1", {}, nullptr, "img");
+  sim_.Run();
+  Time started{0};
+  runtime_->StartContainer("p2", {}, [&](const ContainerInstance&) {
+    started = sim_.Now();
+  }, "img");
+  sim_.Run();
+  EXPECT_EQ(started, Millis(4000 + 1000));
+  EXPECT_EQ(runtime_->image_pulls(), 1u);
+}
+
+TEST_F(ImagePullTest, ConcurrentPullsCoalesce) {
+  std::vector<Time> times;
+  for (int i = 0; i < 2; ++i) {
+    runtime_->StartContainer("p" + std::to_string(i), {},
+                             [&](const ContainerInstance&) {
+                               times.push_back(sim_.Now());
+                             },
+                             "img");
+  }
+  sim_.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Millis(4000));  // both behind ONE pull
+  EXPECT_EQ(times[1], Millis(4000));
+  EXPECT_EQ(runtime_->image_pulls(), 1u);
+}
+
+TEST_F(ImagePullTest, DistinctImagesPullIndependently) {
+  runtime_->StartContainer("a", {}, nullptr, "img-a");
+  runtime_->StartContainer("b", {}, nullptr, "img-b");
+  sim_.Run();
+  EXPECT_EQ(runtime_->image_pulls(), 2u);
+  EXPECT_TRUE(runtime_->ImageCached("img-a"));
+  EXPECT_TRUE(runtime_->ImageCached("img-b"));
+}
+
+TEST_F(ImagePullTest, EmptyImageIsPrePulled) {
+  Time started{0};
+  runtime_->StartContainer("p", {}, [&](const ContainerInstance&) {
+    started = sim_.Now();
+  });
+  sim_.Run();
+  EXPECT_EQ(started, Millis(1000));
+  EXPECT_EQ(runtime_->image_pulls(), 0u);
+}
+
+TEST_F(ImagePullTest, KillWhileWaitingOnPullCancels) {
+  bool started = false;
+  runtime_->StartContainer("victim", {}, [&](const ContainerInstance&) {
+    started = true;
+  }, "img");
+  bool stopped = false;
+  ASSERT_TRUE(runtime_->KillContainer("victim", [&] { stopped = true; }).ok());
+  EXPECT_TRUE(stopped);
+  sim_.Run();
+  EXPECT_FALSE(started);
+  EXPECT_TRUE(runtime_->ImageCached("img"));  // the pull still completes
+}
+
+TEST_F(RuntimeTest, StartHookFiresAfterOnRunning) {
+  std::vector<int> order;
+  runtime_->SetStartHook([&](const ContainerInstance&) { order.push_back(2); });
+  runtime_->StartContainer("p", {}, [&](const ContainerInstance&) {
+    order.push_back(1);
+  });
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace ks::k8s

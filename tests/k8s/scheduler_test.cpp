@@ -1,0 +1,159 @@
+#include "k8s/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "k8s/apiserver.hpp"
+
+namespace ks::k8s {
+namespace {
+
+/// Direct unit tests of the kube-scheduler against a bare apiserver (no
+/// kubelets): nodes are registered by hand so filters and scoring can be
+/// exercised precisely; pods are "scheduled" when BindPod lands.
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : api_(&sim_), sched_(&api_) {
+    EXPECT_TRUE(sched_.Start().ok());
+  }
+
+  void AddNode(const std::string& name, std::int64_t cpu, std::int64_t gpus,
+               std::map<std::string, std::string> labels = {}) {
+    Node node;
+    node.meta.name = name;
+    node.meta.labels = std::move(labels);
+    node.capacity.Set(kResourceCpu, cpu);
+    if (gpus > 0) node.capacity.Set(kResourceNvidiaGpu, gpus);
+    ASSERT_TRUE(api_.nodes().Create(node).ok());
+  }
+
+  void AddPod(const std::string& name, std::int64_t cpu, std::int64_t gpus,
+              std::map<std::string, std::string> selector = {}) {
+    Pod pod;
+    pod.meta.name = name;
+    pod.spec.requests.Set(kResourceCpu, cpu);
+    if (gpus > 0) pod.spec.requests.Set(kResourceNvidiaGpu, gpus);
+    pod.spec.node_selector = std::move(selector);
+    ASSERT_TRUE(api_.pods().Create(pod).ok());
+  }
+
+  std::string NodeOf(const std::string& pod) {
+    return api_.pods().Get(pod)->status.node_name;
+  }
+
+  sim::Simulation sim_;
+  ApiServer api_;
+  KubeScheduler sched_;
+};
+
+TEST_F(SchedulerTest, BindsToOnlyFittingNode) {
+  AddNode("small", 1000, 0);
+  AddNode("big", 8000, 0);
+  AddPod("p", 4000, 0);
+  sim_.RunUntil(Seconds(2));
+  EXPECT_EQ(NodeOf("p"), "big");
+  EXPECT_EQ(sched_.scheduled_count(), 1u);
+}
+
+TEST_F(SchedulerTest, LeastAllocatedSpreads) {
+  AddNode("n1", 8000, 0);
+  AddNode("n2", 8000, 0);
+  AddPod("p1", 2000, 0);
+  AddPod("p2", 2000, 0);
+  sim_.RunUntil(Seconds(2));
+  EXPECT_NE(NodeOf("p1"), NodeOf("p2"));
+}
+
+TEST_F(SchedulerTest, GpuCountsAreAggregatePerNode) {
+  AddNode("n1", 8000, 2);
+  AddPod("p1", 100, 2);
+  AddPod("p2", 100, 1);
+  sim_.RunUntil(Seconds(2));
+  EXPECT_EQ(NodeOf("p1"), "n1");
+  EXPECT_TRUE(NodeOf("p2").empty());  // no GPUs left
+  EXPECT_GE(sched_.retry_count(), 1u);
+}
+
+TEST_F(SchedulerTest, NodeSelectorFiltersHard) {
+  AddNode("n1", 8000, 0, {{"disk", "hdd"}});
+  AddNode("n2", 8000, 0, {{"disk", "ssd"}});
+  AddPod("p", 100, 0, {{"disk", "ssd"}});
+  sim_.RunUntil(Seconds(2));
+  EXPECT_EQ(NodeOf("p"), "n2");
+}
+
+TEST_F(SchedulerTest, UnreadyNodeIsSkipped) {
+  AddNode("n1", 8000, 0);
+  auto node = api_.nodes().Get("n1");
+  node->ready = false;
+  ASSERT_TRUE(api_.nodes().Update(*node).ok());
+  sim_.RunUntil(Seconds(1));
+  AddPod("p", 100, 0);
+  sim_.RunUntil(Seconds(3));
+  EXPECT_TRUE(NodeOf("p").empty());
+}
+
+TEST_F(SchedulerTest, RetryEventuallyBindsWhenCapacityFrees) {
+  AddNode("n1", 1000, 0);
+  AddPod("p1", 1000, 0);
+  AddPod("p2", 1000, 0);
+  sim_.RunUntil(Seconds(3));
+  EXPECT_TRUE(NodeOf("p2").empty());
+  // p1 finishes; its reservation is released on the terminal update.
+  ASSERT_TRUE(api_.SetPodPhase("p1", PodPhase::kSucceeded).ok());
+  sim_.RunUntil(Seconds(6));
+  EXPECT_EQ(NodeOf("p2"), "n1");
+}
+
+TEST_F(SchedulerTest, DeletedPendingPodIsNotBound) {
+  AddNode("n1", 1000, 0);
+  AddPod("p1", 1000, 0);
+  AddPod("p2", 1000, 0);
+  sim_.RunUntil(Seconds(2));
+  ASSERT_TRUE(api_.pods().Delete("p2").ok());
+  ASSERT_TRUE(api_.SetPodPhase("p1", PodPhase::kSucceeded).ok());
+  sim_.RunUntil(Seconds(6));
+  EXPECT_EQ(sched_.scheduled_count(), 1u);
+}
+
+TEST_F(SchedulerTest, PreBoundPodsAreAccounted) {
+  AddNode("n1", 2000, 0);
+  // A pod bound by an external controller (the KubeShare path).
+  Pod direct;
+  direct.meta.name = "direct";
+  direct.spec.requests.Set(kResourceCpu, 1500);
+  direct.status.node_name = "n1";
+  ASSERT_TRUE(api_.pods().Create(direct).ok());
+  sim_.RunUntil(Seconds(1));
+  // The scheduler must see n1 as nearly full.
+  AddPod("p", 1000, 0);
+  sim_.RunUntil(Seconds(3));
+  EXPECT_TRUE(NodeOf("p").empty());
+  EXPECT_EQ(sched_.AllocatedOn("n1").Get(kResourceCpu), 1500);
+}
+
+TEST_F(SchedulerTest, TerminalPodReleasesReservation) {
+  AddNode("n1", 1000, 0);
+  AddPod("p1", 800, 0);
+  sim_.RunUntil(Seconds(2));
+  EXPECT_EQ(sched_.AllocatedOn("n1").Get(kResourceCpu), 800);
+  ASSERT_TRUE(api_.SetPodPhase("p1", PodPhase::kFailed).ok());
+  sim_.RunUntil(Seconds(3));
+  EXPECT_EQ(sched_.AllocatedOn("n1").Get(kResourceCpu), 0);
+}
+
+TEST_F(SchedulerTest, DoubleStartRejected) {
+  EXPECT_FALSE(sched_.Start().ok());
+}
+
+TEST_F(SchedulerTest, SchedulingCycleTakesModeledTime) {
+  AddNode("n1", 8000, 0);
+  AddPod("p", 100, 0);
+  // sched_fixed (10 ms) + 1 node * sched_per_node (1 ms) + watch latency.
+  sim_.RunUntil(Millis(5));
+  EXPECT_TRUE(NodeOf("p").empty());
+  sim_.RunUntil(Millis(50));
+  EXPECT_EQ(NodeOf("p"), "n1");
+}
+
+}  // namespace
+}  // namespace ks::k8s

@@ -1,0 +1,125 @@
+#include "k8s/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "k8s/objects.hpp"
+
+namespace ks::k8s {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  Pod MakePod(const std::string& name) {
+    Pod p;
+    p.meta.name = name;
+    return p;
+  }
+
+  sim::Simulation sim_;
+  ObjectStore<Pod> store_{&sim_};
+};
+
+TEST_F(StoreTest, CreateAssignsMetadata) {
+  ASSERT_TRUE(store_.Create(MakePod("a")).ok());
+  auto got = store_.Get("a");
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(got->meta.uid, 0u);
+  EXPECT_EQ(got->meta.resource_version, 1u);
+}
+
+TEST_F(StoreTest, CreateRejectsDuplicatesAndUnnamed) {
+  ASSERT_TRUE(store_.Create(MakePod("a")).ok());
+  EXPECT_EQ(store_.Create(MakePod("a")).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(store_.Create(MakePod("")).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StoreTest, GetMissingFails) {
+  EXPECT_EQ(store_.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, UpdateBumpsVersionPreservesUid) {
+  ASSERT_TRUE(store_.Create(MakePod("a")).ok());
+  auto pod = store_.Get("a");
+  const auto uid = pod->meta.uid;
+  pod->status.phase = PodPhase::kRunning;
+  ASSERT_TRUE(store_.Update(*pod).ok());
+  auto got = store_.Get("a");
+  EXPECT_EQ(got->meta.uid, uid);
+  EXPECT_EQ(got->meta.resource_version, 2u);
+  EXPECT_EQ(got->status.phase, PodPhase::kRunning);
+}
+
+TEST_F(StoreTest, UpdateMissingFails) {
+  EXPECT_EQ(store_.Update(MakePod("ghost")).code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, DeleteRemoves) {
+  ASSERT_TRUE(store_.Create(MakePod("a")).ok());
+  ASSERT_TRUE(store_.Delete("a").ok());
+  EXPECT_FALSE(store_.Contains("a"));
+  EXPECT_EQ(store_.Delete("a").code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, ListReturnsAll) {
+  store_.Create(MakePod("a"));
+  store_.Create(MakePod("b"));
+  EXPECT_EQ(store_.List().size(), 2u);
+  EXPECT_EQ(store_.size(), 2u);
+}
+
+TEST_F(StoreTest, WatchDeliversEventsAsynchronously) {
+  std::vector<WatchEventType> events;
+  store_.Watch([&](const WatchEvent<Pod>& ev) { events.push_back(ev.type); });
+  store_.Create(MakePod("a"));
+  // Nothing is delivered synchronously.
+  EXPECT_TRUE(events.empty());
+  sim_.Run();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], WatchEventType::kAdded);
+
+  auto pod = store_.Get("a");
+  store_.Update(*pod);
+  store_.Delete("a");
+  sim_.Run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1], WatchEventType::kModified);
+  EXPECT_EQ(events[2], WatchEventType::kDeleted);
+}
+
+TEST_F(StoreTest, LateWatcherReplaysExistingObjects) {
+  store_.Create(MakePod("a"));
+  store_.Create(MakePod("b"));
+  sim_.Run();
+  std::vector<std::string> seen;
+  store_.Watch(
+      [&](const WatchEvent<Pod>& ev) { seen.push_back(ev.object.meta.name); });
+  sim_.Run();
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST_F(StoreTest, UnwatchStopsDelivery) {
+  int events = 0;
+  const WatchId id = store_.Watch([&](const WatchEvent<Pod>&) { ++events; });
+  store_.Create(MakePod("a"));
+  store_.Unwatch(id);
+  sim_.Run();
+  EXPECT_EQ(events, 0);
+}
+
+TEST_F(StoreTest, DeletedEventCarriesFinalState) {
+  Pod p = MakePod("a");
+  p.status.phase = PodPhase::kRunning;
+  store_.Create(p);
+  std::optional<Pod> deleted;
+  store_.Watch([&](const WatchEvent<Pod>& ev) {
+    if (ev.type == WatchEventType::kDeleted) deleted = ev.object;
+  });
+  sim_.Run();
+  store_.Delete("a");
+  sim_.Run();
+  ASSERT_TRUE(deleted.has_value());
+  EXPECT_EQ(deleted->status.phase, PodPhase::kRunning);
+}
+
+}  // namespace
+}  // namespace ks::k8s

@@ -1,0 +1,308 @@
+#include "kubeshare/kubeshare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "k8s/device_plugin.hpp"
+
+namespace ks::kubeshare {
+namespace {
+
+SharePod MakeSharePod(const std::string& name, double request, double limit,
+                      double mem = 0.25) {
+  SharePod sp;
+  sp.meta.name = name;
+  sp.spec.pod.requests.Set(k8s::kResourceCpu, 2000);
+  sp.spec.gpu.gpu_request = request;
+  sp.spec.gpu.gpu_limit = limit;
+  sp.spec.gpu.gpu_mem = mem;
+  return sp;
+}
+
+class KubeShareTest : public ::testing::Test {
+ protected:
+  static k8s::ClusterConfig SmallCluster() {
+    k8s::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.gpus_per_node = 2;
+    return cfg;
+  }
+
+  KubeShareTest() : cluster_(SmallCluster()), kubeshare_(&cluster_) {
+    EXPECT_TRUE(cluster_.Start().ok());
+    EXPECT_TRUE(kubeshare_.Start().ok());
+  }
+
+  int CountPods(const char* role) {
+    int n = 0;
+    for (const k8s::Pod& p : cluster_.api().pods().List()) {
+      auto it = p.meta.labels.find(kRoleLabel);
+      if (it != p.meta.labels.end() && it->second == role && !p.terminal()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  k8s::Cluster cluster_;
+  KubeShare kubeshare_;
+};
+
+TEST_F(KubeShareTest, SharePodReachesRunningWithDeviceEnv) {
+  ASSERT_TRUE(kubeshare_.CreateSharePod(MakeSharePod("sp-1", 0.5, 0.8)).ok());
+  cluster_.sim().RunUntil(Seconds(15));
+  auto sp = kubeshare_.sharepods().Get("sp-1");
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->status.phase, SharePodPhase::kRunning);
+  ASSERT_FALSE(sp->status.workload_pod.empty());
+  auto pod = cluster_.api().pods().Get(sp->status.workload_pod);
+  ASSERT_TRUE(pod.ok());
+  EXPECT_EQ(pod->status.phase, k8s::PodPhase::kRunning);
+  // The device binding and the library configuration are in the env.
+  const auto& env = pod->status.effective_env;
+  ASSERT_EQ(env.count(k8s::kNvidiaVisibleDevices), 1u);
+  auto binding = KubeShare::ParseBinding(env);
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->sharepod, "sp-1");
+  EXPECT_DOUBLE_EQ(binding->spec.gpu_request, 0.5);
+  EXPECT_DOUBLE_EQ(binding->spec.gpu_limit, 0.8);
+  EXPECT_DOUBLE_EQ(binding->spec.gpu_mem, 0.25);
+  // An acquisition pod holds the physical GPU.
+  EXPECT_EQ(CountPods(kRoleAcquisition), 1);
+}
+
+TEST_F(KubeShareTest, TwoSharePodsShareOneGpu) {
+  ASSERT_TRUE(kubeshare_.CreateSharePod(MakeSharePod("a", 0.4, 0.8)).ok());
+  ASSERT_TRUE(kubeshare_.CreateSharePod(MakeSharePod("b", 0.4, 0.8)).ok());
+  cluster_.sim().RunUntil(Seconds(15));
+  auto a = kubeshare_.sharepods().Get("a");
+  auto b = kubeshare_.sharepods().Get("b");
+  EXPECT_EQ(a->spec.gpu_id, b->spec.gpu_id);
+  EXPECT_EQ(kubeshare_.pool().size(), 1u);
+  EXPECT_EQ(CountPods(kRoleAcquisition), 1);  // one physical GPU held
+  // Both workload pods see the same UUID.
+  auto pa = cluster_.api().pods().Get(a->status.workload_pod);
+  auto pb = cluster_.api().pods().Get(b->status.workload_pod);
+  EXPECT_EQ(pa->status.effective_env.at(k8s::kNvidiaVisibleDevices),
+            pb->status.effective_env.at(k8s::kNvidiaVisibleDevices));
+}
+
+TEST_F(KubeShareTest, NonFittingSharePodsGetSeparateGpus) {
+  ASSERT_TRUE(kubeshare_.CreateSharePod(MakeSharePod("a", 0.7, 1.0)).ok());
+  ASSERT_TRUE(kubeshare_.CreateSharePod(MakeSharePod("b", 0.7, 1.0)).ok());
+  cluster_.sim().RunUntil(Seconds(15));
+  auto a = kubeshare_.sharepods().Get("a");
+  auto b = kubeshare_.sharepods().Get("b");
+  EXPECT_NE(a->spec.gpu_id, b->spec.gpu_id);
+  EXPECT_EQ(kubeshare_.pool().size(), 2u);
+}
+
+TEST_F(KubeShareTest, OnDemandReleaseReturnsGpuToKubernetes) {
+  ASSERT_TRUE(kubeshare_.CreateSharePod(MakeSharePod("a", 0.4, 0.8)).ok());
+  cluster_.sim().RunUntil(Seconds(15));
+  ASSERT_EQ(kubeshare_.pool().size(), 1u);
+  // The user deletes the sharePod: workload pod goes away, the vGPU turns
+  // idle and — in on-demand mode — is released immediately.
+  ASSERT_TRUE(kubeshare_.sharepods().Delete("a").ok());
+  cluster_.sim().RunUntil(Seconds(20));
+  EXPECT_EQ(kubeshare_.pool().size(), 0u);
+  EXPECT_EQ(kubeshare_.devmgr().vgpus_released(), 1u);
+  EXPECT_EQ(CountPods(kRoleAcquisition), 0);
+  EXPECT_EQ(CountPods(kRoleWorkload), 0);
+  // A native pod can now take all 4 GPUs' worth of capacity.
+  k8s::Pod native;
+  native.meta.name = "native";
+  native.spec.requests.Set(k8s::kResourceNvidiaGpu, 2);
+  ASSERT_TRUE(cluster_.api().pods().Create(native).ok());
+  cluster_.sim().RunUntil(Seconds(40));
+  EXPECT_EQ(cluster_.api().pods().Get("native")->status.phase,
+            k8s::PodPhase::kRunning);
+}
+
+TEST_F(KubeShareTest, WorkloadCompletionFinishesSharePod) {
+  ASSERT_TRUE(kubeshare_.CreateSharePod(MakeSharePod("a", 0.4, 0.8)).ok());
+  cluster_.sim().RunUntil(Seconds(15));
+  auto sp = kubeshare_.sharepods().Get("a");
+  ASSERT_EQ(sp->status.phase, SharePodPhase::kRunning);
+  ASSERT_TRUE(cluster_.ExitPodContainer(sp->status.workload_pod, true).ok());
+  cluster_.sim().RunUntil(Seconds(20));
+  sp = kubeshare_.sharepods().Get("a");
+  EXPECT_EQ(sp->status.phase, SharePodPhase::kSucceeded);
+  EXPECT_EQ(kubeshare_.pool().size(), 0u);  // on-demand release
+}
+
+TEST_F(KubeShareTest, AntiAffinityForcesDistinctGpus) {
+  SharePod a = MakeSharePod("a", 0.2, 0.5);
+  a.spec.locality.anti_affinity = Label("spread");
+  SharePod b = MakeSharePod("b", 0.2, 0.5);
+  b.spec.locality.anti_affinity = Label("spread");
+  ASSERT_TRUE(kubeshare_.CreateSharePod(a).ok());
+  ASSERT_TRUE(kubeshare_.CreateSharePod(b).ok());
+  cluster_.sim().RunUntil(Seconds(15));
+  EXPECT_NE(kubeshare_.sharepods().Get("a")->spec.gpu_id,
+            kubeshare_.sharepods().Get("b")->spec.gpu_id);
+}
+
+TEST_F(KubeShareTest, AffinityOverflowRejected) {
+  SharePod a = MakeSharePod("a", 0.7, 1.0);
+  a.spec.locality.affinity = Label("grp");
+  SharePod b = MakeSharePod("b", 0.7, 1.0);
+  b.spec.locality.affinity = Label("grp");
+  ASSERT_TRUE(kubeshare_.CreateSharePod(a).ok());
+  ASSERT_TRUE(kubeshare_.CreateSharePod(b).ok());
+  cluster_.sim().RunUntil(Seconds(15));
+  EXPECT_EQ(kubeshare_.sharepods().Get("a")->status.phase,
+            SharePodPhase::kRunning);
+  EXPECT_EQ(kubeshare_.sharepods().Get("b")->status.phase,
+            SharePodPhase::kRejected);
+  EXPECT_EQ(kubeshare_.sched().rejected_count(), 1u);
+}
+
+TEST_F(KubeShareTest, PinnedGpuIdIsHonored) {
+  // First-class resources: the user names the vGPU explicitly.
+  SharePod a = MakeSharePod("a", 0.3, 0.6);
+  a.spec.gpu_id = GpuId("my-vgpu");
+  a.spec.node_name = "node-1";
+  SharePod b = MakeSharePod("b", 0.3, 0.6);
+  b.spec.gpu_id = GpuId("my-vgpu");
+  b.spec.node_name = "node-1";
+  ASSERT_TRUE(kubeshare_.CreateSharePod(a).ok());
+  ASSERT_TRUE(kubeshare_.CreateSharePod(b).ok());
+  cluster_.sim().RunUntil(Seconds(15));
+  EXPECT_EQ(kubeshare_.sharepods().Get("a")->status.phase,
+            SharePodPhase::kRunning);
+  EXPECT_EQ(kubeshare_.sharepods().Get("b")->status.phase,
+            SharePodPhase::kRunning);
+  auto dev = kubeshare_.pool().Get(GpuId("my-vgpu"));
+  ASSERT_TRUE(dev.ok());
+  EXPECT_EQ(dev->node, "node-1");
+  EXPECT_EQ(dev->attached.size(), 2u);
+  EXPECT_EQ(kubeshare_.sched().scheduled_count(), 0u);  // bypassed Algorithm 1
+}
+
+TEST_F(KubeShareTest, PinnedGpuIdWithoutNodeIsRejected) {
+  SharePod a = MakeSharePod("a", 0.3, 0.6);
+  a.spec.gpu_id = GpuId("dangling");
+  ASSERT_TRUE(kubeshare_.CreateSharePod(a).ok());
+  cluster_.sim().RunUntil(Seconds(5));
+  EXPECT_EQ(kubeshare_.sharepods().Get("a")->status.phase,
+            SharePodPhase::kRejected);
+}
+
+TEST_F(KubeShareTest, SaturatedClusterQueuesUntilCapacityFrees) {
+  // 4 physical GPUs; 4 big sharePods fill them; the 5th waits, then runs
+  // after one finishes.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(kubeshare_
+                    .CreateSharePod(MakeSharePod("sp-" + std::to_string(i),
+                                                 0.9, 1.0))
+                    .ok());
+  }
+  cluster_.sim().RunUntil(Seconds(20));
+  int running = 0, pending = 0;
+  for (const SharePod& sp : kubeshare_.sharepods().List()) {
+    if (sp.status.phase == SharePodPhase::kRunning) ++running;
+    if (sp.status.phase == SharePodPhase::kPending) ++pending;
+  }
+  EXPECT_EQ(running, 4);
+  EXPECT_EQ(pending, 1);
+  EXPECT_GE(kubeshare_.sched().retry_count(), 1u);
+  // Finish one; the waiter must eventually run.
+  auto victim = kubeshare_.sharepods().Get("sp-0");
+  ASSERT_TRUE(
+      cluster_.ExitPodContainer(victim->status.workload_pod, true).ok());
+  cluster_.sim().RunUntil(Seconds(60));
+  running = 0;
+  for (const SharePod& sp : kubeshare_.sharepods().List()) {
+    if (sp.status.phase == SharePodPhase::kRunning) ++running;
+  }
+  EXPECT_EQ(running, 4);
+}
+
+TEST_F(KubeShareTest, CoexistsWithNativeGpuPods) {
+  // A native pod takes one GPU through kube-scheduler; KubeShare must not
+  // hand that GPU out again.
+  k8s::Pod native1, native2;
+  native1.meta.name = "native-1";
+  native1.spec.requests.Set(k8s::kResourceNvidiaGpu, 2);  // fills one node
+  native2.meta.name = "native-2";
+  native2.spec.requests.Set(k8s::kResourceNvidiaGpu, 1);
+  ASSERT_TRUE(cluster_.api().pods().Create(native1).ok());
+  ASSERT_TRUE(cluster_.api().pods().Create(native2).ok());
+  cluster_.sim().RunUntil(Seconds(10));
+  ASSERT_EQ(cluster_.api().pods().Get("native-1")->status.phase,
+            k8s::PodPhase::kRunning);
+  ASSERT_EQ(cluster_.api().pods().Get("native-2")->status.phase,
+            k8s::PodPhase::kRunning);
+  // Only 1 physical GPU left for KubeShare.
+  ASSERT_TRUE(kubeshare_.CreateSharePod(MakeSharePod("a", 0.6, 1.0)).ok());
+  ASSERT_TRUE(kubeshare_.CreateSharePod(MakeSharePod("b", 0.6, 1.0)).ok());
+  cluster_.sim().RunUntil(Seconds(25));
+  int running = 0, pending = 0;
+  for (const SharePod& sp : kubeshare_.sharepods().List()) {
+    if (sp.status.phase == SharePodPhase::kRunning) ++running;
+    if (sp.status.phase == SharePodPhase::kPending) ++pending;
+  }
+  EXPECT_EQ(running, 1);
+  EXPECT_EQ(pending, 1);
+}
+
+TEST_F(KubeShareTest, ReservationPolicyKeepsIdleVgpu) {
+  k8s::ClusterConfig ccfg = SmallCluster();
+  k8s::Cluster cluster(ccfg);
+  KubeShareConfig kcfg;
+  kcfg.pool_policy = PoolPolicy::kReservation;
+  KubeShare kubeshare(&cluster, kcfg);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(kubeshare.Start().ok());
+  ASSERT_TRUE(kubeshare.CreateSharePod(MakeSharePod("a", 0.4, 0.8)).ok());
+  cluster.sim().RunUntil(Seconds(15));
+  ASSERT_TRUE(kubeshare.sharepods().Delete("a").ok());
+  cluster.sim().RunUntil(Seconds(20));
+  ASSERT_EQ(kubeshare.pool().size(), 1u);
+  EXPECT_EQ(kubeshare.pool().List()[0]->state, VgpuState::kIdle);
+  // The next sharePod reuses the idle vGPU without a second acquisition.
+  const auto created_before = kubeshare.devmgr().vgpus_created();
+  ASSERT_TRUE(kubeshare.CreateSharePod(MakeSharePod("b", 0.4, 0.8)).ok());
+  cluster.sim().RunUntil(Seconds(30));
+  EXPECT_EQ(kubeshare.sharepods().Get("b")->status.phase,
+            SharePodPhase::kRunning);
+  EXPECT_EQ(kubeshare.devmgr().vgpus_created(), created_before);
+}
+
+TEST_F(KubeShareTest, ParseBindingRoundTrip) {
+  std::map<std::string, std::string> env{
+      {kEnvSharePod, "my-sp"},
+      {kEnvGpuId, "vgpu-9"},
+      {kEnvGpuRequest, "0.350000"},
+      {kEnvGpuLimit, "0.900000"},
+      {kEnvGpuMem, "0.250000"},
+  };
+  auto binding = KubeShare::ParseBinding(env);
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->sharepod, "my-sp");
+  EXPECT_EQ(binding->gpu_id, GpuId("vgpu-9"));
+  EXPECT_DOUBLE_EQ(binding->spec.gpu_request, 0.35);
+  EXPECT_DOUBLE_EQ(binding->spec.gpu_limit, 0.9);
+  EXPECT_DOUBLE_EQ(binding->spec.gpu_mem, 0.25);
+}
+
+TEST_F(KubeShareTest, ParseBindingDefaultsAndAbsence) {
+  // No KUBESHARE_SHAREPOD: not a KubeShare container.
+  EXPECT_FALSE(KubeShare::ParseBinding({{"PATH", "/usr/bin"}}).has_value());
+  // Sharepod name alone: spec fields default to an unconstrained vGPU.
+  auto binding = KubeShare::ParseBinding({{kEnvSharePod, "sp"}});
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_DOUBLE_EQ(binding->spec.gpu_request, 0.0);
+  EXPECT_DOUBLE_EQ(binding->spec.gpu_limit, 1.0);
+  EXPECT_DOUBLE_EQ(binding->spec.gpu_mem, 1.0);
+}
+
+TEST_F(KubeShareTest, InvalidGpuSpecRejectedAtCreation) {
+  SharePod sp = MakeSharePod("bad", 0.8, 0.5);  // request > limit
+  EXPECT_FALSE(kubeshare_.CreateSharePod(sp).ok());
+  SharePod unnamed = MakeSharePod("", 0.1, 0.5);
+  EXPECT_FALSE(kubeshare_.CreateSharePod(unnamed).ok());
+}
+
+}  // namespace
+}  // namespace ks::kubeshare

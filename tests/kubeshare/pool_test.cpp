@@ -1,0 +1,155 @@
+#include "kubeshare/pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ks::kubeshare {
+namespace {
+
+vgpu::ResourceSpec Spec(double request, double mem = 0.1) {
+  vgpu::ResourceSpec s;
+  s.gpu_request = request;
+  s.gpu_limit = 1.0;
+  s.gpu_mem = mem;
+  return s;
+}
+
+TEST(VgpuPool, CreateAssignsUniqueIds) {
+  VgpuPool pool;
+  const GpuId a = pool.Create("node-0").id;
+  const GpuId b = pool.Create("node-0").id;
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.CountOnNode("node-0"), 2u);
+  EXPECT_EQ(pool.CountOnNode("node-1"), 0u);
+}
+
+TEST(VgpuPool, CreateWithIdRejectsDuplicates) {
+  VgpuPool pool;
+  ASSERT_TRUE(pool.CreateWithId(GpuId("mine"), "node-0").ok());
+  EXPECT_FALSE(pool.CreateWithId(GpuId("mine"), "node-1").ok());
+  EXPECT_FALSE(pool.CreateWithId(GpuId(""), "node-0").ok());
+}
+
+TEST(VgpuPool, ActivateSetsUuidOnce) {
+  VgpuPool pool;
+  const GpuId id = pool.Create("node-0").id;
+  EXPECT_EQ(pool.Get(id)->state, VgpuState::kCreating);
+  ASSERT_TRUE(pool.Activate(id, GpuUuid("GPU-X")).ok());
+  EXPECT_EQ(pool.Get(id)->state, VgpuState::kIdle);
+  EXPECT_EQ(pool.Get(id)->uuid, GpuUuid("GPU-X"));
+  EXPECT_FALSE(pool.Activate(id, GpuUuid("GPU-Y")).ok());
+  EXPECT_FALSE(pool.Activate(GpuId("ghost"), GpuUuid("GPU-Z")).ok());
+}
+
+TEST(VgpuPool, AttachReservesCapacity) {
+  VgpuPool pool;
+  const GpuId id = pool.Create("node-0").id;
+  ASSERT_TRUE(pool.Attach(id, "a", Spec(0.6, 0.5), {}).ok());
+  auto dev = pool.Get(id);
+  EXPECT_DOUBLE_EQ(dev->used_util, 0.6);
+  EXPECT_DOUBLE_EQ(dev->used_mem, 0.5);
+  EXPECT_DOUBLE_EQ(dev->residual_util(), 0.4);
+  EXPECT_EQ(dev->attached.size(), 1u);
+  EXPECT_EQ(pool.DeviceOf("a"), id);
+}
+
+TEST(VgpuPool, AttachRejectsOvercommit) {
+  VgpuPool pool;
+  const GpuId id = pool.Create("node-0").id;
+  ASSERT_TRUE(pool.Attach(id, "a", Spec(0.6), {}).ok());
+  EXPECT_EQ(pool.Attach(id, "b", Spec(0.5), {}).code(),
+            StatusCode::kResourceExhausted);
+  // Memory over-commit is equally rejected (no memory over-commitment in
+  // the paper's design).
+  EXPECT_EQ(pool.Attach(id, "c", Spec(0.1, 0.95), {}).code(),
+            StatusCode::kResourceExhausted);
+  // Exact fill is allowed.
+  EXPECT_TRUE(pool.Attach(id, "d", Spec(0.4, 0.5), {}).ok());
+}
+
+TEST(VgpuPool, AttachTwiceFails) {
+  VgpuPool pool;
+  const GpuId id = pool.Create("node-0").id;
+  ASSERT_TRUE(pool.Attach(id, "a", Spec(0.1), {}).ok());
+  EXPECT_EQ(pool.Attach(id, "a", Spec(0.1), {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(VgpuPool, ExclusionBlocksOtherLabels) {
+  VgpuPool pool;
+  const GpuId id = pool.Create("node-0").id;
+  LocalitySpec tenant_a;
+  tenant_a.exclusion = Label("tenant-a");
+  ASSERT_TRUE(pool.Attach(id, "a1", Spec(0.2), tenant_a).ok());
+  LocalitySpec tenant_b;
+  tenant_b.exclusion = Label("tenant-b");
+  EXPECT_EQ(pool.Attach(id, "b1", Spec(0.2), tenant_b).code(),
+            StatusCode::kRejected);
+  LocalitySpec none;
+  EXPECT_EQ(pool.Attach(id, "n1", Spec(0.2), none).code(),
+            StatusCode::kRejected);
+  // Same label shares fine.
+  EXPECT_TRUE(pool.Attach(id, "a2", Spec(0.2), tenant_a).ok());
+}
+
+TEST(VgpuPool, AntiAffinityBlocksSameLabel) {
+  VgpuPool pool;
+  const GpuId id = pool.Create("node-0").id;
+  LocalitySpec anti;
+  anti.anti_affinity = Label("spread-me");
+  ASSERT_TRUE(pool.Attach(id, "a", Spec(0.2), anti).ok());
+  EXPECT_EQ(pool.Attach(id, "b", Spec(0.2), anti).code(),
+            StatusCode::kRejected);
+}
+
+TEST(VgpuPool, DetachRecomputesLabelsAndUsage) {
+  VgpuPool pool;
+  const GpuId id = pool.Create("node-0").id;
+  LocalitySpec anti;
+  anti.anti_affinity = Label("L");
+  ASSERT_TRUE(pool.Attach(id, "a", Spec(0.3), anti).ok());
+  ASSERT_TRUE(pool.Attach(id, "b", Spec(0.2), {}).ok());
+  auto device = pool.Detach("a");
+  ASSERT_TRUE(device.ok());
+  EXPECT_EQ(*device, id);
+  auto dev = pool.Get(id);
+  EXPECT_DOUBLE_EQ(dev->used_util, 0.2);
+  // The anti-affinity label left with its contributor: the device can now
+  // accept another "L" container.
+  EXPECT_TRUE(pool.Attach(id, "c", Spec(0.2), anti).ok());
+}
+
+TEST(VgpuPool, DetachUnknownFails) {
+  VgpuPool pool;
+  EXPECT_FALSE(pool.Detach("ghost").ok());
+}
+
+TEST(VgpuPool, IdleTransitionAndRemove) {
+  VgpuPool pool;
+  const GpuId id = pool.Create("node-0").id;
+  ASSERT_TRUE(pool.Activate(id, GpuUuid("GPU-X")).ok());
+  ASSERT_TRUE(pool.Attach(id, "a", Spec(0.3), {}).ok());
+  EXPECT_EQ(pool.Get(id)->state, VgpuState::kActive);
+  EXPECT_FALSE(pool.Remove(id).ok());  // still attached
+  ASSERT_TRUE(pool.Detach("a").ok());
+  EXPECT_EQ(pool.Get(id)->state, VgpuState::kIdle);
+  ASSERT_TRUE(pool.Remove(id).ok());
+  EXPECT_FALSE(pool.Contains(id));
+}
+
+TEST(VgpuPool, AffinityLabelsAccumulate) {
+  VgpuPool pool;
+  const GpuId id = pool.Create("node-0").id;
+  LocalitySpec g1, g2;
+  g1.affinity = Label("grp-1");
+  g2.affinity = Label("grp-2");
+  ASSERT_TRUE(pool.Attach(id, "a", Spec(0.2), g1).ok());
+  ASSERT_TRUE(pool.Attach(id, "b", Spec(0.2), g2).ok());
+  auto dev = pool.Get(id);
+  EXPECT_EQ(dev->affinity.size(), 2u);
+  EXPECT_TRUE(dev->affinity.count(Label("grp-1")) > 0);
+  EXPECT_TRUE(dev->affinity.count(Label("grp-2")) > 0);
+}
+
+}  // namespace
+}  // namespace ks::kubeshare

@@ -1,0 +1,96 @@
+#include "metrics/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/cluster_metrics.hpp"
+
+namespace ks::metrics {
+namespace {
+
+TEST(PrometheusExporter, WritesExpositionFormat) {
+  PrometheusExporter exporter;
+  exporter.Gauge("ks_pool", "vGPU pool size", {}, 3);
+  exporter.Gauge("ks_util", "busy fraction", {{"uuid", "GPU-0"}}, 0.5);
+  exporter.Gauge("ks_util", "busy fraction", {{"uuid", "GPU-1"}}, 0.25);
+  std::stringstream os;
+  exporter.Write(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# HELP ks_pool vGPU pool size"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ks_pool gauge"), std::string::npos);
+  EXPECT_NE(text.find("ks_pool 3"), std::string::npos);
+  EXPECT_NE(text.find("ks_util{uuid=\"GPU-0\"} 0.5"), std::string::npos);
+  EXPECT_NE(text.find("ks_util{uuid=\"GPU-1\"} 0.25"), std::string::npos);
+  // One HELP/TYPE header per family, not per sample.
+  EXPECT_EQ(text.find("# HELP ks_util"), text.rfind("# HELP ks_util"));
+  EXPECT_EQ(exporter.sample_count(), 3u);
+}
+
+TEST(PrometheusExporter, MultipleLabelsSorted) {
+  PrometheusExporter exporter;
+  exporter.Gauge("m", "h", {{"b", "2"}, {"a", "1"}}, 7);
+  std::stringstream os;
+  exporter.Write(os);
+  EXPECT_NE(os.str().find("m{a=\"1\",b=\"2\"} 7"), std::string::npos);
+}
+
+TEST(PrometheusExporter, EscapesLabelValues) {
+  EXPECT_EQ(PrometheusExporter::EscapeLabelValue("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd");
+}
+
+TEST(PrometheusExporter, ClearResets) {
+  PrometheusExporter exporter;
+  exporter.Gauge("m", "h", {}, 1);
+  exporter.Clear();
+  EXPECT_EQ(exporter.sample_count(), 0u);
+}
+
+TEST(ClusterMetrics, ExportsClusterAndKubeShareState) {
+  k8s::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.gpus_per_node = 2;
+  k8s::Cluster cluster(cfg);
+  kubeshare::KubeShare kubeshare(&cluster);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(kubeshare.Start().ok());
+  kubeshare::SharePod sp;
+  sp.meta.name = "sp";
+  sp.spec.gpu.gpu_request = 0.4;
+  sp.spec.gpu.gpu_mem = 0.2;
+  ASSERT_TRUE(kubeshare.CreateSharePod(sp).ok());
+  cluster.sim().RunUntil(Seconds(10));
+
+  PrometheusExporter exporter;
+  ExportClusterMetrics(cluster, &kubeshare, exporter);
+  std::stringstream os;
+  exporter.Write(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("ks_gpu_busy_seconds_total{node=\"node-0\",uuid=\"GPU-0-0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ks_vgpu_pool_size{state=\"Active\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ks_sharepods{phase=\"Running\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ks_vgpus_created_total 1"), std::string::npos);
+  EXPECT_NE(text.find("ks_pods{phase=\"Running\"}"), std::string::npos);
+}
+
+TEST(ClusterMetrics, WorksWithoutKubeShare) {
+  k8s::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.gpus_per_node = 1;
+  k8s::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.Start().ok());
+  cluster.sim().RunUntil(Seconds(1));
+  PrometheusExporter exporter;
+  ExportClusterMetrics(cluster, nullptr, exporter);
+  std::stringstream os;
+  exporter.Write(os);
+  EXPECT_NE(os.str().find("ks_gpu_memory_used_fraction"), std::string::npos);
+  EXPECT_EQ(os.str().find("ks_vgpu_pool_size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ks::metrics

@@ -1,0 +1,217 @@
+#include "runtime/token_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/worker.hpp"
+
+namespace ks::runtime {
+namespace {
+
+// Real-thread tests use short quotas and generous tolerances: they verify
+// protocol behaviour, not precise timing (the deterministic policy tests
+// live in the simulated vgpu::TokenBackend suite).
+
+TokenServerConfig FastConfig() {
+  TokenServerConfig cfg;
+  cfg.quota = std::chrono::milliseconds(10);
+  cfg.usage_window = std::chrono::milliseconds(200);
+  return cfg;
+}
+
+TEST(TokenServer, SingleClientAcquiresImmediately) {
+  TokenServer server(FastConfig());
+  server.RegisterClient("a", 0.5, 1.0);
+  EXPECT_TRUE(server.Acquire("a"));
+  EXPECT_TRUE(server.Valid("a"));
+  server.Release("a");
+  EXPECT_FALSE(server.Valid("a"));
+}
+
+TEST(TokenServer, UnknownClientFails) {
+  TokenServer server(FastConfig());
+  EXPECT_FALSE(server.Acquire("ghost"));
+  EXPECT_FALSE(server.Valid("ghost"));
+  EXPECT_DOUBLE_EQ(server.UsageOf("ghost"), 0.0);
+}
+
+TEST(TokenServer, ReentrantAcquireByHolder) {
+  TokenServer server(FastConfig());
+  server.RegisterClient("a", 0.5, 1.0);
+  ASSERT_TRUE(server.Acquire("a"));
+  EXPECT_TRUE(server.Acquire("a"));  // still the holder
+  server.Release("a");
+}
+
+TEST(TokenServer, QuotaExpires) {
+  TokenServer server(FastConfig());
+  server.RegisterClient("a", 0.5, 1.0);
+  ASSERT_TRUE(server.Acquire("a"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(server.Valid("a"));
+  server.Release("a");
+}
+
+TEST(TokenServer, ShutdownUnblocksWaiters) {
+  TokenServer server(FastConfig());
+  server.RegisterClient("a", 0.5, 1.0);
+  server.RegisterClient("b", 0.5, 1.0);
+  ASSERT_TRUE(server.Acquire("a"));
+  std::thread waiter([&] { EXPECT_FALSE(server.Acquire("b")); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.Shutdown();
+  waiter.join();
+}
+
+TEST(TokenServer, SecondClientWaitsForRelease) {
+  TokenServer server(FastConfig());
+  server.RegisterClient("a", 0.5, 1.0);
+  server.RegisterClient("b", 0.5, 1.0);
+  ASSERT_TRUE(server.Acquire("a"));
+  std::atomic<bool> b_granted{false};
+  std::thread waiter([&] {
+    if (server.Acquire("b")) b_granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(b_granted.load());
+  server.Release("a");
+  waiter.join();
+  EXPECT_TRUE(b_granted.load());
+  server.Release("b");
+}
+
+TEST(TokenServer, TwoGreedyWorkersShareFairly) {
+  TokenServer server(FastConfig());
+  GreedyWorker a(&server, "a", 0.3, 1.0);
+  GreedyWorker b(&server, "b", 0.3, 1.0);
+  a.Start();
+  b.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const double usage_a = server.UsageOf("a");
+  const double usage_b = server.UsageOf("b");
+  a.Stop();
+  b.Stop();
+  // Both above their guaranteed 0.3 and roughly even.
+  EXPECT_GT(usage_a, 0.25);
+  EXPECT_GT(usage_b, 0.25);
+  EXPECT_NEAR(usage_a, usage_b, 0.3);
+}
+
+TEST(TokenServer, LimitThrottlesWorker) {
+  TokenServer server(FastConfig());
+  GreedyWorker a(&server, "a", 0.1, 0.4);
+  a.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const double usage = server.UsageOf("a");
+  a.Stop();
+  // Hard limit 0.4 (+ quota-granularity slack on a loaded CI machine).
+  EXPECT_LE(usage, 0.6);
+  EXPECT_GT(usage, 0.1);
+}
+
+TEST(TokenServer, GrantsAccumulate) {
+  TokenServer server(FastConfig());
+  GreedyWorker a(&server, "a", 0.5, 1.0);
+  a.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  a.Stop();
+  EXPECT_GE(server.grants(), 2u);  // several 10ms quota cycles elapsed
+  EXPECT_GT(a.work_done_us(), 0);
+}
+
+TEST(TokenServer, SnapshotIsConsistent) {
+  TokenServer server(FastConfig());
+  server.RegisterClient("a", 0.3, 0.8);
+  server.RegisterClient("b", 0.2, 1.0);
+  ASSERT_TRUE(server.Acquire("a"));
+  const auto view = server.Snapshot();
+  ASSERT_EQ(view.size(), 2u);
+  int holders = 0;
+  for (const auto& c : view) {
+    if (c.holding) {
+      ++holders;
+      EXPECT_EQ(c.id, "a");
+      EXPECT_DOUBLE_EQ(c.request, 0.3);
+      EXPECT_DOUBLE_EQ(c.limit, 0.8);
+    }
+  }
+  EXPECT_EQ(holders, 1);
+  server.Release("a");
+}
+
+TEST(TokenServer, BurstyWorkerMakesProgressAndIdles) {
+  TokenServer server(FastConfig());
+  BurstyWorker worker(&server, "bursty", 0.2, 1.0,
+                      std::chrono::milliseconds(1), 3,
+                      std::chrono::milliseconds(8), 42);
+  worker.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const double usage = server.UsageOf("bursty");
+  worker.Stop();
+  EXPECT_GT(worker.bursts_completed(), 5u);
+  EXPECT_GT(worker.work_done_us(), 0);
+  // ~3ms busy per ~11ms cycle: well below saturation.
+  EXPECT_LT(usage, 0.8);
+}
+
+TEST(TokenServer, MixedWorkersStressInvariants) {
+  // 6 real threads (2 greedy, 4 bursty) against one server; a monitor
+  // thread snapshots continuously and checks the single-holder invariant.
+  TokenServer server(FastConfig());
+  GreedyWorker g1(&server, "g1", 0.2, 0.6);
+  GreedyWorker g2(&server, "g2", 0.2, 0.6);
+  std::vector<std::unique_ptr<BurstyWorker>> bursty;
+  for (int i = 0; i < 4; ++i) {
+    bursty.push_back(std::make_unique<BurstyWorker>(
+        &server, "b" + std::to_string(i), 0.05, 0.5,
+        std::chrono::milliseconds(1), 2, std::chrono::milliseconds(10),
+        100 + static_cast<std::uint64_t>(i)));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread monitor([&] {
+    while (!stop.load()) {
+      const auto view = server.Snapshot();
+      int holders = 0;
+      for (const auto& c : view) {
+        if (c.holding) ++holders;
+        if (c.usage < -1e-9 || c.usage > 1.0 + 1e-9) violations.fetch_add(1);
+      }
+      if (holders > 1) violations.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  g1.Start();
+  g2.Start();
+  for (auto& w : bursty) w->Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  stop.store(true);
+  monitor.join();
+  g1.Stop();
+  g2.Stop();
+  std::int64_t bursty_work = 0;
+  for (auto& w : bursty) {
+    bursty_work += w->work_done_us();
+    w->Stop();
+  }
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(g1.work_done_us(), 0);
+  EXPECT_GT(g2.work_done_us(), 0);
+  EXPECT_GT(bursty_work, 0);
+}
+
+TEST(TokenServer, UnregisterWhileWaitingUnblocks) {
+  TokenServer server(FastConfig());
+  server.RegisterClient("a", 0.5, 1.0);
+  server.RegisterClient("b", 0.5, 1.0);
+  ASSERT_TRUE(server.Acquire("a"));
+  std::thread waiter([&] { EXPECT_FALSE(server.Acquire("b")); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.UnregisterClient("b");
+  waiter.join();
+  server.Release("a");
+}
+
+}  // namespace
+}  // namespace ks::runtime

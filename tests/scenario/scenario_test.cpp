@@ -1,0 +1,264 @@
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace ks::scenario {
+namespace {
+
+Expected<Scenario> ParseString(const std::string& text) {
+  std::stringstream ss(text);
+  return Scenario::Parse(ss);
+}
+
+TEST(ScenarioParse, MinimalScenario) {
+  auto s = ParseString("cluster nodes=1 gpus=1\n");
+  EXPECT_TRUE(s.ok()) << s.status();
+}
+
+TEST(ScenarioParse, RequiresCluster) {
+  auto s = ParseString("run until=10\n");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(ScenarioParse, RejectsUnknownCommand) {
+  auto s = ParseString("cluster nodes=1 gpus=1\nfrobnicate x=1\n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsBadNumbers) {
+  EXPECT_FALSE(ParseString("cluster nodes=two gpus=1\n").ok());
+  EXPECT_FALSE(ParseString("cluster nodes=1 gpus=1\nrun until=-1\n").ok());
+  EXPECT_FALSE(ParseString("cluster nodes=0 gpus=1\n").ok());
+}
+
+TEST(ScenarioParse, RejectsInvalidJob) {
+  const char* kBase = "cluster nodes=1 gpus=1\nkubeshare\n";
+  EXPECT_FALSE(ParseString(std::string(kBase) + "job kind=training\n").ok());
+  EXPECT_FALSE(
+      ParseString(std::string(kBase) + "job name=a kind=sleeping\n").ok());
+  EXPECT_FALSE(ParseString(std::string(kBase) +
+                           "job name=a request=0.9 limit=0.3\n")
+                   .ok());
+  EXPECT_FALSE(ParseString(std::string(kBase) +
+                           "job name=a\njob name=a\n")
+                   .ok());
+}
+
+TEST(ScenarioParse, RejectsBadPoolPolicyAndReportTarget) {
+  EXPECT_FALSE(
+      ParseString("cluster nodes=1 gpus=1\nkubeshare pool=magic\n").ok());
+  EXPECT_FALSE(ParseString("cluster nodes=1 gpus=1\nreport everything\n").ok());
+}
+
+TEST(ScenarioParse, ModeMustPrecedeJobs) {
+  EXPECT_FALSE(ParseString("cluster nodes=1 gpus=1\nkubeshare\n"
+                           "job name=a kind=training steps=10\n"
+                           "mode native\n")
+                   .ok());
+}
+
+TEST(ScenarioParse, CommentsAndWhitespaceIgnored) {
+  auto s = ParseString(
+      "# leading comment\n"
+      "cluster nodes=1 gpus=1   # trailing comment\n"
+      "   \n"
+      "\t\n");
+  EXPECT_TRUE(s.ok()) << s.status();
+}
+
+TEST(ScenarioRun, EndToEndKubeShareScenario) {
+  auto s = ParseString(
+      "cluster nodes=1 gpus=2\n"
+      "kubeshare pool=ondemand\n"
+      "job name=a kind=training at=0 steps=500 kernel_ms=10 request=0.4 "
+      "limit=0.9 mem=0.3\n"
+      "job name=b kind=inference at=2 demand=0.3 duration=20 request=0.3 "
+      "mem=0.2\n"
+      "run until=120\n"
+      "report jobs\n"
+      "report pool\n"
+      "report gpus\n"
+      "report events\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  std::stringstream out;
+  ASSERT_TRUE(s->Run(out).ok());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("succeeded"), std::string::npos);
+  EXPECT_NE(text.find("== report pool"), std::string::npos);
+  EXPECT_NE(text.find("GPU-0-0"), std::string::npos);
+  EXPECT_NE(text.find("Scheduled"), std::string::npos);
+  // Both jobs done, nothing failed.
+  EXPECT_EQ(text.find("failed"), std::string::npos);
+}
+
+TEST(ScenarioRun, NativeModeScenario) {
+  auto s = ParseString(
+      "cluster nodes=1 gpus=1\n"
+      "mode native\n"
+      "job name=solo kind=training steps=200 kernel_ms=10\n"
+      "run until=60\n"
+      "report jobs\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  std::stringstream out;
+  ASSERT_TRUE(s->Run(out).ok());
+  EXPECT_NE(out.str().find("succeeded"), std::string::npos);
+}
+
+TEST(ScenarioRun, KubeShareJobWithoutKubeShareFails) {
+  auto s = ParseString(
+      "cluster nodes=1 gpus=1\n"
+      "job name=a kind=training steps=10\n"
+      "run until=10\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  std::stringstream out;
+  EXPECT_FALSE(s->Run(out).ok());
+}
+
+TEST(ScenarioRun, ShippedScenariosParseAndRun) {
+  // Keep the scenarios in examples/scenarios/ from rotting.
+  for (const char* name :
+       {"interference.ksim", "device_failure.ksim", "overcommit.ksim",
+        "elastic_resize.ksim"}) {
+    std::ifstream file(std::string(KS_SOURCE_DIR) + "/examples/scenarios/" +
+                       name);
+    ASSERT_TRUE(file.good()) << name;
+    auto s = Scenario::Parse(file);
+    ASSERT_TRUE(s.ok()) << name << ": " << s.status();
+    std::stringstream out;
+    ASSERT_TRUE(s->Run(out).ok()) << name;
+    EXPECT_NE(out.str().find("succeeded"), std::string::npos) << name;
+  }
+}
+
+TEST(ScenarioRun, ExampleScriptParsesAndRuns) {
+  std::stringstream in(Scenario::ExampleScript());
+  auto s = Scenario::Parse(in);
+  ASSERT_TRUE(s.ok()) << s.status();
+  std::stringstream out;
+  ASSERT_TRUE(s->Run(out).ok());
+  EXPECT_NE(out.str().find("succeeded"), std::string::npos);
+}
+
+TEST(ScenarioRun, SharePodAndMetricsReports) {
+  auto s = ParseString(
+      "cluster nodes=1 gpus=1\n"
+      "kubeshare\n"
+      "job name=a kind=training steps=100000 kernel_ms=10 request=0.4 "
+      "mem=0.2\n"
+      "run until=30\n"
+      "report sharepods\n"
+      "report metrics\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  std::stringstream out;
+  ASSERT_TRUE(s->Run(out).ok());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Running"), std::string::npos);       // sharepod table
+  EXPECT_NE(text.find("ks_sharepods{phase=\"Running\"} 1"),  // prometheus
+            std::string::npos);
+  EXPECT_NE(text.find("ks_gpu_busy_seconds_total"), std::string::npos);
+}
+
+TEST(ScenarioRun, HealthCommandDrainsDevice) {
+  auto s = ParseString(
+      "cluster nodes=1 gpus=2\n"
+      "mode native\n"
+      "job name=a kind=training steps=100000 kernel_ms=10\n"
+      "run until=10\n"
+      "health node=0 gpu=1 state=unhealthy\n"
+      "job name=b kind=training steps=100 kernel_ms=10\n"
+      "run until=40\n"
+      "report jobs\n"
+      "report events\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  std::stringstream out;
+  ASSERT_TRUE(s->Run(out).ok());
+  const std::string text = out.str();
+  // Job a runs on GPU-0-0 forever. GPU-0-1 goes unhealthy before job b
+  // arrives, so b cannot be scheduled (no allocatable device).
+  EXPECT_NE(text.find("GPU-0-1 -> unhealthy"), std::string::npos);
+  EXPECT_NE(text.find("pending"), std::string::npos);
+  EXPECT_NE(text.find("FailedScheduling"), std::string::npos);
+}
+
+TEST(ScenarioRun, HealthErrorPaths) {
+  {
+    auto s = ParseString("cluster nodes=1 gpus=1\nhealth node=5 gpu=0\n");
+    ASSERT_TRUE(s.ok());
+    std::stringstream out;
+    EXPECT_FALSE(s->Run(out).ok());
+  }
+  {
+    auto s = ParseString("cluster nodes=1 gpus=1\nhealth node=0 gpu=9\n");
+    ASSERT_TRUE(s.ok());
+    std::stringstream out;
+    EXPECT_FALSE(s->Run(out).ok());
+  }
+  EXPECT_FALSE(
+      ParseString("cluster nodes=1 gpus=1\nhealth node=0 gpu=0 state=odd\n")
+          .ok());
+}
+
+TEST(ScenarioRun, TraceCommandLoadsCsv) {
+  const std::string path = ::testing::TempDir() + "/ksim_trace_test.csv";
+  {
+    workload::WorkloadConfig cfg;
+    cfg.total_jobs = 4;
+    cfg.mean_interarrival = Seconds(1);
+    cfg.demand_mean = 0.25;
+    cfg.demand_stddev = 0.0;
+    cfg.job_duration = Seconds(15);
+    cfg.seed = 5;
+    std::ofstream file(path);
+    workload::FormatTrace(workload::GenerateTrace(cfg), file);
+  }
+  auto s = ParseString(
+      "cluster nodes=1 gpus=2\n"
+      "kubeshare\n"
+      "trace file=" + path + "\n"
+      "run until=200\n"
+      "report jobs\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  std::stringstream out;
+  ASSERT_TRUE(s->Run(out).ok());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("loaded 4 jobs"), std::string::npos);
+  EXPECT_NE(text.find("succeeded"), std::string::npos);
+  EXPECT_EQ(text.find("failed"), std::string::npos);
+}
+
+TEST(ScenarioRun, TraceMissingFileFails) {
+  auto s = ParseString(
+      "cluster nodes=1 gpus=1\nmode native\ntrace file=/no/such/file.csv\n");
+  ASSERT_TRUE(s.ok());
+  std::stringstream out;
+  EXPECT_EQ(s->Run(out).code(), StatusCode::kNotFound);
+}
+
+TEST(ScenarioRun, OvercommitSwitchIsWired) {
+  auto s = ParseString(
+      "cluster nodes=1 gpus=1\n"
+      "kubeshare overcommit=on\n"
+      "job name=a kind=training steps=100 kernel_ms=10 request=0.3 mem=0.7 "
+      "model_gb=10\n"
+      "job name=b kind=training at=1 steps=100 kernel_ms=10 request=0.3 "
+      "mem=0.7 model_gb=10\n"
+      "run until=300\n"
+      "report jobs\n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  std::stringstream out;
+  ASSERT_TRUE(s->Run(out).ok());
+  // 2 x 10 GB on a 16 GB GPU: only possible with over-commitment.
+  const std::string text = out.str();
+  EXPECT_NE(text.find("succeeded"), std::string::npos);
+  EXPECT_EQ(text.find("failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ks::scenario

@@ -1,0 +1,146 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ks::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.Now(), kTimeZero);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Seconds(3), [&] { order.push_back(3); });
+  sim.ScheduleAt(Seconds(1), [&] { order.push_back(1); });
+  sim.ScheduleAt(Seconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Seconds(3));
+}
+
+TEST(Simulation, SameTimeIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  Time fired{-1};
+  sim.ScheduleAt(Seconds(5), [&] {
+    sim.ScheduleAfter(Seconds(2), [&] { fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, Seconds(7));
+}
+
+TEST(Simulation, PastSchedulingClampsToNow) {
+  Simulation sim;
+  Time fired{-1};
+  sim.ScheduleAt(Seconds(5), [&] {
+    sim.ScheduleAt(Seconds(1), [&] { fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, Seconds(5));
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAt(Seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, CancelTwiceIsFalse) {
+  Simulation sim;
+  const EventId id = sim.ScheduleAt(Seconds(1), [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(kInvalidEvent));
+}
+
+TEST(Simulation, CancelledEventsDoNotBlockRunUntil) {
+  Simulation sim;
+  const EventId id = sim.ScheduleAt(Seconds(1), [] {});
+  sim.Cancel(id);
+  bool ran = false;
+  sim.ScheduleAt(Seconds(2), [&] { ran = true; });
+  sim.RunUntil(Seconds(3));
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.Now(), Seconds(3));
+}
+
+TEST(Simulation, RunUntilStopsBeforeLaterEvents) {
+  Simulation sim;
+  bool early = false, late = false;
+  sim.ScheduleAt(Seconds(1), [&] { early = true; });
+  sim.ScheduleAt(Seconds(10), [&] { late = true; });
+  sim.RunUntil(Seconds(5));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.Now(), Seconds(5));
+  sim.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithoutEvents) {
+  Simulation sim;
+  sim.RunUntil(Seconds(42));
+  EXPECT_EQ(sim.Now(), Seconds(42));
+}
+
+TEST(Simulation, MaxEventsGuardStopsSelfRescheduling) {
+  Simulation sim;
+  std::function<void()> loop = [&] { sim.ScheduleAfter(Seconds(1), loop); };
+  sim.ScheduleAfter(Seconds(1), loop);
+  sim.Run(100);
+  EXPECT_EQ(sim.executed(), 100u);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(Seconds(1), [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(Simulation, MillionEventSmoke) {
+  // Throughput smoke: the engine must chew through a large event count
+  // without pathological behavior (this is the workhorse under every
+  // cluster experiment).
+  Simulation sim;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    sim.ScheduleAt(Micros(i % 1000), [&] { ++fired; });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 1'000'000u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  int count = 0;
+  sim.ScheduleAt(Seconds(1), [&] {
+    ++count;
+    sim.ScheduleAfter(Seconds(1), [&] { ++count; });
+  });
+  sim.Run();
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace ks::sim

@@ -1,0 +1,316 @@
+#include "vgpu/token_backend.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ks::vgpu {
+namespace {
+
+/// Scripted client: records grants/expiries; optionally holds the token for
+/// a fixed busy time then releases and optionally re-requests (modeling a
+/// container with an infinite kernel stream).
+class FakeClient : public TokenClient {
+ public:
+  FakeClient(sim::Simulation* sim, TokenBackend* backend, ContainerId id)
+      : sim_(sim), backend_(backend), id_(std::move(id)) {}
+
+  void OnTokenGranted(Time expiry) override {
+    ++grants;
+    last_expiry = expiry;
+    holding = true;
+    if (greedy) {
+      // Hold until expiry; release on OnTokenExpired.
+      return;
+    }
+    // Hold for busy_time then release early.
+    sim_->ScheduleAfter(busy_time, [this] {
+      if (!holding) return;
+      holding = false;
+      (void)backend_->ReleaseToken(id_);
+      if (rerequest) (void)backend_->RequestToken(id_);
+    });
+  }
+
+  void OnTokenExpired() override {
+    ++expiries;
+    if (!holding) return;
+    holding = false;
+    (void)backend_->ReleaseToken(id_);
+    if (rerequest) (void)backend_->RequestToken(id_);
+  }
+
+  sim::Simulation* sim_;
+  TokenBackend* backend_;
+  ContainerId id_;
+  int grants = 0;
+  int expiries = 0;
+  Time last_expiry{0};
+  bool holding = false;
+  bool greedy = true;     // wants the GPU continuously
+  bool rerequest = true;  // asks again after releasing
+  Duration busy_time = Millis(10);
+};
+
+class TokenBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_.quota = Millis(100);
+    cfg_.exchange_latency = Micros(1500);
+    cfg_.usage_window = Seconds(10);
+    backend_ = std::make_unique<TokenBackend>(&sim_, cfg_);
+    backend_->RegisterDevice(dev_);
+  }
+
+  FakeClient* AddContainer(const std::string& name, double request,
+                           double limit) {
+    auto client =
+        std::make_unique<FakeClient>(&sim_, backend_.get(), ContainerId(name));
+    FakeClient* raw = client.get();
+    ResourceSpec spec;
+    spec.gpu_request = request;
+    spec.gpu_limit = limit;
+    EXPECT_TRUE(backend_
+                    ->RegisterContainer(ContainerId(name), dev_, spec,
+                                        raw)
+                    .ok());
+    clients_.push_back(std::move(client));
+    return raw;
+  }
+
+  sim::Simulation sim_;
+  BackendConfig cfg_;
+  std::unique_ptr<TokenBackend> backend_;
+  GpuUuid dev_{"GPU-0"};
+  std::vector<std::unique_ptr<FakeClient>> clients_;
+};
+
+TEST_F(TokenBackendTest, RejectsInvalidSpec) {
+  FakeClient client(&sim_, backend_.get(), ContainerId("bad"));
+  ResourceSpec spec;
+  spec.gpu_request = 0.8;
+  spec.gpu_limit = 0.5;
+  EXPECT_FALSE(
+      backend_->RegisterContainer(ContainerId("bad"), dev_, spec, &client)
+          .ok());
+  spec = ResourceSpec{};
+  EXPECT_FALSE(
+      backend_->RegisterContainer(ContainerId("bad"), dev_, spec, nullptr)
+          .ok());
+}
+
+TEST_F(TokenBackendTest, DuplicateRegistrationFails) {
+  AddContainer("c1", 0.3, 0.6);
+  FakeClient extra(&sim_, backend_.get(), ContainerId("c1"));
+  EXPECT_EQ(backend_
+                ->RegisterContainer(ContainerId("c1"), dev_, ResourceSpec{},
+                                    &extra)
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(TokenBackendTest, GrantAfterExchangeLatency) {
+  FakeClient* c = AddContainer("c1", 0.3, 1.0);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("c1")).ok());
+  EXPECT_EQ(c->grants, 0);  // grant arrives via event, not synchronously
+  sim_.RunUntil(Millis(2));
+  EXPECT_EQ(c->grants, 1);
+  EXPECT_EQ(c->last_expiry, Micros(1500) + Millis(100));
+}
+
+TEST_F(TokenBackendTest, UnknownContainerRequestFails) {
+  EXPECT_EQ(backend_->RequestToken(ContainerId("ghost")).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(backend_->ReleaseToken(ContainerId("ghost")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TokenBackendTest, ReleaseWithoutHoldingFails) {
+  AddContainer("c1", 0.3, 1.0);
+  EXPECT_EQ(backend_->ReleaseToken(ContainerId("c1")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TokenBackendTest, TokenExpiresAfterQuota) {
+  FakeClient* c = AddContainer("c1", 0.3, 1.0);
+  c->rerequest = false;
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("c1")).ok());
+  sim_.RunUntil(Millis(150));
+  EXPECT_EQ(c->expiries, 1);
+  EXPECT_FALSE(backend_->HolderOf(dev_).has_value());
+}
+
+TEST_F(TokenBackendTest, GreedySingleContainerKeepsReacquiring) {
+  FakeClient* c = AddContainer("c1", 0.3, 1.0);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("c1")).ok());
+  sim_.RunUntil(Seconds(1));
+  // ~10 quota periods in 1s; each cycle = exchange + quota.
+  EXPECT_GE(c->grants, 9);
+  EXPECT_LE(c->grants, 10);
+}
+
+TEST_F(TokenBackendTest, UsageTracksHolding) {
+  FakeClient* c = AddContainer("c1", 0.3, 1.0);
+  (void)c;
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("c1")).ok());
+  sim_.RunUntil(Seconds(2));
+  // Greedy container with limit 1.0: usage near 1 (minus exchange slivers).
+  EXPECT_GT(backend_->UsageOf(ContainerId("c1")), 0.9);
+}
+
+TEST_F(TokenBackendTest, LimitThrottlesGreedyContainer) {
+  FakeClient* c = AddContainer("c1", 0.3, 0.6);
+  (void)c;
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("c1")).ok());
+  sim_.RunUntil(Seconds(30));
+  EXPECT_NEAR(backend_->UsageOf(ContainerId("c1")), 0.6, 0.05);
+}
+
+TEST_F(TokenBackendTest, TwoEqualGreedyContainersSplitEvenly) {
+  AddContainer("a", 0.3, 0.6);
+  AddContainer("b", 0.4, 0.6);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("a")).ok());
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("b")).ok());
+  sim_.RunUntil(Seconds(60));
+  // Fig 6 regime [200s,400s]: requests sum to 0.7 < 1; fair split is
+  // 0.5/0.5 within the 0.6 limits.
+  EXPECT_NEAR(backend_->UsageOf(ContainerId("a")), 0.5, 0.05);
+  EXPECT_NEAR(backend_->UsageOf(ContainerId("b")), 0.5, 0.05);
+}
+
+TEST_F(TokenBackendTest, RequestsArePinnedWhenCapacitySaturated) {
+  // Fig 6 regime [400s,660s]: requests 0.3+0.4+0.3 = 1.0; each container is
+  // pinned at its gpu_request.
+  AddContainer("a", 0.3, 0.6);
+  AddContainer("b", 0.4, 0.6);
+  AddContainer("c", 0.3, 0.5);
+  for (const char* n : {"a", "b", "c"}) {
+    ASSERT_TRUE(backend_->RequestToken(ContainerId(n)).ok());
+  }
+  sim_.RunUntil(Seconds(60));
+  EXPECT_NEAR(backend_->UsageOf(ContainerId("a")), 0.3, 0.05);
+  EXPECT_NEAR(backend_->UsageOf(ContainerId("b")), 0.4, 0.05);
+  EXPECT_NEAR(backend_->UsageOf(ContainerId("c")), 0.3, 0.05);
+}
+
+TEST_F(TokenBackendTest, UnregisterReleasesHeldToken) {
+  FakeClient* a = AddContainer("a", 0.3, 1.0);
+  FakeClient* b = AddContainer("b", 0.3, 1.0);
+  (void)a;
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("a")).ok());
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("b")).ok());
+  sim_.RunUntil(Millis(10));
+  ASSERT_EQ(backend_->HolderOf(dev_), ContainerId("a"));
+  ASSERT_TRUE(backend_->UnregisterContainer(ContainerId("a")).ok());
+  sim_.RunUntil(Millis(20));
+  EXPECT_EQ(backend_->HolderOf(dev_), ContainerId("b"));
+  EXPECT_GE(b->grants, 1);
+}
+
+TEST_F(TokenBackendTest, QueueLengthReflectsWaiters) {
+  AddContainer("a", 0.3, 1.0);
+  AddContainer("b", 0.3, 1.0);
+  AddContainer("c", 0.3, 1.0);
+  for (const char* n : {"a", "b", "c"}) {
+    ASSERT_TRUE(backend_->RequestToken(ContainerId(n)).ok());
+  }
+  sim_.RunUntil(Millis(5));
+  // One got the token; two remain queued.
+  EXPECT_EQ(backend_->QueueLength(dev_), 2u);
+}
+
+TEST_F(TokenBackendTest, DuplicateRequestIsIdempotent) {
+  AddContainer("a", 0.3, 1.0);
+  AddContainer("b", 0.3, 1.0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(backend_->RequestToken(ContainerId("b")).ok());
+  }
+  EXPECT_EQ(backend_->QueueLength(dev_), 0u);  // b was granted directly
+  sim_.RunUntil(Millis(5));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(backend_->RequestToken(ContainerId("a")).ok());
+  }
+  EXPECT_EQ(backend_->QueueLength(dev_), 1u);
+}
+
+TEST_F(TokenBackendTest, IndependentDevicesDoNotInterfere) {
+  GpuUuid dev2("GPU-1");
+  backend_->RegisterDevice(dev2);
+  FakeClient* a = AddContainer("a", 0.3, 1.0);
+  auto client_b = std::make_unique<FakeClient>(&sim_, backend_.get(),
+                                               ContainerId("b"));
+  ResourceSpec spec;
+  spec.gpu_request = 0.3;
+  ASSERT_TRUE(backend_
+                  ->RegisterContainer(ContainerId("b"), dev2, spec,
+                                      client_b.get())
+                  .ok());
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("a")).ok());
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("b")).ok());
+  sim_.RunUntil(Millis(10));
+  EXPECT_EQ(backend_->HolderOf(dev_), ContainerId("a"));
+  EXPECT_EQ(backend_->HolderOf(dev2), ContainerId("b"));
+  EXPECT_GE(a->grants, 1);
+  EXPECT_GE(client_b->grants, 1);
+}
+
+TEST_F(TokenBackendTest, StatsTrackGrantsAndHoldTime) {
+  FakeClient* c = AddContainer("c1", 0.3, 1.0);
+  (void)c;
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("c1")).ok());
+  sim_.RunUntil(Seconds(1));
+  const auto stats = backend_->StatsOf(ContainerId("c1"));
+  EXPECT_GE(stats.grants, 9u);
+  // Held nearly the whole second (modulo exchange gaps), no overrun (the
+  // fake releases exactly at expiry).
+  EXPECT_GE(stats.held_total, Millis(900));
+  EXPECT_LE(stats.held_total, Seconds(1));
+  EXPECT_EQ(stats.overrun_total, Duration{0});
+  EXPECT_EQ(backend_->StatsOf(ContainerId("ghost")).grants, 0u);
+}
+
+TEST_F(TokenBackendTest, ExtendQuotaPostponesExpiry) {
+  FakeClient* c = AddContainer("c1", 0.3, 1.0);
+  c->rerequest = false;
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("c1")).ok());
+  sim_.RunUntil(Millis(10));  // granted, quota ends at ~101.5ms
+  ASSERT_TRUE(backend_->ExtendQuota(ContainerId("c1"), Millis(100)).ok());
+  sim_.RunUntil(Millis(150));
+  EXPECT_EQ(c->expiries, 0);  // old deadline passed without expiry
+  sim_.RunUntil(Millis(250));
+  EXPECT_EQ(c->expiries, 1);  // extended deadline fired
+}
+
+TEST_F(TokenBackendTest, ExtendQuotaRequiresValidHolder) {
+  AddContainer("c1", 0.3, 1.0);
+  EXPECT_EQ(backend_->ExtendQuota(ContainerId("c1"), Millis(10)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(backend_->ExtendQuota(ContainerId("ghost"), Millis(10)).code(),
+            StatusCode::kNotFound);
+  // Zero/negative extensions are harmless no-ops for a valid holder.
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("c1")).ok());
+  sim_.RunUntil(Millis(10));
+  EXPECT_TRUE(backend_->ExtendQuota(ContainerId("c1"), Duration{0}).ok());
+}
+
+TEST_F(TokenBackendTest, UnregisterDuringExchangeIsSafe) {
+  FakeClient* a = AddContainer("a", 0.3, 1.0);
+  FakeClient* b = AddContainer("b", 0.3, 1.0);
+  (void)a;
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("a")).ok());
+  // "a" is mid-exchange (grant event scheduled, not yet fired).
+  ASSERT_TRUE(backend_->UnregisterContainer(ContainerId("a")).ok());
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("b")).ok());
+  sim_.RunUntil(Millis(20));
+  // The orphaned grant event must not crash, and b must get the token.
+  EXPECT_EQ(backend_->HolderOf(dev_), ContainerId("b"));
+  EXPECT_GE(b->grants, 1);
+}
+
+TEST_F(TokenBackendTest, GrantsCounterAdvances) {
+  AddContainer("a", 0.3, 1.0);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("a")).ok());
+  sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(backend_->grants(), static_cast<std::uint64_t>(clients_[0]->grants));
+}
+
+}  // namespace
+}  // namespace ks::vgpu

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+#include "workload/host.hpp"
+
+namespace ks::workload {
+namespace {
+
+class HostDriverTest : public ::testing::Test {
+ protected:
+  static k8s::ClusterConfig SmallCluster() {
+    k8s::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.gpus_per_node = 2;
+    return cfg;
+  }
+
+  HostDriverTest()
+      : cluster_(SmallCluster()), kubeshare_(&cluster_), host_(&cluster_) {
+    EXPECT_TRUE(cluster_.Start().ok());
+    EXPECT_TRUE(kubeshare_.Start().ok());
+  }
+
+  k8s::Cluster cluster_;
+  kubeshare::KubeShare kubeshare_;
+  WorkloadHost host_;
+};
+
+TEST_F(HostDriverTest, NativePodRunsTrainingJobToCompletion) {
+  TrainingSpec spec;
+  spec.steps = 50;
+  host_.ExpectJob("train-1", [spec] {
+    return std::make_unique<TrainingJob>(spec);
+  });
+  k8s::Pod pod;
+  pod.meta.name = "train-1";
+  pod.spec.requests.Set(k8s::kResourceNvidiaGpu, 1);
+  ASSERT_TRUE(cluster_.api().pods().Create(pod).ok());
+  cluster_.sim().RunUntil(Seconds(60));
+  EXPECT_EQ(host_.completed(), 1u);
+  EXPECT_EQ(cluster_.api().pods().Get("train-1")->status.phase,
+            k8s::PodPhase::kSucceeded);
+  const auto* rec = host_.RecordOf("train-1");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->success);
+  EXPECT_GT(rec->finished, rec->started);
+}
+
+TEST_F(HostDriverTest, SharePodJobRunsUnderDeviceLibrary) {
+  TrainingSpec spec;
+  spec.steps = 100;
+  spec.step_kernel = Millis(10);
+  host_.ExpectJob("sp-train", [spec] {
+    return std::make_unique<TrainingJob>(spec);
+  });
+  kubeshare::SharePod sp;
+  sp.meta.name = "sp-train";
+  sp.spec.gpu.gpu_request = 0.3;
+  sp.spec.gpu.gpu_limit = 0.5;  // throttled to half speed
+  sp.spec.gpu.gpu_mem = 0.5;
+  ASSERT_TRUE(kubeshare_.CreateSharePod(sp).ok());
+  cluster_.sim().RunUntil(Seconds(60));
+  EXPECT_EQ(host_.completed(), 1u);
+  EXPECT_EQ(kubeshare_.sharepods().Get("sp-train")->status.phase,
+            kubeshare::SharePodPhase::kSucceeded);
+  // 1s of kernels at <=0.5 usage must take >= ~2s of wall time.
+  const auto* rec = host_.RecordOf("sp-train");
+  EXPECT_GE(rec->finished - rec->started, Millis(1900));
+}
+
+TEST_F(HostDriverTest, OomSharePodFails) {
+  TrainingSpec spec;
+  spec.model_bytes = 8ull << 30;  // 8 GB
+  host_.ExpectJob("sp-oom", [spec] {
+    return std::make_unique<TrainingJob>(spec);
+  });
+  kubeshare::SharePod sp;
+  sp.meta.name = "sp-oom";
+  sp.spec.gpu.gpu_request = 0.3;
+  sp.spec.gpu.gpu_mem = 0.25;  // 4 GB quota < 8 GB model
+  ASSERT_TRUE(kubeshare_.CreateSharePod(sp).ok());
+  cluster_.sim().RunUntil(Seconds(30));
+  EXPECT_EQ(host_.failed(), 1u);
+  EXPECT_EQ(kubeshare_.sharepods().Get("sp-oom")->status.phase,
+            kubeshare::SharePodPhase::kFailed);
+}
+
+TEST_F(HostDriverTest, KilledContainerCountsAsFailed) {
+  TrainingSpec spec;
+  spec.steps = 100000;
+  host_.ExpectJob("victim", [spec] {
+    return std::make_unique<TrainingJob>(spec);
+  });
+  k8s::Pod pod;
+  pod.meta.name = "victim";
+  pod.spec.requests.Set(k8s::kResourceNvidiaGpu, 1);
+  ASSERT_TRUE(cluster_.api().pods().Create(pod).ok());
+  cluster_.sim().RunUntil(Seconds(10));
+  ASSERT_TRUE(cluster_.api().pods().Delete("victim").ok());
+  cluster_.sim().RunUntil(Seconds(20));
+  EXPECT_EQ(host_.failed(), 1u);
+  EXPECT_EQ(host_.completed(), 0u);
+}
+
+TEST_F(HostDriverTest, DriverNativeModeCompletesWorkload) {
+  WorkloadConfig cfg;
+  cfg.total_jobs = 8;
+  cfg.mean_interarrival = Seconds(2);
+  cfg.job_duration = Seconds(10);
+  cfg.seed = 5;
+  WorkloadDriver driver(&cluster_, &host_, WorkloadDriver::Mode::kNative,
+                        nullptr, cfg);
+  driver.Start();
+  cluster_.sim().RunUntil(Seconds(600));
+  EXPECT_TRUE(driver.AllDone());
+  EXPECT_EQ(host_.completed(), 8u);
+  EXPECT_GT(driver.JobsPerMinute(), 0.0);
+  EXPECT_GT(driver.Makespan().count(), 0);
+}
+
+TEST_F(HostDriverTest, DriverKubeShareModeSharesGpus) {
+  WorkloadConfig cfg;
+  cfg.total_jobs = 8;
+  cfg.mean_interarrival = Seconds(1);
+  cfg.demand_mean = 0.25;
+  cfg.demand_stddev = 0.0;
+  cfg.job_duration = Seconds(20);
+  cfg.seed = 6;
+  WorkloadDriver driver(&cluster_, &host_, WorkloadDriver::Mode::kKubeShare,
+                        &kubeshare_, cfg);
+  driver.Start();
+  cluster_.sim().RunUntil(Seconds(600));
+  EXPECT_TRUE(driver.AllDone());
+  EXPECT_EQ(host_.completed(), 8u);
+  // 8 jobs of demand 0.25 should never need more than the 4 physical GPUs,
+  // and sharing must actually have happened (fewer vGPUs than jobs).
+  EXPECT_LE(kubeshare_.devmgr().vgpus_created(), 4u);
+}
+
+TEST_F(HostDriverTest, UnknownContainerIsIgnored) {
+  // A pod with no registered job (e.g. someone else's container) must not
+  // disturb the host.
+  k8s::Pod pod;
+  pod.meta.name = "foreign";
+  ASSERT_TRUE(cluster_.api().pods().Create(pod).ok());
+  cluster_.sim().RunUntil(Seconds(10));
+  EXPECT_EQ(host_.started(), 0u);
+  EXPECT_EQ(cluster_.api().pods().Get("foreign")->status.phase,
+            k8s::PodPhase::kRunning);
+}
+
+}  // namespace
+}  // namespace ks::workload

@@ -1,0 +1,184 @@
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cuda/context.hpp"
+#include "gpu/device.hpp"
+
+namespace ks::workload {
+namespace {
+
+class JobTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+  gpu::GpuDevice dev_{&sim_, GpuUuid("GPU-0")};
+  cuda::CudaContext ctx_{&dev_, ContainerId("job")};
+};
+
+TEST_F(JobTest, TrainingJobRunsAllSteps) {
+  TrainingSpec spec;
+  spec.steps = 20;
+  spec.step_kernel = Millis(10);
+  TrainingJob job(spec);
+  bool done = false, ok = false;
+  job.Start(&ctx_, &sim_, [&](bool success) {
+    done = true;
+    ok = success;
+  });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(job.completed_steps(), 20);
+  // 20 x 10ms back to back on an exclusive device.
+  EXPECT_NEAR(ToMillis(Duration(sim_.Now())), 200.0, 1.0);
+}
+
+TEST_F(JobTest, TrainingJobFailsOnOom) {
+  TrainingSpec spec;
+  spec.model_bytes = dev_.spec().memory_bytes + 1;
+  TrainingJob job(spec);
+  bool ok = true;
+  job.Start(&ctx_, &sim_, [&](bool success) { ok = success; });
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(JobTest, TrainingJobZeroStepsSucceedsImmediately) {
+  TrainingSpec spec;
+  spec.steps = 0;
+  TrainingJob job(spec);
+  bool done = false;
+  job.Start(&ctx_, &sim_, [&](bool success) { done = success; });
+  EXPECT_TRUE(done);
+}
+
+TEST_F(JobTest, StoppedTrainingJobNeverCompletes) {
+  TrainingSpec spec;
+  spec.steps = 100;
+  TrainingJob job(spec);
+  bool done = false;
+  job.Start(&ctx_, &sim_, [&](bool) { done = true; });
+  sim_.RunUntil(Millis(105));
+  job.Stop();
+  sim_.Run();
+  EXPECT_FALSE(done);
+  EXPECT_LT(job.completed_steps(), 100);
+}
+
+TEST_F(JobTest, PhasedTrainingAlternatesComputeAndIo) {
+  PhasedTrainingSpec spec;
+  spec.epochs = 3;
+  spec.steps_per_epoch = 50;  // 0.5 s compute
+  spec.step_kernel = Millis(10);
+  spec.io_per_epoch = Millis(500);
+  EXPECT_NEAR(spec.duty_cycle(), 0.5, 1e-9);
+  PhasedTrainingJob job(spec);
+  bool ok = false;
+  job.Start(&ctx_, &sim_, [&](bool success) { ok = success; });
+  sim_.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(job.completed_epochs(), 3);
+  // 3 x 0.5 s compute + 2 io gaps (the last epoch ends the job).
+  EXPECT_NEAR(ToSeconds(Duration(sim_.Now())), 2.5, 0.05);
+  dev_.utilization().Flush(sim_.Now());
+  EXPECT_NEAR(ToSeconds(dev_.utilization().TotalBusy()), 1.5, 0.05);
+}
+
+TEST_F(JobTest, PhasedTrainingStopCancelsIoTimer) {
+  PhasedTrainingSpec spec;
+  spec.epochs = 100;
+  spec.steps_per_epoch = 10;
+  spec.io_per_epoch = Seconds(5);
+  PhasedTrainingJob job(spec);
+  bool done = false;
+  job.Start(&ctx_, &sim_, [&](bool) { done = true; });
+  sim_.RunUntil(Millis(150));  // inside the first io phase
+  EXPECT_EQ(job.completed_epochs(), 1);
+  job.Stop();
+  sim_.Run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(job.completed_epochs(), 1);
+}
+
+TEST_F(JobTest, PhasedTrainingFailsOnOom) {
+  PhasedTrainingSpec spec;
+  spec.model_bytes = dev_.spec().memory_bytes + 1;
+  PhasedTrainingJob job(spec);
+  bool ok = true;
+  job.Start(&ctx_, &sim_, [&](bool success) { ok = success; });
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(JobTest, InferenceJobServesAllRequests) {
+  InferenceSpec spec = InferenceSpec::ForDemand(0.5, 50, Millis(20));
+  spec.seed = 7;
+  InferenceJob job(spec);
+  bool done = false, ok = false;
+  job.Start(&ctx_, &sim_, [&](bool success) {
+    done = true;
+    ok = success;
+  });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(job.served_requests(), 50);
+}
+
+TEST_F(JobTest, InferenceDemandMatchesUtilization) {
+  // 30% demand, long run: device busy fraction should approach 0.30.
+  InferenceSpec spec = InferenceSpec::ForDemand(0.3, 600, Millis(20));
+  spec.seed = 11;
+  EXPECT_NEAR(spec.demand(), 0.3, 1e-9);
+  InferenceJob job(spec);
+  job.Start(&ctx_, &sim_, nullptr);
+  sim_.Run();
+  dev_.utilization().Flush(sim_.Now());
+  const double util = static_cast<double>(dev_.utilization().TotalBusy().count()) /
+                      static_cast<double>(sim_.Now().count());
+  EXPECT_NEAR(util, 0.3, 0.05);
+}
+
+TEST_F(JobTest, InferenceForDemandRoundTrips) {
+  const InferenceSpec s = InferenceSpec::ForDemand(0.42, 10, Millis(10));
+  EXPECT_NEAR(s.demand(), 0.42, 1e-9);
+}
+
+TEST_F(JobTest, InferenceStopCancelsArrivals) {
+  InferenceSpec spec = InferenceSpec::ForDemand(0.3, 1000, Millis(20));
+  InferenceJob job(spec);
+  bool done = false;
+  job.Start(&ctx_, &sim_, [&](bool) { done = true; });
+  sim_.RunUntil(Seconds(1));
+  const int arrived = job.arrived_requests();
+  EXPECT_GT(arrived, 0);
+  job.Stop();
+  sim_.Run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(job.arrived_requests(), arrived);
+}
+
+TEST_F(JobTest, InferenceLatenciesTrackService) {
+  InferenceSpec spec = InferenceSpec::ForDemand(0.2, 40, Millis(20));
+  spec.seed = 3;
+  InferenceJob job(spec);
+  job.Start(&ctx_, &sim_, nullptr);
+  sim_.Run();
+  ASSERT_EQ(job.request_latencies().size(), 40u);
+  for (const Duration d : job.request_latencies()) {
+    // Unthrottled, exclusive GPU at 20% load: latency = kernel time plus
+    // occasional queueing behind a colliding request.
+    EXPECT_GE(d, Millis(20));
+    EXPECT_LT(d, Millis(200));
+  }
+}
+
+TEST_F(JobTest, InferenceJobFailsOnOom) {
+  InferenceSpec spec = InferenceSpec::ForDemand(0.3, 10, Millis(20));
+  spec.model_bytes = dev_.spec().memory_bytes + 1;
+  InferenceJob job(spec);
+  bool ok = true;
+  job.Start(&ctx_, &sim_, [&](bool success) { ok = success; });
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace ks::workload
