@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_kernel_length"
+  "../bench/bench_ablation_kernel_length.pdb"
+  "CMakeFiles/bench_ablation_kernel_length.dir/bench_ablation_kernel_length.cpp.o"
+  "CMakeFiles/bench_ablation_kernel_length.dir/bench_ablation_kernel_length.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kernel_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

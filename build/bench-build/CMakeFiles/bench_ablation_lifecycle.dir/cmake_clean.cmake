@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lifecycle"
+  "../bench/bench_ablation_lifecycle.pdb"
+  "CMakeFiles/bench_ablation_lifecycle.dir/bench_ablation_lifecycle.cpp.o"
+  "CMakeFiles/bench_ablation_lifecycle.dir/bench_ablation_lifecycle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

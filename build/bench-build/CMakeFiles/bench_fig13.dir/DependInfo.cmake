@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13.cpp" "bench-build/CMakeFiles/bench_fig13.dir/bench_fig13.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig13.dir/bench_fig13.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/ks_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ks_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ks_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ks_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kubeshare/CMakeFiles/ks_kubeshare.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/ks_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/ks_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/ks_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ks_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ks_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

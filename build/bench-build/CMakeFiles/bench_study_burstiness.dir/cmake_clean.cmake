@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_study_burstiness"
+  "../bench/bench_study_burstiness.pdb"
+  "CMakeFiles/bench_study_burstiness.dir/bench_study_burstiness.cpp.o"
+  "CMakeFiles/bench_study_burstiness.dir/bench_study_burstiness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/ks_bench_harness.dir/harness.cpp.o.d"
+  "libks_bench_harness.a"
+  "libks_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_service.dir/inference_service.cpp.o"
+  "CMakeFiles/inference_service.dir/inference_service.cpp.o.d"
+  "inference_service"
+  "inference_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

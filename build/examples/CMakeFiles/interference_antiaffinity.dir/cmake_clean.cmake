@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_antiaffinity.dir/interference_antiaffinity.cpp.o"
+  "CMakeFiles/interference_antiaffinity.dir/interference_antiaffinity.cpp.o.d"
+  "interference_antiaffinity"
+  "interference_antiaffinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_antiaffinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

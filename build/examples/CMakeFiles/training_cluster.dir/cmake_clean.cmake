@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_cluster.dir/training_cluster.cpp.o"
+  "CMakeFiles/training_cluster.dir/training_cluster.cpp.o.d"
+  "training_cluster"
+  "training_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

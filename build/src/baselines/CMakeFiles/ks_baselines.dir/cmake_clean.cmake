@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_baselines.dir/extender.cpp.o"
+  "CMakeFiles/ks_baselines.dir/extender.cpp.o.d"
+  "CMakeFiles/ks_baselines.dir/fractional_client.cpp.o"
+  "CMakeFiles/ks_baselines.dir/fractional_client.cpp.o.d"
+  "libks_baselines.a"
+  "libks_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_common.dir/log.cpp.o"
+  "CMakeFiles/ks_common.dir/log.cpp.o.d"
+  "CMakeFiles/ks_common.dir/rng.cpp.o"
+  "CMakeFiles/ks_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ks_common.dir/sliding_window.cpp.o"
+  "CMakeFiles/ks_common.dir/sliding_window.cpp.o.d"
+  "CMakeFiles/ks_common.dir/stats.cpp.o"
+  "CMakeFiles/ks_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ks_common.dir/table.cpp.o"
+  "CMakeFiles/ks_common.dir/table.cpp.o.d"
+  "libks_common.a"
+  "libks_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_cuda.dir/context.cpp.o"
+  "CMakeFiles/ks_cuda.dir/context.cpp.o.d"
+  "libks_cuda.a"
+  "libks_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/device.cpp" "src/gpu/CMakeFiles/ks_gpu.dir/device.cpp.o" "gcc" "src/gpu/CMakeFiles/ks_gpu.dir/device.cpp.o.d"
+  "/root/repo/src/gpu/nvml.cpp" "src/gpu/CMakeFiles/ks_gpu.dir/nvml.cpp.o" "gcc" "src/gpu/CMakeFiles/ks_gpu.dir/nvml.cpp.o.d"
+  "/root/repo/src/gpu/utilization.cpp" "src/gpu/CMakeFiles/ks_gpu.dir/utilization.cpp.o" "gcc" "src/gpu/CMakeFiles/ks_gpu.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_gpu.dir/device.cpp.o"
+  "CMakeFiles/ks_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/ks_gpu.dir/nvml.cpp.o"
+  "CMakeFiles/ks_gpu.dir/nvml.cpp.o.d"
+  "CMakeFiles/ks_gpu.dir/utilization.cpp.o"
+  "CMakeFiles/ks_gpu.dir/utilization.cpp.o.d"
+  "libks_gpu.a"
+  "libks_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

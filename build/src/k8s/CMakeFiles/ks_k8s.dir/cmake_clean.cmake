@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_k8s.dir/cluster.cpp.o"
+  "CMakeFiles/ks_k8s.dir/cluster.cpp.o.d"
+  "CMakeFiles/ks_k8s.dir/device_plugin.cpp.o"
+  "CMakeFiles/ks_k8s.dir/device_plugin.cpp.o.d"
+  "CMakeFiles/ks_k8s.dir/kubelet.cpp.o"
+  "CMakeFiles/ks_k8s.dir/kubelet.cpp.o.d"
+  "CMakeFiles/ks_k8s.dir/runtime.cpp.o"
+  "CMakeFiles/ks_k8s.dir/runtime.cpp.o.d"
+  "CMakeFiles/ks_k8s.dir/scheduler.cpp.o"
+  "CMakeFiles/ks_k8s.dir/scheduler.cpp.o.d"
+  "libks_k8s.a"
+  "libks_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

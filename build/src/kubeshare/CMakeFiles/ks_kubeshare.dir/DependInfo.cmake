@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kubeshare/algorithm.cpp" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/algorithm.cpp.o" "gcc" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/algorithm.cpp.o.d"
+  "/root/repo/src/kubeshare/devmgr.cpp" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/devmgr.cpp.o" "gcc" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/devmgr.cpp.o.d"
+  "/root/repo/src/kubeshare/kubeshare.cpp" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/kubeshare.cpp.o" "gcc" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/kubeshare.cpp.o.d"
+  "/root/repo/src/kubeshare/pool.cpp" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/pool.cpp.o" "gcc" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/pool.cpp.o.d"
+  "/root/repo/src/kubeshare/replicaset.cpp" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/replicaset.cpp.o" "gcc" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/replicaset.cpp.o.d"
+  "/root/repo/src/kubeshare/scheduler.cpp" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/scheduler.cpp.o" "gcc" "src/kubeshare/CMakeFiles/ks_kubeshare.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ks_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/ks_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/ks_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/ks_cuda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

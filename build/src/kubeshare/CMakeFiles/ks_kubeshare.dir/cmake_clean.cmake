@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_kubeshare.dir/algorithm.cpp.o"
+  "CMakeFiles/ks_kubeshare.dir/algorithm.cpp.o.d"
+  "CMakeFiles/ks_kubeshare.dir/devmgr.cpp.o"
+  "CMakeFiles/ks_kubeshare.dir/devmgr.cpp.o.d"
+  "CMakeFiles/ks_kubeshare.dir/kubeshare.cpp.o"
+  "CMakeFiles/ks_kubeshare.dir/kubeshare.cpp.o.d"
+  "CMakeFiles/ks_kubeshare.dir/pool.cpp.o"
+  "CMakeFiles/ks_kubeshare.dir/pool.cpp.o.d"
+  "CMakeFiles/ks_kubeshare.dir/replicaset.cpp.o"
+  "CMakeFiles/ks_kubeshare.dir/replicaset.cpp.o.d"
+  "CMakeFiles/ks_kubeshare.dir/scheduler.cpp.o"
+  "CMakeFiles/ks_kubeshare.dir/scheduler.cpp.o.d"
+  "libks_kubeshare.a"
+  "libks_kubeshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_kubeshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cluster_metrics.cpp" "src/metrics/CMakeFiles/ks_metrics.dir/cluster_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/ks_metrics.dir/cluster_metrics.cpp.o.d"
+  "/root/repo/src/metrics/prometheus.cpp" "src/metrics/CMakeFiles/ks_metrics.dir/prometheus.cpp.o" "gcc" "src/metrics/CMakeFiles/ks_metrics.dir/prometheus.cpp.o.d"
+  "/root/repo/src/metrics/sampler.cpp" "src/metrics/CMakeFiles/ks_metrics.dir/sampler.cpp.o" "gcc" "src/metrics/CMakeFiles/ks_metrics.dir/sampler.cpp.o.d"
+  "/root/repo/src/metrics/throughput.cpp" "src/metrics/CMakeFiles/ks_metrics.dir/throughput.cpp.o" "gcc" "src/metrics/CMakeFiles/ks_metrics.dir/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/ks_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/kubeshare/CMakeFiles/ks_kubeshare.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/ks_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/ks_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ks_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

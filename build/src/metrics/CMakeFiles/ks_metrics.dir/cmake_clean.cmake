@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_metrics.dir/cluster_metrics.cpp.o"
+  "CMakeFiles/ks_metrics.dir/cluster_metrics.cpp.o.d"
+  "CMakeFiles/ks_metrics.dir/prometheus.cpp.o"
+  "CMakeFiles/ks_metrics.dir/prometheus.cpp.o.d"
+  "CMakeFiles/ks_metrics.dir/sampler.cpp.o"
+  "CMakeFiles/ks_metrics.dir/sampler.cpp.o.d"
+  "CMakeFiles/ks_metrics.dir/throughput.cpp.o"
+  "CMakeFiles/ks_metrics.dir/throughput.cpp.o.d"
+  "libks_metrics.a"
+  "libks_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

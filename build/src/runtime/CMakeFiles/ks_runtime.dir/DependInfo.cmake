@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/token_server.cpp" "src/runtime/CMakeFiles/ks_runtime.dir/token_server.cpp.o" "gcc" "src/runtime/CMakeFiles/ks_runtime.dir/token_server.cpp.o.d"
+  "/root/repo/src/runtime/worker.cpp" "src/runtime/CMakeFiles/ks_runtime.dir/worker.cpp.o" "gcc" "src/runtime/CMakeFiles/ks_runtime.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

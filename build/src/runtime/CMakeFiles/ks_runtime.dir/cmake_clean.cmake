@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_runtime.dir/token_server.cpp.o"
+  "CMakeFiles/ks_runtime.dir/token_server.cpp.o.d"
+  "CMakeFiles/ks_runtime.dir/worker.cpp.o"
+  "CMakeFiles/ks_runtime.dir/worker.cpp.o.d"
+  "libks_runtime.a"
+  "libks_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

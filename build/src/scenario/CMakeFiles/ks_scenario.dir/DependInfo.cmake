@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenario/scenario.cpp" "src/scenario/CMakeFiles/ks_scenario.dir/scenario.cpp.o" "gcc" "src/scenario/CMakeFiles/ks_scenario.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/ks_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/kubeshare/CMakeFiles/ks_kubeshare.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ks_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ks_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/ks_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/ks_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ks_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

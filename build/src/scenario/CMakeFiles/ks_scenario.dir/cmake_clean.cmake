@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/ks_scenario.dir/scenario.cpp.o.d"
+  "libks_scenario.a"
+  "libks_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

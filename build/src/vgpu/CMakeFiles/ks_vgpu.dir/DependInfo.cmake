@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/frontend_hook.cpp" "src/vgpu/CMakeFiles/ks_vgpu.dir/frontend_hook.cpp.o" "gcc" "src/vgpu/CMakeFiles/ks_vgpu.dir/frontend_hook.cpp.o.d"
+  "/root/repo/src/vgpu/swap.cpp" "src/vgpu/CMakeFiles/ks_vgpu.dir/swap.cpp.o" "gcc" "src/vgpu/CMakeFiles/ks_vgpu.dir/swap.cpp.o.d"
+  "/root/repo/src/vgpu/token_backend.cpp" "src/vgpu/CMakeFiles/ks_vgpu.dir/token_backend.cpp.o" "gcc" "src/vgpu/CMakeFiles/ks_vgpu.dir/token_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ks_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/ks_cuda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_vgpu.dir/frontend_hook.cpp.o"
+  "CMakeFiles/ks_vgpu.dir/frontend_hook.cpp.o.d"
+  "CMakeFiles/ks_vgpu.dir/swap.cpp.o"
+  "CMakeFiles/ks_vgpu.dir/swap.cpp.o.d"
+  "CMakeFiles/ks_vgpu.dir/token_backend.cpp.o"
+  "CMakeFiles/ks_vgpu.dir/token_backend.cpp.o.d"
+  "libks_vgpu.a"
+  "libks_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

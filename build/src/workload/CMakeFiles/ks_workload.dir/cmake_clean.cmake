@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_workload.dir/generator.cpp.o"
+  "CMakeFiles/ks_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/ks_workload.dir/host.cpp.o"
+  "CMakeFiles/ks_workload.dir/host.cpp.o.d"
+  "CMakeFiles/ks_workload.dir/job.cpp.o"
+  "CMakeFiles/ks_workload.dir/job.cpp.o.d"
+  "CMakeFiles/ks_workload.dir/trace.cpp.o"
+  "CMakeFiles/ks_workload.dir/trace.cpp.o.d"
+  "libks_workload.a"
+  "libks_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda_test.dir/cuda/context_test.cpp.o"
+  "CMakeFiles/cuda_test.dir/cuda/context_test.cpp.o.d"
+  "cuda_test"
+  "cuda_test.pdb"
+  "cuda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

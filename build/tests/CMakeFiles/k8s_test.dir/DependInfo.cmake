@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/k8s/apiserver_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/apiserver_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/apiserver_test.cpp.o.d"
+  "/root/repo/tests/k8s/cluster_integration_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/cluster_integration_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/cluster_integration_test.cpp.o.d"
+  "/root/repo/tests/k8s/device_plugin_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/device_plugin_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/device_plugin_test.cpp.o.d"
+  "/root/repo/tests/k8s/events_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/events_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/events_test.cpp.o.d"
+  "/root/repo/tests/k8s/kubelet_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/kubelet_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/kubelet_test.cpp.o.d"
+  "/root/repo/tests/k8s/resources_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/resources_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/resources_test.cpp.o.d"
+  "/root/repo/tests/k8s/runtime_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/runtime_test.cpp.o.d"
+  "/root/repo/tests/k8s/scheduler_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/scheduler_test.cpp.o.d"
+  "/root/repo/tests/k8s/store_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/store_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ks_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/ks_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/ks_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/ks_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/kubeshare/CMakeFiles/ks_kubeshare.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ks_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ks_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ks_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ks_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/ks_scenario.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k8s_test.dir/k8s/apiserver_test.cpp.o"
+  "CMakeFiles/k8s_test.dir/k8s/apiserver_test.cpp.o.d"
+  "CMakeFiles/k8s_test.dir/k8s/cluster_integration_test.cpp.o"
+  "CMakeFiles/k8s_test.dir/k8s/cluster_integration_test.cpp.o.d"
+  "CMakeFiles/k8s_test.dir/k8s/device_plugin_test.cpp.o"
+  "CMakeFiles/k8s_test.dir/k8s/device_plugin_test.cpp.o.d"
+  "CMakeFiles/k8s_test.dir/k8s/events_test.cpp.o"
+  "CMakeFiles/k8s_test.dir/k8s/events_test.cpp.o.d"
+  "CMakeFiles/k8s_test.dir/k8s/kubelet_test.cpp.o"
+  "CMakeFiles/k8s_test.dir/k8s/kubelet_test.cpp.o.d"
+  "CMakeFiles/k8s_test.dir/k8s/resources_test.cpp.o"
+  "CMakeFiles/k8s_test.dir/k8s/resources_test.cpp.o.d"
+  "CMakeFiles/k8s_test.dir/k8s/runtime_test.cpp.o"
+  "CMakeFiles/k8s_test.dir/k8s/runtime_test.cpp.o.d"
+  "CMakeFiles/k8s_test.dir/k8s/scheduler_test.cpp.o"
+  "CMakeFiles/k8s_test.dir/k8s/scheduler_test.cpp.o.d"
+  "CMakeFiles/k8s_test.dir/k8s/store_test.cpp.o"
+  "CMakeFiles/k8s_test.dir/k8s/store_test.cpp.o.d"
+  "k8s_test"
+  "k8s_test.pdb"
+  "k8s_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k8s_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

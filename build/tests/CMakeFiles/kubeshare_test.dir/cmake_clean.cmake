@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kubeshare_test.dir/kubeshare/algorithm_test.cpp.o"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/algorithm_test.cpp.o.d"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/devmgr_edge_test.cpp.o"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/devmgr_edge_test.cpp.o.d"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/extensions_test.cpp.o"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/extensions_test.cpp.o.d"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/kubeshare_integration_test.cpp.o"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/kubeshare_integration_test.cpp.o.d"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/pool_test.cpp.o"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/pool_test.cpp.o.d"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/priority_test.cpp.o"
+  "CMakeFiles/kubeshare_test.dir/kubeshare/priority_test.cpp.o.d"
+  "kubeshare_test"
+  "kubeshare_test.pdb"
+  "kubeshare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kubeshare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kubeshare_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_test.dir/vgpu/frontend_hook_test.cpp.o"
+  "CMakeFiles/vgpu_test.dir/vgpu/frontend_hook_test.cpp.o.d"
+  "CMakeFiles/vgpu_test.dir/vgpu/isolation_property_test.cpp.o"
+  "CMakeFiles/vgpu_test.dir/vgpu/isolation_property_test.cpp.o.d"
+  "CMakeFiles/vgpu_test.dir/vgpu/swap_test.cpp.o"
+  "CMakeFiles/vgpu_test.dir/vgpu/swap_test.cpp.o.d"
+  "CMakeFiles/vgpu_test.dir/vgpu/token_backend_test.cpp.o"
+  "CMakeFiles/vgpu_test.dir/vgpu/token_backend_test.cpp.o.d"
+  "CMakeFiles/vgpu_test.dir/vgpu/token_churn_property_test.cpp.o"
+  "CMakeFiles/vgpu_test.dir/vgpu/token_churn_property_test.cpp.o.d"
+  "vgpu_test"
+  "vgpu_test.pdb"
+  "vgpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

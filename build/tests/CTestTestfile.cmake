@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_test[1]_include.cmake")
+include("/root/repo/build/tests/cuda_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu_test[1]_include.cmake")
+include("/root/repo/build/tests/kubeshare_test[1]_include.cmake")
+include("/root/repo/build/tests/k8s_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
