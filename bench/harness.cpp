@@ -49,6 +49,8 @@ RunResult RunWorkload(const RunOptions& options) {
   gpus_held.Start();
   cluster.nvml().Start();
 
+  if (options.on_start) options.on_start(cluster, kubeshare.get());
+
   driver.Start();
   // Run in slices until the workload drains or the horizon passes.
   const Duration slice = Seconds(10);
@@ -66,6 +68,8 @@ RunResult RunWorkload(const RunOptions& options) {
   result.jobs_per_minute = driver.JobsPerMinute();
   result.mean_gpus_held = gpus_held.MeanValue();
   result.peak_gpus_held = gpus_held.MaxValue();
+  result.recovery = metrics::CollectRecoveryMetrics(cluster, kubeshare.get());
+  result.job_restarts = host.restarts();
 
   // Average utilization across active GPUs, averaged over the samples in
   // which at least one GPU was active (incremental "ever active" scan).

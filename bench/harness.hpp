@@ -1,9 +1,11 @@
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "k8s/cluster.hpp"
 #include "kubeshare/kubeshare.hpp"
+#include "metrics/recovery.hpp"
 #include "metrics/sampler.hpp"
 #include "workload/generator.hpp"
 #include "workload/host.hpp"
@@ -21,6 +23,11 @@ struct RunOptions {
   /// Safety horizon: the run aborts (and reports what completed) if the
   /// simulation passes this point.
   Duration horizon = Minutes(240);
+  /// Invoked after the cluster (and KubeShare, when enabled) has started,
+  /// before the run loop — the chaos benches use it to arm a FaultInjector
+  /// against the live cluster. The kubeshare pointer is null in native
+  /// mode.
+  std::function<void(k8s::Cluster&, kubeshare::KubeShare*)> on_start;
 };
 
 struct RunResult {
@@ -35,6 +42,10 @@ struct RunResult {
   /// bound jobs for native).
   double mean_gpus_held = 0.0;
   double peak_gpus_held = 0.0;
+  /// Fault-recovery counters accumulated over the run.
+  metrics::RecoveryMetrics recovery;
+  /// Jobs whose container was relaunched after an infrastructure kill.
+  std::size_t job_restarts = 0;
 };
 
 RunResult RunWorkload(const RunOptions& options);

@@ -1,0 +1,142 @@
+#include "chaos/fault_plan.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace ks::chaos {
+
+namespace {
+
+// Thin deterministic helpers over mt19937_64. std::uniform_*_distribution
+// is implementation-defined; raw modulo/scaling keeps a plan byte-identical
+// for a given seed regardless of the standard library.
+std::uint64_t NextIndex(std::mt19937_64& rng, std::uint64_t n) {
+  return n == 0 ? 0 : rng() % n;
+}
+
+double NextDouble(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Duration NextDuration(std::mt19937_64& rng, Duration lo, Duration hi) {
+  if (hi <= lo) return lo;
+  const std::uint64_t span = static_cast<std::uint64_t>((hi - lo).count());
+  return lo + Duration{static_cast<std::int64_t>(NextIndex(rng, span))};
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "NodeCrash";
+    case FaultKind::kNodeRecover: return "NodeRecover";
+    case FaultKind::kTokenDaemonRestart: return "TokenDaemonRestart";
+    case FaultKind::kContainerOomKill: return "ContainerOomKill";
+    case FaultKind::kApiLatencySpike: return "ApiLatencySpike";
+    case FaultKind::kDropWatchEvent: return "DropWatchEvent";
+  }
+  return "Unknown";
+}
+
+std::string Fault::ToString() const {
+  std::string out = FormatTime(at);
+  out += " ";
+  out += FaultKindName(kind);
+  if (!node.empty()) out += " node=" + node;
+  if (!pod.empty()) out += " pod=" + pod;
+  if (duration.count() > 0) out += " duration=" + FormatTime(duration);
+  if (latency.count() > 0) out += " latency=" + FormatTime(latency);
+  if (drop_count > 0) out += " drop=" + std::to_string(drop_count);
+  return out;
+}
+
+FaultPlan FaultPlan::Random(const RandomPlanOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  struct Entry {
+    FaultKind kind;
+    double weight;
+  };
+  std::vector<Entry> entries;
+  if (!options.nodes.empty()) {
+    if (options.node_crash_weight > 0) {
+      entries.push_back({FaultKind::kNodeCrash, options.node_crash_weight});
+    }
+    if (options.daemon_restart_weight > 0) {
+      entries.push_back(
+          {FaultKind::kTokenDaemonRestart, options.daemon_restart_weight});
+    }
+  }
+  if (options.oom_kill_weight > 0) {
+    entries.push_back({FaultKind::kContainerOomKill, options.oom_kill_weight});
+  }
+  if (options.latency_spike_weight > 0) {
+    entries.push_back(
+        {FaultKind::kApiLatencySpike, options.latency_spike_weight});
+  }
+  if (options.drop_event_weight > 0) {
+    entries.push_back({FaultKind::kDropWatchEvent, options.drop_event_weight});
+  }
+
+  FaultPlan plan;
+  if (entries.empty() || options.fault_count <= 0) return plan;
+  double total_weight = 0;
+  for (const Entry& e : entries) total_weight += e.weight;
+
+  for (int i = 0; i < options.fault_count; ++i) {
+    Fault fault;
+    fault.at = options.start +
+               NextDuration(rng, Duration{0}, options.horizon - options.start);
+    double pick = NextDouble(rng) * total_weight;
+    fault.kind = entries.back().kind;
+    for (const Entry& e : entries) {
+      if (pick < e.weight) {
+        fault.kind = e.kind;
+        break;
+      }
+      pick -= e.weight;
+    }
+    switch (fault.kind) {
+      case FaultKind::kNodeCrash:
+        fault.node = options.nodes[NextIndex(rng, options.nodes.size())];
+        fault.duration =
+            NextDuration(rng, options.outage_min, options.outage_max);
+        break;
+      case FaultKind::kTokenDaemonRestart:
+        fault.node = options.nodes[NextIndex(rng, options.nodes.size())];
+        break;
+      case FaultKind::kContainerOomKill:
+        break;  // pod chosen at injection time from the live cluster
+      case FaultKind::kApiLatencySpike:
+        fault.latency = options.spike_latency;
+        fault.duration = options.spike_duration;
+        break;
+      case FaultKind::kDropWatchEvent:
+        fault.drop_count =
+            options.drop_count_min +
+            static_cast<int>(NextIndex(
+                rng, static_cast<std::uint64_t>(
+                         options.drop_count_max - options.drop_count_min + 1)));
+        break;
+      case FaultKind::kNodeRecover:
+        break;  // never generated: crashes carry their own outage duration
+    }
+    plan.faults.push_back(std::move(fault));
+  }
+  // Stable sort by time: equal-time faults keep generation order, so the
+  // plan (and thus the injection sequence) is fully deterministic.
+  std::stable_sort(
+      plan.faults.begin(), plan.faults.end(),
+      [](const Fault& a, const Fault& b) { return a.at < b.at; });
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const Fault& f : faults) {
+    out += f.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ks::chaos

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ks::chaos {
+
+/// The fault vocabulary of the chaos subsystem. Each kind maps to one
+/// concrete failure the cluster components have recovery paths for:
+///  - kNodeCrash: hard node failure (containers, kubelet and the node's
+///    token daemon all die); recovery = eviction + DevMgr reclaim/requeue.
+///  - kNodeRecover: the crashed node comes back (kubelet resync).
+///  - kTokenDaemonRestart: only the vGPU token daemon dies and restarts;
+///    recovery = frontend re-registration + sliding-window reset.
+///  - kContainerOomKill: the kernel OOM-killer takes one container;
+///    recovery = sharePod requeue ("OOMKilled").
+///  - kApiLatencySpike: watch-notification latency jumps for a while; no
+///    state is lost but every controller lags.
+///  - kDropWatchEvent: the apiserver silently loses the next N watch
+///    notifications; recovery = DevMgr's periodic reconcile pass.
+enum class FaultKind {
+  kNodeCrash,
+  kNodeRecover,
+  kTokenDaemonRestart,
+  kContainerOomKill,
+  kApiLatencySpike,
+  kDropWatchEvent,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scripted fault. Which fields matter depends on `kind`:
+///   node      — kNodeCrash / kNodeRecover / kTokenDaemonRestart
+///   pod       — kContainerOomKill ("" = injector picks a running pod)
+///   duration  — kNodeCrash: outage length before auto-recovery (0 = stays
+///               down until an explicit kNodeRecover); kApiLatencySpike:
+///               how long the spike lasts
+///   latency   — kApiLatencySpike: the degraded watch latency
+///   drop_count— kDropWatchEvent: notifications to lose
+struct Fault {
+  Time at{0};
+  FaultKind kind = FaultKind::kNodeCrash;
+  std::string node;
+  std::string pod;
+  Duration duration{0};
+  Duration latency{0};
+  int drop_count = 0;
+
+  std::string ToString() const;
+};
+
+/// Options for FaultPlan::Random. Kinds with weight 0 never appear.
+struct RandomPlanOptions {
+  std::uint64_t seed = 42;
+  /// Faults are injected at uniform times in [start, horizon).
+  Time start{Seconds(1)};
+  Time horizon{Seconds(60)};
+  int fault_count = 8;
+  /// Nodes eligible for node-scoped faults.
+  std::vector<std::string> nodes;
+  double node_crash_weight = 1.0;
+  double daemon_restart_weight = 1.0;
+  double oom_kill_weight = 1.0;
+  double latency_spike_weight = 0.5;
+  double drop_event_weight = 0.5;
+  /// Node outages auto-recover after a duration drawn from this range.
+  Duration outage_min{Seconds(5)};
+  Duration outage_max{Seconds(15)};
+  Duration spike_latency{Millis(250)};
+  Duration spike_duration{Seconds(2)};
+  int drop_count_min = 1;
+  int drop_count_max = 3;
+};
+
+/// A deterministic, pre-computed fault schedule. The same options always
+/// produce the same plan (seeded PRNG, no wall-clock input), which is what
+/// makes chaos runs replayable and their recovery timelines comparable.
+struct FaultPlan {
+  std::vector<Fault> faults;
+
+  /// Generates a plan with `fault_count` faults sorted by injection time.
+  /// Same options => identical plan, independent of call time.
+  static FaultPlan Random(const RandomPlanOptions& options);
+
+  std::string ToString() const;
+};
+
+}  // namespace ks::chaos

@@ -1,0 +1,215 @@
+#include "chaos/injector.hpp"
+
+#include <cassert>
+
+#include "k8s/resources.hpp"
+
+namespace ks::chaos {
+
+namespace {
+constexpr const char* kComponent = "chaos";
+}  // namespace
+
+FaultInjector::FaultInjector(k8s::Cluster* cluster, FaultPlan plan,
+                             InjectorConfig config)
+    : cluster_(cluster), plan_(std::move(plan)), config_(config) {
+  assert(cluster_ != nullptr);
+}
+
+Status FaultInjector::Arm() {
+  if (armed_) return FailedPreconditionError("injector already armed");
+  armed_ = true;
+  const Time now = cluster_->sim().Now();
+  for (const Fault& fault : plan_.faults) {
+    if (fault.at < now) continue;
+    cluster_->sim().ScheduleAfter(fault.at - now,
+                                  [this, fault] { Inject(fault); });
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::Inject(const Fault& fault) {
+  cluster_->api().events().Record(kComponent, "plan", "InjectFault",
+                                  fault.ToString());
+  switch (fault.kind) {
+    case FaultKind::kNodeCrash: InjectNodeCrash(fault); break;
+    case FaultKind::kNodeRecover: InjectNodeRecover(fault); break;
+    case FaultKind::kTokenDaemonRestart: InjectDaemonRestart(fault); break;
+    case FaultKind::kContainerOomKill: InjectOomKill(fault); break;
+    case FaultKind::kApiLatencySpike: InjectLatencySpike(fault); break;
+    case FaultKind::kDropWatchEvent: InjectDropEvents(fault); break;
+  }
+}
+
+void FaultInjector::RecordSkip(const Fault& fault, const std::string& why) {
+  ++stats_.faults_skipped;
+  cluster_->api().events().Record(kComponent, "plan", "FaultSkipped",
+                                  std::string(FaultKindName(fault.kind)) +
+                                      ": " + why);
+}
+
+void FaultInjector::InjectNodeCrash(const Fault& fault) {
+  if (cluster_->NodeCrashed(fault.node)) {
+    RecordSkip(fault, "node already down: " + fault.node);
+    return;
+  }
+  // Snapshot the affected set BEFORE the crash: the non-terminal pods
+  // bound to the node. Recovery = all of them gone from the node.
+  std::vector<std::string> affected;
+  for (const k8s::Pod& pod : cluster_->api().pods().List()) {
+    if (pod.status.node_name == fault.node && !pod.terminal()) {
+      affected.push_back(pod.meta.name);
+    }
+  }
+  const Status crashed = cluster_->CrashNode(fault.node);
+  if (!crashed.ok()) {
+    RecordSkip(fault, crashed.ToString());
+    return;
+  }
+  ++stats_.faults_injected;
+  ++stats_.node_crashes;
+  const Time crashed_at = cluster_->sim().Now();
+  if (!affected.empty()) {
+    cluster_->sim().ScheduleAfter(config_.recovery_poll,
+                                  [this, node = fault.node, affected,
+                                   crashed_at]() mutable {
+                                    PollRecovery(std::move(node),
+                                                 std::move(affected),
+                                                 crashed_at);
+                                  });
+  }
+  if (fault.duration.count() > 0) {
+    cluster_->sim().ScheduleAfter(fault.duration, [this, fault] {
+      Fault recover;
+      recover.at = fault.at + fault.duration;
+      recover.kind = FaultKind::kNodeRecover;
+      recover.node = fault.node;
+      Inject(recover);
+    });
+  }
+}
+
+void FaultInjector::InjectNodeRecover(const Fault& fault) {
+  if (!cluster_->NodeCrashed(fault.node)) {
+    RecordSkip(fault, "node not down: " + fault.node);
+    return;
+  }
+  const Status recovered = cluster_->RecoverNode(fault.node);
+  if (!recovered.ok()) {
+    RecordSkip(fault, recovered.ToString());
+    return;
+  }
+  ++stats_.faults_injected;
+  ++stats_.node_recoveries;
+}
+
+void FaultInjector::InjectDaemonRestart(const Fault& fault) {
+  k8s::Cluster::NodeHandle* node = cluster_->FindNode(fault.node);
+  if (node == nullptr) {
+    RecordSkip(fault, "no node: " + fault.node);
+    return;
+  }
+  if (node->crashed) {
+    RecordSkip(fault, "node down, daemon already dead: " + fault.node);
+    return;
+  }
+  node->token_backend->Restart();
+  ++stats_.faults_injected;
+  ++stats_.daemon_restarts;
+}
+
+void FaultInjector::InjectOomKill(const Fault& fault) {
+  std::string target = fault.pod;
+  if (target.empty()) {
+    // The kernel OOM-killer goes for the memory hog: pick the running pod
+    // with the largest memory request, tie-broken by CPU request and then
+    // by name (List() is name-sorted), so the choice is a deterministic
+    // function of cluster state. Infrastructure pause pods request
+    // nothing and are only hit when nothing else runs.
+    std::pair<std::int64_t, std::int64_t> best{-1, -1};
+    for (const k8s::Pod& pod : cluster_->api().pods().List()) {
+      if (pod.status.phase != k8s::PodPhase::kRunning || pod.terminal()) {
+        continue;
+      }
+      const std::pair<std::int64_t, std::int64_t> score{
+          pod.spec.requests.Get(k8s::kResourceMemory),
+          pod.spec.requests.Get(k8s::kResourceCpu)};
+      if (score > best) {
+        best = score;
+        target = pod.meta.name;
+      }
+    }
+  }
+  if (target.empty()) {
+    RecordSkip(fault, "no running pod to OOM-kill");
+    return;
+  }
+  const Status killed = cluster_->OomKillPod(target);
+  if (!killed.ok()) {
+    RecordSkip(fault, killed.ToString());
+    return;
+  }
+  ++stats_.faults_injected;
+  ++stats_.oom_kills;
+}
+
+void FaultInjector::InjectLatencySpike(const Fault& fault) {
+  k8s::ObjectStore<k8s::Pod>& pods = cluster_->api().pods();
+  k8s::ObjectStore<k8s::Node>& nodes = cluster_->api().nodes();
+  const Duration pods_before = pods.notify_latency();
+  const Duration nodes_before = nodes.notify_latency();
+  pods.SetNotifyLatency(fault.latency);
+  nodes.SetNotifyLatency(fault.latency);
+  ++stats_.faults_injected;
+  ++stats_.latency_spikes;
+  cluster_->sim().ScheduleAfter(
+      fault.duration, [this, pods_before, nodes_before] {
+        cluster_->api().pods().SetNotifyLatency(pods_before);
+        cluster_->api().nodes().SetNotifyLatency(nodes_before);
+        cluster_->api().events().Record(kComponent, "apiserver",
+                                        "LatencyRestored");
+      });
+}
+
+void FaultInjector::InjectDropEvents(const Fault& fault) {
+  cluster_->api().pods().DropEvents(fault.drop_count);
+  ++stats_.faults_injected;
+  stats_.watch_events_dropped += static_cast<std::uint64_t>(fault.drop_count);
+}
+
+void FaultInjector::PollRecovery(std::string node,
+                                 std::vector<std::string> affected,
+                                 Time crashed_at) {
+  const Time now = cluster_->sim().Now();
+  bool clear = true;
+  for (const std::string& name : affected) {
+    auto pod = cluster_->api().pods().Get(name);
+    if (!pod.ok()) continue;  // deleted (e.g. requeued workload) = gone
+    if (pod->status.node_name == node && !pod->terminal()) {
+      clear = false;
+      break;
+    }
+  }
+  if (clear) {
+    ++stats_.recoveries_measured;
+    stats_.total_recovery_time += now - crashed_at;
+    cluster_->api().events().Record(
+        kComponent, "node/" + node, "Recovered",
+        "drained in " + FormatTime(now - crashed_at));
+    return;
+  }
+  if (now - crashed_at >= config_.recovery_timeout) {
+    ++stats_.recoveries_timed_out;
+    cluster_->api().events().Record(kComponent, "node/" + node,
+                                    "RecoveryTimeout");
+    return;
+  }
+  cluster_->sim().ScheduleAfter(
+      config_.recovery_poll,
+      [this, node = std::move(node), affected = std::move(affected),
+       crashed_at]() mutable {
+        PollRecovery(std::move(node), std::move(affected), crashed_at);
+      });
+}
+
+}  // namespace ks::chaos

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "common/status.hpp"
+#include "k8s/cluster.hpp"
+
+namespace ks::chaos {
+
+/// Everything the injector itself can observe about a chaos run. The
+/// component-level recovery counters (evictions, vGPUs reclaimed, sharePods
+/// requeued, frontends re-registered) live on the components that perform
+/// the recovery; metrics::CollectRecoveryMetrics gathers both sides.
+struct ChaosStats {
+  std::uint64_t faults_injected = 0;
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_recoveries = 0;
+  std::uint64_t daemon_restarts = 0;
+  std::uint64_t oom_kills = 0;
+  std::uint64_t latency_spikes = 0;
+  std::uint64_t watch_events_dropped = 0;
+  /// Faults skipped because their target was gone (node already down,
+  /// no running pod to OOM-kill, ...). Skips are recorded, not errors —
+  /// a random plan may legitimately race its own outages.
+  std::uint64_t faults_skipped = 0;
+
+  /// Node-crash recovery measurement: a crash snapshots the pods bound to
+  /// the node; the fault is "recovered" when none of them is still
+  /// non-terminal on that node (evicted, finished, or requeued elsewhere).
+  std::uint64_t recoveries_measured = 0;
+  std::uint64_t recoveries_timed_out = 0;
+  Duration total_recovery_time{0};
+
+  Duration MeanTimeToRecovery() const {
+    if (recoveries_measured == 0) return Duration{0};
+    return total_recovery_time / static_cast<std::int64_t>(recoveries_measured);
+  }
+};
+
+struct InjectorConfig {
+  /// Poll cadence for the node-crash recovery (MTTR) probe.
+  Duration recovery_poll = Millis(500);
+  /// Give up probing a crash's recovery after this long (keeps the event
+  /// queue drainable if the cluster never re-converges).
+  Duration recovery_timeout = Seconds(120);
+};
+
+/// Deterministic fault injector: replays a FaultPlan through the simulation
+/// clock against a live cluster. Every injection lands in the event queue
+/// at its scripted time, so the same plan against the same cluster and
+/// workload yields a byte-identical event timeline.
+class FaultInjector {
+ public:
+  FaultInjector(k8s::Cluster* cluster, FaultPlan plan,
+                InjectorConfig config = {});
+
+  /// Schedules every fault in the plan. Call once, before running the
+  /// simulation (faults whose time has already passed are skipped).
+  Status Arm();
+
+  const ChaosStats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void Inject(const Fault& fault);
+  void InjectNodeCrash(const Fault& fault);
+  void InjectNodeRecover(const Fault& fault);
+  void InjectDaemonRestart(const Fault& fault);
+  void InjectOomKill(const Fault& fault);
+  void InjectLatencySpike(const Fault& fault);
+  void InjectDropEvents(const Fault& fault);
+
+  /// MTTR probe for one node crash: polls until every pod that was bound
+  /// to the node at crash time has left it (or the timeout expires).
+  void PollRecovery(std::string node, std::vector<std::string> affected,
+                    Time crashed_at);
+  void RecordSkip(const Fault& fault, const std::string& why);
+
+  k8s::Cluster* cluster_;
+  FaultPlan plan_;
+  InjectorConfig config_;
+  bool armed_ = false;
+  ChaosStats stats_;
+};
+
+}  // namespace ks::chaos

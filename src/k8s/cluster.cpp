@@ -7,6 +7,8 @@ namespace ks::k8s {
 Cluster::Cluster(ClusterConfig config) : config_(config) {
   api_ = std::make_unique<ApiServer>(&sim_, config_.latency);
   scheduler_ = std::make_unique<KubeScheduler>(api_.get());
+  node_controller_ = std::make_unique<NodeLifecycleController>(
+      api_.get(), config_.node_detection, config_.pod_eviction_timeout);
   nvml_ = std::make_unique<gpu::NvmlMonitor>(&sim_, Seconds(1));
 
   for (int n = 0; n < config_.nodes; ++n) {
@@ -59,7 +61,18 @@ Status Cluster::Start() {
     KS_RETURN_IF_ERROR(node->kubelet->Start());
   }
   KS_RETURN_IF_ERROR(scheduler_->Start());
+  if (config_.component_resync.count() > 0) ScheduleResync();
   return Status::Ok();
+}
+
+void Cluster::ScheduleResync() {
+  // Perpetual self-rescheduling loop: only runs when the resync knob is
+  // set, and then the simulation must be driven with RunUntil().
+  sim_.ScheduleAfter(config_.component_resync, [this] {
+    for (auto& node : nodes_) node->kubelet->ResyncOnce();
+    scheduler_->ResyncOnce();
+    ScheduleResync();
+  });
 }
 
 Cluster::NodeHandle* Cluster::FindNode(const std::string& name) {
@@ -99,14 +112,64 @@ void Cluster::SetContainerStopHook(ContainerRuntime::StopHook hook) {
   }
 }
 
-Status Cluster::ExitPodContainer(const std::string& pod_name, bool success) {
+Status Cluster::ExitPodContainer(const std::string& pod_name, bool success,
+                                 const std::string& reason) {
   auto pod = api_->pods().Get(pod_name);
   if (!pod.ok()) return pod.status();
   NodeHandle* node = FindNode(pod->status.node_name);
   if (node == nullptr) {
     return NotFoundError("pod not bound to a known node: " + pod_name);
   }
-  return node->runtime->ExitContainerByPod(pod_name, success);
+  return node->runtime->ExitContainerByPod(pod_name, success, reason);
+}
+
+Status Cluster::CrashNode(const std::string& node_name) {
+  NodeHandle* node = FindNode(node_name);
+  if (node == nullptr) return NotFoundError("no node: " + node_name);
+  if (node->crashed) {
+    return FailedPreconditionError("node already crashed: " + node_name);
+  }
+  node->crashed = true;
+  api_->events().Record("chaos", "node/" + node_name, "NodeCrash");
+  // Order matters: containers die first (stop hooks tear down the
+  // in-container stacks, which unregister from the token backend on the
+  // next event), then the kubelet forgets everything, then the token
+  // daemon's state is wiped — by the time its restart window elapses only
+  // genuinely surviving frontends re-register (none, for a node crash).
+  node->runtime->CrashAll();
+  (void)node->kubelet->Crash();
+  node->token_backend->Restart();
+  node_controller_->ReportNodeFailure(node_name);
+  return Status::Ok();
+}
+
+Status Cluster::RecoverNode(const std::string& node_name) {
+  NodeHandle* node = FindNode(node_name);
+  if (node == nullptr) return NotFoundError("no node: " + node_name);
+  if (!node->crashed) {
+    return FailedPreconditionError("node is not crashed: " + node_name);
+  }
+  node->crashed = false;
+  api_->events().Record("chaos", "node/" + node_name, "NodeRecover");
+  (void)node->kubelet->Recover();
+  node_controller_->ReportNodeRecovery(node_name);
+  return Status::Ok();
+}
+
+bool Cluster::NodeCrashed(const std::string& node_name) {
+  NodeHandle* node = FindNode(node_name);
+  return node != nullptr && node->crashed;
+}
+
+Status Cluster::OomKillPod(const std::string& pod_name) {
+  auto pod = api_->pods().Get(pod_name);
+  if (!pod.ok()) return pod.status();
+  NodeHandle* node = FindNode(pod->status.node_name);
+  if (node == nullptr) {
+    return NotFoundError("pod not bound to a known node: " + pod_name);
+  }
+  api_->events().Record("chaos", "pod/" + pod_name, "OomKill");
+  return node->runtime->ExitContainerByPod(pod_name, false, "OOMKilled");
 }
 
 }  // namespace ks::k8s

@@ -10,6 +10,7 @@
 #include "k8s/apiserver.hpp"
 #include "k8s/device_plugin.hpp"
 #include "k8s/kubelet.hpp"
+#include "k8s/node_controller.hpp"
 #include "k8s/runtime.hpp"
 #include "k8s/scheduler.hpp"
 #include "sim/simulation.hpp"
@@ -32,6 +33,19 @@ struct ClusterConfig {
   /// stock whole-GPU plugin. Used by the fragmentation baselines.
   bool scaled_plugin = false;
   int plugin_scale = 100;
+  /// Node lifecycle controller timings: how long after a node stops
+  /// heartbeating it is marked NotReady, and how much longer until its
+  /// pods are evicted (kube-controller-manager's
+  /// --node-monitor-grace-period / --pod-eviction-timeout, scaled down to
+  /// simulation-friendly values).
+  Duration node_detection = Seconds(4);
+  Duration pod_eviction_timeout = Seconds(5);
+  /// Informer-style periodic relist for every kubelet and the scheduler,
+  /// repairing state lost to dropped watch events (chaos testing). Zero
+  /// disables it — the default, because the perpetual resync loop keeps
+  /// the event queue non-empty forever, so Simulation::Run() would never
+  /// return; callers that enable it must drive with RunUntil().
+  Duration component_resync = Millis(0);
 };
 
 /// A fully-wired simulated Kubernetes cluster: apiserver, kube-scheduler,
@@ -63,6 +77,7 @@ class Cluster {
     std::unique_ptr<ContainerRuntime> runtime;
     std::unique_ptr<Kubelet> kubelet;
     std::unique_ptr<vgpu::TokenBackend> token_backend;
+    bool crashed = false;
   };
 
   std::size_t node_count() const { return nodes_.size(); }
@@ -80,13 +95,36 @@ class Cluster {
 
   /// Convenience for workloads: exits the container of `pod_name` wherever
   /// it runs.
-  Status ExitPodContainer(const std::string& pod_name, bool success);
+  Status ExitPodContainer(const std::string& pod_name, bool success,
+                          const std::string& reason = "");
+
+  NodeLifecycleController& node_controller() { return *node_controller_; }
+
+  /// Fault injection: hard-crashes a node. Every container on it dies
+  /// (stop hooks fire), the kubelet loses its state, and the node's token
+  /// daemon goes down with it (its state rebuild is scheduled for when the
+  /// node is back). The control plane notices via the node lifecycle
+  /// controller after ClusterConfig::node_detection.
+  Status CrashNode(const std::string& node_name);
+
+  /// Fault injection: brings a crashed node back. The kubelet resyncs and
+  /// the node is marked Ready again after the detection latency.
+  Status RecoverNode(const std::string& node_name);
+
+  bool NodeCrashed(const std::string& node_name);
+
+  /// Fault injection: the kernel OOM-killer takes out a pod's container.
+  /// Surfaces as a Failed pod with message "OOMKilled".
+  Status OomKillPod(const std::string& pod_name);
 
  private:
+  void ScheduleResync();
+
   ClusterConfig config_;
   sim::Simulation sim_;
   std::unique_ptr<ApiServer> api_;
   std::unique_ptr<KubeScheduler> scheduler_;
+  std::unique_ptr<NodeLifecycleController> node_controller_;
   std::unique_ptr<gpu::NvmlMonitor> nvml_;
   std::vector<std::unique_ptr<NodeHandle>> nodes_;
   bool started_ = false;

@@ -40,8 +40,9 @@ Status Kubelet::Start() {
   node.capacity = capacity_;
   KS_RETURN_IF_ERROR(api_->nodes().Create(node));
 
-  runtime_->SetExitListener([this](const std::string& pod_name, bool ok) {
-    FinishPod(pod_name, ok);
+  runtime_->SetExitListener([this](const std::string& pod_name, bool ok,
+                                   const std::string& reason) {
+    FinishPod(pod_name, ok, reason);
   });
 
   api_->pods().Watch([this](const WatchEvent<Pod>& ev) { OnPodEvent(ev); });
@@ -49,6 +50,7 @@ Status Kubelet::Start() {
 }
 
 void Kubelet::OnPodEvent(const WatchEvent<Pod>& event) {
+  if (crashed_) return;  // a dead agent sees nothing
   const Pod& pod = event.object;
   if (pod.status.node_name != node_name_) return;
 
@@ -66,16 +68,79 @@ void Kubelet::OnPodEvent(const WatchEvent<Pod>& event) {
   // Added/Modified: pick up newly-bound pods exactly once.
   if (pod.terminal()) return;
   if (pods_.count(pod.meta.name) > 0) return;
+  AdoptPod(pod);
+}
+
+void Kubelet::AdoptPod(const Pod& pod) {
   pods_[pod.meta.name].state = PodState::kSyncing;
   pods_[pod.meta.name].requests = pod.spec.requests;
   const std::string name = pod.meta.name;
   sim_->ScheduleAfter(api_->latency().kubelet_sync, [this, name] {
+    if (crashed_) return;
     auto it = pods_.find(name);
     if (it == pods_.end()) return;  // deleted while syncing
     auto pod_now = api_->pods().Get(name);
     if (!pod_now.ok()) return;
     SyncPod(*pod_now);
   });
+}
+
+Status Kubelet::Crash() {
+  if (!started_) return FailedPreconditionError("kubelet not started");
+  if (crashed_) return FailedPreconditionError("kubelet already crashed");
+  crashed_ = true;
+  // All in-memory state is gone: records, reservations, device bindings.
+  pods_.clear();
+  allocated_ = ResourceList{};
+  for (UnitSlot& slot : units_) slot.in_use = false;
+  return Status::Ok();
+}
+
+Status Kubelet::Recover() {
+  if (!crashed_) return FailedPreconditionError("kubelet is not crashed");
+  crashed_ = false;
+  // Resync against the apiserver (List() is sorted — deterministic order).
+  for (const Pod& pod : api_->pods().List()) {
+    if (pod.status.node_name != node_name_) continue;
+    if (pod.terminal()) continue;
+    if (pod.status.phase == PodPhase::kRunning) {
+      // Its container died with the node; restartPolicy is Never here.
+      api_->events().Record("kubelet/" + node_name_, "pod/" + pod.meta.name,
+                            "NodeLost");
+      (void)api_->SetPodPhase(pod.meta.name, PodPhase::kFailed, "NodeLost");
+      continue;
+    }
+    // Bound while the agent was down (or mid-sync at crash): start fresh.
+    if (pods_.count(pod.meta.name) == 0) AdoptPod(pod);
+  }
+  return Status::Ok();
+}
+
+void Kubelet::ResyncOnce() {
+  if (crashed_) return;
+  // Reap records whose backing object is gone (dropped Deleted event):
+  // kill the container and release the reservation, as OnPodEvent would
+  // have. pods_ is unordered — sort the names for a deterministic order.
+  std::vector<std::string> gone;
+  for (const auto& [name, rec] : pods_) {
+    if (!api_->pods().Contains(name)) gone.push_back(name);
+  }
+  std::sort(gone.begin(), gone.end());
+  for (const std::string& name : gone) {
+    const PodState state = pods_.at(name).state;
+    if (state == PodState::kRunning || state == PodState::kStarting) {
+      (void)runtime_->KillContainer(name);
+    }
+    ReleasePod(name);
+  }
+  // Adopt bound pods we never saw (dropped Added event). An unknown pod
+  // already in phase Running is unreachable outside the crash path (only
+  // this agent moves pods to Running), so it is left to Recover().
+  for (const Pod& pod : api_->pods().List()) {
+    if (pod.status.node_name != node_name_) continue;
+    if (pod.terminal() || pod.status.phase == PodPhase::kRunning) continue;
+    if (pods_.count(pod.meta.name) == 0) AdoptPod(pod);
+  }
 }
 
 Status Kubelet::RefreshDevices() {
@@ -203,12 +268,18 @@ void Kubelet::StartViaRuntime(const std::string& name,
   }, image);
 }
 
-void Kubelet::FinishPod(const std::string& pod_name, bool success) {
+void Kubelet::FinishPod(const std::string& pod_name, bool success,
+                        const std::string& reason) {
+  if (crashed_) return;
   auto it = pods_.find(pod_name);
   if (it == pods_.end()) return;
   ReleasePod(pod_name);
+  if (!reason.empty()) {
+    api_->events().Record("kubelet/" + node_name_, "pod/" + pod_name, reason);
+  }
   (void)api_->SetPodPhase(pod_name,
-                          success ? PodPhase::kSucceeded : PodPhase::kFailed);
+                          success ? PodPhase::kSucceeded : PodPhase::kFailed,
+                          reason);
 }
 
 void Kubelet::ReleasePod(const std::string& pod_name) {

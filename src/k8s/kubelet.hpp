@@ -32,6 +32,28 @@ class Kubelet {
   /// Registers the node object and starts watching for work.
   Status Start();
 
+  /// Node crash: the agent loses all in-memory state (pod records,
+  /// reservations, device assignments) and stops reacting to watch events.
+  /// It does not talk to the apiserver — a dead node cannot; the control
+  /// plane notices through the node lifecycle controller.
+  Status Crash();
+
+  /// Node recovery: the agent comes back with empty state and resyncs
+  /// against the apiserver. Pods that were Running here before the crash
+  /// are reported Failed ("NodeLost": their containers died with the node,
+  /// restartPolicy is Never in this model); pods bound while the agent was
+  /// down are adopted and started fresh.
+  Status Recover();
+
+  bool crashed() const { return crashed_; }
+
+  /// Informer-style relist, repairing state lost to dropped watch events:
+  /// adopts bound pods this agent never heard about (a swallowed Added)
+  /// and reaps records whose pod object vanished (a swallowed Deleted).
+  /// Real kubelets do this on their sync period; here it is driven by
+  /// Cluster when ClusterConfig::component_resync is enabled.
+  void ResyncOnce();
+
   /// ListAndWatch refresh: re-reads the plugin's device list, marks units
   /// (un)healthy, and re-advertises the node capacity. In-use units that
   /// turned unhealthy stay attached to their pod until it releases them;
@@ -53,10 +75,12 @@ class Kubelet {
   enum class PodState { kSyncing, kStarting, kRunning, kTerminated };
 
   void OnPodEvent(const WatchEvent<Pod>& event);
+  void AdoptPod(const Pod& pod);
   void SyncPod(const Pod& pod);
   void StartViaRuntime(const std::string& name,
                        std::map<std::string, std::string> env);
-  void FinishPod(const std::string& pod_name, bool success);
+  void FinishPod(const std::string& pod_name, bool success,
+                 const std::string& reason);
   void ReleasePod(const std::string& pod_name);
   Expected<std::vector<std::string>> PickDeviceUnits(std::int64_t count);
 
@@ -82,6 +106,7 @@ class Kubelet {
   };
   std::unordered_map<std::string, PodRecord> pods_;
   bool started_ = false;
+  bool crashed_ = false;
 };
 
 }  // namespace ks::k8s

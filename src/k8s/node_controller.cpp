@@ -1,0 +1,96 @@
+#include "k8s/node_controller.hpp"
+
+#include <cassert>
+
+namespace ks::k8s {
+
+namespace {
+constexpr const char* kComponent = "node-controller";
+}  // namespace
+
+NodeLifecycleController::NodeLifecycleController(ApiServer* api,
+                                                 Duration detection_latency,
+                                                 Duration eviction_timeout)
+    : api_(api),
+      sim_(api->sim()),
+      detection_latency_(detection_latency),
+      eviction_timeout_(eviction_timeout) {
+  assert(api_ != nullptr);
+}
+
+void NodeLifecycleController::ReportNodeFailure(const std::string& node_name) {
+  NodeState& state = states_[node_name];
+  if (state.failed) return;
+  state.failed = true;
+  const std::uint64_t generation = ++state.generation;
+  sim_->ScheduleAfter(detection_latency_, [this, node_name, generation] {
+    MarkNotReady(node_name, generation);
+  });
+}
+
+void NodeLifecycleController::ReportNodeRecovery(
+    const std::string& node_name) {
+  NodeState& state = states_[node_name];
+  if (!state.failed) return;
+  state.failed = false;
+  const std::uint64_t generation = ++state.generation;
+  sim_->ScheduleAfter(detection_latency_, [this, node_name, generation] {
+    auto it = states_.find(node_name);
+    if (it == states_.end() || it->second.generation != generation) return;
+    SetNodeReady(node_name, true);
+    api_->events().Record(kComponent, "node/" + node_name, "NodeReady");
+  });
+}
+
+bool NodeLifecycleController::IsFailed(const std::string& node_name) const {
+  auto it = states_.find(node_name);
+  return it != states_.end() && it->second.failed;
+}
+
+void NodeLifecycleController::MarkNotReady(const std::string& node_name,
+                                           std::uint64_t generation) {
+  auto it = states_.find(node_name);
+  if (it == states_.end() || it->second.generation != generation) return;
+  ++not_ready_;
+  SetNodeReady(node_name, false);
+  api_->events().Record(kComponent, "node/" + node_name, "NodeNotReady");
+  sim_->ScheduleAfter(eviction_timeout_, [this, node_name, generation] {
+    EvictPods(node_name, generation);
+  });
+}
+
+void NodeLifecycleController::EvictPods(const std::string& node_name,
+                                        std::uint64_t generation) {
+  auto it = states_.find(node_name);
+  if (it == states_.end() || it->second.generation != generation) return;
+  std::uint64_t evicted = 0;
+  for (const Pod& pod : api_->pods().List()) {
+    if (pod.status.node_name != node_name) continue;
+    if (pod.terminal()) continue;
+    ++evictions_;
+    ++evicted;
+    api_->events().Record(kComponent, "pod/" + pod.meta.name, "Evicted",
+                          "NodeLost");
+    (void)api_->SetPodPhase(pod.meta.name, PodPhase::kFailed, "NodeLost");
+  }
+  // Re-sweep while pods keep turning up (a bind in flight when the node
+  // died can land afterwards). A clean sweep ends the loop — the scheduler
+  // skips NotReady nodes, so nothing new can arrive — keeping the event
+  // queue drainable while the node stays down.
+  if (evicted > 0) {
+    sim_->ScheduleAfter(eviction_timeout_, [this, node_name, generation] {
+      EvictPods(node_name, generation);
+    });
+  }
+}
+
+void NodeLifecycleController::SetNodeReady(const std::string& node_name,
+                                           bool ready) {
+  auto node = api_->nodes().Get(node_name);
+  if (!node.ok()) return;
+  if (node->ready == ready) return;
+  node->ready = ready;
+  (void)api_->nodes().Update(*std::move(node));
+}
+
+}  // namespace ks::k8s

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "k8s/apiserver.hpp"
+
+namespace ks::k8s {
+
+/// Node lifecycle controller — the slice of kube-controller-manager that
+/// turns a stopped heartbeat into observable cluster state. The cluster
+/// reports heartbeat loss/resumption (a dead kubelet cannot announce its
+/// own death); after `detection_latency` the controller marks the Node
+/// NotReady, and after a further `eviction_timeout` it evicts every pod
+/// still bound there (phase Failed, message "NodeLost"). While the node
+/// stays down it re-sweeps each eviction interval, catching pods whose
+/// binds were in flight when the node died. Recovery flips the Node back
+/// to Ready after the same detection latency.
+///
+/// All bookkeeping is keyed by node name in sorted maps and pods are
+/// evicted in ObjectStore::List() order, so the eviction timeline is
+/// deterministic for a given fault schedule.
+class NodeLifecycleController {
+ public:
+  NodeLifecycleController(ApiServer* api, Duration detection_latency,
+                          Duration eviction_timeout);
+
+  /// Heartbeats stopped (node crashed). Idempotent while the node is down.
+  void ReportNodeFailure(const std::string& node_name);
+
+  /// Heartbeats resumed (node recovered).
+  void ReportNodeRecovery(const std::string& node_name);
+
+  bool IsFailed(const std::string& node_name) const;
+
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t not_ready_transitions() const { return not_ready_; }
+
+ private:
+  struct NodeState {
+    bool failed = false;
+    /// Bumped on every report; pending timers capture the generation they
+    /// were armed under and no-op if the node flapped in between.
+    std::uint64_t generation = 0;
+  };
+
+  void MarkNotReady(const std::string& node_name, std::uint64_t generation);
+  void EvictPods(const std::string& node_name, std::uint64_t generation);
+  void SetNodeReady(const std::string& node_name, bool ready);
+
+  ApiServer* api_;
+  sim::Simulation* sim_;
+  Duration detection_latency_;
+  Duration eviction_timeout_;
+  std::map<std::string, NodeState> states_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t not_ready_ = 0;
+};
+
+}  // namespace ks::k8s

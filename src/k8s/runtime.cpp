@@ -1,5 +1,6 @@
 #include "k8s/runtime.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -55,7 +56,8 @@ void ContainerRuntime::StartContainer(
   if (state.pulling) return;  // coalesce onto the in-flight pull
   state.pulling = true;
   ++image_pulls_;
-  sim_->ScheduleAfter(latency_.image_pull, [this, image] {
+  sim_->ScheduleAfter(latency_.image_pull, [this, image, epoch = epoch_] {
+    if (epoch != epoch_) return;  // daemon crashed mid-pull
     ImageState& s = images_[image];
     s.cached = true;
     s.pulling = false;
@@ -75,8 +77,9 @@ void ContainerRuntime::PumpStartQueue() {
     StartRequest req = std::move(start_queue_.front());
     start_queue_.pop_front();
     ++busy_workers_;
-    sim_->ScheduleAfter(latency_.container_start, [this,
-                                                   req = std::move(req)] {
+    sim_->ScheduleAfter(latency_.container_start, [this, req = std::move(req),
+                                                   epoch = epoch_] {
+      if (epoch != epoch_) return;  // daemon crashed mid-start
       --busy_workers_;
       ContainerInstance inst;
       inst.id = ContainerId(node_name_ + "/" + req.pod_name + "#" +
@@ -94,7 +97,8 @@ void ContainerRuntime::PumpStartQueue() {
   }
 }
 
-Status ContainerRuntime::ExitContainer(const ContainerId& id, bool success) {
+Status ContainerRuntime::ExitContainer(const ContainerId& id, bool success,
+                                       const std::string& reason) {
   auto it = running_.find(id);
   if (it == running_.end()) {
     return NotFoundError("no running container: " + id.value());
@@ -103,17 +107,18 @@ Status ContainerRuntime::ExitContainer(const ContainerId& id, bool success) {
   running_.erase(it);
   by_pod_.erase(inst.pod_name);
   if (stop_hook_) stop_hook_(inst);
-  if (exit_fn_) exit_fn_(inst.pod_name, success);
+  if (exit_fn_) exit_fn_(inst.pod_name, success, reason);
   return Status::Ok();
 }
 
 Status ContainerRuntime::ExitContainerByPod(const std::string& pod_name,
-                                            bool success) {
+                                            bool success,
+                                            const std::string& reason) {
   auto it = by_pod_.find(pod_name);
   if (it == by_pod_.end()) {
     return NotFoundError("no running container for pod: " + pod_name);
   }
-  return ExitContainer(it->second, success);
+  return ExitContainer(it->second, success, reason);
 }
 
 Status ContainerRuntime::KillContainer(const std::string& pod_name,
@@ -142,9 +147,10 @@ Status ContainerRuntime::KillContainer(const std::string& pod_name,
     return NotFoundError("no container for pod: " + pod_name);
   }
   const ContainerId id = it->second;
-  sim_->ScheduleAfter(latency_.container_stop, [this, id,
+  sim_->ScheduleAfter(latency_.container_stop, [this, id, epoch = epoch_,
                                                 on_stopped =
                                                     std::move(on_stopped)] {
+    if (epoch != epoch_) return;  // daemon crashed before the stop landed
     auto rit = running_.find(id);
     if (rit != running_.end()) {
       ContainerInstance inst = std::move(rit->second);
@@ -155,6 +161,34 @@ Status ContainerRuntime::KillContainer(const std::string& pod_name,
     if (on_stopped) on_stopped();
   });
   return Status::Ok();
+}
+
+void ContainerRuntime::CrashAll() {
+  ++epoch_;  // invalidate every in-flight start/pull/kill callback
+  ++crashes_;
+  start_queue_.clear();
+  for (auto& [image, state] : images_) {
+    state.pulling = false;
+    state.waiters.clear();
+  }
+  busy_workers_ = 0;
+  // Tear down running containers in sorted order — running_ is an
+  // unordered_map and stop hooks are observable (determinism).
+  std::vector<ContainerId> ids;
+  ids.reserve(running_.size());
+  for (const auto& [id, inst] : running_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(),
+            [](const ContainerId& a, const ContainerId& b) {
+              return a.value() < b.value();
+            });
+  for (const ContainerId& id : ids) {
+    auto it = running_.find(id);
+    if (it == running_.end()) continue;  // stop hook cascaded into an exit
+    ContainerInstance inst = std::move(it->second);
+    running_.erase(it);
+    by_pod_.erase(inst.pod_name);
+    if (stop_hook_) stop_hook_(inst);
+  }
 }
 
 bool ContainerRuntime::IsRunning(const std::string& pod_name) const {

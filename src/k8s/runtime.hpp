@@ -43,8 +43,11 @@ class ContainerRuntime {
  public:
   using StartHook = std::function<void(const ContainerInstance&)>;
   using StopHook = std::function<void(const ContainerInstance&)>;
-  /// (pod_name, success) reported upward to the kubelet.
-  using ExitFn = std::function<void(const std::string&, bool)>;
+  /// (pod_name, success, reason) reported upward to the kubelet. `reason`
+  /// is empty for a normal exit; kill paths set it (e.g. "OOMKilled") so
+  /// the pod phase message carries the cause.
+  using ExitFn =
+      std::function<void(const std::string&, bool, const std::string&)>;
 
   ContainerRuntime(sim::Simulation* sim, std::string node_name,
                    std::vector<gpu::GpuDevice*> gpus, LatencyModel latency);
@@ -71,16 +74,30 @@ class ContainerRuntime {
   }
   std::uint64_t image_pulls() const { return image_pulls_; }
 
-  /// Application-initiated exit (the main process returned).
-  Status ExitContainer(const ContainerId& id, bool success);
+  /// Application-initiated exit (the main process returned). `reason`
+  /// annotates abnormal exits and is forwarded to the exit listener.
+  Status ExitContainer(const ContainerId& id, bool success,
+                       const std::string& reason = "");
 
   /// Exit lookup by pod name (one container per pod in this model).
-  Status ExitContainerByPod(const std::string& pod_name, bool success);
+  Status ExitContainerByPod(const std::string& pod_name, bool success,
+                            const std::string& reason = "");
 
   /// Kubelet-initiated kill (pod deleted). Fires the stop hook after
   /// container_stop latency; `on_stopped` runs afterwards.
   Status KillContainer(const std::string& pod_name,
                        std::function<void()> on_stopped = nullptr);
+
+  /// Node-crash semantics: every running container dies instantly (the
+  /// stop hook fires so in-container stacks are destroyed — processes on a
+  /// dead node are gone), queued starts and image-pull waiters are
+  /// discarded, and all in-flight runtime callbacks (worker completions,
+  /// pull completions, pending kills) are invalidated. The exit listener
+  /// is NOT fired: the kubelet on a crashed node is dead too, so the
+  /// control plane only learns of the pods' fate through node-lifecycle
+  /// eviction. Pulled images survive (disk outlives the crash).
+  void CrashAll();
+  std::uint64_t crashes() const { return crashes_; }
 
   std::size_t running_containers() const { return running_.size(); }
   std::size_t queued_starts() const { return start_queue_.size(); }
@@ -127,6 +144,10 @@ class ContainerRuntime {
   std::uint64_t next_container_ = 1;
   std::unordered_map<ContainerId, ContainerInstance> running_;
   std::unordered_map<std::string, ContainerId> by_pod_;
+  /// Bumped by CrashAll; scheduled callbacks capture the epoch they were
+  /// created under and no-op if the daemon restarted in between.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t crashes_ = 0;
 };
 
 }  // namespace ks::k8s

@@ -1,6 +1,9 @@
 #include "k8s/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
+#include <vector>
 
 #include "common/log.hpp"
 
@@ -40,6 +43,31 @@ void KubeScheduler::OnPodEvent(const WatchEvent<Pod>& event) {
       Unreserve(pod.meta.name);
       return;
   }
+}
+
+void KubeScheduler::ResyncOnce() {
+  // List() is name-sorted, so the enqueue order is deterministic. Enqueue
+  // dedups against queued_, and ScheduleOne re-checks the pod state at
+  // cycle time, so re-listing an already-queued pod is harmless.
+  for (const Pod& pod : api_->pods().List()) {
+    if (pod.terminal()) continue;
+    if (pod.scheduled()) {
+      if (reservations_.count(pod.meta.name) == 0) {
+        Reserve(pod, pod.status.node_name);
+      }
+      continue;
+    }
+    Enqueue(pod.meta.name);
+  }
+  // Release reservations whose pod vanished or finished (dropped Deleted
+  // or terminal Modified event). reservations_ is unordered — sort.
+  std::vector<std::string> stale;
+  for (const auto& [name, res] : reservations_) {
+    auto pod = api_->pods().Get(name);
+    if (!pod.ok() || pod->terminal()) stale.push_back(name);
+  }
+  std::sort(stale.begin(), stale.end());
+  for (const std::string& name : stale) Unreserve(name);
 }
 
 void KubeScheduler::Enqueue(const std::string& pod_name) {

@@ -29,6 +29,13 @@ class KubeScheduler {
 
   Status Start();
 
+  /// Informer-style relist, repairing cache state lost to dropped watch
+  /// events: enqueues pending pods whose Added event was swallowed, adds
+  /// missing reservations for extension-bound pods, and drops reservations
+  /// whose pod is gone or terminal. Driven by Cluster when
+  /// ClusterConfig::component_resync is enabled.
+  void ResyncOnce();
+
   std::uint64_t scheduled_count() const { return scheduled_count_; }
   std::uint64_t retry_count() const { return retry_count_; }
   std::size_t queue_length() const { return queue_.size(); }

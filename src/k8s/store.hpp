@@ -125,8 +125,28 @@ class ObjectStore {
 
   std::uint64_t version() const { return version_; }
 
+  /// Fault injection: overrides the watch-notification latency (an
+  /// apiserver latency spike degrades every informer downstream). The
+  /// change applies to notifications issued after the call; in-flight
+  /// deliveries keep the latency they were scheduled with.
+  void SetNotifyLatency(Duration latency) { notify_latency_ = latency; }
+  Duration notify_latency() const { return notify_latency_; }
+
+  /// Fault injection: silently discards the next `count` store mutations'
+  /// watch notifications (no watcher sees them — the event is lost at the
+  /// apiserver, as a dropped watch stream loses it). The store itself stays
+  /// consistent; only controllers relying on the watch go stale, which is
+  /// exactly what a reconcile/resync pass must repair.
+  void DropEvents(int count) { drop_pending_ += count; }
+  std::uint64_t dropped_events() const { return dropped_events_; }
+
  private:
   void Notify(WatchEvent<T> event) {
+    if (drop_pending_ > 0) {
+      --drop_pending_;
+      ++dropped_events_;
+      return;
+    }
     // Snapshot the watcher ids; a watcher registered during delivery must
     // not observe this event twice (it replays current state instead).
     std::vector<WatchId> ids;
@@ -148,6 +168,8 @@ class ObjectStore {
   std::uint64_t next_uid_ = 1;
   std::uint64_t version_ = 0;
   WatchId next_watch_ = 1;
+  int drop_pending_ = 0;
+  std::uint64_t dropped_events_ = 0;
 };
 
 }  // namespace ks::k8s

@@ -38,6 +38,16 @@ struct KubeShareConfig {
   /// Step-3 placement policy (kPaper = Algorithm 1 as published; the other
   /// variants exist for the design-choice ablation).
   PlacementVariant placement = PlacementVariant::kPaper;
+  /// Periodic DevMgr reconcile/resync pass (0 = disabled, the seed
+  /// behavior). Each pass garbage-collects vGPUs and GPUID<->UUID bindings
+  /// stranded on NotReady nodes, requeues their sharePods, repairs records
+  /// whose terminal workload-pod transition was missed (a dropped watch
+  /// event), and adopts scheduled sharePods the watch never delivered.
+  Duration reconcile_period = Millis(0);
+  /// Requeue a sharePod through KubeShare-Sched when its workload pod was
+  /// killed by infrastructure failure ("NodeLost" eviction, "OOMKilled")
+  /// instead of marking it Failed. Application failures still fail it.
+  bool requeue_lost_workloads = true;
 };
 
 }  // namespace ks::kubeshare

@@ -1,6 +1,8 @@
 #include "kubeshare/devmgr.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "common/log.hpp"
 #include "k8s/device_plugin.hpp"
@@ -33,7 +35,17 @@ Status KubeShareDevMgr::Start() {
       [this](const k8s::WatchEvent<SharePod>& ev) { OnSharePodEvent(ev); });
   cluster_->api().pods().Watch(
       [this](const k8s::WatchEvent<k8s::Pod>& ev) { OnPodEvent(ev); });
+  if (config_.reconcile_period.count() > 0) ScheduleReconcile();
   return Status::Ok();
+}
+
+void KubeShareDevMgr::ScheduleReconcile() {
+  // Perpetual resync loop — callers running with reconcile enabled drive
+  // the simulation with RunUntil (Run() would never drain the queue).
+  cluster_->sim().ScheduleAfter(config_.reconcile_period, [this] {
+    ReconcileOnce();
+    ScheduleReconcile();
+  });
 }
 
 void KubeShareDevMgr::OnSharePodEvent(const k8s::WatchEvent<SharePod>& event) {
@@ -231,6 +243,15 @@ void KubeShareDevMgr::OnPodEvent(const k8s::WatchEvent<k8s::Pod>& event) {
       }
       // An idle reservation stays idle until someone attaches.
     } else if (pod.status.phase == k8s::PodPhase::kFailed) {
+      if (config_.requeue_lost_workloads &&
+          (pod.status.message == "NodeLost" ||
+           pod.status.message == "OOMKilled")) {
+        // Infrastructure killed the acquisition pod (node loss, kernel
+        // OOM); the GPUID<->UUID binding died with it. Recoverable:
+        // reclaim the vGPU and let the sharePods be placed elsewhere.
+        ReclaimVgpu(vgpu, "acquisition pod killed: " + pod.status.message);
+        return;
+      }
       // The node had no free GPU after all; fail the attached sharePods.
       VgpuInfo* dev = pool_->Find(vgpu);
       if (dev != nullptr) {
@@ -269,11 +290,116 @@ void KubeShareDevMgr::OnPodEvent(const k8s::WatchEvent<k8s::Pod>& event) {
       FinishSharePod(sharepod_name, SharePodPhase::kSucceeded);
       return;
     case k8s::PodPhase::kFailed:
-      FinishSharePod(sharepod_name, SharePodPhase::kFailed,
-                     pod.status.message);
+      OnWorkloadPodFailed(sharepod_name, pod.status.message);
       return;
     case k8s::PodPhase::kPending:
       return;
+  }
+}
+
+void KubeShareDevMgr::OnWorkloadPodFailed(const std::string& sharepod_name,
+                                          const std::string& message) {
+  // Infrastructure kills are recoverable — the job did nothing wrong; send
+  // it back through KubeShare-Sched. Application failures stay failures.
+  if (config_.requeue_lost_workloads &&
+      (message == "NodeLost" || message == "OOMKilled")) {
+    Requeue(sharepod_name, message);
+    return;
+  }
+  FinishSharePod(sharepod_name, SharePodPhase::kFailed, message);
+}
+
+void KubeShareDevMgr::Requeue(const std::string& name,
+                              const std::string& reason) {
+  auto it = records_.find(name);
+  if (it != records_.end()) {
+    const std::string workload = it->second.workload_pod;
+    records_.erase(it);
+    if (!workload.empty()) {
+      workload_owner_.erase(workload);
+      // Delete the stale (terminal) pod object so the relaunch can reuse
+      // the workload pod name.
+      if (cluster_->api().pods().Contains(workload)) {
+        (void)cluster_->api().pods().Delete(workload);
+      }
+    }
+  }
+  if (auto device = pool_->Detach(name); device.ok()) MaybeReleaseVgpu(*device);
+  auto sp = sharepods_->Get(name);
+  if (!sp.ok() || sp->terminal()) return;
+  SharePod updated = *sp;
+  updated.spec.gpu_id = GpuId{};
+  updated.spec.node_name.clear();
+  updated.status.phase = SharePodPhase::kPending;
+  updated.status.workload_pod.clear();
+  updated.status.message = reason;
+  (void)sharepods_->Update(updated);
+  ++sharepods_requeued_;
+  cluster_->api().events().Record("kubeshare-devmgr", "sharepod/" + name,
+                                  "Requeued", reason);
+}
+
+void KubeShareDevMgr::ReclaimVgpu(const GpuId& id, const std::string& detail) {
+  VgpuInfo* dev = pool_->Find(id);
+  if (dev == nullptr) return;
+  cluster_->api().events().Record("kubeshare-devmgr", "vgpu/" + id.value(),
+                                  "Reclaimed", detail);
+  const auto attached = dev->attached;  // copy: Requeue mutates via Detach
+  for (const std::string& name : attached) Requeue(name, "NodeLost");
+  if (auto ait = acquisition_pods_.find(id); ait != acquisition_pods_.end()) {
+    acquisition_owner_.erase(ait->second);
+    if (cluster_->api().pods().Contains(ait->second)) {
+      (void)cluster_->api().pods().Delete(ait->second);
+    }
+    acquisition_pods_.erase(ait);
+  }
+  // Requeue -> Detach may already have released the now-idle vGPU (pool
+  // policy); remove it ourselves otherwise. Either way it left the pool.
+  if (pool_->Contains(id)) {
+    (void)pool_->Remove(id);
+    ++vgpus_released_;
+  }
+  ++vgpus_reclaimed_;
+}
+
+void KubeShareDevMgr::ReconcileOnce() {
+  ++reconcile_passes_;
+  // Pass 1: vGPUs stranded on NotReady nodes — the physical binding is
+  // dead even if no pod event ever said so.
+  std::vector<GpuId> dead;
+  for (const VgpuInfo* dev : pool_->List()) {
+    auto node = cluster_->api().nodes().Get(dev->node);
+    if (node.ok() && !node->ready) dead.push_back(dev->id);
+  }
+  for (const GpuId& id : dead) ReclaimVgpu(id, "reconcile: node NotReady");
+
+  // Pass 2: records whose workload pod reached a terminal phase without
+  // the watch delivering it (dropped event). Sorted snapshot — records_
+  // is an unordered_map and the repairs are observable.
+  std::vector<std::string> names;
+  names.reserve(records_.size());
+  for (const auto& [name, rec] : records_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    auto rit = records_.find(name);
+    if (rit == records_.end()) continue;  // repaired by an earlier entry
+    const std::string workload = rit->second.workload_pod;
+    if (workload.empty()) continue;
+    auto pod = cluster_->api().pods().Get(workload);
+    if (!pod.ok()) continue;
+    if (pod->status.phase == k8s::PodPhase::kSucceeded) {
+      FinishSharePod(name, SharePodPhase::kSucceeded);
+    } else if (pod->status.phase == k8s::PodPhase::kFailed) {
+      OnWorkloadPodFailed(name, pod->status.message);
+    }
+  }
+
+  // Pass 3: scheduled sharePods the watch never delivered (dropped Add /
+  // Modified). List() is sorted by name.
+  for (const SharePod& sp : sharepods_->List()) {
+    if (sp.terminal() || !sp.scheduled()) continue;
+    if (records_.count(sp.meta.name) > 0) continue;
+    HandleScheduled(sp);
   }
 }
 

@@ -38,9 +38,24 @@ class KubeShareDevMgr {
   /// sharePods skip the acquisition latency (§4.4 "reservation manner").
   Expected<GpuId> ReserveVgpu(const std::string& node);
 
+  /// One reconcile/resync pass (also runs periodically when
+  /// KubeShareConfig::reconcile_period > 0):
+  ///  1. vGPUs on NotReady nodes are reclaimed — their GPUID<->UUID binding
+  ///     is dead with the node — and their sharePods requeued;
+  ///  2. records whose workload pod reached a terminal phase without the
+  ///     watch delivering it (dropped event) are repaired;
+  ///  3. scheduled sharePods the watch never delivered are adopted.
+  void ReconcileOnce();
+
   std::uint64_t vgpus_created() const { return vgpus_created_; }
   std::uint64_t vgpus_released() const { return vgpus_released_; }
   std::uint64_t workload_pods_launched() const { return workload_launched_; }
+  /// vGPUs garbage-collected off dead nodes by the reconcile pass.
+  std::uint64_t vgpus_reclaimed() const { return vgpus_reclaimed_; }
+  /// SharePods sent back through KubeShare-Sched after losing their node,
+  /// device, or container to an infrastructure fault.
+  std::uint64_t sharepods_requeued() const { return sharepods_requeued_; }
+  std::uint64_t reconcile_passes() const { return reconcile_passes_; }
 
  private:
   enum class RecState {
@@ -59,6 +74,19 @@ class KubeShareDevMgr {
   void OnPodEvent(const k8s::WatchEvent<k8s::Pod>& event);
 
   void HandleScheduled(const SharePod& pod);
+  /// Strips the sharePod's placement (gpu_id/node_name/workload pod) and
+  /// returns it to Pending so KubeShare-Sched places it again. The stale
+  /// workload-pod object is deleted so the name can be reused.
+  void Requeue(const std::string& name, const std::string& reason);
+  /// Routes a failed workload pod: infrastructure kills ("NodeLost",
+  /// "OOMKilled") requeue when configured; anything else fails the
+  /// sharePod.
+  void OnWorkloadPodFailed(const std::string& sharepod_name,
+                           const std::string& message);
+  /// Drops a vGPU whose physical binding is gone (dead node / evicted
+  /// acquisition pod) and requeues every attached sharePod.
+  void ReclaimVgpu(const GpuId& id, const std::string& detail);
+  void ScheduleReconcile();
   /// Pinned-GPUID path: the user wrote gpu_id directly; DevMgr validates
   /// and reserves the placement that KubeShare-Sched would otherwise have
   /// made.
@@ -86,6 +114,9 @@ class KubeShareDevMgr {
   std::uint64_t vgpus_created_ = 0;
   std::uint64_t vgpus_released_ = 0;
   std::uint64_t workload_launched_ = 0;
+  std::uint64_t vgpus_reclaimed_ = 0;
+  std::uint64_t sharepods_requeued_ = 0;
+  std::uint64_t reconcile_passes_ = 0;
   std::uint64_t next_acq_ = 1;
 };
 

@@ -38,6 +38,9 @@ std::vector<NodeFreeGpus> KubeShareSched::FreePhysicalGpus() const {
     if (gpus > 0) native[pod.status.node_name] += static_cast<int>(gpus);
   }
   for (const k8s::Node& node : cluster_->api().nodes().List()) {
+    // A NotReady node's GPUs are not schedulable capacity — new vGPUs must
+    // not be acquired there (the acquisition pod could never start).
+    if (!node.ready) continue;
     NodeFreeGpus entry;
     entry.node = node.meta.name;
     // Physical GPU count: with the stock plugin this equals the advertised

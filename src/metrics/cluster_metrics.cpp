@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "metrics/recovery.hpp"
+
 namespace ks::metrics {
 
 void ExportClusterMetrics(k8s::Cluster& cluster,
@@ -33,6 +35,8 @@ void ExportClusterMetrics(k8s::Cluster& cluster,
     exporter.Gauge("ks_pods", "Pod count by phase", {{"phase", phase}},
                    count);
   }
+
+  ExportRecoveryMetrics(CollectRecoveryMetrics(cluster, kubeshare), exporter);
 
   if (kubeshare == nullptr) return;
 

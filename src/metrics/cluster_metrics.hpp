@@ -15,6 +15,8 @@ namespace ks::metrics {
 ///   ks_vgpu_used_util{id,node}               per-vGPU committed compute
 ///   ks_sharepods{phase}                      sharePod counts by phase
 ///   ks_vgpus_created_total / _released_total lifecycle counters
+///   ks_recovery_*                            fault-recovery counters
+///                                            (see metrics/recovery.hpp)
 void ExportClusterMetrics(k8s::Cluster& cluster,
                           kubeshare::KubeShare* kubeshare,
                           PrometheusExporter& exporter);

@@ -1,0 +1,57 @@
+#include "metrics/recovery.hpp"
+
+namespace ks::metrics {
+
+RecoveryMetrics CollectRecoveryMetrics(k8s::Cluster& cluster,
+                                       kubeshare::KubeShare* kubeshare) {
+  RecoveryMetrics out;
+  out.node_not_ready_transitions =
+      cluster.node_controller().not_ready_transitions();
+  out.pods_evicted = cluster.node_controller().evictions();
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    auto& node = cluster.node(n);
+    out.runtime_crashes += node.runtime->crashes();
+    out.backend_restarts += node.token_backend->restarts();
+    out.frontends_reattached += node.token_backend->reattached();
+  }
+  out.watch_events_dropped = cluster.api().pods().dropped_events();
+  if (kubeshare != nullptr) {
+    out.vgpus_reclaimed = kubeshare->devmgr().vgpus_reclaimed();
+    out.sharepods_requeued = kubeshare->devmgr().sharepods_requeued();
+    out.reconcile_passes = kubeshare->devmgr().reconcile_passes();
+  }
+  return out;
+}
+
+void ExportRecoveryMetrics(const RecoveryMetrics& metrics,
+                           PrometheusExporter& exporter) {
+  exporter.Gauge("ks_recovery_node_not_ready_total",
+                 "Node Ready->NotReady transitions", {},
+                 static_cast<double>(metrics.node_not_ready_transitions));
+  exporter.Gauge("ks_recovery_pods_evicted_total",
+                 "Pods evicted off lost nodes", {},
+                 static_cast<double>(metrics.pods_evicted));
+  exporter.Gauge("ks_recovery_runtime_crashes_total",
+                 "Container-runtime crash events", {},
+                 static_cast<double>(metrics.runtime_crashes));
+  exporter.Gauge("ks_recovery_backend_restarts_total",
+                 "Token-daemon restarts", {},
+                 static_cast<double>(metrics.backend_restarts));
+  exporter.Gauge("ks_recovery_frontends_reattached_total",
+                 "Frontends re-registered after a daemon restart", {},
+                 static_cast<double>(metrics.frontends_reattached));
+  exporter.Gauge("ks_recovery_watch_events_dropped_total",
+                 "Watch notifications lost at the apiserver", {},
+                 static_cast<double>(metrics.watch_events_dropped));
+  exporter.Gauge("ks_recovery_vgpus_reclaimed_total",
+                 "vGPUs garbage-collected off dead nodes", {},
+                 static_cast<double>(metrics.vgpus_reclaimed));
+  exporter.Gauge("ks_recovery_sharepods_requeued_total",
+                 "SharePods rescheduled after infrastructure kills", {},
+                 static_cast<double>(metrics.sharepods_requeued));
+  exporter.Gauge("ks_recovery_reconcile_passes_total",
+                 "DevMgr reconcile passes", {},
+                 static_cast<double>(metrics.reconcile_passes));
+}
+
+}  // namespace ks::metrics

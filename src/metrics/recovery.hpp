@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "k8s/cluster.hpp"
+#include "kubeshare/kubeshare.hpp"
+#include "metrics/prometheus.hpp"
+
+namespace ks::metrics {
+
+/// Snapshot of every recovery-path counter the cluster components keep.
+/// Plain data — independent of how the faults were produced (the chaos
+/// injector, a hand-scripted test, or nothing at all), so it carries no
+/// dependency on the chaos subsystem.
+struct RecoveryMetrics {
+  // Control plane.
+  std::uint64_t node_not_ready_transitions = 0;
+  std::uint64_t pods_evicted = 0;
+  // Node agents (summed over nodes).
+  std::uint64_t runtime_crashes = 0;
+  std::uint64_t backend_restarts = 0;
+  std::uint64_t frontends_reattached = 0;
+  // Apiserver faults observed.
+  std::uint64_t watch_events_dropped = 0;
+  // KubeShare recovery (zero when KubeShare is not installed).
+  std::uint64_t vgpus_reclaimed = 0;
+  std::uint64_t sharepods_requeued = 0;
+  std::uint64_t reconcile_passes = 0;
+};
+
+RecoveryMetrics CollectRecoveryMetrics(k8s::Cluster& cluster,
+                                       kubeshare::KubeShare* kubeshare);
+
+/// Exports the snapshot as ks_recovery_* gauges.
+void ExportRecoveryMetrics(const RecoveryMetrics& metrics,
+                           PrometheusExporter& exporter);
+
+}  // namespace ks::metrics

@@ -109,6 +109,7 @@ bool TokenServer::Acquire(const std::string& id) {
 
 bool TokenServer::Valid(const std::string& id) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return false;
   return holder_ == id && Clock::now() < holder_deadline_;
 }
 
@@ -156,9 +157,23 @@ std::vector<TokenServer::ClientView> TokenServer::Snapshot() const {
 void TokenServer::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
     shutdown_ = true;
+    // Revoke the outstanding token so the holder's usage accounting closes
+    // and Valid() turns false immediately — a dead daemon enforces nothing
+    // and grants nothing.
+    if (holder_.has_value()) {
+      auto it = clients_.find(*holder_);
+      if (it != clients_.end()) it->second.usage.Stop(NowTicks());
+      holder_.reset();
+    }
   }
   cv_.notify_all();
+}
+
+bool TokenServer::is_shutdown() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
 }
 
 }  // namespace ks::runtime

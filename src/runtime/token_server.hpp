@@ -71,8 +71,12 @@ class TokenServer {
   };
   std::vector<ClientView> Snapshot() const;
 
-  /// Wakes every waiter with failure; subsequent Acquires fail fast.
+  /// Wakes every waiter with failure; subsequent Acquires fail fast, the
+  /// outstanding token (if any) is revoked and Valid() turns false for
+  /// everyone. Idempotent.
   void Shutdown();
+
+  bool is_shutdown() const;
 
  private:
   using Clock = std::chrono::steady_clock;

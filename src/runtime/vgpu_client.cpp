@@ -1,0 +1,91 @@
+#include "runtime/vgpu_client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ks::runtime {
+
+VgpuClient::VgpuClient(ServerResolver resolver, std::string id,
+                       VgpuClientConfig config)
+    : resolver_(std::move(resolver)), id_(std::move(id)), config_(config) {
+  assert(resolver_ != nullptr);
+}
+
+VgpuClient::~VgpuClient() { Stop(); }
+
+TokenServer* VgpuClient::EnsureRegistered() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TokenServer* server = resolver_();
+  if (server == nullptr || server->is_shutdown()) {
+    // Connect refused, or we reached a corpse mid-teardown.
+    if (current_ == server || server == nullptr) current_ = nullptr;
+    return nullptr;
+  }
+  if (server != current_) {
+    server->RegisterClient(id_, config_.gpu_request, config_.gpu_limit);
+    if (ever_registered_) ++reconnects_;
+    ever_registered_ = true;
+    current_ = server;
+  }
+  return current_;
+}
+
+bool VgpuClient::BackoffWait(std::chrono::microseconds d) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stop_cv_.wait_for(lock, d, [this] { return stop_.load(); });
+  return !stop_.load();
+}
+
+bool VgpuClient::Acquire() {
+  auto backoff = config_.backoff_initial;
+  int failures = 0;
+  while (!stop_.load()) {
+    TokenServer* server = EnsureRegistered();
+    if (server != nullptr) {
+      if (server->Acquire(id_)) {
+        ++acquisitions_;
+        return true;
+      }
+      // Acquire failed: the daemon shut down mid-wait (or we were
+      // unregistered by Stop). Fall through to backoff and re-resolve —
+      // the next incarnation will grant after reattach.
+    }
+    ++failures;
+    if (config_.max_attempts > 0 && failures >= config_.max_attempts) {
+      return false;
+    }
+    if (!BackoffWait(backoff)) return false;
+    backoff = std::min(backoff * 2, config_.backoff_max);
+  }
+  return false;
+}
+
+bool VgpuClient::Valid() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (current_ == nullptr) return false;
+  return current_->Valid(id_);
+}
+
+void VgpuClient::Release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (current_ == nullptr) return;
+  current_->Release(id_);
+}
+
+void VgpuClient::Stop() {
+  TokenServer* server = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_.exchange(true)) return;
+    server = current_;
+    current_ = nullptr;
+  }
+  stop_cv_.notify_all();
+  // Unregistering wakes a thread blocked inside server->Acquire(id_).
+  if (server != nullptr && !server->is_shutdown()) {
+    server->UnregisterClient(id_);
+  }
+}
+
+}  // namespace ks::runtime

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "runtime/token_server.hpp"
+
+namespace ks::runtime {
+
+/// Tuning knobs of the reconnecting client.
+struct VgpuClientConfig {
+  double gpu_request = 0.5;
+  double gpu_limit = 1.0;
+  /// Backoff between acquire attempts while the daemon is unreachable,
+  /// doubling per failure up to the cap.
+  std::chrono::microseconds backoff_initial{500};
+  std::chrono::microseconds backoff_max{8'000};
+  /// Give up after this many consecutive failed attempts (0 = keep trying
+  /// until Stop()).
+  int max_attempts = 0;
+};
+
+/// Resolves the node's current token daemon. In the real system this is
+/// the Unix-socket connect: across a daemon restart the old socket is
+/// dead and a reconnect reaches the new incarnation, which is why the
+/// resolver is consulted again on every retry. Returning nullptr means
+/// "daemon down right now" (connect refused).
+using ServerResolver = std::function<TokenServer*()>;
+
+/// The frontend's token session with the per-node daemon, hardened for
+/// daemon death: Acquire() survives the TokenServer shutting down
+/// mid-call by re-resolving the endpoint, re-registering, and retrying
+/// with exponential backoff until the token is granted or the client is
+/// stopped. This is the real-thread counterpart of the simulation's
+/// TokenBackend::Restart() reattach path.
+class VgpuClient {
+ public:
+  VgpuClient(ServerResolver resolver, std::string id,
+             VgpuClientConfig config = {});
+  ~VgpuClient();
+
+  VgpuClient(const VgpuClient&) = delete;
+  VgpuClient& operator=(const VgpuClient&) = delete;
+
+  /// Blocks until the token is granted, retrying across daemon deaths.
+  /// Returns false once the client is stopped or max_attempts is
+  /// exhausted — never hangs on a dead server.
+  bool Acquire();
+
+  /// True while the token from the current daemon incarnation is valid.
+  bool Valid();
+
+  /// Returns the token if this client holds it. Safe across restarts (a
+  /// dead daemon's token needs no release).
+  void Release();
+
+  /// Unblocks any thread inside Acquire() and unregisters from the live
+  /// daemon, if any. Idempotent; called by the destructor.
+  void Stop();
+
+  const std::string& id() const { return id_; }
+  bool stopped() const { return stop_.load(); }
+  /// Times the client re-registered with a fresh daemon incarnation after
+  /// its previous one died (tokens re-acquired through recovery).
+  std::uint64_t reconnects() const { return reconnects_.load(); }
+  std::uint64_t acquisitions() const { return acquisitions_.load(); }
+
+ private:
+  /// Resolves the current server and registers with it if it is a new
+  /// incarnation. Returns nullptr while the daemon is down. Caller must
+  /// not hold mutex_.
+  TokenServer* EnsureRegistered();
+  /// Interruptible backoff sleep; returns false if stopped meanwhile.
+  bool BackoffWait(std::chrono::microseconds d);
+
+  ServerResolver resolver_;
+  std::string id_;
+  VgpuClientConfig config_;
+
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  TokenServer* current_ = nullptr;  // guarded by mutex_
+  bool ever_registered_ = false;    // guarded by mutex_
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> acquisitions_{0};
+};
+
+}  // namespace ks::runtime

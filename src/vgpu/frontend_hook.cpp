@@ -280,6 +280,19 @@ void FrontendHook::OnTokenExpired() {
   MaybeReleaseOrRerequest();
 }
 
+void FrontendHook::OnBackendRestart() {
+  // Any token this frontend believed it held died with the daemon; the
+  // rebuilt backend knows no holder. Reset and get back in line — kernels
+  // already on the device retire on their own (non-preemptive).
+  token_valid_ = false;
+  token_held_ = false;
+  token_requested_ = false;
+  if (HasQueuedWork()) {
+    token_requested_ = true;
+    (void)backend_->RequestToken(container_);
+  }
+}
+
 cuda::CudaResult FrontendHook::Synchronize(cuda::HostFn fn) {
   if (!fn) return cuda::CudaResult::kErrorInvalidValue;
   if (pending_kernels_ == 0) {

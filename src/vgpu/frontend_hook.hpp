@@ -76,6 +76,7 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   // --- TokenClient --------------------------------------------------------
   void OnTokenGranted(Time expiry) override;
   void OnTokenExpired() override;
+  void OnBackendRestart() override;
 
   // --- Memory over-commitment extension -----------------------------------
   /// Switches memory management to GPUswap-style over-commitment

@@ -26,6 +26,16 @@ Status TokenBackend::RegisterContainer(const ContainerId& container,
     return AlreadyExistsError("container already registered: " +
                               container.value());
   }
+  if (down_) {
+    // The daemon is restarting; the frontend's connect parks until it is
+    // back, then it is admitted with the reattach batch.
+    if (pending_reattach_.count(container) > 0) {
+      return AlreadyExistsError("container already registered: " +
+                                container.value());
+    }
+    pending_reattach_[container] = {device, spec, client};
+    return Status::Ok();
+  }
   RegisterDevice(device);
   ContainerState state{config_.usage_window};
   state.device = device;
@@ -36,8 +46,12 @@ Status TokenBackend::RegisterContainer(const ContainerId& container,
 }
 
 Status TokenBackend::UnregisterContainer(const ContainerId& container) {
+  // A container dying while the daemon is down (or before its reattach
+  // fires) must not be resurrected by the restart path.
+  const bool was_pending = pending_reattach_.erase(container) > 0;
   auto it = containers_.find(container);
   if (it == containers_.end()) {
+    if (was_pending) return Status::Ok();
     return NotFoundError("container not registered: " + container.value());
   }
   DeviceState& dev = devices_.at(it->second.device);
@@ -256,7 +270,9 @@ void TokenBackend::GrantTo(DeviceState& dev, const GpuUuid& device_id,
   // The hand-off costs one exchange latency, during which the device is
   // idle; the token is valid from the end of the exchange for one quota.
   const ContainerId granted = container;
-  sim_->ScheduleAfter(config_.exchange_latency, [this, device_id, granted] {
+  sim_->ScheduleAfter(config_.exchange_latency, [this, device_id, granted,
+                                                 epoch = epoch_] {
+    if (epoch != epoch_) return;  // daemon restarted mid-exchange
     auto dit = devices_.find(device_id);
     if (dit == devices_.end()) return;
     DeviceState& d = dit->second;
@@ -273,6 +289,50 @@ void TokenBackend::GrantTo(DeviceState& dev, const GpuUuid& device_id,
       OnExpiry(device_id);
     });
     cit->second.client->OnTokenGranted(d.expiry);
+  });
+}
+
+void TokenBackend::Restart() {
+  ++epoch_;  // invalidate in-flight grant hand-offs
+  ++restarts_;
+  down_ = true;
+  // All per-device token state dies with the daemon; pending timers are
+  // cancelled so nothing from the old incarnation fires into the new one.
+  for (auto& [device_id, dev] : devices_) {
+    if (dev.expiry_event != sim::kInvalidEvent) {
+      sim_->Cancel(dev.expiry_event);
+      dev.expiry_event = sim::kInvalidEvent;
+    }
+    if (dev.reeval_event != sim::kInvalidEvent) {
+      sim_->Cancel(dev.reeval_event);
+      dev.reeval_event = sim::kInvalidEvent;
+    }
+    dev.queue.clear();
+    dev.holder.reset();
+    dev.token_valid = false;
+    dev.grant_in_flight = false;
+  }
+  // Registered frontends become reattach candidates: their sockets
+  // reconnect once the daemon is back. Sliding-window usage is lost — the
+  // rebuilt daemon starts everyone from a clean slate.
+  for (const auto& [container, state] : containers_) {
+    pending_reattach_[container] = {state.device, state.spec, state.client};
+  }
+  containers_.clear();
+  sim_->ScheduleAfter(config_.restart_downtime, [this, epoch = epoch_] {
+    if (epoch != epoch_) return;  // restarted again before coming up
+    down_ = false;
+    // pending_reattach_ is a sorted map — deterministic reattach order.
+    auto batch = std::move(pending_reattach_);
+    pending_reattach_.clear();
+    for (const auto& [container, info] : batch) {
+      if (!RegisterContainer(container, info.device, info.spec, info.client)
+               .ok()) {
+        continue;
+      }
+      ++reattached_;
+      info.client->OnBackendRestart();
+    }
   });
 }
 

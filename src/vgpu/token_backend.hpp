@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <optional>
 #include <unordered_map>
 
@@ -29,6 +30,10 @@ struct BackendConfig {
   /// gpu_limit (usage decays as the window slides, so a requester will
   /// become eligible again without any new event arriving).
   Duration reeval_period = Millis(5);
+  /// How long the daemon is down across a Restart() before it has rebuilt
+  /// its device state and re-accepts the frontends that survived (systemd
+  /// restart + socket re-handshake, scaled to simulation-friendly values).
+  Duration restart_downtime = Millis(50);
 };
 
 /// Callback surface of the per-container frontend, as seen by the backend.
@@ -46,6 +51,11 @@ class TokenClient {
   /// call ReleaseToken() once its in-flight kernel (if any) retires —
   /// kernels are non-preemptive, so a small overrun is possible.
   virtual void OnTokenExpired() = 0;
+
+  /// The backend daemon restarted and has just re-registered this frontend
+  /// (the socket reconnected). Any token the frontend believed it held is
+  /// gone — it must drop its token state and re-request if it has work.
+  virtual void OnBackendRestart() {}
 };
 
 /// The per-node backend daemon: one instance manages the tokens of every
@@ -112,6 +122,21 @@ class TokenBackend {
   /// exchange count.
   std::uint64_t grants() const { return grants_; }
 
+  /// Fault injection: the daemon dies and restarts. All token/queue state
+  /// and sliding windows are lost (state is in-memory in the real daemon
+  /// too); every pending timer is invalidated. Containers registered at
+  /// crash time are remembered as reattach candidates: after
+  /// BackendConfig::restart_downtime the daemon re-registers those still
+  /// alive (ones unregistered during the downtime — e.g. their node died —
+  /// are skipped) and tells each via TokenClient::OnBackendRestart so the
+  /// frontend re-requests. Devices stay registered (rediscovered on boot).
+  void Restart();
+
+  std::uint64_t restarts() const { return restarts_; }
+  /// Containers re-registered across restarts (tokens re-acquired follow).
+  std::uint64_t reattached() const { return reattached_; }
+  bool down() const { return down_; }
+
   /// Per-container accounting, for observability and the isolation
   /// analyses: how often the container got the token, how long it held it
   /// in total, and how much of that was overrun past the quota (the
@@ -152,12 +177,26 @@ class TokenBackend {
   void OnExpiry(const GpuUuid& device);
   void ScheduleReeval(DeviceState& dev, const GpuUuid& device_id);
 
+  /// What the daemon needs to re-admit a surviving frontend after a
+  /// restart. Keyed by a sorted map so reattach order is deterministic.
+  struct ReattachInfo {
+    GpuUuid device;
+    ResourceSpec spec;
+    TokenClient* client = nullptr;
+  };
+
   sim::Simulation* sim_;
   BackendConfig config_;
   std::unordered_map<GpuUuid, DeviceState> devices_;
   std::unordered_map<ContainerId, ContainerState> containers_;
+  std::map<ContainerId, ReattachInfo> pending_reattach_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t grants_ = 0;
+  /// Bumped by Restart(); in-flight grant hand-offs no-op across it.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t reattached_ = 0;
+  bool down_ = false;
 };
 
 }  // namespace ks::vgpu

@@ -73,6 +73,15 @@ void WorkloadHost::OnContainerStart(const k8s::ContainerInstance& inst) {
   active_[inst.pod_name] = stack;
 
   JobRecord& rec = records_[job_name];
+  if (rec.has_finished && !rec.success) {
+    // A requeued sharePod relaunched after an infrastructure kill (node
+    // crash, OOM): reopen the record so the retry's outcome replaces the
+    // provisional failure recorded when the first container died.
+    rec.has_finished = false;
+    ++rec.restarts;
+    --failed_;
+    ++restarts_;
+  }
   rec.started = cluster_->sim().Now();
   rec.has_started = true;
   ++started_;

@@ -47,6 +47,9 @@ class WorkloadHost {
     bool has_started = false;
     bool has_finished = false;
     bool success = false;
+    /// Container relaunches after an infrastructure kill (the record is
+    /// reopened each time, so the final outcome is the retry's).
+    int restarts = 0;
   };
 
   const JobRecord* RecordOf(const std::string& name) const;
@@ -57,6 +60,8 @@ class WorkloadHost {
   std::size_t completed() const { return completed_; }
   std::size_t failed() const { return failed_; }
   std::size_t started() const { return started_; }
+  /// Jobs whose container was relaunched after an infrastructure kill.
+  std::size_t restarts() const { return restarts_; }
 
   /// Completion timestamps of successful jobs, in completion order.
   const std::vector<Time>& completion_times() const {
@@ -115,6 +120,7 @@ class WorkloadHost {
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
   std::size_t started_ = 0;
+  std::size_t restarts_ = 0;
   std::vector<Time> completion_times_;
 };
 

@@ -1,0 +1,102 @@
+#include "k8s/node_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "k8s/apiserver.hpp"
+
+namespace ks::k8s {
+namespace {
+
+class NodeControllerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Node node;
+    node.meta.name = "n1";
+    ASSERT_TRUE(api_.nodes().Create(node).ok());
+  }
+
+  void CreateBoundPod(const std::string& name, const std::string& node,
+                      PodPhase phase = PodPhase::kRunning) {
+    Pod pod;
+    pod.meta.name = name;
+    pod.status.node_name = node;
+    pod.status.phase = phase;
+    ASSERT_TRUE(api_.pods().Create(pod).ok());
+  }
+
+  sim::Simulation sim_;
+  ApiServer api_{&sim_};
+  NodeLifecycleController ctl_{&api_, Seconds(1), Seconds(2)};
+};
+
+TEST_F(NodeControllerTest, DetectionThenEviction) {
+  CreateBoundPod("p1", "n1");
+  ctl_.ReportNodeFailure("n1");
+  EXPECT_TRUE(ctl_.IsFailed("n1"));
+
+  // Before the detection latency the Node object still reads Ready.
+  sim_.RunUntil(Millis(500));
+  EXPECT_TRUE(api_.nodes().Get("n1")->ready);
+  EXPECT_EQ(ctl_.not_ready_transitions(), 0u);
+
+  sim_.RunUntil(Millis(1500));
+  EXPECT_FALSE(api_.nodes().Get("n1")->ready);
+  EXPECT_EQ(ctl_.not_ready_transitions(), 1u);
+  EXPECT_EQ(api_.pods().Get("p1")->status.phase, PodPhase::kRunning);
+
+  // Eviction a further eviction_timeout after NotReady: 1 s + 2 s = 3 s.
+  sim_.RunUntil(Millis(3500));
+  auto pod = api_.pods().Get("p1");
+  EXPECT_EQ(pod->status.phase, PodPhase::kFailed);
+  EXPECT_EQ(pod->status.message, "NodeLost");
+  EXPECT_EQ(ctl_.evictions(), 1u);
+  EXPECT_EQ(api_.events().CountReason("Evicted"), 1u);
+}
+
+TEST_F(NodeControllerTest, FlapBeforeDetectionIsInvisible) {
+  CreateBoundPod("p1", "n1");
+  ctl_.ReportNodeFailure("n1");
+  sim_.ScheduleAfter(Millis(500), [this] { ctl_.ReportNodeRecovery("n1"); });
+  sim_.RunUntil(Seconds(5));
+  // The generation guard cancels the pending NotReady timer: a blip
+  // shorter than the detection latency leaves no trace.
+  EXPECT_TRUE(api_.nodes().Get("n1")->ready);
+  EXPECT_EQ(ctl_.not_ready_transitions(), 0u);
+  EXPECT_EQ(ctl_.evictions(), 0u);
+  EXPECT_EQ(api_.pods().Get("p1")->status.phase, PodPhase::kRunning);
+}
+
+TEST_F(NodeControllerTest, RecoveryTurnsNodeReadyAgain) {
+  ctl_.ReportNodeFailure("n1");
+  sim_.RunUntil(Millis(1500));
+  ASSERT_FALSE(api_.nodes().Get("n1")->ready);
+
+  ctl_.ReportNodeRecovery("n1");
+  EXPECT_FALSE(ctl_.IsFailed("n1"));
+  sim_.RunUntil(Millis(3000));
+  EXPECT_TRUE(api_.nodes().Get("n1")->ready);
+  EXPECT_EQ(api_.events().CountReason("NodeReady"), 1u);
+}
+
+TEST_F(NodeControllerTest, ResweepEvictsLateBind) {
+  CreateBoundPod("p1", "n1");
+  ctl_.ReportNodeFailure("n1");
+  // First sweep at 3 s evicts p1; a bind that was in flight when the node
+  // died lands at 4 s and is caught by the re-sweep at 5 s.
+  sim_.ScheduleAfter(Seconds(4), [this] { CreateBoundPod("late", "n1"); });
+  sim_.RunUntil(Millis(3500));
+  EXPECT_EQ(ctl_.evictions(), 1u);
+  sim_.RunUntil(Millis(5500));
+  EXPECT_EQ(ctl_.evictions(), 2u);
+  EXPECT_EQ(api_.pods().Get("late")->status.phase, PodPhase::kFailed);
+}
+
+TEST_F(NodeControllerTest, RepeatedFailureReportsAreIdempotent) {
+  ctl_.ReportNodeFailure("n1");
+  ctl_.ReportNodeFailure("n1");
+  sim_.RunUntil(Seconds(2));
+  EXPECT_EQ(ctl_.not_ready_transitions(), 1u);
+}
+
+}  // namespace
+}  // namespace ks::k8s

@@ -79,10 +79,11 @@ TEST_F(RuntimeTest, ExitNotifiesListenerAndStopHook) {
   });
   std::string exited;
   bool exit_ok = false;
-  runtime_->SetExitListener([&](const std::string& pod, bool ok) {
-    exited = pod;
-    exit_ok = ok;
-  });
+  runtime_->SetExitListener(
+      [&](const std::string& pod, bool ok, const std::string&) {
+        exited = pod;
+        exit_ok = ok;
+      });
   int stops = 0;
   runtime_->SetStopHook([&](const ContainerInstance&) { ++stops; });
   sim_.Run();

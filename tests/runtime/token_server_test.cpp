@@ -64,6 +64,36 @@ TEST(TokenServer, ShutdownUnblocksWaiters) {
   waiter.join();
 }
 
+TEST(TokenServer, ShutdownRevokesHolderAndFailsFast) {
+  TokenServer server(FastConfig());
+  server.RegisterClient("a", 0.5, 1.0);
+  ASSERT_TRUE(server.Acquire("a"));
+  server.Shutdown();
+  EXPECT_TRUE(server.is_shutdown());
+  // The outstanding token is revoked and later Acquires fail immediately
+  // instead of parking forever on a dead daemon.
+  EXPECT_FALSE(server.Valid("a"));
+  EXPECT_FALSE(server.Acquire("a"));
+  server.Release("a");      // must be a harmless no-op
+  server.Shutdown();        // idempotent
+  EXPECT_TRUE(server.is_shutdown());
+}
+
+TEST(TokenServer, ShutdownUnblocksEveryWaiter) {
+  TokenServer server(FastConfig());
+  server.RegisterClient("a", 0.5, 1.0);
+  server.RegisterClient("b", 0.5, 1.0);
+  server.RegisterClient("c", 0.5, 1.0);
+  ASSERT_TRUE(server.Acquire("a"));
+  std::vector<std::thread> waiters;
+  for (const char* id : {"b", "c"}) {
+    waiters.emplace_back([&server, id] { EXPECT_FALSE(server.Acquire(id)); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.Shutdown();
+  for (auto& w : waiters) w.join();  // would hang before the shutdown fix
+}
+
 TEST(TokenServer, SecondClientWaitsForRelease) {
   TokenServer server(FastConfig());
   server.RegisterClient("a", 0.5, 1.0);

@@ -1,0 +1,101 @@
+#include "runtime/vgpu_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace ks::runtime {
+namespace {
+
+TokenServerConfig FastConfig() {
+  TokenServerConfig cfg;
+  cfg.quota = std::chrono::milliseconds(10);
+  cfg.usage_window = std::chrono::milliseconds(200);
+  return cfg;
+}
+
+VgpuClientConfig FastClient() {
+  VgpuClientConfig cfg;
+  cfg.backoff_initial = std::chrono::microseconds(200);
+  cfg.backoff_max = std::chrono::microseconds(2'000);
+  return cfg;
+}
+
+TEST(VgpuClient, AcquiresFromLiveServer) {
+  TokenServer server(FastConfig());
+  VgpuClient client([&] { return &server; }, "c1", FastClient());
+  EXPECT_TRUE(client.Acquire());
+  EXPECT_TRUE(client.Valid());
+  EXPECT_EQ(client.acquisitions(), 1u);
+  EXPECT_EQ(client.reconnects(), 0u);
+  client.Release();
+}
+
+TEST(VgpuClient, RetriesAcrossServerDeath) {
+  // The client blocks on s1 (another holder has the token), s1 dies, the
+  // replacement daemon comes up: Acquire must re-resolve, re-register and
+  // succeed on s2 instead of failing or hanging.
+  TokenServer s1(FastConfig());
+  TokenServer s2(FastConfig());
+  std::atomic<TokenServer*> current{&s1};
+
+  s1.RegisterClient("hog", 0.5, 1.0);
+  ASSERT_TRUE(s1.Acquire("hog"));
+
+  VgpuClient client([&] { return current.load(); }, "c1", FastClient());
+  std::atomic<bool> acquired{false};
+  std::thread t([&] { acquired.store(client.Acquire()); });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(acquired.load());  // still parked behind the hog on s1
+  current.store(&s2);
+  s1.Shutdown();
+
+  t.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_TRUE(client.Valid());
+  EXPECT_GE(client.reconnects(), 1u);
+  client.Release();
+}
+
+TEST(VgpuClient, StopUnblocksBlockedAcquire) {
+  TokenServer server(FastConfig());
+  server.RegisterClient("hog", 0.5, 1.0);
+  ASSERT_TRUE(server.Acquire("hog"));
+
+  VgpuClient client([&] { return &server; }, "c1", FastClient());
+  std::atomic<bool> result{true};
+  std::thread t([&] { result.store(client.Acquire()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  client.Stop();
+  t.join();
+  EXPECT_FALSE(result.load());
+  EXPECT_TRUE(client.stopped());
+  server.Release("hog");
+  server.Shutdown();
+}
+
+TEST(VgpuClient, GivesUpAfterMaxAttemptsWhenDaemonNeverComes) {
+  VgpuClientConfig cfg = FastClient();
+  cfg.max_attempts = 3;
+  VgpuClient client([] { return static_cast<TokenServer*>(nullptr); }, "c1",
+                    cfg);
+  EXPECT_FALSE(client.Acquire());
+  EXPECT_FALSE(client.Valid());
+}
+
+TEST(VgpuClient, ReleaseAfterServerDeathIsSafe) {
+  TokenServer s1(FastConfig());
+  std::atomic<TokenServer*> current{&s1};
+  VgpuClient client([&] { return current.load(); }, "c1", FastClient());
+  ASSERT_TRUE(client.Acquire());
+  s1.Shutdown();
+  current.store(nullptr);
+  EXPECT_FALSE(client.Valid());  // the dead daemon's token is worthless
+  client.Release();              // must not crash or hang
+}
+
+}  // namespace
+}  // namespace ks::runtime
