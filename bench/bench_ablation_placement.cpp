@@ -6,18 +6,25 @@
 // first-fit under the Fig 8 inference workload: best-fit should complete
 // the workload holding fewer GPUs (frees whole devices for native pods)
 // at comparable throughput.
+//
+// The three variants run through the parallel sweep runner (each point
+// owns its Simulation); output is collected first and printed in point
+// order, so serial (KS_BENCH_THREADS=1) and parallel runs are
+// byte-identical. Writes BENCH_ablation_placement.json.
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "harness.hpp"
+#include "json_report.hpp"
+#include "sweep.hpp"
 
 int main() {
   using namespace ks;
   bench::Banner("bench_ablation_placement: Step-3 placement policy",
                 "DESIGN.md ablation (Algorithm 1, Step 3)");
 
-  Table table({"policy", "jobs/min", "mean GPUs held", "peak GPUs held"});
   const struct {
     const char* name;
     kubeshare::PlacementVariant variant;
@@ -26,7 +33,10 @@ int main() {
       {"worst-fit", kubeshare::PlacementVariant::kWorstFitEverywhere},
       {"first-fit", kubeshare::PlacementVariant::kFirstFit},
   };
-  for (const auto& v : variants) {
+  const std::size_t points = std::size(variants);
+
+  std::vector<bench::RunResult> results(points);
+  bench::RunSweep(points, [&](std::size_t i) {
     bench::RunOptions opt;
     opt.cluster.nodes = 8;
     opt.cluster.gpus_per_node = 4;
@@ -36,15 +46,26 @@ int main() {
     opt.workload.demand_stddev = 0.1;
     opt.workload.gpu_mem = 0.2;
     opt.workload.seed = 909;
-    opt.kubeshare.placement = v.variant;
-    const auto result = bench::RunWorkload(opt);
-    table.AddRow({v.name, Cell(result.jobs_per_minute, 1),
+    opt.kubeshare.placement = variants[i].variant;
+    results[i] = bench::RunWorkload(opt);
+  });
+
+  Table table({"policy", "jobs/min", "mean GPUs held", "peak GPUs held"});
+  JsonValue report = bench::MakeReport("ablation_placement");
+  for (std::size_t i = 0; i < points; ++i) {
+    const bench::RunResult& result = results[i];
+    table.AddRow({variants[i].name, Cell(result.jobs_per_minute, 1),
                   Cell(result.mean_gpus_held, 1),
                   Cell(result.peak_gpus_held, 0)});
+    JsonValue row = JsonValue::Object();
+    row.Set("policy", variants[i].name);
+    bench::FillRunResult(row, result);
+    bench::AddRow(report, std::move(row));
   }
   table.Print(std::cout);
   std::cout << "\nExpected: best-fit packs onto fewer devices (lower held-"
                "GPU footprint)\nwithout losing throughput; worst-fit spreads "
                "and hoards devices.\n";
+  std::cout << "\nwrote " << bench::WriteReport(report) << "\n";
   return 0;
 }

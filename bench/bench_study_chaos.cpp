@@ -9,15 +9,24 @@
 // reconcile pass enabled and infrastructure-killed sharePods requeued;
 // native Kubernetes has no retry path, so evicted jobs stay failed — the
 // gap between the two "completed" columns is the recovery subsystem.
+//
+// The 10 (rate, mode) points run through the parallel sweep runner — each
+// RunWithChaos builds its own Simulation/Cluster/FaultInjector, so points
+// are independent. Results are collected and printed in point order:
+// KS_BENCH_THREADS=1 (serial) and the default parallel run produce
+// byte-identical output and BENCH_study_chaos.json.
 
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "chaos/fault_plan.hpp"
 #include "chaos/injector.hpp"
 #include "common/table.hpp"
 #include "harness.hpp"
+#include "json_report.hpp"
+#include "sweep.hpp"
 
 namespace {
 
@@ -85,6 +94,11 @@ ChaosRun RunWithChaos(ks::bench::RunOptions opt, int faults_per_minute,
   return run;
 }
 
+struct Point {
+  int rate;
+  bool kubeshare;
+};
+
 }  // namespace
 
 int main() {
@@ -96,27 +110,44 @@ int main() {
                "over the first 5 min.\nSame seeded FaultPlan for both "
                "modes at each rate.\n\n";
 
+  std::vector<Point> sweep;
+  for (const int rate : {0, 1, 2, 4, 8}) {
+    for (const bool kubeshare : {false, true}) {
+      sweep.push_back({rate, kubeshare});
+    }
+  }
+
+  std::vector<ChaosRun> runs(sweep.size());
+  bench::RunSweep(sweep.size(), [&](std::size_t i) {
+    runs[i] = RunWithChaos(BaseOptions(), sweep[i].rate, sweep[i].kubeshare);
+  });
+
   Table table({"faults/min", "mode", "completed", "failed", "jobs/min",
                "MTTR s", "evicted", "vGPU reclaim", "requeued",
                "daemon restarts"});
-  for (const int rate : {0, 1, 2, 4, 8}) {
-    for (const bool kubeshare : {false, true}) {
-      const ChaosRun run = RunWithChaos(BaseOptions(), rate, kubeshare);
-      table.AddRow(
-          {Cell(static_cast<std::int64_t>(rate)),
-           std::string(kubeshare ? "kubeshare" : "k8s"),
-           Cell(static_cast<std::int64_t>(run.result.completed)),
-           Cell(static_cast<std::int64_t>(run.result.failed)),
-           Cell(run.result.jobs_per_minute, 1),
-           Cell(ToSeconds(run.chaos.MeanTimeToRecovery()), 2),
-           Cell(static_cast<std::int64_t>(run.result.recovery.pods_evicted)),
-           Cell(static_cast<std::int64_t>(
-               run.result.recovery.vgpus_reclaimed)),
-           Cell(static_cast<std::int64_t>(
-               run.result.recovery.sharepods_requeued)),
-           Cell(static_cast<std::int64_t>(
-               run.result.recovery.backend_restarts))});
-    }
+  JsonValue report = bench::MakeReport("study_chaos");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ChaosRun& run = runs[i];
+    const std::string mode = sweep[i].kubeshare ? "kubeshare" : "k8s";
+    table.AddRow(
+        {Cell(static_cast<std::int64_t>(sweep[i].rate)), mode,
+         Cell(static_cast<std::int64_t>(run.result.completed)),
+         Cell(static_cast<std::int64_t>(run.result.failed)),
+         Cell(run.result.jobs_per_minute, 1),
+         Cell(ToSeconds(run.chaos.MeanTimeToRecovery()), 2),
+         Cell(static_cast<std::int64_t>(run.result.recovery.pods_evicted)),
+         Cell(static_cast<std::int64_t>(
+             run.result.recovery.vgpus_reclaimed)),
+         Cell(static_cast<std::int64_t>(
+             run.result.recovery.sharepods_requeued)),
+         Cell(static_cast<std::int64_t>(
+             run.result.recovery.backend_restarts))});
+    JsonValue row = JsonValue::Object();
+    row.Set("faults_per_minute", sweep[i].rate);
+    row.Set("mode", mode);
+    row.Set("mttr_s", ToSeconds(run.chaos.MeanTimeToRecovery()));
+    bench::FillRunResult(row, run.result);
+    bench::AddRow(report, std::move(row));
   }
   table.Print(std::cout);
 
@@ -125,5 +156,6 @@ int main() {
                "every job on a crashed\nnode (failed column grows) while "
                "KubeShare requeues them — completion\nstays near the job "
                "count at the cost of throughput (recovery latency).\n";
+  std::cout << "\nwrote " << bench::WriteReport(report) << "\n";
   return 0;
 }

@@ -1,0 +1,55 @@
+#include "json_report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "common/time.hpp"
+
+namespace ks::bench {
+
+JsonValue MakeReport(const std::string& study) {
+  JsonValue report = JsonValue::Object();
+  report.Set("schema", "ks-bench/1");
+  report.Set("study", study);
+  report.Set("rows", JsonValue::Array());
+  return report;
+}
+
+void AddRow(JsonValue& report, JsonValue row) {
+  report.MutableField("rows").Push(std::move(row));
+}
+
+void FillRunResult(JsonValue& row, const RunResult& result) {
+  row.Set("completed", result.completed);
+  row.Set("failed", result.failed);
+  row.Set("makespan_s", ToSeconds(result.makespan));
+  row.Set("jobs_per_minute", result.jobs_per_minute);
+  row.Set("avg_active_utilization", result.avg_active_utilization);
+  row.Set("mean_gpus_held", result.mean_gpus_held);
+  row.Set("peak_gpus_held", result.peak_gpus_held);
+  row.Set("job_restarts", result.job_restarts);
+  row.Set("pods_evicted", result.recovery.pods_evicted);
+  row.Set("vgpus_reclaimed", result.recovery.vgpus_reclaimed);
+  row.Set("sharepods_requeued", result.recovery.sharepods_requeued);
+  row.Set("backend_restarts", result.recovery.backend_restarts);
+}
+
+std::string WriteReport(const JsonValue& report) {
+  const char* dir = std::getenv("KS_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+  if (path.back() != '/') path += '/';
+
+  // Recover the study name for the file name.
+  path += "BENCH_" + report.FieldAsString("study") + ".json";
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    KS_LOG(kError) << "cannot write benchmark report: " << path;
+    return path;
+  }
+  out << report.DumpPretty();
+  return path;
+}
+
+}  // namespace ks::bench

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "harness.hpp"
+
+namespace ks::bench {
+
+/// Machine-readable benchmark reports: BENCH_<study>.json.
+///
+/// Schema "ks-bench/1" (checked by scripts/check_bench_json.py in CI):
+///   {
+///     "schema": "ks-bench/1",
+///     "study": "<name>",            // e.g. "study_chaos"
+///     "rows": [ { <flat key/value point> }, ... ]
+///   }
+/// Row values are strings, numbers or booleans — one row per sweep point,
+/// in sweep order. Absolute numbers are environment-dependent; only the
+/// shape is contractual.
+
+/// Starts a report for `study`. Add rows, then call Write().
+JsonValue MakeReport(const std::string& study);
+
+/// Appends one sweep-point row (an object built by the caller).
+void AddRow(JsonValue& report, JsonValue row);
+
+/// Flattens the harness RunResult into `row` under conventional keys.
+void FillRunResult(JsonValue& row, const RunResult& result);
+
+/// Writes the report to <dir>/BENCH_<study>.json where <dir> is
+/// KS_BENCH_JSON_DIR (default "."). Returns the path written. The file is
+/// byte-deterministic for identical results — CI relies on comparing a
+/// serial and a parallel sweep's files.
+std::string WriteReport(const JsonValue& report);
+
+}  // namespace ks::bench

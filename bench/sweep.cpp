@@ -1,0 +1,61 @@
+#include "sweep.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ks::bench {
+
+std::size_t SweepThreadCount(std::size_t points) {
+  if (points <= 1) return 1;
+  std::size_t threads = 0;
+  if (const char* env = std::getenv("KS_BENCH_THREADS")) {
+    threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    if (threads == 0) return 1;
+  } else {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  return threads < points ? threads : points;
+}
+
+void RunSweep(std::size_t points,
+              const std::function<void(std::size_t)>& fn) {
+  const std::size_t threads = SweepThreadCount(points);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < points; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;  // lowest point index wins
+  std::size_t first_error_point = points;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (i < first_error_point) {
+          first_error_point = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ks::bench

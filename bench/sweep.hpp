@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ks::bench {
+
+/// Thread-pooled sweep runner for the study/ablation benches.
+///
+/// Each bench is a sweep over configuration points (fault rates, placement
+/// variants, seeds, ...), and every point is a self-contained
+/// RunWorkload(): it builds its own Simulation, Cluster and KubeShare, so
+/// points share no mutable state and can run on worker threads. Results
+/// are returned ordered by point index — the caller formats output *after*
+/// the sweep (collect-then-print), which is what makes a parallel run's
+/// output byte-identical to a serial one.
+///
+/// Determinism: the runner never reorders, merges, or times anything; it
+/// only distributes index-tagged closures and slots results back by index.
+///
+/// Thread count: KS_BENCH_THREADS env var when set (0 or 1 forces serial),
+/// else hardware concurrency capped by the number of points.
+std::size_t SweepThreadCount(std::size_t points);
+
+/// Runs `fn(i)` for i in [0, points), possibly concurrently, and blocks
+/// until all complete. `fn` must not touch shared mutable state (the
+/// thread-safe logger is fine). Exceptions from `fn` propagate after the
+/// sweep drains (first point's exception wins).
+void RunSweep(std::size_t points, const std::function<void(std::size_t)>& fn);
+
+/// Typed convenience wrapper: returns one R per point, in point order.
+template <typename R>
+std::vector<R> RunSweep(std::size_t points,
+                        const std::function<R(std::size_t)>& fn) {
+  std::vector<R> results(points);
+  RunSweep(points, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace ks::bench

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json benchmark reports (schema ks-bench/1).
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Checks, per file:
+  * parses as JSON, top level is an object;
+  * "schema" == "ks-bench/1";
+  * "study" is a non-empty string and matches the BENCH_<study>.json
+    file name;
+  * "rows" is a non-empty list of objects;
+  * every row value is a JSON scalar (no nested containers);
+  * numeric values are finite (the writer turns NaN/Inf into null, so a
+    bare NaN in the text means a corrupt file);
+  * rows of the same (study) agree on their key sets, so downstream
+    tooling can treat the rows as a table.
+
+Exit status 0 when every file passes, 1 otherwise. Stdlib only.
+"""
+
+import json
+import math
+import os
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return False
+
+
+def check_file(path):
+    try:
+        with open(path, "rb") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(report, dict):
+        return fail(path, "top level is not an object")
+    if report.get("schema") != "ks-bench/1":
+        return fail(path, f"bad schema tag: {report.get('schema')!r}")
+
+    study = report.get("study")
+    if not isinstance(study, str) or not study:
+        return fail(path, "missing or empty \"study\"")
+    expected_name = f"BENCH_{study}.json"
+    if os.path.basename(path) != expected_name:
+        return fail(path, f"file name does not match study (want {expected_name})")
+
+    rows = report.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return fail(path, "\"rows\" missing, not a list, or empty")
+
+    ok = True
+    key_sets = {}
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or not row:
+            ok = fail(path, f"row {i} is not a non-empty object")
+            continue
+        for key, value in row.items():
+            if isinstance(value, (dict, list)):
+                ok = fail(path, f"row {i} field {key!r} is a nested container")
+            if isinstance(value, float) and not math.isfinite(value):
+                ok = fail(path, f"row {i} field {key!r} is not finite")
+        # Rows may legitimately differ in shape between row kinds (e.g.
+        # bench_engine's per-engine rows vs its summary row); group by the
+        # discriminator fields that are present.
+        kind = (row.get("engine"), row.get("mode"), row.get("policy"))
+        keys = frozenset(row.keys())
+        if kind in key_sets and key_sets[kind] != keys:
+            ok = fail(
+                path,
+                f"row {i} key set {sorted(keys)} differs from earlier "
+                f"rows of the same kind {sorted(key_sets[kind])}",
+            )
+        key_sets.setdefault(kind, keys)
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    all_ok = True
+    for path in argv[1:]:
+        if check_file(path):
+            print(f"{path}: ok")
+        else:
+            all_ok = False
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

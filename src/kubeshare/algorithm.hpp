@@ -50,4 +50,15 @@ Expected<GpuId> ScheduleSharePod(VgpuPool& pool, const ScheduleRequest& r,
                                  PlacementVariant variant =
                                      PlacementVariant::kPaper);
 
+/// Reference implementation of Algorithm 1: the literal three-step scan
+/// over pool.List(), rebuilding the per-node attach counts per request.
+/// Kept verbatim as the behavioral oracle — ScheduleSharePod is the
+/// index-accelerated path and must pick the same device for the same pool
+/// state and request (cross-checked by the scheduler-equivalence property
+/// test). Use this one when auditing against the paper's pseudo-code.
+Expected<GpuId> ScheduleSharePodReference(
+    VgpuPool& pool, const ScheduleRequest& r,
+    const std::vector<NodeFreeGpus>& free_gpus,
+    PlacementVariant variant = PlacementVariant::kPaper);
+
 }  // namespace ks::kubeshare

@@ -18,6 +18,8 @@ VgpuInfo& VgpuPool::Create(const std::string& node) {
   info.node = node;
   auto [it, inserted] = entries_.emplace(id, std::move(info));
   assert(inserted);
+  ++node_devices_[node];
+  OnAfterDeviceChange(it->second);
   return it->second;
 }
 
@@ -30,7 +32,9 @@ Expected<GpuId> VgpuPool::CreateWithId(const GpuId& id,
   VgpuInfo info;
   info.id = id;
   info.node = node;
-  entries_.emplace(id, std::move(info));
+  auto [it, inserted] = entries_.emplace(id, std::move(info));
+  ++node_devices_[node];
+  OnAfterDeviceChange(it->second);
   return id;
 }
 
@@ -53,11 +57,82 @@ std::vector<const VgpuInfo*> VgpuPool::List() const {
 }
 
 std::size_t VgpuPool::CountOnNode(const std::string& node) const {
-  std::size_t n = 0;
-  for (const auto& [id, info] : entries_) {
-    if (info.node == node) ++n;
+  auto it = node_devices_.find(node);
+  return it == node_devices_.end() ? 0 : static_cast<std::size_t>(it->second);
+}
+
+const std::set<GpuId>* VgpuPool::DevicesWithAffinity(const Label& l) const {
+  auto it = affinity_index_.find(l);
+  return it == affinity_index_.end() ? nullptr : &it->second;
+}
+
+int VgpuPool::AttachedOnNode(const std::string& node) const {
+  auto it = node_attached_.find(node);
+  return it == node_attached_.end() ? 0 : it->second;
+}
+
+double VgpuPool::MaxResidualUtil() const {
+  return residuals_.empty() ? -1.0 : *residuals_.rbegin();
+}
+
+void VgpuPool::OnBeforeDeviceChange(const VgpuInfo& dev) {
+  idle_.erase(dev.id);
+  for (const Label& l : dev.affinity) {
+    auto it = affinity_index_.find(l);
+    if (it != affinity_index_.end()) {
+      it->second.erase(dev.id);
+      if (it->second.empty()) affinity_index_.erase(it);
+    }
   }
-  return n;
+  node_attached_[dev.node] -= static_cast<int>(dev.attached.size());
+  auto it = residuals_.find(dev.residual_util());
+  assert(it != residuals_.end());
+  residuals_.erase(it);
+}
+
+void VgpuPool::OnAfterDeviceChange(const VgpuInfo& dev) {
+  if (dev.idle()) idle_.insert(dev.id);
+  for (const Label& l : dev.affinity) affinity_index_[l].insert(dev.id);
+  node_attached_[dev.node] += static_cast<int>(dev.attached.size());
+  residuals_.insert(dev.residual_util());
+}
+
+Status VgpuPool::CheckIndexInvariants() const {
+  std::set<GpuId> idle;
+  std::map<Label, std::set<GpuId>> affinity;
+  std::map<std::string, int> attached;
+  std::map<std::string, int> devices;
+  std::multiset<double> residuals;
+  for (const auto& [id, dev] : entries_) {
+    if (dev.idle()) idle.insert(id);
+    for (const Label& l : dev.affinity) affinity[l].insert(id);
+    attached[dev.node] += static_cast<int>(dev.attached.size());
+    ++devices[dev.node];
+    residuals.insert(dev.residual_util());
+  }
+  // The incremental maps may retain zero-count entries for nodes whose
+  // devices all left; normalize both sides before comparing.
+  auto nonzero = [](const std::map<std::string, int>& m) {
+    std::map<std::string, int> out;
+    for (const auto& [k, v] : m) {
+      if (v != 0) out.emplace(k, v);
+    }
+    return out;
+  };
+  if (idle != idle_) return InternalError("idle-device index out of sync");
+  if (affinity != affinity_index_) {
+    return InternalError("affinity-label index out of sync");
+  }
+  if (nonzero(attached) != nonzero(node_attached_)) {
+    return InternalError("node-attached index out of sync");
+  }
+  if (nonzero(devices) != nonzero(node_devices_)) {
+    return InternalError("node-device index out of sync");
+  }
+  if (residuals != residuals_) {
+    return InternalError("residual index out of sync");
+  }
+  return Status::Ok();
 }
 
 Status VgpuPool::Activate(const GpuId& id, const GpuUuid& uuid) {
@@ -95,6 +170,7 @@ Status VgpuPool::Attach(const GpuId& id, const std::string& sharepod,
     return RejectedError("anti-affinity violation on " + id.value());
   }
 
+  OnBeforeDeviceChange(*dev);
   dev->used_util += gpu.gpu_request;
   dev->used_mem += gpu.gpu_mem;
   if (locality.affinity.has_value()) dev->affinity.insert(*locality.affinity);
@@ -105,6 +181,7 @@ Status VgpuPool::Attach(const GpuId& id, const std::string& sharepod,
   dev->attached.insert(sharepod);
   if (dev->uuid.has_value()) dev->state = VgpuState::kActive;
   attachments_[sharepod] = {id, gpu, locality};
+  OnAfterDeviceChange(*dev);
   return Status::Ok();
 }
 
@@ -126,7 +203,9 @@ Status VgpuPool::UpdateAttachment(const std::string& sharepod,
                                   it->second.device.value());
   }
   it->second.gpu = updated;
+  OnBeforeDeviceChange(*dev);
   dev->used_util += delta;
+  OnAfterDeviceChange(*dev);
   return Status::Ok();
 }
 
@@ -139,11 +218,13 @@ Expected<GpuId> VgpuPool::Detach(const std::string& sharepod) {
   attachments_.erase(it);
   VgpuInfo* dev = Find(device);
   if (dev != nullptr) {
+    OnBeforeDeviceChange(*dev);
     dev->attached.erase(sharepod);
     RecomputeDevice(*dev);
     if (dev->attached.empty() && dev->uuid.has_value()) {
       dev->state = VgpuState::kIdle;
     }
+    OnAfterDeviceChange(*dev);
   }
   return device;
 }
@@ -173,6 +254,10 @@ Status VgpuPool::Remove(const GpuId& id) {
   if (it == entries_.end()) return NotFoundError("no vGPU: " + id.value());
   if (!it->second.attached.empty()) {
     return FailedPreconditionError("vGPU still attached: " + id.value());
+  }
+  OnBeforeDeviceChange(it->second);
+  if (--node_devices_[it->second.node] == 0) {
+    node_devices_.erase(it->second.node);
   }
   entries_.erase(it);
   return Status::Ok();

@@ -74,6 +74,37 @@ class VgpuPool {
   std::size_t size() const { return entries_.size(); }
   std::size_t CountOnNode(const std::string& node) const;
 
+  /// Ordered read access to all entries, without materializing the
+  /// pointer vector List() builds.
+  const std::map<GpuId, VgpuInfo>& entries() const { return entries_; }
+
+  // ---- Incremental indices (see docs/performance.md) -------------------
+  // Maintained by every mutator so the scheduler never rescans the pool.
+  // All GpuId/string-keyed values, no pointers: copying the pool (the
+  // gang-admission dry run does) copies consistent indices. Each set
+  // iterates in GpuId order — the same order as entries_ — which is what
+  // keeps the indexed scheduler's picks identical to the reference scan.
+
+  /// Devices with no attachments (VgpuInfo::idle()), in GpuId order.
+  const std::set<GpuId>& idle_devices() const { return idle_; }
+
+  /// Devices carrying affinity label `l`, in GpuId order; nullptr if none.
+  const std::set<GpuId>* DevicesWithAffinity(const Label& l) const;
+
+  /// Total attachments across devices on `node` (the scheduler's
+  /// tie-break key), without a pool scan.
+  int AttachedOnNode(const std::string& node) const;
+
+  /// Largest residual compute capacity over all devices; -1 when the pool
+  /// is empty. A request above this cannot fit any existing device, which
+  /// lets the scheduler skip straight to the new-device path.
+  double MaxResidualUtil() const;
+
+  /// Rebuilds every index from entries_/attachments_ and compares with the
+  /// incrementally-maintained state. Test hook: any mismatch is a bug in a
+  /// mutator's index upkeep.
+  Status CheckIndexInvariants() const;
+
   /// Marks the acquisition complete (UUID learned from the launched pod).
   Status Activate(const GpuId& id, const GpuUuid& uuid);
 
@@ -112,10 +143,23 @@ class VgpuPool {
 
   void RecomputeDevice(VgpuInfo& dev);
 
+  /// Index upkeep around a mutation of `dev`'s usage/labels/attachments.
+  /// Call OnBeforeDeviceChange with the device's current state, mutate,
+  /// then OnAfterDeviceChange with the new state.
+  void OnBeforeDeviceChange(const VgpuInfo& dev);
+  void OnAfterDeviceChange(const VgpuInfo& dev);
+
   std::map<GpuId, VgpuInfo> entries_;
   std::map<std::string, Attachment> attachments_;
   std::uint64_t next_id_ = 1;
   bool memory_overcommit_ = false;
+
+  // Incremental indices — see the accessor block above.
+  std::set<GpuId> idle_;
+  std::map<Label, std::set<GpuId>> affinity_index_;
+  std::map<std::string, int> node_attached_;
+  std::map<std::string, int> node_devices_;
+  std::multiset<double> residuals_;
 };
 
 }  // namespace ks::kubeshare

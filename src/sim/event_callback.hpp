@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ks::sim {
+
+/// Move-only callable wrapper tuned for the event loop.
+///
+/// `std::function` heap-allocates any capture list larger than its tiny
+/// implementation-defined buffer and pays a virtual dispatch on every copy;
+/// the old engine additionally *copied* the function out of the priority
+/// queue on every Step(). EventCallback keeps captures up to kInlineCapacity
+/// bytes inline in the event slot (enough for the `this` + a couple of
+/// values that nearly every callback in this codebase captures) and only
+/// falls back to a single heap allocation beyond that. It is move-only, so
+/// the engine can relocate events between slots without ever cloning a
+/// capture list.
+class EventCallback {
+ public:
+  /// Inline capture budget. Callbacks at or under this size (and with
+  /// ordinary alignment) never touch the heap.
+  static constexpr std::size_t kInlineCapacity = 56;
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, EventCallback> &&
+                                 std::is_invocable_r_v<void, D&>,
+                             int> = 0>
+  EventCallback(F&& fn) {  // NOLINT: implicit by design, mirrors std::function
+    if constexpr (sizeof(D) <= kInlineCapacity &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(fn));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroys the current target (if any) and constructs `fn` in place —
+  /// lets the engine build a callback directly in its slot, skipping the
+  /// relocation a construct-then-move would cost.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, EventCallback> &&
+                                 std::is_invocable_r_v<void, D&>,
+                             int> = 0>
+  void emplace(F&& fn) {
+    reset();
+    if constexpr (sizeof(D) <= kInlineCapacity &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(fn));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs the callable into `dst` from `src` and destroys the
+    /// source — a destructive relocation, the only move the engine needs.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* storage) { (*std::launder(reinterpret_cast<D*>(storage)))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* storage) noexcept {
+        std::launder(reinterpret_cast<D*>(storage))->~D();
+      },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* storage) { (**reinterpret_cast<D**>(storage))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+      },
+      [](void* storage) noexcept { delete *reinterpret_cast<D**>(storage); },
+  };
+
+  void MoveFrom(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ks::sim

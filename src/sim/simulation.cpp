@@ -1,43 +1,70 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <utility>
 
 namespace ks::sim {
 
-EventId Simulation::ScheduleAt(Time t, std::function<void()> fn) {
+Simulation::~Simulation() { FreeHeap(); }
+
+EventId Simulation::ScheduleAt(Time t, EventCallback fn) {
   assert(fn && "cannot schedule an empty callback");
   if (t < now_) t = now_;  // clamp: scheduling in the past fires "now"
-  const EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
-  return id;
+  const std::uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  const std::uint64_t key = (next_seq_++ << kSlotBits) | slot;
+  s.key = key;
+  ++live_;
+  PushHeap(HeapEntry{t, key});
+  return key;
 }
 
-EventId Simulation::ScheduleAfter(Duration delay, std::function<void()> fn) {
+EventId Simulation::ScheduleAfter(Duration delay, EventCallback fn) {
   if (delay.count() < 0) delay = Duration{0};
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
 bool Simulation::Cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) return false;
-  return cancelled_.insert(id).second;
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  if (id == kInvalidEvent || slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // A fired or previously-cancelled event has released its slot: the slot
+  // is either vacant (key 0) or re-issued under a newer sequence. Both
+  // compare unequal, making stale cancels correct no-ops.
+  if (s.key != id) return false;
+  ReleaseSlot(slot);
+  --live_;
+  // The heap entry dies lazily when it surfaces; purge when dead entries
+  // outnumber live ones so cancel/reschedule churn cannot grow the heap
+  // unboundedly.
+  if (heap_size_ - live_ > live_ + kPurgeSlack) PurgeStale();
+  return true;
 }
 
 bool Simulation::Step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(ev.at >= now_);
-    now_ = ev.at;
-    ++executed_;
-    ev.fn();
-    return true;
+  DropStaleRoots();
+  if (heap_size_ == 0) {
+    CompactIfDrained();
+    return false;
   }
-  return false;
+  const HeapEntry top = heap_[0];
+  assert(top.at >= now_);
+  Slot& s = slots_[top.key & kSlotMask];
+  EventCallback fn = std::move(s.fn);
+  // The slot is released *before* the callback runs, so a callback that
+  // reschedules itself (the usual timer pattern) reuses its own slot.
+  ReleaseSlot(top.key & kSlotMask);
+  --live_;
+  PopRoot();
+  now_ = top.at;
+  ++executed_;
+  fn();
+  return true;
 }
 
 void Simulation::Run(std::uint64_t max_events) {
@@ -46,17 +73,168 @@ void Simulation::Run(std::uint64_t max_events) {
 }
 
 void Simulation::RunUntil(Time t) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.at > t) break;
+  // Single drain path: Step() is the only place live events are popped.
+  // DropStaleRoots() keeps the root live, so peeking its time is exact.
+  for (;;) {
+    DropStaleRoots();
+    if (heap_size_ == 0 || heap_[0].at > t) break;
     Step();
   }
   if (now_ < t) now_ = t;
+  CompactIfDrained();
+}
+
+void Simulation::PushHeap(HeapEntry e) {
+  if (heap_size_ == heap_cap_) GrowHeap();
+  std::uint32_t pos = heap_size_++;
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    if (!Earlier(e, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = e;
+}
+
+void Simulation::PopRoot() {
+  const std::uint32_t n = --heap_size_;
+  if (n == 0) return;
+  const HeapEntry last = heap_[n];
+  // Bottom-up delete-min: walk the hole down the min-child path without
+  // comparing against `last` (it came from the bottom and nearly always
+  // belongs there), then sift it up the short remaining distance.
+  std::uint32_t pos = 0;
+  const bool prefetch = n > 4096;
+  for (;;) {
+    const std::uint32_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::uint32_t best = first;
+    const std::uint32_t end = std::min(first + 4, n);
+    const std::uint32_t gc = 4 * first + 1;
+    if (prefetch && gc < n) {
+      __builtin_prefetch(heap_ + gc);
+      __builtin_prefetch(heap_ + gc + 4);
+      __builtin_prefetch(heap_ + gc + 8);
+      __builtin_prefetch(heap_ + gc + 12);
+    }
+    for (std::uint32_t c = first + 1; c < end; ++c) {
+      if (Earlier(heap_[c], heap_[best])) best = c;
+    }
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    if (!Earlier(last, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = last;
+}
+
+void Simulation::SiftDown(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  for (;;) {
+    const std::uint32_t first = 4 * pos + 1;
+    if (first >= heap_size_) break;
+    std::uint32_t best = first;
+    const std::uint32_t end = std::min(first + 4, heap_size_);
+    for (std::uint32_t c = first + 1; c < end; ++c) {
+      if (Earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!Earlier(heap_[best], e)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = e;
+}
+
+void Simulation::DropStaleRoots() {
+  while (heap_size_ > 0 &&
+         slots_[heap_[0].key & kSlotMask].key != heap_[0].key) {
+    PopRoot();
+  }
+}
+
+void Simulation::PurgeStale() {
+  // Compact live entries in place, then heapify. Deterministic: the
+  // comparator is a strict total order (keys are unique), so any valid
+  // heap arrangement drains in the same order.
+  std::uint32_t kept = 0;
+  for (std::uint32_t i = 0; i < heap_size_; ++i) {
+    const HeapEntry e = heap_[i];
+    if (slots_[e.key & kSlotMask].key == e.key) heap_[kept++] = e;
+  }
+  heap_size_ = kept;
+  if (kept > 1) {
+    for (std::uint32_t i = (kept - 2) >> 2; ; --i) {
+      SiftDown(i);
+      if (i == 0) break;
+    }
+  }
+}
+
+void Simulation::GrowHeap() {
+  const std::uint32_t cap = heap_cap_ == 0 ? 64 : heap_cap_ * 2;
+  // +3 entries of slack so heap_[1] lands on a 64-byte boundary: sibling
+  // group [4i+1 .. 4i+4] then always occupies exactly one cache line.
+  void* raw = ::operator new((static_cast<std::size_t>(cap) + 3) *
+                                 sizeof(HeapEntry),
+                             std::align_val_t{64});
+  auto* data = static_cast<HeapEntry*>(raw) + 3;
+  if (heap_size_ > 0) {
+    std::memcpy(static_cast<void*>(data), static_cast<void*>(heap_),
+                heap_size_ * sizeof(HeapEntry));
+  }
+  FreeHeap();
+  raw_heap_ = raw;
+  heap_ = data;
+  heap_cap_ = cap;
+}
+
+void Simulation::FreeHeap() {
+  if (raw_heap_ != nullptr) {
+    ::operator delete(raw_heap_, std::align_val_t{64});
+    raw_heap_ = nullptr;
+    heap_ = nullptr;
+    heap_cap_ = 0;
+  }
+}
+
+std::uint32_t Simulation::AcquireSlot() {
+  if (next_seq_ > kMaxSeq) {
+    std::abort();  // 2^40 events over one Simulation's lifetime
+  }
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    if (slot > kSlotMask) std::abort();  // 2^24 concurrently pending events
+    slots_.emplace_back();
+  }
+  return slot;
+}
+
+void Simulation::ReleaseSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.key = 0;
+  free_slots_.push_back(slot);
+}
+
+void Simulation::CompactIfDrained() {
+  // Amortized compaction point: with nothing in flight both arenas can be
+  // dropped wholesale. The sequence counter survives the reset, so ids
+  // minted before compaction can never alias events scheduled after it.
+  if (heap_size_ != 0 || slots_.size() < kCompactThreshold) return;
+  slots_.clear();
+  slots_.shrink_to_fit();
+  free_slots_.clear();
+  free_slots_.shrink_to_fit();
+  FreeHeap();
+  heap_size_ = 0;
 }
 
 }  // namespace ks::sim

@@ -1,16 +1,17 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <string>
-#include <unordered_set>
+#include <type_traits>
 #include <vector>
 
 #include "common/time.hpp"
+#include "sim/event_callback.hpp"
 
 namespace ks::sim {
 
+/// Opaque handle to a scheduled event. Encodes (sequence, slot) so Cancel()
+/// resolves the event in O(1) with a single comparison — no hash lookup.
+/// Callers treat it as an opaque token exactly as before.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -23,9 +24,33 @@ inline constexpr EventId kInvalidEvent = 0;
 /// Ties are broken by insertion order, which makes runs reproducible given
 /// a fixed seed — there is no dependence on heap iteration order or real
 /// wall-clock.
+///
+/// Internals (see docs/performance.md for the design rationale):
+///  - callbacks live in a slot arena as EventCallback (small-buffer
+///    optimized; captures <= 56 bytes never allocate) and are *moved*, not
+///    copied, on fire; free slots recycle through a free list, so
+///    steady-state timer churn performs zero allocations;
+///  - the ready queue is a 4-ary min-heap of 16-byte (time, key) entries
+///    laid out so every 4-child sibling group shares one cache line — a
+///    sift touches one line per level instead of up to four;
+///  - delete-min uses the bottom-up ("Wegener") variant: the hole descends
+///    the min-child path comparison-free against the displaced leaf, which
+///    then sifts up a short distance — roughly half the comparisons of the
+///    textbook algorithm;
+///  - every slot is generation-stamped: Cancel() invalidates the slot in
+///    O(1) and the heap entry dies lazily when it surfaces (or at the next
+///    purge, which keeps dead entries bounded by the live count). There is
+///    no tombstone set, and pending() is an exact live counter by
+///    construction, so cancelling a fired id is a correct no-op and
+///    pending() can never underflow.
+///
+/// Capacity limits of the packed event key (documented, checked at
+/// runtime): at most 2^24 - 1 events pending at once, at most 2^40 - 1
+/// events scheduled over a Simulation's lifetime.
 class Simulation {
  public:
   Simulation() = default;
+  ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -33,10 +58,39 @@ class Simulation {
 
   /// Schedules `fn` at absolute virtual time `t` (>= Now()). Returns an id
   /// usable with Cancel().
-  EventId ScheduleAt(Time t, std::function<void()> fn);
+  EventId ScheduleAt(Time t, EventCallback fn);
 
   /// Schedules `fn` after `delay` from now.
-  EventId ScheduleAfter(Duration delay, std::function<void()> fn);
+  EventId ScheduleAfter(Duration delay, EventCallback fn);
+
+  /// Fast paths: construct the callable directly in its event slot instead
+  /// of building an EventCallback and relocating it in.
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                    std::is_invocable_r_v<void, std::decay_t<F>&>,
+                int> = 0>
+  EventId ScheduleAt(Time t, F&& fn) {
+    if (t < now_) t = now_;
+    const std::uint32_t slot = AcquireSlot();
+    Slot& s = slots_[slot];
+    s.fn.emplace(std::forward<F>(fn));
+    const std::uint64_t key = (next_seq_++ << kSlotBits) | slot;
+    s.key = key;
+    ++live_;
+    PushHeap(HeapEntry{t, key});
+    return key;
+  }
+
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                    std::is_invocable_r_v<void, std::decay_t<F>&>,
+                int> = 0>
+  EventId ScheduleAfter(Duration delay, F&& fn) {
+    if (delay.count() < 0) delay = Duration{0};
+    return ScheduleAt(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event. Safe to call with an id that already fired or
   /// was already cancelled (no-op). Returns true if the event was pending.
@@ -54,27 +108,67 @@ class Simulation {
   /// if no event lands on it.
   void RunUntil(Time t);
 
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Exact count of live (scheduled, not yet fired or cancelled) events.
+  std::size_t pending() const { return live_; }
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
+  /// Heap entry: fire time plus the packed event key. The key doubles as
+  /// the public EventId and as the tie-breaker — its high 40 bits are the
+  /// global insertion sequence, so comparing keys compares insertion order.
+  struct HeapEntry {
     Time at;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among same-time events
-    }
+    std::uint64_t key;
   };
 
+  struct Slot {
+    EventCallback fn;
+    std::uint64_t key = 0;  // key of the current occupant; 0 = vacant
+  };
+
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq = (1ull << 40) - 1;
+  /// Arena-reset threshold: once the queue drains, arenas larger than this
+  /// are released so a burst does not pin its peak footprint forever.
+  static constexpr std::size_t kCompactThreshold = 4096;
+  /// A stale-entry purge triggers when dead heap entries outnumber live
+  /// ones by this margin.
+  static constexpr std::uint32_t kPurgeSlack = 64;
+
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.key < b.key;  // FIFO among same-time events
+  }
+
+  void PushHeap(HeapEntry e);
+  void PopRoot();
+  void SiftDown(std::uint32_t pos);
+  /// Pops stale roots so heap_[0], when present, is always live.
+  void DropStaleRoots();
+  void PurgeStale();
+  void GrowHeap();
+  void FreeHeap();
+
+  std::uint32_t AcquireSlot();
+  void ReleaseSlot(std::uint32_t slot);
+  void CompactIfDrained();
+
   Time now_{0};
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint32_t live_ = 0;
+
+  /// 4-ary heap in a 64-byte-aligned buffer offset so element 1 starts a
+  /// cache line: sibling groups [4i+1 .. 4i+4] each occupy exactly one
+  /// line. raw_heap_ owns the allocation; heap_ = raw + 3.
+  HeapEntry* heap_ = nullptr;
+  void* raw_heap_ = nullptr;
+  std::uint32_t heap_size_ = 0;
+  std::uint32_t heap_cap_ = 0;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace ks::sim

@@ -1,0 +1,122 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace ks {
+namespace {
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(JsonValue().Dump(), "null");
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue(std::int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(JsonValue("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(JsonValue::Object().Dump(), "{}");
+  EXPECT_EQ(JsonValue::Array().Dump(), "[]");
+}
+
+TEST(Json, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  // Non-ASCII bytes pass through untouched (UTF-8 stays UTF-8).
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(JsonValue("a\"b\n").Dump(), "\"a\\\"b\\n\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndOverwritesInPlace) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zeta", 1);
+  obj.Set("alpha", 2);
+  obj.Set("mid", 3);
+  EXPECT_EQ(obj.Dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+  obj.Set("alpha", 9);  // overwrite keeps the original position
+  EXPECT_EQ(obj.Dump(), "{\"zeta\":1,\"alpha\":9,\"mid\":3}");
+  EXPECT_EQ(obj.size(), 3u);
+}
+
+TEST(Json, IntegralDoublesKeepADecimalPoint) {
+  // A reader must be able to tell the column was a double; 4 and 4.0 are
+  // different shapes to a schema checker.
+  EXPECT_EQ(JsonValue(4.0).Dump(), "4.0");
+  EXPECT_EQ(JsonValue(-2.0).Dump(), "-2.0");
+  EXPECT_EQ(JsonValue(0.0).Dump(), "0.0");
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  const double cases[] = {0.1,     1.0 / 3.0, 2.5,      1e-9,
+                          1e300,   -123.456,  0.300001, 3.6 / 5.0};
+  for (const double d : cases) {
+    const std::string text = JsonValue(d).Dump();
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), d) << text;
+  }
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).Dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+}
+
+JsonValue SampleReport() {
+  JsonValue report = JsonValue::Object();
+  report.Set("schema", "ks-bench/1");
+  report.Set("study", "sample");
+  JsonValue rows = JsonValue::Array();
+  JsonValue row = JsonValue::Object();
+  row.Set("jobs_per_minute", 12.5);
+  row.Set("completed", 150);
+  rows.Push(std::move(row));
+  report.Set("rows", std::move(rows));
+  return report;
+}
+
+TEST(Json, SerializationIsDeterministic) {
+  // Byte-identical output for identical trees is what lets CI diff a
+  // parallel sweep's BENCH_*.json against a serial run's.
+  EXPECT_EQ(SampleReport().Dump(), SampleReport().Dump());
+  EXPECT_EQ(SampleReport().DumpPretty(), SampleReport().DumpPretty());
+}
+
+TEST(Json, PrettyFormatShape) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", 1);
+  JsonValue arr = JsonValue::Array();
+  arr.Push(2.5);
+  obj.Set("b", std::move(arr));
+  EXPECT_EQ(obj.DumpPretty(),
+            "{\n"
+            "  \"a\": 1,\n"
+            "  \"b\": [\n"
+            "    2.5\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Json, MutableFieldInsertsAndAliases) {
+  JsonValue obj = JsonValue::Object();
+  obj.MutableField("rows") = JsonValue::Array();
+  obj.MutableField("rows").Push(1);
+  obj.MutableField("rows").Push(2);
+  EXPECT_EQ(obj.Dump(), "{\"rows\":[1,2]}");
+  EXPECT_EQ(obj.MutableField("rows").size(), 2u);
+}
+
+TEST(Json, FieldAsString) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("study", "engine");
+  obj.Set("count", 3);
+  EXPECT_EQ(obj.FieldAsString("study"), "engine");
+  EXPECT_EQ(obj.FieldAsString("count"), "");    // not a string
+  EXPECT_EQ(obj.FieldAsString("missing"), "");  // absent
+}
+
+}  // namespace
+}  // namespace ks

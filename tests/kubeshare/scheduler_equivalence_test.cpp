@@ -1,0 +1,252 @@
+// Property tests for the index-accelerated scheduler and the vGPU pool's
+// incremental indices.
+//
+// ScheduleSharePod (indexed) and ScheduleSharePodReference (the literal
+// Algorithm 1 scan over pool.List()) are run side by side on two pools fed
+// the exact same randomized request/detach/resize/remove sequence. After
+// every operation the two pools must agree on the returned device / error
+// code and on the full pool contents, and the indexed pool's incremental
+// indices must survive CheckIndexInvariants(). Any divergence is a bug in
+// the index upkeep or in the fused scan.
+
+#include "kubeshare/algorithm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ks::kubeshare {
+namespace {
+
+std::vector<NodeFreeGpus> Supply(int per_node, int nodes) {
+  std::vector<NodeFreeGpus> out;
+  for (int i = 0; i < nodes; ++i) {
+    out.push_back({"node-" + std::to_string(i), per_node});
+  }
+  return out;
+}
+
+ScheduleRequest RandomRequest(Rng& rng, int i) {
+  ScheduleRequest r;
+  r.sharepod = "sp-" + std::to_string(i);
+  r.gpu.gpu_request = 0.05 * static_cast<double>(rng.UniformInt(1, 18));
+  r.gpu.gpu_limit = 1.0;
+  r.gpu.gpu_mem = 0.05 * static_cast<double>(rng.UniformInt(1, 10));
+  if (rng.Chance(0.35)) {
+    r.locality.affinity =
+        Label("aff-" + std::to_string(rng.UniformInt(0, 3)));
+  }
+  if (rng.Chance(0.20)) {
+    r.locality.anti_affinity =
+        Label("anti-" + std::to_string(rng.UniformInt(0, 2)));
+  }
+  if (rng.Chance(0.15)) {
+    r.locality.exclusion =
+        Label("excl-" + std::to_string(rng.UniformInt(0, 1)));
+  }
+  if (rng.Chance(0.10)) {
+    r.node_constraint = "node-" + std::to_string(rng.UniformInt(0, 2));
+  }
+  return r;
+}
+
+/// Full structural comparison of two pools. The indexed scheduler must
+/// leave the pool in exactly the state the reference scan does.
+void ExpectPoolsEqual(const VgpuPool& a, const VgpuPool& b,
+                      const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  auto ia = a.entries().begin();
+  auto ib = b.entries().begin();
+  for (; ia != a.entries().end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first) << context;
+    const VgpuInfo& da = ia->second;
+    const VgpuInfo& db = ib->second;
+    EXPECT_EQ(da.node, db.node) << context;
+    EXPECT_DOUBLE_EQ(da.used_util, db.used_util) << context;
+    EXPECT_DOUBLE_EQ(da.used_mem, db.used_mem) << context;
+    EXPECT_EQ(da.affinity, db.affinity) << context;
+    EXPECT_EQ(da.anti_affinity, db.anti_affinity) << context;
+    EXPECT_EQ(da.exclusion, db.exclusion) << context;
+    EXPECT_EQ(da.attached, db.attached) << context;
+  }
+}
+
+void RunEquivalenceSequence(PlacementVariant variant, std::uint64_t seed) {
+  Rng rng(seed);
+  VgpuPool indexed;
+  VgpuPool reference;
+  const std::vector<NodeFreeGpus> supply = Supply(3, 3);
+  std::vector<std::string> attached;
+
+  for (int i = 0; i < 400; ++i) {
+    const std::string context =
+        "seed " + std::to_string(seed) + " op " + std::to_string(i);
+    if (!attached.empty() && rng.Chance(0.25)) {
+      // Detach the same sharePod from both pools.
+      const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(attached.size()) - 1));
+      const std::string name = attached[pick];
+      attached.erase(attached.begin() + static_cast<std::ptrdiff_t>(pick));
+      auto da = indexed.Detach(name);
+      auto db = reference.Detach(name);
+      ASSERT_EQ(da.status().code(), db.status().code()) << context;
+      if (da.ok()) {
+        EXPECT_EQ(*da, *db) << context;
+      }
+    } else if (!attached.empty() && rng.Chance(0.10)) {
+      // Vertical resize of a random attachment.
+      const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(attached.size()) - 1));
+      const double request =
+          0.05 * static_cast<double>(rng.UniformInt(1, 16));
+      const Status sa = indexed.UpdateAttachment(attached[pick], request, 1.0);
+      const Status sb =
+          reference.UpdateAttachment(attached[pick], request, 1.0);
+      EXPECT_EQ(sa.code(), sb.code()) << context;
+    } else if (rng.Chance(0.08) && !indexed.idle_devices().empty()) {
+      // Release an idle device (copied out: Remove mutates the idle set).
+      const GpuId id = *indexed.idle_devices().begin();
+      EXPECT_EQ(indexed.Remove(id).code(), reference.Remove(id).code())
+          << context;
+    } else {
+      const ScheduleRequest r = RandomRequest(rng, i);
+      auto ra = ScheduleSharePod(indexed, r, supply, variant);
+      auto rb = ScheduleSharePodReference(reference, r, supply, variant);
+      ASSERT_EQ(ra.status().code(), rb.status().code())
+          << context << " indexed=" << ra.status()
+          << " reference=" << rb.status();
+      if (ra.ok()) {
+        EXPECT_EQ(*ra, *rb) << context;
+        attached.push_back(r.sharepod);
+      }
+    }
+    const Status inv = indexed.CheckIndexInvariants();
+    ASSERT_TRUE(inv.ok()) << context << ": " << inv;
+    ExpectPoolsEqual(indexed, reference, context);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(SchedulerEquivalence, PaperVariantMatchesReference) {
+  RunEquivalenceSequence(PlacementVariant::kPaper, 11);
+  RunEquivalenceSequence(PlacementVariant::kPaper, 12);
+}
+
+TEST(SchedulerEquivalence, WorstFitVariantMatchesReference) {
+  RunEquivalenceSequence(PlacementVariant::kWorstFitEverywhere, 21);
+  RunEquivalenceSequence(PlacementVariant::kWorstFitEverywhere, 22);
+}
+
+TEST(SchedulerEquivalence, FirstFitVariantMatchesReference) {
+  RunEquivalenceSequence(PlacementVariant::kFirstFit, 31);
+  RunEquivalenceSequence(PlacementVariant::kFirstFit, 32);
+}
+
+TEST(SchedulerEquivalence, OvercommitPoolsStayEquivalent) {
+  // Memory over-commitment changes Attach's admission rule; the indexed
+  // scan must track the reference under it too.
+  Rng rng(77);
+  VgpuPool indexed;
+  VgpuPool reference;
+  indexed.set_memory_overcommit(true);
+  reference.set_memory_overcommit(true);
+  const std::vector<NodeFreeGpus> supply = Supply(2, 2);
+  for (int i = 0; i < 120; ++i) {
+    ScheduleRequest r = RandomRequest(rng, i);
+    r.gpu.gpu_mem = 0.9;  // would over-commit memory without the flag
+    auto ra = ScheduleSharePod(indexed, r, supply);
+    auto rb = ScheduleSharePodReference(reference, r, supply);
+    ASSERT_EQ(ra.status().code(), rb.status().code()) << "op " << i;
+    if (ra.ok()) {
+      EXPECT_EQ(*ra, *rb) << "op " << i;
+    }
+    ASSERT_TRUE(indexed.CheckIndexInvariants().ok()) << "op " << i;
+  }
+}
+
+TEST(PoolIndexInvariants, HoldAcrossRandomMutations) {
+  // Directly drive every pool mutator and re-verify the incremental
+  // indices against a from-scratch rebuild after each step.
+  Rng rng(5150);
+  VgpuPool pool;
+  std::vector<std::string> attached;
+  int next_pod = 0;
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t action = rng.UniformInt(0, 9);
+    if (action <= 3) {  // attach to a random existing or new device
+      if (pool.size() == 0 || rng.Chance(0.3)) {
+        pool.Create("node-" + std::to_string(rng.UniformInt(0, 2)));
+      }
+      auto it = pool.entries().begin();
+      std::advance(it, rng.UniformInt(
+          0, static_cast<std::int64_t>(pool.size()) - 1));
+      const GpuId id = it->first;
+      const std::string name = "pod-" + std::to_string(next_pod++);
+      vgpu::ResourceSpec gpu;
+      gpu.gpu_request = 0.05 * static_cast<double>(rng.UniformInt(1, 12));
+      gpu.gpu_mem = 0.05 * static_cast<double>(rng.UniformInt(1, 8));
+      LocalitySpec locality;
+      if (rng.Chance(0.4)) {
+        locality.affinity =
+            Label("aff-" + std::to_string(rng.UniformInt(0, 2)));
+      }
+      if (pool.Attach(id, name, gpu, locality).ok()) {
+        attached.push_back(name);
+      }
+    } else if (action <= 5 && !attached.empty()) {
+      const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(attached.size()) - 1));
+      (void)pool.Detach(attached[pick]);
+      attached.erase(attached.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (action == 6 && !attached.empty()) {
+      const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(attached.size()) - 1));
+      (void)pool.UpdateAttachment(
+          attached[pick], 0.05 * static_cast<double>(rng.UniformInt(1, 14)),
+          1.0);
+    } else if (action == 7 && !pool.idle_devices().empty()) {
+      const GpuId id = *pool.idle_devices().begin();  // copy before Remove
+      (void)pool.Remove(id);
+    } else if (action == 8) {
+      (void)pool.CreateWithId(GpuId("pinned-" + std::to_string(i)),
+                              "node-" + std::to_string(rng.UniformInt(0, 2)));
+    } else {
+      pool.Create("node-" + std::to_string(rng.UniformInt(0, 2)));
+    }
+    const Status inv = pool.CheckIndexInvariants();
+    ASSERT_TRUE(inv.ok()) << "op " << i << ": " << inv;
+  }
+}
+
+TEST(PoolIndexInvariants, SurviveCopyingThePool) {
+  // The gang-admission dry run copies the pool and mutates the copy; both
+  // the copy's indices and the original's must stay self-consistent and
+  // independent.
+  VgpuPool pool;
+  const GpuId id = pool.Create("node-0").id;
+  vgpu::ResourceSpec gpu;
+  gpu.gpu_request = 0.4;
+  gpu.gpu_mem = 0.2;
+  LocalitySpec locality;
+  locality.affinity = Label("team-a");
+  ASSERT_TRUE(pool.Attach(id, "pod-a", gpu, locality).ok());
+
+  VgpuPool copy = pool;
+  ASSERT_TRUE(copy.CheckIndexInvariants().ok());
+  ASSERT_TRUE(copy.Detach("pod-a").ok());
+  ASSERT_TRUE(copy.CheckIndexInvariants().ok());
+  EXPECT_EQ(copy.idle_devices().count(id), 1u);
+
+  // The original is untouched by the copy's mutation.
+  ASSERT_TRUE(pool.CheckIndexInvariants().ok());
+  EXPECT_EQ(pool.idle_devices().count(id), 0u);
+  EXPECT_EQ(pool.AttachedOnNode("node-0"), 1);
+  EXPECT_NE(pool.DevicesWithAffinity(Label("team-a")), nullptr);
+}
+
+}  // namespace
+}  // namespace ks::kubeshare

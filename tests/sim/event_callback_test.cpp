@@ -1,0 +1,133 @@
+#include "sim/event_callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace ks::sim {
+namespace {
+
+// Instance-counting capture: every constructor (incl. the moves the engine's
+// relocation path uses) increments, every destructor decrements. A nonzero
+// count after the callback dies means a leaked or double-destroyed capture.
+struct Counted {
+  static int live;
+  int* hits;
+  explicit Counted(int* h) : hits(h) { ++live; }
+  Counted(const Counted& o) : hits(o.hits) { ++live; }
+  Counted(Counted&& o) noexcept : hits(o.hits) { ++live; }
+  ~Counted() { --live; }
+  void operator()() const { ++*hits; }
+};
+int Counted::live = 0;
+
+TEST(EventCallback, EmptyIsFalsey) {
+  EventCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(EventCallback, InlineCaptureInvokes) {
+  int hits = 0;
+  EventCallback cb([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventCallback, LargeCaptureUsesHeapAndStillInvokes) {
+  // 128 bytes of capture — well past kInlineCapacity, so this exercises the
+  // heap fallback path end to end.
+  std::array<double, 16> payload{};
+  payload[0] = 1.5;
+  payload[15] = 2.5;
+  static_assert(sizeof(payload) > EventCallback::kInlineCapacity);
+  double sum = 0.0;
+  EventCallback cb([payload, &sum] { sum = payload[0] + payload[15]; });
+  cb();
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+}
+
+TEST(EventCallback, MoveTransfersTargetAndEmptiesSource) {
+  int hits = 0;
+  EventCallback a([&hits] { ++hits; });
+  EventCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  EventCallback c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventCallback, DestroysCaptureExactlyOnce) {
+  int hits = 0;
+  {
+    EventCallback a{Counted(&hits)};
+    EXPECT_EQ(Counted::live, 1);
+    EventCallback b(std::move(a));
+    EXPECT_EQ(Counted::live, 1);  // relocation, not duplication
+    b();
+  }
+  EXPECT_EQ(Counted::live, 0);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventCallback, StringCaptureSurvivesMove) {
+  // Regression guard for the relocation path: libstdc++'s SSO string is
+  // self-referential, so a bytewise slot move would leave the capture's
+  // data pointer dangling. Both short (SSO) and long (heap) strings must
+  // read back intact after the callback is moved.
+  const std::string short_s = "pod-7";
+  const std::string long_s(100, 'x');
+  std::string out_short, out_long;
+  EventCallback a([short_s, long_s, &out_short, &out_long] {
+    out_short = short_s;
+    out_long = long_s;
+  });
+  EventCallback b(std::move(a));
+  EventCallback c(std::move(b));
+  c();
+  EXPECT_EQ(out_short, short_s);
+  EXPECT_EQ(out_long, long_s);
+}
+
+TEST(EventCallback, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<std::uint64_t>(42);
+  std::uint64_t got = 0;
+  EventCallback cb([p = std::move(owned), &got] { got = *p; });
+  cb();
+  EXPECT_EQ(got, 42u);
+}
+
+TEST(EventCallback, EmplaceReplacesTarget) {
+  int hits = 0;
+  EventCallback cb{Counted(&hits)};
+  EXPECT_EQ(Counted::live, 1);
+  int other = 0;
+  cb.emplace([&other] { ++other; });
+  EXPECT_EQ(Counted::live, 0);  // old target destroyed by emplace
+  cb();
+  EXPECT_EQ(other, 1);
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(EventCallback, ResetDestroysAndEmpties) {
+  int hits = 0;
+  EventCallback cb{Counted(&hits)};
+  cb.reset();
+  EXPECT_EQ(Counted::live, 0);
+  EXPECT_FALSE(static_cast<bool>(cb));
+  cb.reset();  // idempotent
+}
+
+}  // namespace
+}  // namespace ks::sim
