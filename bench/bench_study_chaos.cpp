@@ -66,6 +66,12 @@ ks::chaos::RandomPlanOptions PlanFor(const ks::bench::RunOptions& opt,
   }
   plan.outage_min = ks::Seconds(8);
   plan.outage_max = ks::Seconds(20);
+  // Control-plane faults from the crash-consistency PR. Both modes draw
+  // the same plan; in native-k8s mode there is no KubeShare control plane
+  // to kill, so these land as recorded skips and the node-level faults
+  // stay identical across the two columns.
+  plan.devmgr_crash_weight = 0.4;
+  plan.sched_crash_weight = 0.4;
   return plan;
 }
 
@@ -82,9 +88,10 @@ ChaosRun RunWithChaos(ks::bench::RunOptions opt, int faults_per_minute,
     const ks::chaos::FaultPlan plan =
         ks::chaos::FaultPlan::Random(PlanFor(opt, faults_per_minute));
     opt.on_start = [&injector, plan](ks::k8s::Cluster& cluster,
-                                     ks::kubeshare::KubeShare*) {
+                                     ks::kubeshare::KubeShare* ks) {
       injector =
           std::make_unique<ks::chaos::FaultInjector>(&cluster, plan);
+      if (ks != nullptr) injector->SetKubeShare(ks);
       (void)injector->Arm();
     };
   }
@@ -123,8 +130,8 @@ int main() {
   });
 
   Table table({"faults/min", "mode", "completed", "failed", "jobs/min",
-               "MTTR s", "evicted", "vGPU reclaim", "requeued",
-               "daemon restarts"});
+               "MTTR s", "devmgr MTTR s", "sched MTTR s", "evicted",
+               "vGPU reclaim", "requeued", "daemon restarts"});
   JsonValue report = bench::MakeReport("study_chaos");
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const ChaosRun& run = runs[i];
@@ -135,6 +142,8 @@ int main() {
          Cell(static_cast<std::int64_t>(run.result.failed)),
          Cell(run.result.jobs_per_minute, 1),
          Cell(ToSeconds(run.chaos.MeanTimeToRecovery()), 2),
+         Cell(ToSeconds(run.chaos.MeanDevMgrRecovery()), 2),
+         Cell(ToSeconds(run.chaos.MeanSchedRecovery()), 2),
          Cell(static_cast<std::int64_t>(run.result.recovery.pods_evicted)),
          Cell(static_cast<std::int64_t>(
              run.result.recovery.vgpus_reclaimed)),
@@ -146,6 +155,12 @@ int main() {
     row.Set("faults_per_minute", sweep[i].rate);
     row.Set("mode", mode);
     row.Set("mttr_s", ToSeconds(run.chaos.MeanTimeToRecovery()));
+    row.Set("devmgr_mttr_s", ToSeconds(run.chaos.MeanDevMgrRecovery()));
+    row.Set("sched_mttr_s", ToSeconds(run.chaos.MeanSchedRecovery()));
+    row.Set("devmgr_crashes",
+            static_cast<std::int64_t>(run.chaos.devmgr_crashes));
+    row.Set("sched_crashes",
+            static_cast<std::int64_t>(run.chaos.sched_crashes));
     bench::FillRunResult(row, run.result);
     bench::AddRow(report, std::move(row));
   }

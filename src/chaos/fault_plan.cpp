@@ -34,6 +34,9 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kContainerOomKill: return "ContainerOomKill";
     case FaultKind::kApiLatencySpike: return "ApiLatencySpike";
     case FaultKind::kDropWatchEvent: return "DropWatchEvent";
+    case FaultKind::kDevMgrCrash: return "DevMgrCrash";
+    case FaultKind::kSchedCrash: return "SchedCrash";
+    case FaultKind::kLeaderPartition: return "LeaderPartition";
   }
   return "Unknown";
 }
@@ -76,6 +79,16 @@ FaultPlan FaultPlan::Random(const RandomPlanOptions& options) {
   if (options.drop_event_weight > 0) {
     entries.push_back({FaultKind::kDropWatchEvent, options.drop_event_weight});
   }
+  if (options.devmgr_crash_weight > 0) {
+    entries.push_back({FaultKind::kDevMgrCrash, options.devmgr_crash_weight});
+  }
+  if (options.sched_crash_weight > 0) {
+    entries.push_back({FaultKind::kSchedCrash, options.sched_crash_weight});
+  }
+  if (options.leader_partition_weight > 0) {
+    entries.push_back(
+        {FaultKind::kLeaderPartition, options.leader_partition_weight});
+  }
 
   FaultPlan plan;
   if (entries.empty() || options.fault_count <= 0) return plan;
@@ -116,6 +129,15 @@ FaultPlan FaultPlan::Random(const RandomPlanOptions& options) {
             static_cast<int>(NextIndex(
                 rng, static_cast<std::uint64_t>(
                          options.drop_count_max - options.drop_count_min + 1)));
+        break;
+      case FaultKind::kDevMgrCrash:
+      case FaultKind::kSchedCrash:
+        fault.duration = NextDuration(rng, options.controller_downtime_min,
+                                      options.controller_downtime_max);
+        break;
+      case FaultKind::kLeaderPartition:
+        fault.duration =
+            NextDuration(rng, options.partition_min, options.partition_max);
         break;
       case FaultKind::kNodeRecover:
         break;  // never generated: crashes carry their own outage duration

@@ -21,6 +21,15 @@ namespace ks::chaos {
 ///    state is lost but every controller lags.
 ///  - kDropWatchEvent: the apiserver silently loses the next N watch
 ///    notifications; recovery = DevMgr's periodic reconcile pass.
+///  - kDevMgrCrash: KubeShare-DevMgr dies — watches dropped, the in-memory
+///    vGPU pool and sharePod record tables lost — and restarts after
+///    `duration`; recovery = relist + RebuildFromApiServer.
+///  - kSchedCrash: KubeShare-Sched dies (queue and backoff state lost) and
+///    restarts after `duration`; recovery = the watch-replay relist
+///    re-enqueueing every still-unscheduled sharePod.
+///  - kLeaderPartition: the elected control-plane leader is partitioned
+///    from its lease past expiry; recovery = standby takeover, with the
+///    deposed leader's stale writes rejected by fencing.
 enum class FaultKind {
   kNodeCrash,
   kNodeRecover,
@@ -28,6 +37,9 @@ enum class FaultKind {
   kContainerOomKill,
   kApiLatencySpike,
   kDropWatchEvent,
+  kDevMgrCrash,
+  kSchedCrash,
+  kLeaderPartition,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -37,7 +49,9 @@ const char* FaultKindName(FaultKind kind);
 ///   pod       — kContainerOomKill ("" = injector picks a running pod)
 ///   duration  — kNodeCrash: outage length before auto-recovery (0 = stays
 ///               down until an explicit kNodeRecover); kApiLatencySpike:
-///               how long the spike lasts
+///               how long the spike lasts; kDevMgrCrash / kSchedCrash:
+///               controller downtime before restart; kLeaderPartition:
+///               how long the leader stays partitioned
 ///   latency   — kApiLatencySpike: the degraded watch latency
 ///   drop_count— kDropWatchEvent: notifications to lose
 struct Fault {
@@ -66,6 +80,11 @@ struct RandomPlanOptions {
   double oom_kill_weight = 1.0;
   double latency_spike_weight = 0.5;
   double drop_event_weight = 0.5;
+  /// Controller faults default to 0 so plans generated before these kinds
+  /// existed stay byte-identical for the same seed.
+  double devmgr_crash_weight = 0.0;
+  double sched_crash_weight = 0.0;
+  double leader_partition_weight = 0.0;
   /// Node outages auto-recover after a duration drawn from this range.
   Duration outage_min{Seconds(5)};
   Duration outage_max{Seconds(15)};
@@ -73,6 +92,13 @@ struct RandomPlanOptions {
   Duration spike_duration{Seconds(2)};
   int drop_count_min = 1;
   int drop_count_max = 3;
+  /// Controller downtime range for kDevMgrCrash / kSchedCrash.
+  Duration controller_downtime_min{Seconds(2)};
+  Duration controller_downtime_max{Seconds(5)};
+  /// Partition length range for kLeaderPartition. The default floor sits
+  /// past the default 10 s lease so a takeover actually happens.
+  Duration partition_min{Seconds(12)};
+  Duration partition_max{Seconds(20)};
 };
 
 /// A deterministic, pre-computed fault schedule. The same options always

@@ -16,6 +16,20 @@ FaultInjector::FaultInjector(k8s::Cluster* cluster, FaultPlan plan,
   assert(cluster_ != nullptr);
 }
 
+void FaultInjector::SetKubeShare(kubeshare::KubeShare* kubeshare) {
+  kubeshare_ = kubeshare;
+  if (kubeshare_ != nullptr && kubeshare_->elector() != nullptr) {
+    RegisterElector(kubeshare_->elector());
+  }
+}
+
+void FaultInjector::RegisterElector(k8s::LeaderElector* elector) {
+  for (k8s::LeaderElector* e : electors_) {
+    if (e == elector) return;
+  }
+  electors_.push_back(elector);
+}
+
 Status FaultInjector::Arm() {
   if (armed_) return FailedPreconditionError("injector already armed");
   armed_ = true;
@@ -38,6 +52,9 @@ void FaultInjector::Inject(const Fault& fault) {
     case FaultKind::kContainerOomKill: InjectOomKill(fault); break;
     case FaultKind::kApiLatencySpike: InjectLatencySpike(fault); break;
     case FaultKind::kDropWatchEvent: InjectDropEvents(fault); break;
+    case FaultKind::kDevMgrCrash: InjectDevMgrCrash(fault); break;
+    case FaultKind::kSchedCrash: InjectSchedCrash(fault); break;
+    case FaultKind::kLeaderPartition: InjectLeaderPartition(fault); break;
   }
 }
 
@@ -175,6 +192,191 @@ void FaultInjector::InjectDropEvents(const Fault& fault) {
   cluster_->api().pods().DropEvents(fault.drop_count);
   ++stats_.faults_injected;
   stats_.watch_events_dropped += static_cast<std::uint64_t>(fault.drop_count);
+}
+
+void FaultInjector::InjectDevMgrCrash(const Fault& fault) {
+  if (kubeshare_ == nullptr) {
+    RecordSkip(fault, "no KubeShare control plane attached");
+    return;
+  }
+  if (kubeshare_->devmgr().crashes() > kubeshare_->devmgr().rebuilds()) {
+    RecordSkip(fault, "DevMgr already down");
+    return;
+  }
+  // Snapshot the in-flight population: every non-terminal sharePod at the
+  // moment of death. Recovery = each one terminal, requeued, or running
+  // again under the rebuilt pool.
+  std::vector<std::string> snapshot;
+  for (const kubeshare::SharePod& sp : kubeshare_->sharepods().List()) {
+    if (!sp.terminal()) snapshot.push_back(sp.meta.name);
+  }
+  kubeshare_->devmgr().Crash();
+  ++stats_.faults_injected;
+  ++stats_.devmgr_crashes;
+  const Time crashed_at = cluster_->sim().Now();
+  const Duration downtime =
+      fault.duration.count() > 0 ? fault.duration : Seconds(2);
+  cluster_->sim().ScheduleAfter(downtime, [this, snapshot, crashed_at] {
+    const Status restarted = kubeshare_->devmgr().Restart();
+    cluster_->api().events().Record(kComponent, "kubeshare-devmgr",
+                                    "Restarted", restarted.ToString());
+    cluster_->sim().ScheduleAfter(
+        config_.recovery_poll, [this, snapshot, crashed_at]() mutable {
+          PollDevMgrRecovery(std::move(snapshot), crashed_at);
+        });
+  });
+}
+
+void FaultInjector::InjectSchedCrash(const Fault& fault) {
+  if (kubeshare_ == nullptr) {
+    RecordSkip(fault, "no KubeShare control plane attached");
+    return;
+  }
+  // Snapshot the pending population: recovery = each one placed (or
+  // terminal/deleted) after the restart's relist.
+  std::vector<std::string> snapshot;
+  for (const kubeshare::SharePod& sp : kubeshare_->sharepods().List()) {
+    if (!sp.terminal() && !sp.scheduled()) snapshot.push_back(sp.meta.name);
+  }
+  kubeshare_->sched().Crash();
+  ++stats_.faults_injected;
+  ++stats_.sched_crashes;
+  const Time crashed_at = cluster_->sim().Now();
+  const Duration downtime =
+      fault.duration.count() > 0 ? fault.duration : Seconds(2);
+  cluster_->sim().ScheduleAfter(downtime, [this, snapshot, crashed_at] {
+    const Status restarted = kubeshare_->sched().Restart();
+    cluster_->api().events().Record(kComponent, "kubeshare-sched",
+                                    "Restarted", restarted.ToString());
+    cluster_->sim().ScheduleAfter(
+        config_.recovery_poll, [this, snapshot, crashed_at]() mutable {
+          PollSchedRecovery(std::move(snapshot), crashed_at);
+        });
+  });
+}
+
+void FaultInjector::InjectLeaderPartition(const Fault& fault) {
+  k8s::LeaderElector* leader = nullptr;
+  for (k8s::LeaderElector* e : electors_) {
+    if (e->IsLeader() && !e->partitioned()) leader = e;
+  }
+  if (leader == nullptr) {
+    RecordSkip(fault, "no un-partitioned leader to partition");
+    return;
+  }
+  leader->SetPartitioned(true);
+  ++stats_.faults_injected;
+  ++stats_.leader_partitions;
+  cluster_->api().events().Record(kComponent, "leader-election",
+                                  "LeaderPartitioned",
+                                  leader->config().identity);
+  const Time partitioned_at = cluster_->sim().Now();
+  const Duration length =
+      fault.duration.count() > 0 ? fault.duration : Seconds(15);
+  cluster_->sim().ScheduleAfter(length, [this, leader] {
+    leader->SetPartitioned(false);
+    cluster_->api().events().Record(kComponent, "leader-election",
+                                    "PartitionHealed",
+                                    leader->config().identity);
+  });
+  cluster_->sim().ScheduleAfter(config_.recovery_poll, [this, partitioned_at] {
+    PollLeaderTakeover(partitioned_at);
+  });
+}
+
+void FaultInjector::PollDevMgrRecovery(std::vector<std::string> snapshot,
+                                       Time crashed_at) {
+  const Time now = cluster_->sim().Now();
+  bool clear = kubeshare_->pool().CheckIndexInvariants().ok();
+  if (clear) {
+    for (const std::string& name : snapshot) {
+      auto sp = kubeshare_->sharepods().Get(name);
+      if (!sp.ok() || sp->terminal()) continue;  // finished or deleted
+      if (!sp->scheduled()) continue;            // requeued: sched's court
+      if (sp->status.phase == kubeshare::SharePodPhase::kRunning) continue;
+      // Scheduled but not running: converged only once its workload pod
+      // exists again (acquisition/launch still in flight otherwise).
+      if (!sp->status.workload_pod.empty() &&
+          cluster_->api().pods().Contains(sp->status.workload_pod)) {
+        continue;
+      }
+      clear = false;
+      break;
+    }
+  }
+  if (clear) {
+    ++stats_.devmgr_recoveries_measured;
+    stats_.devmgr_recovery_time += now - crashed_at;
+    cluster_->api().events().Record(
+        kComponent, "kubeshare-devmgr", "Recovered",
+        "converged in " + FormatTime(now - crashed_at));
+    return;
+  }
+  if (now - crashed_at >= config_.recovery_timeout) {
+    ++stats_.recoveries_timed_out;
+    cluster_->api().events().Record(kComponent, "kubeshare-devmgr",
+                                    "RecoveryTimeout");
+    return;
+  }
+  cluster_->sim().ScheduleAfter(
+      config_.recovery_poll,
+      [this, snapshot = std::move(snapshot), crashed_at]() mutable {
+        PollDevMgrRecovery(std::move(snapshot), crashed_at);
+      });
+}
+
+void FaultInjector::PollSchedRecovery(std::vector<std::string> snapshot,
+                                      Time crashed_at) {
+  const Time now = cluster_->sim().Now();
+  bool clear = true;
+  for (const std::string& name : snapshot) {
+    auto sp = kubeshare_->sharepods().Get(name);
+    if (!sp.ok() || sp->terminal() || sp->scheduled()) continue;
+    clear = false;
+    break;
+  }
+  if (clear) {
+    ++stats_.sched_recoveries_measured;
+    stats_.sched_recovery_time += now - crashed_at;
+    cluster_->api().events().Record(
+        kComponent, "kubeshare-sched", "Recovered",
+        "converged in " + FormatTime(now - crashed_at));
+    return;
+  }
+  if (now - crashed_at >= config_.recovery_timeout) {
+    ++stats_.recoveries_timed_out;
+    cluster_->api().events().Record(kComponent, "kubeshare-sched",
+                                    "RecoveryTimeout");
+    return;
+  }
+  cluster_->sim().ScheduleAfter(
+      config_.recovery_poll,
+      [this, snapshot = std::move(snapshot), crashed_at]() mutable {
+        PollSchedRecovery(std::move(snapshot), crashed_at);
+      });
+}
+
+void FaultInjector::PollLeaderTakeover(Time partitioned_at) {
+  const Time now = cluster_->sim().Now();
+  for (k8s::LeaderElector* e : electors_) {
+    if (e->IsLeader() && !e->partitioned()) {
+      ++stats_.leader_takeovers_measured;
+      stats_.leader_takeover_time += now - partitioned_at;
+      cluster_->api().events().Record(
+          kComponent, "leader-election", "TakeoverObserved",
+          e->config().identity + " after " + FormatTime(now - partitioned_at));
+      return;
+    }
+  }
+  if (now - partitioned_at >= config_.recovery_timeout) {
+    ++stats_.recoveries_timed_out;
+    cluster_->api().events().Record(kComponent, "leader-election",
+                                    "TakeoverTimeout");
+    return;
+  }
+  cluster_->sim().ScheduleAfter(config_.recovery_poll, [this, partitioned_at] {
+    PollLeaderTakeover(partitioned_at);
+  });
 }
 
 void FaultInjector::PollRecovery(std::string node,

@@ -7,6 +7,8 @@
 #include "chaos/fault_plan.hpp"
 #include "common/status.hpp"
 #include "k8s/cluster.hpp"
+#include "k8s/leader_election.hpp"
+#include "kubeshare/kubeshare.hpp"
 
 namespace ks::chaos {
 
@@ -22,6 +24,9 @@ struct ChaosStats {
   std::uint64_t oom_kills = 0;
   std::uint64_t latency_spikes = 0;
   std::uint64_t watch_events_dropped = 0;
+  std::uint64_t devmgr_crashes = 0;
+  std::uint64_t sched_crashes = 0;
+  std::uint64_t leader_partitions = 0;
   /// Faults skipped because their target was gone (node already down,
   /// no running pod to OOM-kill, ...). Skips are recorded, not errors —
   /// a random plan may legitimately race its own outages.
@@ -34,9 +39,39 @@ struct ChaosStats {
   std::uint64_t recoveries_timed_out = 0;
   Duration total_recovery_time{0};
 
+  /// DevMgr-crash recovery: crash snapshots the non-terminal sharePods;
+  /// recovered when the rebuilt pool passes its index invariants and every
+  /// snapshot member is terminal, requeued, running, or has a live
+  /// workload pod again.
+  std::uint64_t devmgr_recoveries_measured = 0;
+  Duration devmgr_recovery_time{0};
+  /// Sched-crash recovery: crash snapshots the unscheduled sharePods;
+  /// recovered when each is scheduled, terminal, or gone.
+  std::uint64_t sched_recoveries_measured = 0;
+  Duration sched_recovery_time{0};
+  /// Leader-partition recovery: time until a non-partitioned candidate
+  /// holds leadership again.
+  std::uint64_t leader_takeovers_measured = 0;
+  Duration leader_takeover_time{0};
+
   Duration MeanTimeToRecovery() const {
     if (recoveries_measured == 0) return Duration{0};
     return total_recovery_time / static_cast<std::int64_t>(recoveries_measured);
+  }
+  Duration MeanDevMgrRecovery() const {
+    if (devmgr_recoveries_measured == 0) return Duration{0};
+    return devmgr_recovery_time /
+           static_cast<std::int64_t>(devmgr_recoveries_measured);
+  }
+  Duration MeanSchedRecovery() const {
+    if (sched_recoveries_measured == 0) return Duration{0};
+    return sched_recovery_time /
+           static_cast<std::int64_t>(sched_recoveries_measured);
+  }
+  Duration MeanLeaderTakeover() const {
+    if (leader_takeovers_measured == 0) return Duration{0};
+    return leader_takeover_time /
+           static_cast<std::int64_t>(leader_takeovers_measured);
   }
 };
 
@@ -61,6 +96,15 @@ class FaultInjector {
   /// simulation (faults whose time has already passed are skipped).
   Status Arm();
 
+  /// Targets the KubeShare control plane for kDevMgrCrash / kSchedCrash
+  /// (and registers its elector for kLeaderPartition, when it has one).
+  /// Without this, controller faults are recorded as skips.
+  void SetKubeShare(kubeshare::KubeShare* kubeshare);
+
+  /// Registers an additional leader-election candidate (e.g. a standby
+  /// replica in a test) as a kLeaderPartition target / takeover observer.
+  void RegisterElector(k8s::LeaderElector* elector);
+
   const ChaosStats& stats() const { return stats_; }
   const FaultPlan& plan() const { return plan_; }
 
@@ -70,18 +114,27 @@ class FaultInjector {
   void InjectNodeRecover(const Fault& fault);
   void InjectDaemonRestart(const Fault& fault);
   void InjectOomKill(const Fault& fault);
-  void InjectLatencySpike(const Fault& fault);
   void InjectDropEvents(const Fault& fault);
+  void InjectLatencySpike(const Fault& fault);
+  void InjectDevMgrCrash(const Fault& fault);
+  void InjectSchedCrash(const Fault& fault);
+  void InjectLeaderPartition(const Fault& fault);
 
   /// MTTR probe for one node crash: polls until every pod that was bound
   /// to the node at crash time has left it (or the timeout expires).
   void PollRecovery(std::string node, std::vector<std::string> affected,
                     Time crashed_at);
+  /// MTTR probes for the controller crash faults (see ChaosStats).
+  void PollDevMgrRecovery(std::vector<std::string> snapshot, Time crashed_at);
+  void PollSchedRecovery(std::vector<std::string> snapshot, Time crashed_at);
+  void PollLeaderTakeover(Time partitioned_at);
   void RecordSkip(const Fault& fault, const std::string& why);
 
   k8s::Cluster* cluster_;
   FaultPlan plan_;
   InjectorConfig config_;
+  kubeshare::KubeShare* kubeshare_ = nullptr;
+  std::vector<k8s::LeaderElector*> electors_;
   bool armed_ = false;
   ChaosStats stats_;
 };

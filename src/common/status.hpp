@@ -19,6 +19,7 @@ enum class StatusCode {
   kRejected,           // constraint violation (paper Algo 1 "return -1")
   kFailedPrecondition,
   kInternal,
+  kConflict,           // optimistic-concurrency / fencing write rejection
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -34,6 +35,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kRejected: return "REJECTED";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kConflict: return "CONFLICT";
   }
   return "UNKNOWN";
 }
@@ -90,6 +92,9 @@ inline Status FailedPreconditionError(std::string msg) {
 }
 inline Status InternalError(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status ConflictError(std::string msg) {
+  return {StatusCode::kConflict, std::move(msg)};
 }
 
 /// Minimal expected-type (std::expected is C++23; this toolchain is C++20).

@@ -5,6 +5,7 @@
 #include "common/status.hpp"
 #include "k8s/events.hpp"
 #include "k8s/latency.hpp"
+#include "k8s/lease.hpp"
 #include "k8s/objects.hpp"
 #include "k8s/store.hpp"
 #include "sim/simulation.hpp"
@@ -24,12 +25,15 @@ class ApiServer {
         latency_(latency),
         pods_(sim, latency.watch_propagation),
         nodes_(sim, latency.watch_propagation),
+        leases_(sim, latency.watch_propagation),
         events_(sim) {}
 
   ObjectStore<Pod>& pods() { return pods_; }
   const ObjectStore<Pod>& pods() const { return pods_; }
   ObjectStore<Node>& nodes() { return nodes_; }
   const ObjectStore<Node>& nodes() const { return nodes_; }
+  ObjectStore<Lease>& leases() { return leases_; }
+  const ObjectStore<Lease>& leases() const { return leases_; }
   EventRecorder& events() { return events_; }
   const EventRecorder& events() const { return events_; }
 
@@ -37,40 +41,50 @@ class ApiServer {
   const LatencyModel& latency() const { return latency_; }
 
   /// Binds a pending pod to a node (the scheduler's Bind subresource call).
-  Status BindPod(const std::string& pod_name, const std::string& node_name) {
-    auto pod = pods_.Get(pod_name);
-    if (!pod.ok()) return pod.status();
-    if (pod->scheduled()) {
-      return FailedPreconditionError("pod already bound: " + pod_name);
-    }
+  /// A leader-elected scheduler passes its fencing token so a deposed
+  /// replica's late bind is rejected instead of applied.
+  Status BindPod(const std::string& pod_name, const std::string& node_name,
+                 std::uint64_t fencing_token = 0) {
     if (!nodes_.Contains(node_name)) {
       return NotFoundError("no node: " + node_name);
     }
-    pod->status.node_name = node_name;
-    pod->status.scheduled_time = sim_->Now();
-    return pods_.Update(*std::move(pod));
+    return RetryOnConflict(
+        pods_, pod_name,
+        [&](Pod& pod) {
+          if (pod.scheduled()) {
+            return FailedPreconditionError("pod already bound: " + pod_name);
+          }
+          pod.status.node_name = node_name;
+          pod.status.scheduled_time = sim_->Now();
+          return Status::Ok();
+        },
+        fencing_token);
   }
 
   /// Kubelet status updates.
   Status SetPodPhase(const std::string& pod_name, PodPhase phase,
                      const std::string& message = "") {
-    auto pod = pods_.Get(pod_name);
-    if (!pod.ok()) return pod.status();
-    pod->status.phase = phase;
-    if (!message.empty()) pod->status.message = message;
-    if (phase == PodPhase::kRunning) pod->status.running_time = sim_->Now();
-    if (phase == PodPhase::kSucceeded || phase == PodPhase::kFailed) {
-      pod->status.finished_time = sim_->Now();
-    }
-    return pods_.Update(*std::move(pod));
+    return RetryOnConflict(pods_, pod_name, [&](Pod& pod) {
+      pod.status.phase = phase;
+      if (!message.empty()) pod.status.message = message;
+      if (phase == PodPhase::kRunning) pod.status.running_time = sim_->Now();
+      if (phase == PodPhase::kSucceeded || phase == PodPhase::kFailed) {
+        pod.status.finished_time = sim_->Now();
+      }
+      return Status::Ok();
+    });
   }
 
   Status SetPodEnv(const std::string& pod_name,
-                   std::map<std::string, std::string> env) {
-    auto pod = pods_.Get(pod_name);
-    if (!pod.ok()) return pod.status();
-    pod->status.effective_env = std::move(env);
-    return pods_.Update(*std::move(pod));
+                   std::map<std::string, std::string> env,
+                   std::uint64_t fencing_token = 0) {
+    return RetryOnConflict(
+        pods_, pod_name,
+        [&](Pod& pod) {
+          pod.status.effective_env = env;
+          return Status::Ok();
+        },
+        fencing_token);
   }
 
  private:
@@ -78,6 +92,7 @@ class ApiServer {
   LatencyModel latency_;
   ObjectStore<Pod> pods_;
   ObjectStore<Node> nodes_;
+  ObjectStore<Lease> leases_;
   EventRecorder events_;
 };
 

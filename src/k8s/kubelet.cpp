@@ -173,10 +173,10 @@ Status Kubelet::RefreshDevices() {
     if (slot.healthy) ++healthy;
   }
   capacity_.Set(plugin_->resource_name(), healthy);
-  auto node = api_->nodes().Get(node_name_);
-  if (!node.ok()) return node.status();
-  node->capacity.Set(plugin_->resource_name(), healthy);
-  return api_->nodes().Update(*node);
+  return RetryOnConflict(api_->nodes(), node_name_, [&](Node& node) {
+    node.capacity.Set(plugin_->resource_name(), healthy);
+    return Status::Ok();
+  });
 }
 
 Expected<std::vector<std::string>> Kubelet::PickDeviceUnits(

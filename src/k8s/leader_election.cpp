@@ -1,0 +1,146 @@
+#include "k8s/leader_election.hpp"
+
+#include <utility>
+
+namespace ks::k8s {
+
+LeaderElector::LeaderElector(ApiServer* api, LeaderElectorConfig config)
+    : api_(api), config_(std::move(config)) {}
+
+void LeaderElector::RegisterGate(FencingGate* gate) {
+  gates_.push_back(gate);
+}
+
+void LeaderElector::SetCallbacks(std::function<void(std::uint64_t)> on_started,
+                                 std::function<void()> on_stopped) {
+  on_started_ = std::move(on_started);
+  on_stopped_ = std::move(on_stopped);
+}
+
+void LeaderElector::Start() {
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
+  Tick();
+}
+
+void LeaderElector::Stop() {
+  if (!running_) return;
+  running_ = false;
+  ++epoch_;
+  if (leader_ && !partitioned_) {
+    // Graceful release: clear the holder so a standby can acquire without
+    // waiting out the lease. The token is NOT reset — the next winner still
+    // increments past it, keeping fencing monotonic.
+    (void)RetryOnConflict(api_->leases(), config_.lease_name,
+                          [&](Lease& lease) {
+                            if (lease.holder == config_.identity) {
+                              lease.holder.clear();
+                            }
+                            return Status::Ok();
+                          });
+  }
+  if (leader_) StepDown();
+}
+
+void LeaderElector::SetPartitioned(bool partitioned) {
+  partitioned_ = partitioned;
+}
+
+void LeaderElector::ScheduleTick(Duration after) {
+  const std::uint64_t epoch = epoch_;
+  api_->sim()->ScheduleAfter(after, [this, epoch] {
+    if (epoch != epoch_) return;
+    Tick();
+  });
+}
+
+void LeaderElector::Tick() {
+  if (!running_) return;
+  TryAcquireOrRenew();
+  ScheduleTick(leader_ ? config_.renew_period : config_.retry_period);
+}
+
+void LeaderElector::TryAcquireOrRenew() {
+  // A partitioned candidate's lease traffic blackholes: no renewal reaches
+  // the apiserver, and no read tells it about a new holder, so a
+  // partitioned leader keeps believing it leads — the exact state fencing
+  // exists for.
+  if (partitioned_) return;
+
+  const Time now = api_->sim()->Now();
+  auto lease = api_->leases().Get(config_.lease_name);
+
+  if (!lease.ok()) {
+    // First candidate to arrive creates the lease and takes it.
+    Lease fresh;
+    fresh.meta.name = config_.lease_name;
+    fresh.holder = config_.identity;
+    fresh.fencing_token = 1;
+    fresh.renew_time = now;
+    fresh.lease_duration = config_.lease_duration;
+    if (api_->leases().Create(fresh).ok()) BecomeLeader(fresh.fencing_token);
+    return;
+  }
+
+  if (lease->holder == config_.identity) {
+    // Renew. Losing the renewal race (someone took the lease over after it
+    // expired under us) means we were deposed.
+    bool still_ours = false;
+    Status s = RetryOnConflict(api_->leases(), config_.lease_name,
+                               [&](Lease& l) {
+                                 still_ours = l.holder == config_.identity;
+                                 if (still_ours) l.renew_time = now;
+                                 return Status::Ok();
+                               });
+    if (s.ok() && still_ours) {
+      if (!leader_) BecomeLeader(lease->fencing_token);
+    } else if (leader_) {
+      StepDown();
+    }
+    return;
+  }
+
+  if (leader_) {
+    // The lease names someone else: we were deposed while out of touch.
+    StepDown();
+  }
+
+  if (!lease->ExpiredAt(now)) return;
+
+  // Expired under another holder — contend for it. The mutator re-checks
+  // expiry so racing standbys serialize through the version check and only
+  // one wins the takeover.
+  std::uint64_t won_token = 0;
+  Status s = RetryOnConflict(api_->leases(), config_.lease_name,
+                             [&](Lease& l) {
+                               if (!l.ExpiredAt(now)) {
+                                 return FailedPreconditionError(
+                                     "lease renewed by " + l.holder);
+                               }
+                               l.holder = config_.identity;
+                               l.fencing_token += 1;
+                               l.renew_time = now;
+                               l.lease_duration = config_.lease_duration;
+                               won_token = l.fencing_token;
+                               return Status::Ok();
+                             });
+  if (s.ok()) BecomeLeader(won_token);
+}
+
+void LeaderElector::BecomeLeader(std::uint64_t token) {
+  leader_ = true;
+  token_ = token;
+  ++elections_won_;
+  for (FencingGate* gate : gates_) gate->Raise(token);
+  if (on_started_) on_started_(token);
+}
+
+void LeaderElector::StepDown() {
+  if (!leader_) return;
+  leader_ = false;
+  ++stepdowns_;
+  if (on_stopped_) on_stopped_();
+}
+
+}  // namespace ks::k8s

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "k8s/apiserver.hpp"
+#include "k8s/lease.hpp"
+#include "k8s/store.hpp"
+
+namespace ks::k8s {
+
+struct LeaderElectorConfig {
+  /// Name of the Lease object contended for ("kubeshare-devmgr", ...).
+  std::string lease_name;
+  /// This candidate's identity, recorded as the holder while leading.
+  std::string identity;
+  /// How long a won lease stays valid without renewal.
+  Duration lease_duration = Seconds(10);
+  /// Renewal cadence while leading (must be well under lease_duration).
+  Duration renew_period = Seconds(3);
+  /// Acquisition-retry cadence while standing by.
+  Duration retry_period = Seconds(2);
+};
+
+/// Lease-based leader election on the simulation clock, following the
+/// client-go leaderelection loop: candidates race to create/take over a
+/// Lease object, the winner renews it every renew_period, and standbys
+/// poll until the lease goes lease_duration without renewal, then take
+/// over. Every acquisition increments the lease's fencing token; the
+/// winner raises the registered FencingGate floors to its token so writes
+/// stamped by any earlier leader are rejected at the store (the fencing
+/// discipline — a paused or partitioned ex-leader cannot clobber state it
+/// no longer owns, however late its writes land).
+///
+/// The partition fault (SetPartitioned) models a wedged leader — GC pause
+/// or a partition of the election channel: lease reads/writes blackhole,
+/// so the leader neither renews nor learns it was deposed, while its
+/// controller keeps emitting (fenced, hence rejected) writes. On heal, the
+/// next renewal attempt observes the new holder and steps down.
+class LeaderElector {
+ public:
+  LeaderElector(ApiServer* api, LeaderElectorConfig config);
+
+  LeaderElector(const LeaderElector&) = delete;
+  LeaderElector& operator=(const LeaderElector&) = delete;
+
+  /// Stores whose fencing floor this elector raises when it wins. Must be
+  /// registered before Start().
+  void RegisterGate(FencingGate* gate);
+
+  /// on_started(fencing_token) fires when this candidate becomes leader;
+  /// on_stopped() when it loses or releases leadership.
+  void SetCallbacks(std::function<void(std::uint64_t)> on_started,
+                    std::function<void()> on_stopped);
+
+  /// Begins the acquire/renew loop. Idempotent.
+  void Start();
+
+  /// Stops campaigning; a current leader releases the lease (unless
+  /// partitioned, in which case it just goes silent and the lease ages out).
+  void Stop();
+
+  /// Chaos hook: true blackholes this candidate's lease traffic.
+  void SetPartitioned(bool partitioned);
+  bool partitioned() const { return partitioned_; }
+
+  bool IsLeader() const { return leader_; }
+  /// Valid while IsLeader(); the token to stamp into controller writes.
+  std::uint64_t fencing_token() const { return token_; }
+
+  std::uint64_t elections_won() const { return elections_won_; }
+  std::uint64_t stepdowns() const { return stepdowns_; }
+  const LeaderElectorConfig& config() const { return config_; }
+
+ private:
+  void ScheduleTick(Duration after);
+  void Tick();
+  void TryAcquireOrRenew();
+  void BecomeLeader(std::uint64_t token);
+  void StepDown();
+
+  ApiServer* api_;
+  LeaderElectorConfig config_;
+  std::vector<FencingGate*> gates_;
+  std::function<void(std::uint64_t)> on_started_;
+  std::function<void()> on_stopped_;
+
+  bool running_ = false;
+  bool partitioned_ = false;
+  bool leader_ = false;
+  std::uint64_t token_ = 0;
+  // Bumped by Start/Stop so ticks scheduled before a stop are no-ops.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t elections_won_ = 0;
+  std::uint64_t stepdowns_ = 0;
+};
+
+}  // namespace ks::k8s

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+#include "k8s/objects.hpp"
+
+namespace ks::k8s {
+
+/// coordination.k8s.io/Lease, reduced to the fields leader election needs.
+/// One Lease object per elected role ("kubeshare-sched",
+/// "kubeshare-devmgr"); the current leader renews it, standbys watch for it
+/// to expire. The fencing token is the number of acquisitions so far — it
+/// increases every time leadership changes hands, never on renewal, so a
+/// write stamped with an old token identifies a deposed leader (see
+/// FencingGate in store.hpp).
+struct Lease {
+  ObjectMeta meta;
+  /// Identity of the current holder; empty when the lease is unheld.
+  std::string holder;
+  /// Monotonic acquisition counter (Kubernetes' leaseTransitions, used
+  /// here as the fencing token stamped into the leader's writes).
+  std::uint64_t fencing_token = 0;
+  /// Last renewal instant; the lease expires `lease_duration` after it.
+  Time renew_time{0};
+  Duration lease_duration{Seconds(10)};
+
+  bool Held() const { return !holder.empty(); }
+  bool ExpiredAt(Time now) const {
+    return !Held() || now - renew_time >= lease_duration;
+  }
+};
+
+}  // namespace ks::k8s

@@ -86,11 +86,13 @@ void NodeLifecycleController::EvictPods(const std::string& node_name,
 
 void NodeLifecycleController::SetNodeReady(const std::string& node_name,
                                            bool ready) {
-  auto node = api_->nodes().Get(node_name);
-  if (!node.ok()) return;
-  if (node->ready == ready) return;
-  node->ready = ready;
-  (void)api_->nodes().Update(*std::move(node));
+  (void)RetryOnConflict(api_->nodes(), node_name, [&](Node& node) {
+    if (node.ready == ready) {
+      return FailedPreconditionError("node condition unchanged");
+    }
+    node.ready = ready;
+    return Status::Ok();
+  });
 }
 
 }  // namespace ks::k8s

@@ -22,6 +22,33 @@ struct WatchEvent {
 
 using WatchId = std::uint64_t;
 
+/// Write-fencing gate shared by a store's mutating operations. A leader
+/// elector that wins a lease with fencing token N raises the floor to N at
+/// the apiserver; any later write stamped with an older token — a deposed
+/// leader that does not yet know it lost — is rejected as a Conflict
+/// instead of clobbering the new leader's state. Token 0 marks an unfenced
+/// writer (infrastructure components that do not run leader-elected) and
+/// always passes.
+class FencingGate {
+ public:
+  /// Raises the floor (monotonic: a floor never goes back down).
+  void Raise(std::uint64_t token) {
+    if (token > floor_) floor_ = token;
+  }
+
+  bool Admits(std::uint64_t token) const {
+    return token == 0 || token >= floor_;
+  }
+
+  std::uint64_t floor() const { return floor_; }
+  std::uint64_t rejected() const { return rejected_; }
+  void RecordRejection() { ++rejected_; }
+
+ private:
+  std::uint64_t floor_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
 /// Typed object store with watch semantics — the etcd + apiserver storage
 /// path reduced to what the controllers in this reproduction observe:
 /// linearized CRUD on named objects, monotonically increasing resource
@@ -44,9 +71,10 @@ class ObjectStore {
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
 
-  Status Create(T object) {
+  Status Create(T object, std::uint64_t fencing_token = 0) {
     const std::string name = object.meta.name;
     if (name.empty()) return InvalidArgumentError("object has no name");
+    KS_RETURN_IF_ERROR(CheckFencing(fencing_token));
     if (objects_.count(name) > 0) {
       return AlreadyExistsError("object exists: " + name);
     }
@@ -77,13 +105,26 @@ class ObjectStore {
 
   std::size_t size() const { return objects_.size(); }
 
-  /// Replaces the stored object. The update wins unconditionally (no
-  /// optimistic-concurrency conflict in this single-writer-per-field
-  /// model), but the uid and creation time are preserved.
-  Status Update(T object) {
+  /// Replaces the stored object with optimistic concurrency: the submitted
+  /// object's resource_version is the version the writer read, and the
+  /// update is rejected as a Conflict if the stored object has moved on —
+  /// a concurrent controller won the race and this writer must re-read
+  /// (see RetryOnConflict). resource_version 0 bypasses the check
+  /// (an unconditional write, as Kubernetes permits when the field is
+  /// unset). The uid and creation time are always preserved.
+  Status Update(T object, std::uint64_t fencing_token = 0) {
     auto it = objects_.find(object.meta.name);
     if (it == objects_.end()) {
       return NotFoundError("no object: " + object.meta.name);
+    }
+    KS_RETURN_IF_ERROR(CheckFencing(fencing_token));
+    if (object.meta.resource_version != 0 &&
+        object.meta.resource_version != it->second.meta.resource_version) {
+      ++update_conflicts_;
+      return ConflictError(
+          "stale write to " + object.meta.name + ": expected version " +
+          std::to_string(object.meta.resource_version) + ", store has " +
+          std::to_string(it->second.meta.resource_version));
     }
     object.meta.uid = it->second.meta.uid;
     object.meta.creation_time = it->second.meta.creation_time;
@@ -93,12 +134,30 @@ class ObjectStore {
     return Status::Ok();
   }
 
-  Status Delete(const std::string& name) {
+  /// Deletes by name. A non-zero expected_version makes the delete
+  /// conditional: it fails with Conflict if the object changed since the
+  /// writer read it (preconditions.resourceVersion in Kubernetes terms).
+  Status Delete(const std::string& name, std::uint64_t expected_version = 0,
+                std::uint64_t fencing_token = 0) {
     auto it = objects_.find(name);
     if (it == objects_.end()) return NotFoundError("no object: " + name);
+    KS_RETURN_IF_ERROR(CheckFencing(fencing_token));
+    if (expected_version != 0 &&
+        expected_version != it->second.meta.resource_version) {
+      ++update_conflicts_;
+      return ConflictError(
+          "stale delete of " + name + ": expected version " +
+          std::to_string(expected_version) + ", store has " +
+          std::to_string(it->second.meta.resource_version));
+    }
     T final_state = it->second;
     objects_.erase(it);
-    ++version_;
+    // The deletion is itself a versioned mutation: the event carries the
+    // deletion's resource_version, not the object's last-update version,
+    // so replaying a watch stream against a relist snapshot keeps a total
+    // order (an informer must be able to tell "deleted after my list" from
+    // "deleted before it").
+    final_state.meta.resource_version = ++version_;
     Notify({WatchEventType::kDeleted, std::move(final_state)});
     return Status::Ok();
   }
@@ -140,7 +199,21 @@ class ObjectStore {
   void DropEvents(int count) { drop_pending_ += count; }
   std::uint64_t dropped_events() const { return dropped_events_; }
 
+  /// Optimistic-concurrency rejections issued by Update/Delete.
+  std::uint64_t update_conflicts() const { return update_conflicts_; }
+
+  FencingGate& fencing() { return fencing_; }
+  const FencingGate& fencing() const { return fencing_; }
+
  private:
+  Status CheckFencing(std::uint64_t token) {
+    if (fencing_.Admits(token)) return Status::Ok();
+    fencing_.RecordRejection();
+    return ConflictError("fenced write rejected: token " +
+                         std::to_string(token) + " below floor " +
+                         std::to_string(fencing_.floor()));
+  }
+
   void Notify(WatchEvent<T> event) {
     if (drop_pending_ > 0) {
       --drop_pending_;
@@ -170,6 +243,60 @@ class ObjectStore {
   WatchId next_watch_ = 1;
   int drop_pending_ = 0;
   std::uint64_t dropped_events_ = 0;
+  std::uint64_t update_conflicts_ = 0;
+  FencingGate fencing_;
 };
+
+/// Read-modify-write with bounded retries — the standard controller write
+/// path under optimistic concurrency (client-go's RetryOnConflict). Each
+/// attempt re-reads the current object, applies `mutate`, and submits the
+/// result carrying the freshly-read resource_version; a Conflict means a
+/// concurrent writer moved the object, so the loop re-reads and tries
+/// again. The apiserver is synchronous in this reproduction, so the
+/// re-read always observes the winning write and the loop converges in one
+/// retry — the bound exists to turn a logic bug (a mutator that always
+/// conflicts) into an error instead of livelock.
+///
+/// `mutate` has signature Status(T&). Returning a non-OK status aborts the
+/// loop and surfaces that status (the hook for "stop retrying, the object
+/// became terminal"). Fencing rejections are NOT retried: a floor only
+/// rises, so a deposed leader re-submitting the same stale token can never
+/// succeed — the conflict is returned immediately.
+template <typename T, typename MutateFn>
+Status RetryOnConflict(ObjectStore<T>& store, const std::string& name,
+                       MutateFn&& mutate, std::uint64_t fencing_token = 0,
+                       int max_attempts = 5) {
+  Status last = InternalError("RetryOnConflict: no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto object = store.Get(name);
+    if (!object.ok()) return object.status();
+    KS_RETURN_IF_ERROR(mutate(*object));
+    last = store.Update(*std::move(object), fencing_token);
+    if (last.code() != StatusCode::kConflict) return last;
+    if (!store.fencing().Admits(fencing_token)) return last;  // deposed
+  }
+  return last;
+}
+
+/// Conditional delete with the same retry discipline: re-reads the object,
+/// consults `approve` (Status(const T&) — non-OK aborts, e.g. "someone
+/// else already repurposed the name"), and deletes at the observed
+/// version.
+template <typename T, typename ApproveFn>
+Status RetryDeleteOnConflict(ObjectStore<T>& store, const std::string& name,
+                             ApproveFn&& approve,
+                             std::uint64_t fencing_token = 0,
+                             int max_attempts = 5) {
+  Status last = InternalError("RetryDeleteOnConflict: no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto object = store.Get(name);
+    if (!object.ok()) return object.status();
+    KS_RETURN_IF_ERROR(approve(*object));
+    last = store.Delete(name, object->meta.resource_version, fencing_token);
+    if (last.code() != StatusCode::kConflict) return last;
+    if (!store.fencing().Admits(fencing_token)) return last;  // deposed
+  }
+  return last;
+}
 
 }  // namespace ks::k8s

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <vector>
 
 #include "common/log.hpp"
@@ -15,6 +16,19 @@ std::string FormatFraction(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.6f", v);
   return buf;
+}
+
+/// Recovers the N out of counter-derived names ("kubeshare-vgpu-N",
+/// "vgpu-N") so a rebuilt controller can resume its counters past every id
+/// already persisted at the apiserver. 0 when the tail is not a number.
+std::uint64_t TrailingNumber(const std::string& name) {
+  const auto pos = name.find_last_of('-');
+  if (pos == std::string::npos || pos + 1 >= name.size()) return 0;
+  char* end = nullptr;
+  const unsigned long long n =
+      std::strtoull(name.c_str() + pos + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return 0;
+  return static_cast<std::uint64_t>(n);
 }
 }  // namespace
 
@@ -31,21 +45,199 @@ KubeShareDevMgr::KubeShareDevMgr(k8s::Cluster* cluster,
 Status KubeShareDevMgr::Start() {
   if (started_) return FailedPreconditionError("KubeShare-DevMgr started");
   started_ = true;
-  sharepods_->Watch(
+  sharepod_watch_ = sharepods_->Watch(
       [this](const k8s::WatchEvent<SharePod>& ev) { OnSharePodEvent(ev); });
-  cluster_->api().pods().Watch(
+  pod_watch_ = cluster_->api().pods().Watch(
       [this](const k8s::WatchEvent<k8s::Pod>& ev) { OnPodEvent(ev); });
   if (config_.reconcile_period.count() > 0) ScheduleReconcile();
   return Status::Ok();
 }
 
+void KubeShareDevMgr::Crash() {
+  if (!started_) return;
+  started_ = false;
+  ++crashes_;
+  ++epoch_;
+  sharepods_->Unwatch(sharepod_watch_);
+  cluster_->api().pods().Unwatch(pod_watch_);
+  sharepod_watch_ = 0;
+  pod_watch_ = 0;
+  records_.clear();
+  acquisition_pods_.clear();
+  acquisition_owner_.clear();
+  workload_owner_.clear();
+  pool_->Clear();
+}
+
+Status KubeShareDevMgr::Restart() {
+  if (started_) return FailedPreconditionError("KubeShare-DevMgr running");
+  KS_RETURN_IF_ERROR(RebuildFromApiServer());
+  return Start();
+}
+
+void KubeShareDevMgr::SetFencingTokenProvider(
+    std::function<std::uint64_t()> provider) {
+  token_provider_ = std::move(provider);
+}
+
+std::uint64_t KubeShareDevMgr::Token() const {
+  return token_provider_ ? token_provider_() : 0;
+}
+
 void KubeShareDevMgr::ScheduleReconcile() {
   // Perpetual resync loop — callers running with reconcile enabled drive
   // the simulation with RunUntil (Run() would never drain the queue).
-  cluster_->sim().ScheduleAfter(config_.reconcile_period, [this] {
+  const std::uint64_t epoch = epoch_;
+  cluster_->sim().ScheduleAfter(config_.reconcile_period, [this, epoch] {
+    if (epoch != epoch_) return;  // DevMgr crashed meanwhile
     ReconcileOnce();
     ScheduleReconcile();
   });
+}
+
+void KubeShareDevMgr::ScheduleLaunch(const std::string& name) {
+  // The vGPU info query (GPUID -> UUID translation through the apiserver)
+  // before the workload pod can be created.
+  const std::uint64_t epoch = epoch_;
+  cluster_->sim().ScheduleAfter(config_.devmgr_query, [this, name, epoch] {
+    if (epoch != epoch_) return;  // DevMgr crashed meanwhile
+    LaunchWorkloadPod(name);
+  });
+}
+
+Status KubeShareDevMgr::RebuildFromApiServer() {
+  ++rebuilds_;
+  rebuilt_vgpus_ = 0;
+  rebuilt_records_ = 0;
+
+  // Phase 1: acquisition pods. Each non-terminal one holds a physical GPU
+  // for the GPUID in its label; its node selector names the node and — once
+  // Running — its effective environment carries the device UUID the plugin
+  // injected. That triple is the entire GPUID<->UUID mapping, durable at
+  // the apiserver, which is what makes the in-memory pool reconstructible.
+  for (const k8s::Pod& pod : cluster_->api().pods().List()) {
+    auto role = pod.meta.labels.find(kRoleLabel);
+    if (role == pod.meta.labels.end() || role->second != kRoleAcquisition) {
+      continue;
+    }
+    next_acq_ = std::max(next_acq_, TrailingNumber(pod.meta.name) + 1);
+    if (pod.terminal()) continue;  // acquisition failed; nothing to hold
+    auto idl = pod.meta.labels.find(kGpuIdLabel);
+    if (idl == pod.meta.labels.end()) continue;
+    const GpuId id(idl->second);
+    std::string node = pod.status.node_name;
+    if (auto sel = pod.spec.node_selector.find("kubernetes.io/hostname");
+        sel != pod.spec.node_selector.end()) {
+      node = sel->second;
+    }
+    if (!pool_->Contains(id)) {
+      KS_RETURN_IF_ERROR(pool_->CreateWithId(id, node).status());
+      ++rebuilt_vgpus_;
+    }
+    pool_->EnsureNextIdAtLeast(TrailingNumber(id.value()) + 1);
+    acquisition_pods_[id] = pod.meta.name;
+    acquisition_owner_[pod.meta.name] = id;
+    VgpuInfo* dev = pool_->Find(id);
+    if (dev != nullptr && !dev->uuid.has_value() &&
+        pod.status.phase == k8s::PodPhase::kRunning) {
+      auto env = pod.status.effective_env.find(k8s::kNvidiaVisibleDevices);
+      if (env != pod.status.effective_env.end()) {
+        KS_RETURN_IF_ERROR(pool_->Activate(id, GpuUuid(env->second)));
+      }
+    }
+  }
+
+  // Phase 2: scheduled sharePods, in List()'s name order (deterministic
+  // rebuild order). Re-attach each to its recorded device and re-adopt the
+  // workload pod when one is live; otherwise resume the lifecycle where it
+  // stopped — query+launch if the UUID is known, (re-)acquire if not.
+  for (const SharePod& sp : sharepods_->List()) {
+    if (sp.terminal() || !sp.scheduled()) continue;
+    const std::string name = sp.meta.name;
+    if (records_.count(name) > 0) continue;
+    if (!pool_->Contains(sp.spec.gpu_id)) {
+      if (sp.spec.node_name.empty()) {
+        Requeue(name, "rebuild: scheduled without a node");
+        continue;
+      }
+      // No acquisition pod survived for this GPUID (crash hit between the
+      // spec write and EnsureVgpu); re-create the entry, the acquisition
+      // restarts below.
+      KS_RETURN_IF_ERROR(
+          pool_->CreateWithId(sp.spec.gpu_id, sp.spec.node_name).status());
+      pool_->EnsureNextIdAtLeast(TrailingNumber(sp.spec.gpu_id.value()) + 1);
+      ++rebuilt_vgpus_;
+    }
+    if (pool_->DeviceOf(name) != sp.spec.gpu_id) {
+      const Status attached =
+          pool_->Attach(sp.spec.gpu_id, name, sp.spec.gpu, sp.spec.locality);
+      if (!attached.ok()) {
+        // The placement no longer fits (the scheduler over-committed the
+        // device while the pool was dark). Infrastructure's fault, not the
+        // job's: send it back through KubeShare-Sched.
+        Requeue(name, "rebuild: " + attached.message());
+        continue;
+      }
+    }
+
+    SharePodRec rec;
+    rec.device = sp.spec.gpu_id;
+    const std::string& workload = sp.status.workload_pod;
+    bool launch = false;
+    if (!workload.empty() && cluster_->api().pods().Contains(workload)) {
+      rec.workload_pod = workload;
+      workload_owner_[workload] = name;
+      auto pod = cluster_->api().pods().Get(workload);
+      // Terminal pods adopt as kRunning; the reconcile pass repairs them
+      // into Finish/Requeue exactly as it repairs a dropped watch event.
+      rec.state = pod->status.phase == k8s::PodPhase::kPending
+                      ? RecState::kLaunching
+                      : RecState::kRunning;
+    } else {
+      VgpuInfo* dev = pool_->Find(sp.spec.gpu_id);
+      if (dev != nullptr && dev->uuid.has_value()) {
+        rec.state = RecState::kLaunching;
+        launch = true;
+      } else {
+        rec.state = RecState::kAwaitingVgpu;
+      }
+    }
+    records_.emplace(name, rec);
+    ++rebuilt_records_;
+    if (launch) ScheduleLaunch(name);
+    EnsureVgpu(sp.spec.gpu_id);  // no-op when already acquiring/active
+  }
+
+  // Phase 3: orphaned workload pods — live containers holding a device
+  // with no non-terminal sharePod owning them (the sharePod finished or
+  // was deleted during the downtime). Stop them; nothing will.
+  std::vector<std::string> orphans;
+  for (const k8s::Pod& pod : cluster_->api().pods().List()) {
+    auto role = pod.meta.labels.find(kRoleLabel);
+    if (role == pod.meta.labels.end() || role->second != kRoleWorkload) {
+      continue;
+    }
+    if (pod.terminal()) continue;
+    if (workload_owner_.count(pod.meta.name) > 0) continue;
+    orphans.push_back(pod.meta.name);
+  }
+  for (const std::string& name : orphans) {
+    (void)cluster_->api().pods().Delete(name, 0, Token());
+  }
+
+  // Phase 4: vGPUs nobody is attached to follow the pool policy, exactly
+  // as if their last detach had just happened — on-demand releases them
+  // (and their acquisition pods) back to Kubernetes, reservation keeps
+  // them warm. No orphaned vGPU survives the rebuild unaccounted.
+  std::vector<GpuId> idle(pool_->idle_devices().begin(),
+                          pool_->idle_devices().end());
+  for (const GpuId& id : idle) MaybeReleaseVgpu(id);
+
+  cluster_->api().events().Record(
+      "kubeshare-devmgr", "devmgr", "Rebuilt",
+      std::to_string(rebuilt_vgpus_) + " vGPUs, " +
+          std::to_string(rebuilt_records_) + " records from apiserver");
+  return pool_->CheckIndexInvariants();
 }
 
 void KubeShareDevMgr::OnSharePodEvent(const k8s::WatchEvent<SharePod>& event) {
@@ -96,11 +288,7 @@ void KubeShareDevMgr::HandleScheduled(const SharePod& pod) {
   assert(dev != nullptr);
   if (dev->uuid.has_value()) {
     records_.at(name).state = RecState::kLaunching;
-    // The vGPU info query (GPUID -> UUID translation through the
-    // apiserver) before the workload pod can be created.
-    cluster_->sim().ScheduleAfter(config_.devmgr_query, [this, name] {
-      LaunchWorkloadPod(name);
-    });
+    ScheduleLaunch(name);
   } else {
     EnsureVgpu(pod.spec.gpu_id);  // workload launches on activation
   }
@@ -118,10 +306,13 @@ void KubeShareDevMgr::EnsureVgpu(const GpuId& id) {
   acq.meta.name = "kubeshare-vgpu-" + std::to_string(next_acq_++);
   acq.meta.labels[kManagedLabel] = "true";
   acq.meta.labels[kRoleLabel] = kRoleAcquisition;
+  // The GPUID this pod holds a physical GPU for — the durable half of the
+  // pool's GPUID<->UUID mapping that RebuildFromApiServer reads back.
+  acq.meta.labels[kGpuIdLabel] = id.value();
   acq.spec.image = "kubeshare/pause:latest";
   acq.spec.requests.Set(k8s::kResourceNvidiaGpu, 1);
   acq.spec.node_selector["kubernetes.io/hostname"] = dev->node;
-  const Status created = cluster_->api().pods().Create(acq);
+  const Status created = cluster_->api().pods().Create(acq, Token());
   if (!created.ok()) {
     KS_LOG(kError) << "acquisition pod create failed: " << created;
     return;
@@ -138,6 +329,31 @@ Expected<GpuId> KubeShareDevMgr::ReserveVgpu(const std::string& node) {
   VgpuInfo& dev = pool_->Create(node);
   EnsureVgpu(dev.id);
   return dev.id;
+}
+
+void KubeShareDevMgr::ActivateVgpuFromPod(const GpuId& id,
+                                          const k8s::Pod& pod) {
+  VgpuInfo* dev = pool_->Find(id);
+  if (dev == nullptr || dev->uuid.has_value()) return;
+  auto env = pod.status.effective_env.find(k8s::kNvidiaVisibleDevices);
+  if (env == pod.status.effective_env.end()) {
+    KS_LOG(kError) << "acquisition pod has no visible devices";
+    return;
+  }
+  (void)pool_->Activate(id, GpuUuid(env->second));
+  cluster_->api().events().Record("kubeshare-devmgr", "vgpu/" + id.value(),
+                                  "Activated", "UUID " + env->second);
+  // Launch every sharePod that was waiting on this vGPU.
+  for (const std::string& name : pool_->Find(id)->attached) {
+    auto rit = records_.find(name);
+    if (rit == records_.end() ||
+        rit->second.state != RecState::kAwaitingVgpu) {
+      continue;
+    }
+    rit->second.state = RecState::kLaunching;
+    ScheduleLaunch(name);
+  }
+  // An idle reservation stays idle until someone attaches.
 }
 
 void KubeShareDevMgr::LaunchWorkloadPod(const std::string& sharepod_name) {
@@ -166,7 +382,7 @@ void KubeShareDevMgr::LaunchWorkloadPod(const std::string& sharepod_name) {
   pod.spec.env[kEnvGpuLimit] = FormatFraction(sp->spec.gpu.gpu_limit);
   pod.spec.env[kEnvGpuMem] = FormatFraction(sp->spec.gpu.gpu_mem);
 
-  const Status created = cluster_->api().pods().Create(pod);
+  const Status created = cluster_->api().pods().Create(pod, Token());
   if (!created.ok()) {
     SetSharePodPhase(sharepod_name, SharePodPhase::kFailed,
                      "workload pod creation failed: " + created.ToString());
@@ -177,12 +393,13 @@ void KubeShareDevMgr::LaunchWorkloadPod(const std::string& sharepod_name) {
   it->second.workload_pod = pod.meta.name;
   workload_owner_[pod.meta.name] = sharepod_name;
 
-  auto sp_now = sharepods_->Get(sharepod_name);
-  if (sp_now.ok()) {
-    SharePod updated = *sp_now;
-    updated.status.workload_pod = pod.meta.name;
-    (void)sharepods_->Update(updated);
-  }
+  (void)k8s::RetryOnConflict(
+      *sharepods_, sharepod_name,
+      [&](SharePod& sp) {
+        sp.status.workload_pod = pod.meta.name;
+        return Status::Ok();
+      },
+      Token());
 }
 
 void KubeShareDevMgr::OnPodEvent(const k8s::WatchEvent<k8s::Pod>& event) {
@@ -218,30 +435,7 @@ void KubeShareDevMgr::OnPodEvent(const k8s::WatchEvent<k8s::Pod>& event) {
       return;
     }
     if (pod.status.phase == k8s::PodPhase::kRunning) {
-      VgpuInfo* dev = pool_->Find(vgpu);
-      if (dev == nullptr || dev->uuid.has_value()) return;
-      auto env = pod.status.effective_env.find(k8s::kNvidiaVisibleDevices);
-      if (env == pod.status.effective_env.end()) {
-        KS_LOG(kError) << "acquisition pod has no visible devices";
-        return;
-      }
-      (void)pool_->Activate(vgpu, GpuUuid(env->second));
-      cluster_->api().events().Record("kubeshare-devmgr",
-                                      "vgpu/" + vgpu.value(), "Activated",
-                                      "UUID " + env->second);
-      // Launch every sharePod that was waiting on this vGPU.
-      for (const std::string& name : pool_->Find(vgpu)->attached) {
-        auto rit = records_.find(name);
-        if (rit == records_.end() ||
-            rit->second.state != RecState::kAwaitingVgpu) {
-          continue;
-        }
-        rit->second.state = RecState::kLaunching;
-        cluster_->sim().ScheduleAfter(config_.devmgr_query, [this, name] {
-          LaunchWorkloadPod(name);
-        });
-      }
-      // An idle reservation stays idle until someone attaches.
+      ActivateVgpuFromPod(vgpu, pod);
     } else if (pod.status.phase == k8s::PodPhase::kFailed) {
       if (config_.requeue_lost_workloads &&
           (pod.status.message == "NodeLost" ||
@@ -276,13 +470,17 @@ void KubeShareDevMgr::OnPodEvent(const k8s::WatchEvent<k8s::Pod>& event) {
       auto rit = records_.find(sharepod_name);
       if (rit != records_.end() && rit->second.state == RecState::kLaunching) {
         rit->second.state = RecState::kRunning;
-        auto sp = sharepods_->Get(sharepod_name);
-        if (sp.ok() && !sp->terminal()) {
-          SharePod updated = *sp;
-          updated.status.phase = SharePodPhase::kRunning;
-          updated.status.running_time = cluster_->sim().Now();
-          (void)sharepods_->Update(updated);
-        }
+        (void)k8s::RetryOnConflict(
+            *sharepods_, sharepod_name,
+            [&](SharePod& sp) {
+              if (sp.terminal()) {
+                return FailedPreconditionError("sharePod terminal");
+              }
+              sp.status.phase = SharePodPhase::kRunning;
+              sp.status.running_time = cluster_->sim().Now();
+              return Status::Ok();
+            },
+            Token());
       }
       return;
     }
@@ -320,20 +518,24 @@ void KubeShareDevMgr::Requeue(const std::string& name,
       // Delete the stale (terminal) pod object so the relaunch can reuse
       // the workload pod name.
       if (cluster_->api().pods().Contains(workload)) {
-        (void)cluster_->api().pods().Delete(workload);
+        (void)cluster_->api().pods().Delete(workload, 0, Token());
       }
     }
   }
   if (auto device = pool_->Detach(name); device.ok()) MaybeReleaseVgpu(*device);
-  auto sp = sharepods_->Get(name);
-  if (!sp.ok() || sp->terminal()) return;
-  SharePod updated = *sp;
-  updated.spec.gpu_id = GpuId{};
-  updated.spec.node_name.clear();
-  updated.status.phase = SharePodPhase::kPending;
-  updated.status.workload_pod.clear();
-  updated.status.message = reason;
-  (void)sharepods_->Update(updated);
+  const Status s = k8s::RetryOnConflict(
+      *sharepods_, name,
+      [&](SharePod& sp) {
+        if (sp.terminal()) return FailedPreconditionError("sharePod terminal");
+        sp.spec.gpu_id = GpuId{};
+        sp.spec.node_name.clear();
+        sp.status.phase = SharePodPhase::kPending;
+        sp.status.workload_pod.clear();
+        sp.status.message = reason;
+        return Status::Ok();
+      },
+      Token());
+  if (!s.ok()) return;
   ++sharepods_requeued_;
   cluster_->api().events().Record("kubeshare-devmgr", "sharepod/" + name,
                                   "Requeued", reason);
@@ -349,7 +551,7 @@ void KubeShareDevMgr::ReclaimVgpu(const GpuId& id, const std::string& detail) {
   if (auto ait = acquisition_pods_.find(id); ait != acquisition_pods_.end()) {
     acquisition_owner_.erase(ait->second);
     if (cluster_->api().pods().Contains(ait->second)) {
-      (void)cluster_->api().pods().Delete(ait->second);
+      (void)cluster_->api().pods().Delete(ait->second, 0, Token());
     }
     acquisition_pods_.erase(ait);
   }
@@ -394,7 +596,20 @@ void KubeShareDevMgr::ReconcileOnce() {
     }
   }
 
-  // Pass 3: scheduled sharePods the watch never delivered (dropped Add /
+  // Pass 3: vGPUs whose acquisition pod reached Running without the watch
+  // delivering it — the store holds the UUID but the pool entry is still
+  // pending, stranding every attached sharePod. acquisition_pods_ is an
+  // ordered map, so the repair order is deterministic.
+  for (const auto& [id, pod_name] : acquisition_pods_) {
+    const VgpuInfo* dev = pool_->Find(id);
+    if (dev == nullptr || dev->uuid.has_value()) continue;
+    auto pod = cluster_->api().pods().Get(pod_name);
+    if (pod.ok() && pod->status.phase == k8s::PodPhase::kRunning) {
+      ActivateVgpuFromPod(id, *pod);
+    }
+  }
+
+  // Pass 4: scheduled sharePods the watch never delivered (dropped Add /
   // Modified). List() is sorted by name.
   for (const SharePod& sp : sharepods_->List()) {
     if (sp.terminal() || !sp.scheduled()) continue;
@@ -406,20 +621,23 @@ void KubeShareDevMgr::ReconcileOnce() {
 void KubeShareDevMgr::SetSharePodPhase(const std::string& name,
                                        SharePodPhase phase,
                                        const std::string& message) {
-  auto sp = sharepods_->Get(name);
-  if (!sp.ok()) return;
-  SharePod updated = *sp;
-  if (updated.terminal()) return;
-  updated.status.phase = phase;
-  if (!message.empty()) updated.status.message = message;
-  if (phase == SharePodPhase::kRunning) {
-    updated.status.running_time = cluster_->sim().Now();
-  }
-  if (phase == SharePodPhase::kSucceeded || phase == SharePodPhase::kFailed ||
-      phase == SharePodPhase::kRejected) {
-    updated.status.finished_time = cluster_->sim().Now();
-  }
-  (void)sharepods_->Update(updated);
+  (void)k8s::RetryOnConflict(
+      *sharepods_, name,
+      [&](SharePod& sp) {
+        if (sp.terminal()) return FailedPreconditionError("sharePod terminal");
+        sp.status.phase = phase;
+        if (!message.empty()) sp.status.message = message;
+        if (phase == SharePodPhase::kRunning) {
+          sp.status.running_time = cluster_->sim().Now();
+        }
+        if (phase == SharePodPhase::kSucceeded ||
+            phase == SharePodPhase::kFailed ||
+            phase == SharePodPhase::kRejected) {
+          sp.status.finished_time = cluster_->sim().Now();
+        }
+        return Status::Ok();
+      },
+      Token());
 }
 
 void KubeShareDevMgr::FinishSharePod(const std::string& name,
@@ -442,7 +660,7 @@ void KubeShareDevMgr::TearDown(const std::string& name) {
     workload_owner_.erase(workload);
     auto pod = cluster_->api().pods().Get(workload);
     if (pod.ok() && !pod->terminal()) {
-      (void)cluster_->api().pods().Delete(workload);
+      (void)cluster_->api().pods().Delete(workload, 0, Token());
     }
   }
   auto device = pool_->Detach(name);
@@ -465,7 +683,7 @@ void KubeShareDevMgr::MaybeReleaseVgpu(const GpuId& id) {
   auto ait = acquisition_pods_.find(id);
   if (ait != acquisition_pods_.end()) {
     acquisition_owner_.erase(ait->second);
-    (void)cluster_->api().pods().Delete(ait->second);
+    (void)cluster_->api().pods().Delete(ait->second, 0, Token());
     acquisition_pods_.erase(ait);
   }
   (void)pool_->Remove(id);

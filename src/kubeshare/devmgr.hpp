@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -34,6 +35,32 @@ class KubeShareDevMgr {
 
   Status Start();
 
+  /// Chaos model of a DevMgr process death: both watches drop, the
+  /// SharePodRec / acquisition-pod tables are lost, and the in-memory
+  /// vGPU pool — DevMgr's to own — is wiped (paper §4.2: DevMgr holds the
+  /// only copy of the GPUID<->UUID mapping). Timers already in flight
+  /// become no-ops (epoch guard). Nothing at the apiserver is touched:
+  /// acquisition pods keep holding their physical GPUs, workload pods
+  /// keep running — which is exactly what Restart rebuilds from.
+  void Crash();
+
+  /// Brings a crashed DevMgr back: relists from the apiserver, rebuilds
+  /// the vGPU pool and record tables (RebuildFromApiServer), then
+  /// re-watches — replayed Added events and the periodic reconcile pass
+  /// idempotently repair whatever moved during the downtime.
+  Status Restart();
+
+  /// State reconstruction, callable on any start: rebuilds the pool from
+  /// acquisition pods (GPUID label -> node/UUID binding), re-attaches
+  /// every scheduled sharePod, re-adopts live workload pods, and releases
+  /// orphaned vGPUs per the pool policy. Idempotent over current pool
+  /// contents; cross-checked by VgpuPool::CheckIndexInvariants().
+  Status RebuildFromApiServer();
+
+  /// Leader-election hook: writes are stamped with the token this returns
+  /// (0 = unfenced), so a deposed DevMgr's stale writes are rejected.
+  void SetFencingTokenProvider(std::function<std::uint64_t()> provider);
+
   /// Reservation-mode helper: pre-acquires a vGPU on `node` so later
   /// sharePods skip the acquisition latency (§4.4 "reservation manner").
   Expected<GpuId> ReserveVgpu(const std::string& node);
@@ -56,6 +83,11 @@ class KubeShareDevMgr {
   /// device, or container to an infrastructure fault.
   std::uint64_t sharepods_requeued() const { return sharepods_requeued_; }
   std::uint64_t reconcile_passes() const { return reconcile_passes_; }
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  /// vGPU entries / sharePod records recovered by the last rebuild.
+  std::uint64_t rebuilt_vgpus() const { return rebuilt_vgpus_; }
+  std::uint64_t rebuilt_records() const { return rebuilt_records_; }
 
  private:
   enum class RecState {
@@ -92,6 +124,12 @@ class KubeShareDevMgr {
   /// made.
   Status EnsureAttached(const SharePod& pod);
   void EnsureVgpu(const GpuId& id);
+  /// Completes a pending vGPU from its Running acquisition pod: reads the
+  /// UUID out of the injected environment, activates the pool entry, and
+  /// launches every sharePod that was waiting. Called from the watch path
+  /// and from the reconcile pass (a dropped Running event otherwise
+  /// strands the vGPU in kPending forever). No-op if already active.
+  void ActivateVgpuFromPod(const GpuId& id, const k8s::Pod& pod);
   void LaunchWorkloadPod(const std::string& sharepod_name);
   void FinishSharePod(const std::string& name, SharePodPhase phase,
                       const std::string& message = "");
@@ -99,12 +137,19 @@ class KubeShareDevMgr {
   void MaybeReleaseVgpu(const GpuId& id);
   void SetSharePodPhase(const std::string& name, SharePodPhase phase,
                         const std::string& message = "");
+  void ScheduleLaunch(const std::string& name);
+  std::uint64_t Token() const;
 
   k8s::Cluster* cluster_;
   k8s::ObjectStore<SharePod>* sharepods_;
   VgpuPool* pool_;
   KubeShareConfig config_;
+  std::function<std::uint64_t()> token_provider_;
   bool started_ = false;
+  k8s::WatchId sharepod_watch_ = 0;
+  k8s::WatchId pod_watch_ = 0;
+  /// Bumped by Crash so timers scheduled pre-crash no-op post-restart.
+  std::uint64_t epoch_ = 0;
 
   std::unordered_map<std::string, SharePodRec> records_;
   std::map<GpuId, std::string> acquisition_pods_;   // vGPU -> pod name
@@ -117,6 +162,10 @@ class KubeShareDevMgr {
   std::uint64_t vgpus_reclaimed_ = 0;
   std::uint64_t sharepods_requeued_ = 0;
   std::uint64_t reconcile_passes_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t rebuilt_vgpus_ = 0;
+  std::uint64_t rebuilt_records_ = 0;
   std::uint64_t next_acq_ = 1;
 };
 

@@ -21,6 +21,27 @@ KubeShare::KubeShare(k8s::Cluster* cluster, KubeShareConfig config)
 Status KubeShare::Start() {
   if (started_) return FailedPreconditionError("KubeShare already started");
   started_ = true;
+  if (config_.enable_leader_election) {
+    k8s::LeaderElectorConfig lec;
+    lec.lease_name = "kubeshare-controller";
+    lec.identity = "kubeshare-0";
+    lec.lease_duration = config_.lease_duration;
+    lec.renew_period = config_.lease_renew_period;
+    lec.retry_period = config_.lease_retry_period;
+    elector_ =
+        std::make_unique<k8s::LeaderElector>(&cluster_->api(), std::move(lec));
+    // A win must fence BOTH stores the controllers write through: the
+    // sharePod custom resource and the native pods they create/delete.
+    elector_->RegisterGate(&sharepods_.fencing());
+    elector_->RegisterGate(&cluster_->api().pods().fencing());
+    // The controllers stamp whatever token the elector last won. A deposed
+    // leader that does not know it lost keeps stamping its stale token —
+    // and the raised gate rejects those writes, which is the guarantee.
+    auto token = [e = elector_.get()] { return e->fencing_token(); };
+    sched_->SetFencingTokenProvider(token);
+    devmgr_->SetFencingTokenProvider(token);
+    elector_->Start();
+  }
   KS_RETURN_IF_ERROR(sched_->Start());
   KS_RETURN_IF_ERROR(devmgr_->Start());
   return Status::Ok();

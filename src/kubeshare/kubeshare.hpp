@@ -6,6 +6,7 @@
 #include <string>
 
 #include "k8s/cluster.hpp"
+#include "k8s/leader_election.hpp"
 #include "kubeshare/config.hpp"
 #include "kubeshare/devmgr.hpp"
 #include "kubeshare/pool.hpp"
@@ -32,6 +33,9 @@ class KubeShare {
   KubeShareSched& sched() { return *sched_; }
   KubeShareDevMgr& devmgr() { return *devmgr_; }
   const KubeShareConfig& config() const { return config_; }
+  /// The control plane's leader elector; nullptr unless
+  /// KubeShareConfig::enable_leader_election is set.
+  k8s::LeaderElector* elector() { return elector_.get(); }
 
   /// Validates and submits a sharePod (the client entry point).
   Status CreateSharePod(SharePod pod);
@@ -74,6 +78,7 @@ class KubeShare {
   VgpuPool pool_;
   std::unique_ptr<KubeShareSched> sched_;
   std::unique_ptr<KubeShareDevMgr> devmgr_;
+  std::unique_ptr<k8s::LeaderElector> elector_;
   bool started_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "kubeshare/pool.hpp"
 
 #include <cassert>
+#include <cstdio>
 
 namespace ks::kubeshare {
 
@@ -267,6 +268,48 @@ std::optional<GpuId> VgpuPool::DeviceOf(const std::string& sharepod) const {
   auto it = attachments_.find(sharepod);
   if (it == attachments_.end()) return std::nullopt;
   return it->second.device;
+}
+
+void VgpuPool::Clear() {
+  entries_.clear();
+  attachments_.clear();
+  idle_.clear();
+  affinity_index_.clear();
+  node_attached_.clear();
+  node_devices_.clear();
+  residuals_.clear();
+  // next_id_ intentionally survives — see the header comment.
+}
+
+void VgpuPool::EnsureNextIdAtLeast(std::uint64_t next) {
+  if (next > next_id_) next_id_ = next;
+}
+
+std::string VgpuPool::DebugString() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [id, dev] : entries_) {
+    out += id.value();
+    out += " node=" + dev.node;
+    out += " uuid=" + (dev.uuid.has_value() ? dev.uuid->value() : "-");
+    out += std::string(" state=") + VgpuStateName(dev.state);
+    std::snprintf(buf, sizeof buf, " util=%.6f mem=%.6f", dev.used_util,
+                  dev.used_mem);
+    out += buf;
+    out += " attached=[";
+    bool first = true;
+    for (const std::string& name : dev.attached) {
+      if (!first) out += ",";
+      first = false;
+      out += name;
+    }
+    out += "]";
+    for (const Label& l : dev.affinity) out += " aff=" + l.value();
+    for (const Label& l : dev.anti_affinity) out += " anti=" + l.value();
+    if (dev.exclusion.has_value()) out += " excl=" + dev.exclusion->value();
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace ks::kubeshare

@@ -134,6 +134,23 @@ class VgpuPool {
   /// GPUID of the device a sharePod is attached to, if any.
   std::optional<GpuId> DeviceOf(const std::string& sharepod) const;
 
+  /// Crash model: drops every entry, attachment, and index — the
+  /// in-memory state a dead DevMgr loses. The id counter survives on
+  /// purpose: GPUIDs already recorded in sharePod specs at the apiserver
+  /// must never be re-minted for a different device after the restart.
+  void Clear();
+
+  /// Rebuild helper: after re-creating entries whose counter-derived ids
+  /// ("vgpu-N") were recovered from the apiserver, advance the counter
+  /// past the largest recovered N so fresh ids stay unique.
+  void EnsureNextIdAtLeast(std::uint64_t next);
+
+  /// Canonical full dump (sorted entries, %.6f usage) for state-equality
+  /// assertions: a pool rebuilt from apiserver objects must render
+  /// byte-identical to the never-crashed pool. Fixed precision absorbs the
+  /// ulp drift of summing the same attachments in a different order.
+  std::string DebugString() const;
+
  private:
   struct Attachment {
     GpuId device;

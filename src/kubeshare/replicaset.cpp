@@ -62,11 +62,15 @@ void SharePodReplicaSet::Reconcile() {
     ++created_total_;
     live_.insert(name);
   }
-  // Scale down: delete the newest surplus replicas.
+  // Scale down: delete the newest surplus replicas. Conditional delete:
+  // the victim is removed at the version we observed — if a controller
+  // mutates it concurrently the delete retries against the fresh state.
   while (static_cast<int>(live_.size()) > spec_.replicas) {
     const std::string victim = *live_.rbegin();
     live_.erase(victim);
-    (void)kubeshare_->sharepods().Delete(victim);
+    (void)k8s::RetryDeleteOnConflict(
+        kubeshare_->sharepods(), victim,
+        [](const SharePod&) { return Status::Ok(); });
   }
 }
 

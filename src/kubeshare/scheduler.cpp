@@ -22,9 +22,37 @@ KubeShareSched::KubeShareSched(k8s::Cluster* cluster,
 Status KubeShareSched::Start() {
   if (started_) return FailedPreconditionError("KubeShare-Sched started");
   started_ = true;
-  sharepods_->Watch(
+  watch_ = sharepods_->Watch(
       [this](const k8s::WatchEvent<SharePod>& ev) { OnSharePodEvent(ev); });
   return Status::Ok();
+}
+
+void KubeShareSched::Crash() {
+  if (!started_) return;
+  started_ = false;
+  ++crashes_;
+  ++epoch_;
+  sharepods_->Unwatch(watch_);
+  watch_ = 0;
+  queue_.clear();
+  queued_.clear();
+  waiting_.clear();
+  flush_scheduled_ = false;
+  cycle_active_ = false;
+}
+
+Status KubeShareSched::Restart() {
+  if (started_) return FailedPreconditionError("KubeShare-Sched running");
+  return Start();
+}
+
+void KubeShareSched::SetFencingTokenProvider(
+    std::function<std::uint64_t()> provider) {
+  token_provider_ = std::move(provider);
+}
+
+std::uint64_t KubeShareSched::Token() const {
+  return token_provider_ ? token_provider_() : 0;
 }
 
 std::vector<NodeFreeGpus> KubeShareSched::FreePhysicalGpus() const {
@@ -99,7 +127,9 @@ void KubeShareSched::Pump() {
   }
   const Duration cycle =
       config_.sched_fixed + config_.sched_per_sharepod * live;
-  cluster_->sim().ScheduleAfter(cycle, [this, name] {
+  const std::uint64_t epoch = epoch_;
+  cluster_->sim().ScheduleAfter(cycle, [this, name, epoch] {
+    if (epoch != epoch_) return;  // scheduler crashed meanwhile
     cycle_active_ = false;
     ScheduleOne(name);
     Pump();
@@ -133,7 +163,9 @@ void KubeShareSched::ScheduleOne(const std::string& name) {
       waiting_.insert(name);
       if (!flush_scheduled_) {
         flush_scheduled_ = true;
-        cluster_->sim().ScheduleAfter(config_.sched_retry, [this] {
+        const std::uint64_t epoch = epoch_;
+        cluster_->sim().ScheduleAfter(config_.sched_retry, [this, epoch] {
+          if (epoch != epoch_) return;  // scheduler crashed meanwhile
           flush_scheduled_ = false;
           auto parked = std::move(waiting_);
           waiting_.clear();
@@ -153,20 +185,41 @@ void KubeShareSched::ScheduleOne(const std::string& name) {
     ++rejected_count_;
     cluster_->api().events().Record("kubeshare-sched", "sharepod/" + name,
                                     "Rejected", result.status().message());
-    SharePod updated = *pod;
-    updated.status.phase = SharePodPhase::kRejected;
-    updated.status.message = result.status().ToString();
-    (void)sharepods_->Update(updated);
+    const std::string reason = result.status().ToString();
+    (void)k8s::RetryOnConflict(
+        *sharepods_, name,
+        [&](SharePod& sp) {
+          sp.status.phase = SharePodPhase::kRejected;
+          sp.status.message = reason;
+          return Status::Ok();
+        },
+        Token());
     return;
   }
 
   auto device = pool_->Get(*result);
   assert(device.ok());
-  SharePod updated = *pod;
-  updated.spec.gpu_id = *result;
-  updated.spec.node_name = device->node;
-  updated.status.scheduled_time = cluster_->sim().Now();
-  (void)sharepods_->Update(updated);
+  const Status wrote = k8s::RetryOnConflict(
+      *sharepods_, name,
+      [&](SharePod& sp) {
+        sp.spec.gpu_id = *result;
+        sp.spec.node_name = device->node;
+        sp.status.scheduled_time = cluster_->sim().Now();
+        return Status::Ok();
+      },
+      Token());
+  if (!wrote.ok()) {
+    // The placement never reached the apiserver (fenced write from a
+    // deposed leader, or the object vanished) — undo the pool
+    // reservation Algorithm 1 made, or the capacity leaks.
+    (void)pool_->Detach(name);
+    if (auto dev_now = pool_->Get(*result);
+        dev_now.ok() && dev_now->attached.empty() &&
+        !dev_now->uuid.has_value()) {
+      (void)pool_->Remove(*result);
+    }
+    return;
+  }
   ++scheduled_count_;
   cluster_->api().events().Record(
       "kubeshare-sched", "sharepod/" + name, "Scheduled",

@@ -32,6 +32,22 @@ class KubeShareSched {
 
   Status Start();
 
+  /// Chaos model of a scheduler process death: the watch is dropped and
+  /// the in-memory queue/backoff state is lost. Timers already in flight
+  /// become no-ops (epoch guard). The shared pool is NOT touched — it is
+  /// DevMgr's state to lose.
+  void Crash();
+
+  /// Brings a crashed scheduler back. Re-watching replays every sharePod
+  /// as an Added event (the informer list phase), which re-enqueues all
+  /// still-unscheduled sharePods — the relist IS the state reconstruction.
+  Status Restart();
+
+  /// Leader-election hook: writes are stamped with the token this returns
+  /// (0 = unfenced). A deposed leader keeps returning its stale token, so
+  /// the store rejects its writes — which is the point.
+  void SetFencingTokenProvider(std::function<std::uint64_t()> provider);
+
   /// Free physical (not-yet-vGPU) GPUs per node: node capacity minus vGPUs
   /// already acquired there minus native GPU pods. This is the supply
   /// Algorithm 1's new_dev() can draw on.
@@ -40,6 +56,7 @@ class KubeShareSched {
   std::uint64_t scheduled_count() const { return scheduled_count_; }
   std::uint64_t rejected_count() const { return rejected_count_; }
   std::uint64_t retry_count() const { return retry_count_; }
+  std::uint64_t crashes() const { return crashes_; }
   /// Pure-algorithm time (wall clock) per decision — Fig 11's subject.
   const RunningStats& decision_stats() const { return decision_stats_; }
 
@@ -49,11 +66,13 @@ class KubeShareSched {
   void Pump();
   void ScheduleOne(const std::string& name);
   void HandlePinned(SharePod pod);
+  std::uint64_t Token() const;
 
   k8s::Cluster* cluster_;
   k8s::ObjectStore<SharePod>* sharepods_;
   VgpuPool* pool_;
   KubeShareConfig config_;
+  std::function<std::uint64_t()> token_provider_;
 
   std::deque<std::string> queue_;
   std::unordered_set<std::string> queued_;
@@ -64,6 +83,10 @@ class KubeShareSched {
   bool flush_scheduled_ = false;
   bool cycle_active_ = false;
   bool started_ = false;
+  k8s::WatchId watch_ = 0;
+  /// Bumped by Crash so timers scheduled pre-crash no-op post-restart.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t crashes_ = 0;
 
   std::uint64_t scheduled_count_ = 0;
   std::uint64_t rejected_count_ = 0;

@@ -21,6 +21,11 @@ inline constexpr const char* kManagedLabel = "kubeshare.io/managed";
 inline constexpr const char* kRoleLabel = "kubeshare.io/role";
 inline constexpr const char* kRoleAcquisition = "acquisition";
 inline constexpr const char* kRoleWorkload = "workload";
+/// GPUID an acquisition pod holds the physical GPU for. Stamped at
+/// creation so a restarted DevMgr can rebuild the GPUID<->UUID half of the
+/// vGPU pool from the apiserver alone (the pod's node selector names the
+/// node; its effective environment carries the UUID once Running).
+inline constexpr const char* kGpuIdLabel = "kubeshare.io/gpu-id";
 
 inline constexpr const char* kEnvSharePod = "KUBESHARE_SHAREPOD";
 inline constexpr const char* kEnvGpuId = "KUBESHARE_GPUID";

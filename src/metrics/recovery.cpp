@@ -15,10 +15,24 @@ RecoveryMetrics CollectRecoveryMetrics(k8s::Cluster& cluster,
     out.frontends_reattached += node.token_backend->reattached();
   }
   out.watch_events_dropped = cluster.api().pods().dropped_events();
+  out.update_conflicts = cluster.api().pods().update_conflicts() +
+                         cluster.api().nodes().update_conflicts() +
+                         cluster.api().leases().update_conflicts();
+  out.fenced_writes_rejected = cluster.api().pods().fencing().rejected() +
+                               cluster.api().nodes().fencing().rejected() +
+                               cluster.api().leases().fencing().rejected();
   if (kubeshare != nullptr) {
     out.vgpus_reclaimed = kubeshare->devmgr().vgpus_reclaimed();
     out.sharepods_requeued = kubeshare->devmgr().sharepods_requeued();
     out.reconcile_passes = kubeshare->devmgr().reconcile_passes();
+    out.update_conflicts += kubeshare->sharepods().update_conflicts();
+    out.fenced_writes_rejected += kubeshare->sharepods().fencing().rejected();
+    out.controller_crashes =
+        kubeshare->devmgr().crashes() + kubeshare->sched().crashes();
+    out.controller_rebuilds = kubeshare->devmgr().rebuilds();
+    if (kubeshare->elector() != nullptr) {
+      out.leader_elections = kubeshare->elector()->elections_won();
+    }
   }
   return out;
 }
@@ -52,6 +66,21 @@ void ExportRecoveryMetrics(const RecoveryMetrics& metrics,
   exporter.Gauge("ks_recovery_reconcile_passes_total",
                  "DevMgr reconcile passes", {},
                  static_cast<double>(metrics.reconcile_passes));
+  exporter.Gauge("ks_recovery_update_conflicts_total",
+                 "Optimistic-concurrency write rejections", {},
+                 static_cast<double>(metrics.update_conflicts));
+  exporter.Gauge("ks_recovery_fenced_writes_rejected_total",
+                 "Stale leader writes rejected by fencing", {},
+                 static_cast<double>(metrics.fenced_writes_rejected));
+  exporter.Gauge("ks_recovery_controller_crashes_total",
+                 "KubeShare controller deaths injected", {},
+                 static_cast<double>(metrics.controller_crashes));
+  exporter.Gauge("ks_recovery_controller_rebuilds_total",
+                 "DevMgr state reconstructions from the apiserver", {},
+                 static_cast<double>(metrics.controller_rebuilds));
+  exporter.Gauge("ks_recovery_leader_elections_total",
+                 "Leader-election acquisitions", {},
+                 static_cast<double>(metrics.leader_elections));
 }
 
 }  // namespace ks::metrics

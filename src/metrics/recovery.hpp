@@ -26,6 +26,14 @@ struct RecoveryMetrics {
   std::uint64_t vgpus_reclaimed = 0;
   std::uint64_t sharepods_requeued = 0;
   std::uint64_t reconcile_passes = 0;
+  // Crash-consistency (this PR's faults): optimistic-concurrency
+  // rejections, fenced stale-leader writes, controller deaths/rebuilds,
+  // and leader elections observed.
+  std::uint64_t update_conflicts = 0;
+  std::uint64_t fenced_writes_rejected = 0;
+  std::uint64_t controller_crashes = 0;
+  std::uint64_t controller_rebuilds = 0;
+  std::uint64_t leader_elections = 0;
 };
 
 RecoveryMetrics CollectRecoveryMetrics(k8s::Cluster& cluster,

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <string>
 #include <utility>
 
 namespace ks::sim {
@@ -14,6 +16,7 @@ Simulation::~Simulation() { FreeHeap(); }
 EventId Simulation::ScheduleAt(Time t, EventCallback fn) {
   assert(fn && "cannot schedule an empty callback");
   if (t < now_) t = now_;  // clamp: scheduling in the past fires "now"
+  if (!HasCapacity()) return kInvalidEvent;
   const std::uint32_t slot = AcquireSlot();
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
@@ -201,17 +204,49 @@ void Simulation::FreeHeap() {
   }
 }
 
-std::uint32_t Simulation::AcquireSlot() {
+bool Simulation::HasCapacity() {
+  if (exhausted_) return false;
   if (next_seq_ > kMaxSeq) {
-    std::abort();  // 2^40 events over one Simulation's lifetime
+    MarkExhausted("lifetime event-id space (2^40 - 1)");
+    return false;
   }
+  if (free_slots_.empty() && slots_.size() > kSlotMask) {
+    MarkExhausted("pending-event slots (2^24 - 1)");
+    return false;
+  }
+  return true;
+}
+
+void Simulation::MarkExhausted(const char* limit) {
+  exhausted_ = true;
+  std::fprintf(stderr,
+               "ks::sim::Simulation capacity exhausted: %s spent "
+               "(lifetime_events=%llu pending=%u); further Schedule calls "
+               "return kInvalidEvent\n",
+               limit, static_cast<unsigned long long>(lifetime_events()),
+               live_);
+}
+
+Status Simulation::CapacityStatus() const {
+  if (!exhausted_) return Status::Ok();
+  const char* limit = next_seq_ > kMaxSeq
+                          ? "lifetime event-id space (2^40 - 1)"
+                          : "pending-event slots (2^24 - 1)";
+  return ResourceExhaustedError(
+      std::string("simulation capacity exhausted: ") + limit +
+      " spent; lifetime_events=" + std::to_string(lifetime_events()) +
+      " pending=" + std::to_string(live_));
+}
+
+std::uint32_t Simulation::AcquireSlot() {
+  // Capacity is vetted by HasCapacity() before every acquisition, so both
+  // branches below are infallible.
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
-    if (slot > kSlotMask) std::abort();  // 2^24 concurrently pending events
     slots_.emplace_back();
   }
   return slot;

@@ -4,6 +4,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/time.hpp"
 #include "sim/event_callback.hpp"
 
@@ -46,7 +47,10 @@ inline constexpr EventId kInvalidEvent = 0;
 ///
 /// Capacity limits of the packed event key (documented, checked at
 /// runtime): at most 2^24 - 1 events pending at once, at most 2^40 - 1
-/// events scheduled over a Simulation's lifetime.
+/// events scheduled over a Simulation's lifetime. Hitting either limit is
+/// not a crash: ScheduleAt/ScheduleAfter return kInvalidEvent, the engine
+/// latches into an exhausted state (CapacityStatus() reports which limit
+/// tripped and the counts), and a single diagnostic goes to stderr.
 class Simulation {
  public:
   Simulation() = default;
@@ -72,6 +76,7 @@ class Simulation {
                 int> = 0>
   EventId ScheduleAt(Time t, F&& fn) {
     if (t < now_) t = now_;
+    if (!HasCapacity()) return kInvalidEvent;
     const std::uint32_t slot = AcquireSlot();
     Slot& s = slots_[slot];
     s.fn.emplace(std::forward<F>(fn));
@@ -111,6 +116,25 @@ class Simulation {
   /// Exact count of live (scheduled, not yet fired or cancelled) events.
   std::size_t pending() const { return live_; }
   std::uint64_t executed() const { return executed_; }
+
+  /// Events ever scheduled over this Simulation's lifetime (the id-space
+  /// consumption measured against the 2^40 - 1 lifetime cap).
+  std::uint64_t lifetime_events() const { return next_seq_ - 1; }
+
+  /// True once either capacity limit has tripped. From that point every
+  /// Schedule call returns kInvalidEvent; already-queued events still run.
+  bool exhausted() const { return exhausted_; }
+
+  /// Ok while healthy; once exhausted, a kResourceExhausted status naming
+  /// the limit that tripped and the current counts.
+  Status CapacityStatus() const;
+
+  /// Test hook: pretends `count` events were already scheduled over this
+  /// Simulation's lifetime, so a unit test can exercise the exhaustion
+  /// guard without scheduling ~10^12 real events. Only ratchets forward.
+  void InjectLifetimeEventCountForTest(std::uint64_t count) {
+    if (count + 1 > next_seq_) next_seq_ = count + 1;
+  }
 
  private:
   /// Heap entry: fire time plus the packed event key. The key doubles as
@@ -153,11 +177,17 @@ class Simulation {
   std::uint32_t AcquireSlot();
   void ReleaseSlot(std::uint32_t slot);
   void CompactIfDrained();
+  /// Capacity gate run before every slot acquisition. Returns false (and
+  /// latches the exhausted state, emitting one stderr diagnostic) when the
+  /// lifetime id space or the pending-slot arena is spent.
+  bool HasCapacity();
+  void MarkExhausted(const char* limit);
 
   Time now_{0};
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint32_t live_ = 0;
+  bool exhausted_ = false;
 
   /// 4-ary heap in a 64-byte-aligned buffer offset so element 1 starts a
   /// cache line: sibling groups [4i+1 .. 4i+4] each occupy exactly one

@@ -121,5 +121,116 @@ TEST_F(StoreTest, DeletedEventCarriesFinalState) {
   EXPECT_EQ(deleted->status.phase, PodPhase::kRunning);
 }
 
+TEST_F(StoreTest, DeletedEventCarriesDeletionVersionNotLastUpdate) {
+  store_.Create(MakePod("a"));
+  auto pod = store_.Get("a");
+  pod->status.phase = PodPhase::kRunning;
+  ASSERT_TRUE(store_.Update(*pod).ok());  // object now at version 2
+  std::optional<Pod> deleted;
+  store_.Watch([&](const WatchEvent<Pod>& ev) {
+    if (ev.type == WatchEventType::kDeleted) deleted = ev.object;
+  });
+  sim_.Run();
+  store_.Delete("a");
+  sim_.Run();
+  ASSERT_TRUE(deleted.has_value());
+  // The deletion is its own versioned mutation: an informer replaying the
+  // stream against a relist snapshot must see it ordered after the last
+  // update, so the event carries version 3, not the object's final 2.
+  EXPECT_EQ(deleted->meta.resource_version, 3u);
+  EXPECT_EQ(store_.version(), 3u);
+}
+
+TEST_F(StoreTest, StaleUpdateRejectedAsConflict) {
+  store_.Create(MakePod("a"));
+  auto stale = store_.Get("a");  // version 1
+  auto fresh = store_.Get("a");
+  fresh->status.phase = PodPhase::kRunning;
+  ASSERT_TRUE(store_.Update(*fresh).ok());  // store moves to version 2
+  stale->status.phase = PodPhase::kFailed;
+  const Status s = store_.Update(*stale);
+  EXPECT_EQ(s.code(), StatusCode::kConflict);
+  EXPECT_EQ(store_.update_conflicts(), 1u);
+  // The losing write was not applied.
+  EXPECT_EQ(store_.Get("a")->status.phase, PodPhase::kRunning);
+  // Version 0 is an unconditional write and bypasses the check.
+  stale->meta.resource_version = 0;
+  EXPECT_TRUE(store_.Update(*stale).ok());
+}
+
+TEST_F(StoreTest, StaleDeleteRejectedAsConflict) {
+  store_.Create(MakePod("a"));
+  auto read = store_.Get("a");  // version 1
+  auto fresh = store_.Get("a");
+  fresh->status.phase = PodPhase::kRunning;
+  ASSERT_TRUE(store_.Update(*fresh).ok());
+  EXPECT_EQ(store_.Delete("a", read->meta.resource_version).code(),
+            StatusCode::kConflict);
+  EXPECT_TRUE(store_.Contains("a"));
+  EXPECT_TRUE(store_.Delete("a", store_.Get("a")->meta.resource_version).ok());
+}
+
+TEST_F(StoreTest, RetryOnConflictConvergesAgainstConcurrentWriter) {
+  store_.Create(MakePod("a"));
+  // The mutator's first application doubles as the concurrent writer: it
+  // lands an interfering update between the helper's read and its write,
+  // so the helper's first submit conflicts, re-reads, and converges on
+  // the second attempt with both writes preserved.
+  int applications = 0;
+  const Status s = RetryOnConflict(store_, "a", [&](Pod& p) {
+    if (++applications == 1) {
+      auto other = store_.Get("a");
+      other->meta.labels["other"] = "writer";
+      EXPECT_TRUE(store_.Update(*other).ok());
+    }
+    p.status.phase = PodPhase::kRunning;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(applications, 2);  // first attempt lost the race, second won
+  EXPECT_EQ(store_.update_conflicts(), 1u);
+  auto got = store_.Get("a");
+  EXPECT_EQ(got->status.phase, PodPhase::kRunning);
+  EXPECT_EQ(got->meta.labels.at("other"), "writer");  // both writes kept
+}
+
+TEST_F(StoreTest, RetryOnConflictMutatorAbortPropagates) {
+  store_.Create(MakePod("a"));
+  const Status s = RetryOnConflict(store_, "a", [](Pod&) {
+    return FailedPreconditionError("object became terminal");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store_.Get("a")->meta.resource_version, 1u);  // untouched
+}
+
+TEST_F(StoreTest, FencingGateRejectsBelowFloorAdmitsUnfenced) {
+  store_.Create(MakePod("a"));
+  store_.fencing().Raise(5);
+  auto pod = store_.Get("a");
+  pod->status.phase = PodPhase::kRunning;
+  // Stale leader (token 3): rejected, counted, not retried by the helper.
+  Pod stale = *pod;
+  EXPECT_EQ(store_.Update(stale, /*fencing_token=*/3).code(),
+            StatusCode::kConflict);
+  EXPECT_EQ(store_.fencing().rejected(), 1u);
+  const Status via_retry = RetryOnConflict(
+      store_, "a",
+      [](Pod& p) {
+        p.status.phase = PodPhase::kFailed;
+        return Status::Ok();
+      },
+      /*fencing_token=*/3);
+  EXPECT_EQ(via_retry.code(), StatusCode::kConflict);
+  EXPECT_EQ(store_.fencing().rejected(), 2u);  // exactly one more: no retry
+  // Current leader (token 5) and unfenced infrastructure (token 0) pass.
+  EXPECT_TRUE(store_.Update(*store_.Get("a"), /*fencing_token=*/5).ok());
+  EXPECT_TRUE(store_.Update(*store_.Get("a"), /*fencing_token=*/0).ok());
+  // Deletes go through the same gate.
+  EXPECT_EQ(store_.Delete("a", 0, /*fencing_token=*/2).code(),
+            StatusCode::kConflict);
+  EXPECT_TRUE(store_.Contains("a"));
+  EXPECT_EQ(store_.fencing().rejected(), 3u);
+}
+
 }  // namespace
 }  // namespace ks::k8s

@@ -142,5 +142,46 @@ TEST(Simulation, EventsScheduledDuringRunExecute) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(Simulation, HealthyEngineReportsOkCapacity) {
+  Simulation sim;
+  sim.ScheduleAt(Seconds(1), [] {});
+  EXPECT_FALSE(sim.exhausted());
+  EXPECT_TRUE(sim.CapacityStatus().ok());
+  EXPECT_EQ(sim.lifetime_events(), 1u);
+}
+
+TEST(Simulation, LifetimeExhaustionLatchesInsteadOfAborting) {
+  constexpr std::uint64_t kMaxSeq = (1ull << 40) - 1;
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(Seconds(1), [&] { ++fired; });
+  // Pretend all but two ids of the 2^40 - 1 lifetime space are spent.
+  sim.InjectLifetimeEventCountForTest(kMaxSeq - 2);
+  EXPECT_EQ(sim.lifetime_events(), kMaxSeq - 2);
+  EXPECT_FALSE(sim.exhausted());
+
+  // The last two ids still mint...
+  EXPECT_NE(sim.ScheduleAt(Seconds(2), [&] { ++fired; }), kInvalidEvent);
+  EXPECT_NE(sim.ScheduleAt(Seconds(3), [&] { ++fired; }), kInvalidEvent);
+  EXPECT_FALSE(sim.exhausted());
+
+  // ...then the guard trips: no abort, Schedule returns kInvalidEvent and
+  // the engine reports the exhaustion with its counts.
+  EXPECT_EQ(sim.ScheduleAt(Seconds(4), [&] { ++fired; }), kInvalidEvent);
+  EXPECT_TRUE(sim.exhausted());
+  const Status status = sim.CapacityStatus();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("lifetime"), std::string::npos);
+  EXPECT_NE(status.message().find(std::to_string(kMaxSeq)),
+            std::string::npos);
+
+  // Later attempts stay rejected (both Schedule flavors), but everything
+  // already queued still drains normally.
+  EXPECT_EQ(sim.ScheduleAfter(Seconds(1), [&] { ++fired; }), kInvalidEvent);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace ks::sim
