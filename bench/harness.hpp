@@ -46,6 +46,11 @@ struct RunResult {
   metrics::RecoveryMetrics recovery;
   /// Jobs whose container was relaunched after an infrastructure kill.
   std::size_t job_restarts = 0;
+  /// Engine events scheduled over the whole run (Simulation::
+  /// lifetime_events()) — the quantity the timer-wheel token renewals and
+  /// the shared sampler tick exist to shrink. Deterministic for a given
+  /// configuration, so reports can compare it across timer modes.
+  std::uint64_t total_events = 0;
 };
 
 RunResult RunWorkload(const RunOptions& options);

@@ -33,6 +33,7 @@ void FillRunResult(JsonValue& row, const RunResult& result) {
   row.Set("vgpus_reclaimed", result.recovery.vgpus_reclaimed);
   row.Set("sharepods_requeued", result.recovery.sharepods_requeued);
   row.Set("backend_restarts", result.recovery.backend_restarts);
+  row.Set("total_events", result.total_events);
 }
 
 std::string WriteReport(const JsonValue& report) {

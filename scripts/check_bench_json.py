@@ -13,7 +13,11 @@ Checks, per file:
   * numeric values are finite (the writer turns NaN/Inf into null, so a
     bare NaN in the text means a corrupt file);
   * rows of the same (study) agree on their key sets, so downstream
-    tooling can treat the rows as a table.
+    tooling can treat the rows as a table;
+  * studies whose rows come from full cluster runs (study_chaos,
+    ablation_placement, fig9) report a positive integer "total_events"
+    in every row, so event-count regressions across timer modes stay
+    visible in the archived reports.
 
 Exit status 0 when every file passes, 1 otherwise. Stdlib only.
 """
@@ -27,6 +31,11 @@ import sys
 def fail(path, msg):
     print(f"{path}: {msg}", file=sys.stderr)
     return False
+
+
+# Studies whose every row is produced by a whole-cluster run and must carry
+# the engine's scheduled-event count.
+TOTAL_EVENTS_REQUIRED = {"study_chaos", "ablation_placement", "fig9"}
 
 
 def check_file(path):
@@ -63,6 +72,15 @@ def check_file(path):
                 ok = fail(path, f"row {i} field {key!r} is a nested container")
             if isinstance(value, float) and not math.isfinite(value):
                 ok = fail(path, f"row {i} field {key!r} is not finite")
+        if study in TOTAL_EVENTS_REQUIRED:
+            events = row.get("total_events")
+            if not isinstance(events, int) or isinstance(events, bool) \
+                    or events <= 0:
+                ok = fail(
+                    path,
+                    f"row {i} \"total_events\" missing or not a positive "
+                    f"integer: {events!r}",
+                )
         # Rows may legitimately differ in shape between row kinds (e.g.
         # bench_engine's per-engine rows vs its summary row); group by the
         # discriminator fields that are present.

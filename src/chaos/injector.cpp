@@ -133,6 +133,15 @@ void FaultInjector::InjectDaemonRestart(const Fault& fault) {
   node->token_backend->Restart();
   ++stats_.faults_injected;
   ++stats_.daemon_restarts;
+  // Restart() wipes every pending renewal (the wheel's InvalidateAll);
+  // the rebuild deadline it schedules must be the one timer left standing,
+  // or the daemon never comes back and every lease on the node hangs.
+  assert(node->token_backend->down());
+  if (node->token_backend->pending_timers() > 0) {
+    ++stats_.wheel_rearms_verified;
+    cluster_->api().events().Record(kComponent, "node/" + fault.node,
+                                    "TokenWheelRearmed");
+  }
 }
 
 void FaultInjector::InjectOomKill(const Fault& fault) {

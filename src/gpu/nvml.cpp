@@ -8,8 +8,9 @@ namespace {
 const std::vector<NvmlSample> kNoSamples;
 }
 
-NvmlMonitor::NvmlMonitor(sim::Simulation* sim, Duration period)
-    : sim_(sim), period_(period) {
+NvmlMonitor::NvmlMonitor(sim::Simulation* sim, Duration period,
+                         sim::TickHub* hub)
+    : sim_(sim), period_(period), hub_(hub) {
   assert(sim_ != nullptr);
   assert(period_.count() > 0);
 }
@@ -25,14 +26,23 @@ void NvmlMonitor::Start() {
   if (running_) return;
   running_ = true;
   last_tick_ = sim_->Now();
-  tick_event_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+  if (hub_ != nullptr) {
+    sub_ = hub_->Subscribe(period_, [this] { Tick(); });
+  } else {
+    tick_event_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+  }
 }
 
 void NvmlMonitor::Stop() {
   if (!running_) return;
   running_ = false;
-  sim_->Cancel(tick_event_);
-  tick_event_ = sim::kInvalidEvent;
+  if (hub_ != nullptr) {
+    hub_->Unsubscribe(sub_);
+    sub_ = 0;
+  } else {
+    sim_->Cancel(tick_event_);
+    tick_event_ = sim::kInvalidEvent;
+  }
 }
 
 void NvmlMonitor::Tick() {
@@ -54,7 +64,7 @@ void NvmlMonitor::Tick() {
     samples_[dev->uuid()].push_back(s);
   }
   last_tick_ = now;
-  if (running_) {
+  if (hub_ == nullptr && running_) {
     tick_event_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
   }
 }

@@ -8,6 +8,7 @@
 #include "common/time.hpp"
 #include "gpu/device.hpp"
 #include "sim/simulation.hpp"
+#include "sim/tick_hub.hpp"
 
 namespace ks::gpu {
 
@@ -25,9 +26,14 @@ struct NvmlSample {
 /// The monitor samples each registered device every `period`, recording the
 /// busy fraction of the elapsed period. Start() arms the sampling loop on
 /// the simulation; the loop stops when Stop() is called.
+///
+/// With a sim::TickHub the poll rides the shared sampler tick instead of
+/// keeping a private self-rescheduling event — same samples, fewer engine
+/// events (the hub coalesces every instrument on its grid).
 class NvmlMonitor {
  public:
-  NvmlMonitor(sim::Simulation* sim, Duration period = Seconds(1.0));
+  NvmlMonitor(sim::Simulation* sim, Duration period = Seconds(1.0),
+              sim::TickHub* hub = nullptr);
 
   void Register(GpuDevice* device);
 
@@ -49,8 +55,10 @@ class NvmlMonitor {
 
   sim::Simulation* sim_;
   Duration period_;
+  sim::TickHub* hub_ = nullptr;
   bool running_ = false;
   sim::EventId tick_event_ = sim::kInvalidEvent;
+  sim::TickHub::SubId sub_ = 0;
   Time last_tick_{0};
 
   std::vector<GpuDevice*> devices_;

@@ -9,7 +9,12 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   scheduler_ = std::make_unique<KubeScheduler>(api_.get());
   node_controller_ = std::make_unique<NodeLifecycleController>(
       api_.get(), config_.node_detection, config_.pod_eviction_timeout);
-  nvml_ = std::make_unique<gpu::NvmlMonitor>(&sim_, Seconds(1));
+  if (config_.sampler_granularity.count() > 0) {
+    tick_hub_ = std::make_unique<sim::TickHub>(&sim_,
+                                               config_.sampler_granularity);
+  }
+  nvml_ = std::make_unique<gpu::NvmlMonitor>(&sim_, Seconds(1),
+                                             tick_hub_.get());
 
   for (int n = 0; n < config_.nodes; ++n) {
     auto handle = std::make_unique<NodeHandle>();
@@ -42,8 +47,14 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
         api_.get(), handle->name, machine, handle->runtime.get(),
         handle->plugin.get());
 
-    handle->token_backend =
-        std::make_unique<vgpu::TokenBackend>(&sim_, config_.backend);
+    if (config_.token_timers == vgpu::TokenTimerMode::kWheel) {
+      handle->token_backend =
+          std::make_unique<vgpu::TokenBackend>(&sim_, config_.backend);
+    } else {
+      handle->token_backend =
+          std::make_unique<vgpu::TokenBackendReference>(&sim_,
+                                                        config_.backend);
+    }
     for (gpu::GpuDevice* g : raw_gpus) {
       handle->token_backend->RegisterDevice(g->uuid());
     }
@@ -91,7 +102,7 @@ gpu::GpuDevice* Cluster::FindGpu(const GpuUuid& uuid) {
   return nullptr;
 }
 
-vgpu::TokenBackend* Cluster::BackendForGpu(const GpuUuid& uuid) {
+vgpu::TokenBackendApi* Cluster::BackendForGpu(const GpuUuid& uuid) {
   for (auto& node : nodes_) {
     for (auto& dev : node->gpus) {
       if (dev->uuid() == uuid) return node->token_backend.get();

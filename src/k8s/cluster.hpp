@@ -14,7 +14,9 @@
 #include "k8s/runtime.hpp"
 #include "k8s/scheduler.hpp"
 #include "sim/simulation.hpp"
+#include "sim/tick_hub.hpp"
 #include "vgpu/token_backend.hpp"
+#include "vgpu/token_backend_reference.hpp"
 
 namespace ks::k8s {
 
@@ -29,6 +31,14 @@ struct ClusterConfig {
   gpu::GpuSpec gpu_spec;
   LatencyModel latency;
   vgpu::BackendConfig backend;
+  /// Which token-renewal timer implementation the per-node daemons use:
+  /// the hierarchical timer wheel (default) or the one-event-per-deadline
+  /// reference backend kept as the differential-test oracle.
+  vgpu::TokenTimerMode token_timers = vgpu::TokenTimerMode::kWheel;
+  /// Grid for the shared sampler tick (NVML poll and any pull-mode
+  /// PeriodicSampler ride one sim::TickHub instead of keeping private
+  /// self-rescheduling events). Zero keeps monitors in push mode.
+  Duration sampler_granularity = Millis(1);
   /// Use the scaling-factor device plugin (the §3.1 trick) instead of the
   /// stock whole-GPU plugin. Used by the fragmentation baselines.
   bool scaled_plugin = false;
@@ -68,6 +78,9 @@ class Cluster {
   ApiServer& api() { return *api_; }
   KubeScheduler& scheduler() { return *scheduler_; }
   gpu::NvmlMonitor& nvml() { return *nvml_; }
+  /// Shared sampler tick all pull-mode instruments multiplex onto.
+  /// Null when ClusterConfig::sampler_granularity is zero (push mode).
+  sim::TickHub* tick_hub() { return tick_hub_.get(); }
   const ClusterConfig& config() const { return config_; }
 
   struct NodeHandle {
@@ -76,7 +89,7 @@ class Cluster {
     std::unique_ptr<DevicePlugin> plugin;
     std::unique_ptr<ContainerRuntime> runtime;
     std::unique_ptr<Kubelet> kubelet;
-    std::unique_ptr<vgpu::TokenBackend> token_backend;
+    std::unique_ptr<vgpu::TokenBackendApi> token_backend;
     bool crashed = false;
   };
 
@@ -86,7 +99,7 @@ class Cluster {
 
   gpu::GpuDevice* FindGpu(const GpuUuid& uuid);
   /// Token backend of the node hosting `uuid` (every GPU has exactly one).
-  vgpu::TokenBackend* BackendForGpu(const GpuUuid& uuid);
+  vgpu::TokenBackendApi* BackendForGpu(const GpuUuid& uuid);
 
   /// Installs one application-side start/stop hook across all node
   /// runtimes (the workload layer's attachment point).
@@ -122,6 +135,7 @@ class Cluster {
 
   ClusterConfig config_;
   sim::Simulation sim_;
+  std::unique_ptr<sim::TickHub> tick_hub_;
   std::unique_ptr<ApiServer> api_;
   std::unique_ptr<KubeScheduler> scheduler_;
   std::unique_ptr<NodeLifecycleController> node_controller_;

@@ -27,6 +27,43 @@ void ExportClusterMetrics(k8s::Cluster& cluster,
     }
   }
 
+  // Event-engine health: how much the timer wheel / shared sampler tick
+  // compress the schedule. Pull-at-read-time by construction — these are
+  // plain counter reads, no sampling events of their own.
+  exporter.Gauge("ks_sim_lifetime_events",
+                 "Engine events scheduled since simulation start", {},
+                 static_cast<double>(cluster.sim().lifetime_events()));
+  exporter.Gauge("ks_sim_pending_events",
+                 "Engine events currently scheduled", {},
+                 static_cast<double>(cluster.sim().pending()));
+  if (cluster.tick_hub() != nullptr) {
+    exporter.Gauge("ks_sampler_hub_fires",
+                   "Instrument callbacks delivered by the shared tick", {},
+                   static_cast<double>(cluster.tick_hub()->fires()));
+    exporter.Gauge("ks_sampler_hub_ticks",
+                   "Engine events the shared tick consumed", {},
+                   static_cast<double>(cluster.tick_hub()->ticks()));
+  }
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    auto& node = cluster.node(n);
+    exporter.Gauge("ks_token_timers_pending",
+                   "Renewal deadlines resident in the node's token timers",
+                   {{"node", node.name}},
+                   static_cast<double>(node.token_backend->pending_timers()));
+    if (auto* wheel_backend =
+            dynamic_cast<vgpu::TokenBackend*>(node.token_backend.get())) {
+      exporter.Gauge("ks_token_wheel_ticks",
+                     "Engine events the node's timer wheel consumed",
+                     {{"node", node.name}},
+                     static_cast<double>(wheel_backend->wheel().stats().ticks));
+      exporter.Gauge(
+          "ks_token_wheel_timers_scheduled",
+          "Renewal deadlines placed on the node's timer wheel",
+          {{"node", node.name}},
+          static_cast<double>(wheel_backend->wheel().stats().scheduled));
+    }
+  }
+
   std::map<std::string, int> pods_by_phase;
   for (const k8s::Pod& pod : cluster.api().pods().List()) {
     ++pods_by_phase[k8s::PodPhaseName(pod.status.phase)];

@@ -13,22 +13,41 @@ PeriodicSampler::PeriodicSampler(sim::Simulation* sim, Duration period,
   assert(probe_);
 }
 
+PeriodicSampler::PeriodicSampler(sim::TickHub* hub, Duration period,
+                                 Probe probe)
+    : sim_(hub->sim()), hub_(hub), period_(period), probe_(std::move(probe)) {
+  assert(period_.count() > 0);
+  assert(probe_);
+}
+
+PeriodicSampler::~PeriodicSampler() { Stop(); }
+
 void PeriodicSampler::Start() {
   if (running_) return;
   running_ = true;
-  event_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+  if (hub_ != nullptr) {
+    sub_ = hub_->Subscribe(period_, [this] { Tick(); });
+  } else {
+    event_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+  }
 }
 
 void PeriodicSampler::Stop() {
   if (!running_) return;
   running_ = false;
-  sim_->Cancel(event_);
-  event_ = sim::kInvalidEvent;
+  if (hub_ != nullptr) {
+    hub_->Unsubscribe(sub_);
+    sub_ = 0;
+  } else {
+    sim_->Cancel(event_);
+    event_ = sim::kInvalidEvent;
+  }
 }
 
 void PeriodicSampler::Tick() {
   series_.push_back({sim_->Now(), probe_()});
-  if (running_) {
+  // In pull mode the hub re-arms; push mode self-reschedules.
+  if (hub_ == nullptr && running_) {
     event_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
   }
 }

@@ -5,16 +5,35 @@
 
 #include "common/time.hpp"
 #include "sim/simulation.hpp"
+#include "sim/tick_hub.hpp"
 
 namespace ks::metrics {
 
 /// Periodically samples a scalar (pool size, active GPUs, queue depth, ...)
 /// into a time series — the generic instrument behind the Fig 9 timelines.
+///
+/// Two sampling modes:
+///  - push (reference): the sampler keeps a private self-rescheduling
+///    engine event — one event per sample. This is the original behaviour,
+///    kept as the oracle for the pull mode.
+///  - pull: the sampler subscribes to a shared sim::TickHub, so all
+///    instruments on a hub multiplex onto (at most) one armed engine
+///    event. Probes are read-only, so samples are byte-identical to push
+///    mode whenever the period sits on the hub's grid
+///    (tests/metrics/sampler_pull_test.cpp locks this in).
 class PeriodicSampler {
  public:
   using Probe = std::function<double()>;
 
+  /// Push mode (reference): one engine event per sample.
   PeriodicSampler(sim::Simulation* sim, Duration period, Probe probe);
+
+  /// Pull mode: rides `hub`'s shared tick.
+  PeriodicSampler(sim::TickHub* hub, Duration period, Probe probe);
+
+  ~PeriodicSampler();
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
 
   void Start();
   void Stop();
@@ -32,10 +51,12 @@ class PeriodicSampler {
   void Tick();
 
   sim::Simulation* sim_;
+  sim::TickHub* hub_ = nullptr;
   Duration period_;
   Probe probe_;
   bool running_ = false;
   sim::EventId event_ = sim::kInvalidEvent;
+  sim::TickHub::SubId sub_ = 0;
   std::vector<Sample> series_;
 };
 

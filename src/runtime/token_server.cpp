@@ -1,5 +1,6 @@
 #include "runtime/token_server.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ks::runtime {
@@ -101,9 +102,17 @@ bool TokenServer::Acquire(const std::string& id) {
         cv_.notify_all();
       }
     }
-    // Re-check every 2 ms so limit-throttled clients re-qualify as their
-    // window slides even with no release event.
-    cv_.wait_for(lock, std::chrono::milliseconds(2));
+    // Deadline-aware parking (the thread-world analog of the simulated
+    // backend's timer wheel): while the token is held nothing can change
+    // before the holder's quota deadline except a Release — and that
+    // notifies — so sleep straight through to the deadline instead of
+    // polling. The 2 ms floor doubles as the free-token poll (so
+    // limit-throttled clients re-qualify as their window slides) and as
+    // the backstop against a holder overrunning its expired quota.
+    const auto backstop = Clock::now() + std::chrono::milliseconds(2);
+    cv_.wait_until(lock, holder_.has_value()
+                             ? std::max(holder_deadline_, backstop)
+                             : backstop);
   }
 }
 

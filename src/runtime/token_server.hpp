@@ -30,9 +30,11 @@ struct TokenServerConfig {
 /// vgpu::TokenBackend (filter at gpu_limit, prioritize below gpu_request,
 /// then lowest usage), with usage measured over a sliding window of real
 /// time. Thread-safety: one mutex guards all state; waiters are parked on
-/// a single condition variable and re-evaluated on every release (plus a
-/// short poll so limit-throttled clients re-qualify as their usage
-/// decays).
+/// a single condition variable and re-evaluated on every release. Parking
+/// is deadline-aware: while the token is held, waiters sleep through to
+/// the holder's quota deadline (a release notifies them early); only when
+/// the token is free do they poll, so limit-throttled clients re-qualify
+/// as their usage decays.
 class TokenServer {
  public:
   explicit TokenServer(TokenServerConfig config = {});

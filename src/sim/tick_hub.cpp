@@ -1,0 +1,45 @@
+#include "sim/tick_hub.hpp"
+
+#include <cassert>
+
+namespace ks::sim {
+
+TickHub::SubId TickHub::Subscribe(Duration period, EventCallback fn) {
+  assert(period.count() > 0);
+  const SubId id = next_id_++;
+  Sub& sub = subs_[id];
+  sub.period = period;
+  sub.fn = std::move(fn);
+  sub.next_due = sim_->Now() + period;
+  Arm(id);
+  return id;
+}
+
+bool TickHub::Unsubscribe(SubId id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return false;
+  wheel_.Cancel(it->second.timer);
+  subs_.erase(it);
+  return true;
+}
+
+void TickHub::Arm(SubId id) {
+  Sub& sub = subs_.at(id);
+  sub.timer = wheel_.ScheduleAt(sub.next_due, [this, id] {
+    auto it = subs_.find(id);
+    if (it == subs_.end()) return;
+    it->second.timer = kInvalidTimer;
+    // Moved out so a callback that unsubscribes itself does not destroy
+    // the callable mid-invocation.
+    EventCallback fn = std::move(it->second.fn);
+    ++fires_;
+    fn();
+    it = subs_.find(id);
+    if (it == subs_.end()) return;  // unsubscribed itself
+    it->second.fn = std::move(fn);
+    it->second.next_due += it->second.period;
+    Arm(id);
+  });
+}
+
+}  // namespace ks::sim

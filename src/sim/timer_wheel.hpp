@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::sim {
+
+/// Opaque handle to a wheel timer. Like sim::EventId it packs
+/// (sequence, slot): the sequence is globally monotonic, so a stale id can
+/// never resolve to a recycled slot — Cancel() on a fired, cancelled, or
+/// invalidated timer is a correct O(1) no-op.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+/// Hierarchical timer wheel (Varghese & Lauck) multiplexing many timers
+/// onto ONE pending simulation event.
+///
+/// The engine's heap already makes individual timers cheap; what it cannot
+/// do is make N timers cost less than N events. Components with per-entity
+/// deadlines (the token backend's per-container renewals, per-device
+/// re-evaluation polls) each used to keep a private pending event; a
+/// 64-container node was worth hundreds of heap pushes per simulated
+/// second. The wheel batches them: deadlines are quantized UP to a tick
+/// grid (`tick` — the coalescing window), same-tick timers fire from a
+/// single engine event, and the wheel keeps exactly one event armed, at
+/// the earliest non-empty tick.
+///
+/// Semantics:
+///  - a timer scheduled for time T fires at QuantizeUp(T) — with tick
+///    <= 1us the wheel is exact, since sim::Time has microsecond
+///    resolution;
+///  - timers sharing a fire instant run ordered by (requested time,
+///    insertion order), matching the engine's own FIFO tie-break, so a
+///    component ported from raw events keeps its event ordering whenever
+///    its deadlines land on the grid;
+///  - callbacks may schedule and cancel freely, including new timers due
+///    at the instant currently firing;
+///  - InvalidateAll() drops every pending timer at once (the token
+///    backend's restart path: nothing from the old incarnation may fire
+///    into the new one).
+///
+/// Layout: three 64-slot levels (spans of 64, 64^2, 64^3 ticks) plus an
+/// unsorted overflow bin for timers beyond the top span. The armed event
+/// always targets an actual deadline (the earliest one); when the wheel
+/// jumps there it cascades every coarse bucket position the jump crossed,
+/// so far timers refine toward level 0 with amortized-constant work and
+/// no engine event is ever spent on bookkeeping alone. Re-arm scans are
+/// O(buckets + resident timers), which is trivial at the fan-in the wheel
+/// exists to serve (tens of timers per wheel).
+class TimerWheel {
+ public:
+  /// `tick` is the quantization grid (coalescing window). Values <= 1us
+  /// (including zero) make the wheel exact.
+  TimerWheel(Simulation* sim, Duration tick);
+  ~TimerWheel();
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  TimerId ScheduleAt(Time t, EventCallback fn);
+  TimerId ScheduleAfter(Duration delay, EventCallback fn);
+
+  /// Cancels a pending timer. Safe on ids that already fired, were
+  /// cancelled, or were invalidated (returns false). When the last live
+  /// timer is cancelled the armed engine event is released too, so an
+  /// idle wheel contributes zero pending events.
+  bool Cancel(TimerId id);
+
+  /// Drops every pending timer and disarms the wheel. Outstanding ids all
+  /// become stale (the generation stamp guarantees a later Cancel or fire
+  /// cannot touch a recycled slot). Returns the number of timers dropped.
+  std::size_t InvalidateAll();
+
+  /// The instant a timer requested for `t` will actually fire.
+  Time QuantizeUp(Time t) const;
+  Duration tick() const { return Duration{tick_us_}; }
+
+  std::size_t pending() const { return live_; }
+  bool armed() const { return armed_event_ != kInvalidEvent; }
+
+  struct Stats {
+    std::uint64_t scheduled = 0;    ///< timers accepted
+    std::uint64_t fired = 0;        ///< timer callbacks run
+    std::uint64_t cancelled = 0;    ///< explicit Cancel() hits
+    std::uint64_t invalidated = 0;  ///< dropped by InvalidateAll()
+    /// Engine events the wheel consumed. Every tick fires at least one
+    /// timer; fired / ticks is the coalescing ratio the wheel earns.
+    std::uint64_t ticks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr int kLevelBits = 6;
+  static constexpr std::uint64_t kBuckets = 1ull << kLevelBits;  // 64
+  static constexpr int kLevels = 3;
+  static constexpr std::uint64_t kTopSpan = 1ull << (kLevelBits * kLevels);
+  static constexpr int kSlotBits = 20;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+
+  struct Slot {
+    EventCallback fn;
+    TimerId key = 0;  // 0 = vacant
+    Time due{0};      // requested (pre-quantization) fire time
+    std::uint64_t deadline_tick = 0;
+    // Current residence, so Cancel can unlink in O(bucket size).
+    std::uint8_t level = 0;  // kLevels == overflow bin
+    std::uint8_t bucket = 0;
+    bool extracted = false;  // pulled into the currently-firing batch
+  };
+
+  std::uint64_t TickOf(Time t) const;
+  std::uint32_t AcquireSlot();
+  void ReleaseSlot(std::uint32_t slot);
+  /// Files a slot into the level/bucket its deadline demands, relative to
+  /// cur_tick_.
+  void Place(std::uint32_t slot);
+  void Unlink(const Slot& s, TimerId key);
+  /// Ensures the armed engine event targets the earliest actionable tick.
+  void Rearm();
+  std::uint64_t FindNextTarget() const;
+  void ArmAt(std::uint64_t target_tick);
+  void OnTick();
+  void CascadeAcross(std::uint64_t from_tick, std::uint64_t to_tick);
+
+  Simulation* sim_;
+  std::int64_t tick_us_;
+  std::uint64_t cur_tick_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+  bool firing_ = false;
+
+  EventId armed_event_ = kInvalidEvent;
+  std::uint64_t armed_target_ = 0;
+
+  std::vector<TimerId> buckets_[kLevels][kBuckets];
+  std::vector<TimerId> overflow_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  Stats stats_;
+};
+
+}  // namespace ks::sim

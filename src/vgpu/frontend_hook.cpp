@@ -7,7 +7,7 @@
 
 namespace ks::vgpu {
 
-FrontendHook::FrontendHook(cuda::CudaApi* inner, TokenBackend* backend,
+FrontendHook::FrontendHook(cuda::CudaApi* inner, TokenBackendApi* backend,
                            ContainerId container, GpuUuid device,
                            ResourceSpec spec,
                            std::uint64_t device_memory_bytes)

@@ -35,7 +35,7 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   /// the physical capacity used to convert the fractional gpu_mem into a
   /// byte quota. Registration with the backend happens in the constructor;
   /// the destructor unregisters.
-  FrontendHook(cuda::CudaApi* inner, TokenBackend* backend,
+  FrontendHook(cuda::CudaApi* inner, TokenBackendApi* backend,
                ContainerId container, GpuUuid device, ResourceSpec spec,
                std::uint64_t device_memory_bytes);
   ~FrontendHook() override;
@@ -120,7 +120,7 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   bool HasQueuedWork() const;
 
   cuda::CudaApi* inner_;
-  TokenBackend* backend_;
+  TokenBackendApi* backend_;
   ContainerId container_;
   GpuUuid device_;
   ResourceSpec spec_;

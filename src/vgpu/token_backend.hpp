@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
@@ -10,6 +11,7 @@
 #include "common/status.hpp"
 #include "common/time.hpp"
 #include "sim/simulation.hpp"
+#include "sim/timer_wheel.hpp"
 #include "vgpu/resource_spec.hpp"
 
 namespace ks::vgpu {
@@ -34,6 +36,13 @@ struct BackendConfig {
   /// its device state and re-accepts the frontends that survived (systemd
   /// restart + socket re-handshake, scaled to simulation-friendly values).
   Duration restart_downtime = Millis(50);
+  /// Timer-wheel tick of the wheel-based TokenBackend: renewals landing in
+  /// the same window fire from one engine event. The default is the GCD of
+  /// every other duration knob above, so daemon deadlines stay exact under
+  /// the default config — coarsen it to trade deadline precision for fewer
+  /// events (bench_engine's token-cluster scenario measures the trade).
+  /// TokenBackendReference ignores this knob.
+  Duration coalesce_window = Micros(500);
 };
 
 /// Callback surface of the per-container frontend, as seen by the backend.
@@ -58,9 +67,9 @@ class TokenClient {
   virtual void OnBackendRestart() {}
 };
 
-/// The per-node backend daemon: one instance manages the tokens of every
-/// GPU on a node independently (paper: "only one backend module is needed
-/// on a host machine").
+/// The contract of the per-node backend daemon: one instance manages the
+/// tokens of every GPU on a node independently (paper: "only one backend
+/// module is needed on a host machine").
 ///
 /// Token scheduling follows the paper's three-step elastic policy verbatim:
 ///  1. filter requesters whose sliding-window usage already reached their
@@ -70,57 +79,67 @@ class TokenClient {
 ///     the sum of gpu_requests on a device);
 ///  3. if every requester has reached its gpu_request, grant to the one
 ///     with the lowest current usage (fair division of residual capacity).
-class TokenBackend {
+///
+/// Two implementations exist: TokenBackend (default) batches every daemon
+/// deadline onto a per-node timer wheel, and TokenBackendReference keeps
+/// one engine event per deadline. The reference is the documentation of
+/// record for the paper's semantics — the wheel must match it trace-for-
+/// trace (tests/vgpu/token_wheel_equivalence_test.cpp), mirroring the
+/// ScheduleSharePod / ScheduleSharePodReference oracle pair.
+class TokenBackendApi {
  public:
-  TokenBackend(sim::Simulation* sim, BackendConfig config = {});
+  virtual ~TokenBackendApi() = default;
 
-  const BackendConfig& config() const { return config_; }
+  virtual const BackendConfig& config() const = 0;
 
   /// Makes a device known to the backend. Idempotent.
-  void RegisterDevice(const GpuUuid& device);
+  virtual void RegisterDevice(const GpuUuid& device) = 0;
 
   /// Registers a container that will contend for `device`. The client
   /// pointer must outlive the registration.
-  Status RegisterContainer(const ContainerId& container, const GpuUuid& device,
-                           const ResourceSpec& spec, TokenClient* client);
+  virtual Status RegisterContainer(const ContainerId& container,
+                                   const GpuUuid& device,
+                                   const ResourceSpec& spec,
+                                   TokenClient* client) = 0;
 
   /// Removes a container; an outstanding token is reclaimed immediately.
-  Status UnregisterContainer(const ContainerId& container);
+  virtual Status UnregisterContainer(const ContainerId& container) = 0;
 
   /// Vertical resize: replaces a running container's compute spec. Takes
   /// effect at the next grant decision (the current hold is untouched);
   /// gpu_mem changes are ignored — allocations are already placed.
-  Status UpdateSpec(const ContainerId& container, const ResourceSpec& spec);
+  virtual Status UpdateSpec(const ContainerId& container,
+                            const ResourceSpec& spec) = 0;
 
   /// Frontend request: the container has kernels to run and needs the
   /// token. Idempotent while already queued or holding.
-  Status RequestToken(const ContainerId& container);
+  virtual Status RequestToken(const ContainerId& container) = 0;
 
   /// Frontend release: the holder yields (early, with no more work, or
   /// after expiry once its in-flight kernel retired).
-  Status ReleaseToken(const ContainerId& container);
+  virtual Status ReleaseToken(const ContainerId& container) = 0;
 
   /// Postpones the holder's quota expiry by `extra`. Used by the memory
   /// over-commitment extension: the time slice should cover kernel
   /// execution, not the page migration that precedes it — without the
   /// extension a migration longer than the quota would expire every grant
   /// before a single kernel runs (swap thrash with zero progress).
-  Status ExtendQuota(const ContainerId& container, Duration extra);
+  virtual Status ExtendQuota(const ContainerId& container, Duration extra) = 0;
 
   /// Sliding-window usage rate of a container — the quantity Fig 6 plots
   /// per job ("the GPU utilization of individual container is measured by
   /// the allocated usage time from our vGPU device library").
-  double UsageOf(const ContainerId& container) const;
+  virtual double UsageOf(const ContainerId& container) const = 0;
 
   /// Current holder of a device's token (valid or in overrun), if any.
-  std::optional<ContainerId> HolderOf(const GpuUuid& device) const;
+  virtual std::optional<ContainerId> HolderOf(const GpuUuid& device) const = 0;
 
   /// Number of containers queued for a device's token.
-  std::size_t QueueLength(const GpuUuid& device) const;
+  virtual std::size_t QueueLength(const GpuUuid& device) const = 0;
 
   /// Total number of token grants performed (all devices) — the Fig 7
   /// exchange count.
-  std::uint64_t grants() const { return grants_; }
+  virtual std::uint64_t grants() const = 0;
 
   /// Fault injection: the daemon dies and restarts. All token/queue state
   /// and sliding windows are lost (state is in-memory in the real daemon
@@ -130,12 +149,12 @@ class TokenBackend {
   /// alive (ones unregistered during the downtime — e.g. their node died —
   /// are skipped) and tells each via TokenClient::OnBackendRestart so the
   /// frontend re-requests. Devices stay registered (rediscovered on boot).
-  void Restart();
+  virtual void Restart() = 0;
 
-  std::uint64_t restarts() const { return restarts_; }
+  virtual std::uint64_t restarts() const = 0;
   /// Containers re-registered across restarts (tokens re-acquired follow).
-  std::uint64_t reattached() const { return reattached_; }
-  bool down() const { return down_; }
+  virtual std::uint64_t reattached() const = 0;
+  virtual bool down() const = 0;
 
   /// Per-container accounting, for observability and the isolation
   /// analyses: how often the container got the token, how long it held it
@@ -146,7 +165,56 @@ class TokenBackend {
     Duration held_total{0};
     Duration overrun_total{0};
   };
-  ContainerStats StatsOf(const ContainerId& container) const;
+  virtual ContainerStats StatsOf(const ContainerId& container) const = 0;
+
+  /// Pending daemon timers (renewal/reeval/restart deadlines), however the
+  /// implementation stores them. Zero when the daemon owes the engine
+  /// nothing — the dangling-reeval regression test pins this.
+  virtual std::size_t pending_timers() const = 0;
+};
+
+/// Selects the token-backend implementation a cluster builds per node.
+enum class TokenTimerMode {
+  kWheel,      ///< TokenBackend: per-node timer wheel (default)
+  kReference,  ///< TokenBackendReference: one engine event per deadline
+};
+
+/// Wheel-based backend daemon: every deadline the daemon owns (quota
+/// expiries, grant hand-offs, throttle re-evaluations, restart downtime)
+/// lives on one per-node sim::TimerWheel, so the whole daemon keeps at
+/// most ONE engine event armed. Deadlines are quantized up to
+/// BackendConfig::coalesce_window; with the default window (the GCD of the
+/// default config durations) daemon behaviour is tick-for-tick identical
+/// to TokenBackendReference.
+class TokenBackend : public TokenBackendApi {
+ public:
+  TokenBackend(sim::Simulation* sim, BackendConfig config = {});
+
+  const BackendConfig& config() const override { return config_; }
+  void RegisterDevice(const GpuUuid& device) override;
+  Status RegisterContainer(const ContainerId& container, const GpuUuid& device,
+                           const ResourceSpec& spec,
+                           TokenClient* client) override;
+  Status UnregisterContainer(const ContainerId& container) override;
+  Status UpdateSpec(const ContainerId& container,
+                    const ResourceSpec& spec) override;
+  Status RequestToken(const ContainerId& container) override;
+  Status ReleaseToken(const ContainerId& container) override;
+  Status ExtendQuota(const ContainerId& container, Duration extra) override;
+  double UsageOf(const ContainerId& container) const override;
+  std::optional<ContainerId> HolderOf(const GpuUuid& device) const override;
+  std::size_t QueueLength(const GpuUuid& device) const override;
+  std::uint64_t grants() const override { return grants_; }
+  void Restart() override;
+  std::uint64_t restarts() const override { return restarts_; }
+  std::uint64_t reattached() const override { return reattached_; }
+  bool down() const override { return down_; }
+  ContainerStats StatsOf(const ContainerId& container) const override;
+  std::size_t pending_timers() const override { return wheel_.pending(); }
+
+  /// The per-node wheel, for observability (cluster metrics export the
+  /// coalescing ratio) and the chaos injector's re-arm check.
+  const sim::TimerWheel& wheel() const { return wheel_; }
 
  private:
   struct ContainerState {
@@ -164,11 +232,11 @@ class TokenBackend {
   struct DeviceState {
     std::deque<ContainerId> queue;
     std::optional<ContainerId> holder;
-    bool token_valid = false;       // false while expired-but-not-released
-    bool grant_in_flight = false;   // exchange latency elapsing
-    Time expiry{0};                 // current quota deadline
-    sim::EventId expiry_event = sim::kInvalidEvent;
-    sim::EventId reeval_event = sim::kInvalidEvent;
+    bool token_valid = false;      // false while expired-but-not-released
+    bool grant_in_flight = false;  // exchange latency elapsing
+    Time expiry{0};                // current quota deadline
+    sim::TimerId expiry_timer = sim::kInvalidTimer;
+    sim::TimerId reeval_timer = sim::kInvalidTimer;
   };
 
   void TryGrant(const GpuUuid& device);
@@ -176,6 +244,7 @@ class TokenBackend {
                const ContainerId& container);
   void OnExpiry(const GpuUuid& device);
   void ScheduleReeval(DeviceState& dev, const GpuUuid& device_id);
+  void CancelIdleReeval(DeviceState& dev);
 
   /// What the daemon needs to re-admit a surviving frontend after a
   /// restart. Keyed by a sorted map so reattach order is deterministic.
@@ -187,6 +256,10 @@ class TokenBackend {
 
   sim::Simulation* sim_;
   BackendConfig config_;
+  /// Every daemon deadline rides this wheel; Restart() invalidates it
+  /// wholesale (the generation stamps turn outstanding ids stale) and the
+  /// downtime timer re-arms it for the new incarnation.
+  sim::TimerWheel wheel_;
   std::unordered_map<GpuUuid, DeviceState> devices_;
   std::unordered_map<ContainerId, ContainerState> containers_;
   std::map<ContainerId, ReattachInfo> pending_reattach_;

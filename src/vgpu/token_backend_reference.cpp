@@ -1,4 +1,4 @@
-#include "vgpu/token_backend.hpp"
+#include "vgpu/token_backend_reference.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -7,19 +7,20 @@
 
 namespace ks::vgpu {
 
-TokenBackend::TokenBackend(sim::Simulation* sim, BackendConfig config)
-    : sim_(sim), config_(config), wheel_(sim, config.coalesce_window) {
+TokenBackendReference::TokenBackendReference(sim::Simulation* sim,
+                                             BackendConfig config)
+    : sim_(sim), config_(config) {
   assert(sim_ != nullptr);
 }
 
-void TokenBackend::RegisterDevice(const GpuUuid& device) {
+void TokenBackendReference::RegisterDevice(const GpuUuid& device) {
   devices_.try_emplace(device);
 }
 
-Status TokenBackend::RegisterContainer(const ContainerId& container,
-                                       const GpuUuid& device,
-                                       const ResourceSpec& spec,
-                                       TokenClient* client) {
+Status TokenBackendReference::RegisterContainer(const ContainerId& container,
+                                                const GpuUuid& device,
+                                                const ResourceSpec& spec,
+                                                TokenClient* client) {
   KS_RETURN_IF_ERROR(spec.Validate());
   if (client == nullptr) return InvalidArgumentError("null token client");
   if (containers_.count(container) > 0) {
@@ -45,7 +46,8 @@ Status TokenBackend::RegisterContainer(const ContainerId& container,
   return Status::Ok();
 }
 
-Status TokenBackend::UnregisterContainer(const ContainerId& container) {
+Status TokenBackendReference::UnregisterContainer(
+    const ContainerId& container) {
   // A container dying while the daemon is down (or before its reattach
   // fires) must not be resurrected by the restart path.
   const bool was_pending = pending_reattach_.erase(container) > 0;
@@ -59,15 +61,14 @@ Status TokenBackend::UnregisterContainer(const ContainerId& container) {
   // Drop from the wait queue if present.
   dev.queue.erase(std::remove(dev.queue.begin(), dev.queue.end(), container),
                   dev.queue.end());
-  // A reeval poll armed for a queue this unregistration just emptied would
-  // dangle until it fired as a no-op; the wheel's generation stamp makes
-  // the cancel safe even if the tick is already being dispatched.
+  // Same fix as the wheel backend: a reeval poll armed for a queue this
+  // unregistration just emptied must not dangle until it fires as a no-op.
   CancelIdleReeval(dev);
   const bool was_holder = dev.holder.has_value() && *dev.holder == container;
   if (was_holder) {
-    if (dev.expiry_timer != sim::kInvalidTimer) {
-      wheel_.Cancel(dev.expiry_timer);
-      dev.expiry_timer = sim::kInvalidTimer;
+    if (dev.expiry_event != sim::kInvalidEvent) {
+      sim_->Cancel(dev.expiry_event);
+      dev.expiry_event = sim::kInvalidEvent;
     }
     dev.holder.reset();
     dev.token_valid = false;
@@ -78,8 +79,8 @@ Status TokenBackend::UnregisterContainer(const ContainerId& container) {
   return Status::Ok();
 }
 
-Status TokenBackend::UpdateSpec(const ContainerId& container,
-                                const ResourceSpec& spec) {
+Status TokenBackendReference::UpdateSpec(const ContainerId& container,
+                                         const ResourceSpec& spec) {
   KS_RETURN_IF_ERROR(spec.Validate());
   auto it = containers_.find(container);
   if (it == containers_.end()) {
@@ -92,7 +93,7 @@ Status TokenBackend::UpdateSpec(const ContainerId& container,
   return Status::Ok();
 }
 
-Status TokenBackend::RequestToken(const ContainerId& container) {
+Status TokenBackendReference::RequestToken(const ContainerId& container) {
   auto it = containers_.find(container);
   if (it == containers_.end()) {
     return NotFoundError("container not registered: " + container.value());
@@ -116,7 +117,7 @@ Status TokenBackend::RequestToken(const ContainerId& container) {
   return Status::Ok();
 }
 
-Status TokenBackend::ReleaseToken(const ContainerId& container) {
+Status TokenBackendReference::ReleaseToken(const ContainerId& container) {
   auto it = containers_.find(container);
   if (it == containers_.end()) {
     return NotFoundError("container not registered: " + container.value());
@@ -137,9 +138,9 @@ Status TokenBackend::ReleaseToken(const ContainerId& container) {
   if (!dev.token_valid && now > dev.expiry) {
     state.stats.overrun_total += now - dev.expiry;
   }
-  if (dev.expiry_timer != sim::kInvalidTimer) {
-    wheel_.Cancel(dev.expiry_timer);
-    dev.expiry_timer = sim::kInvalidTimer;
+  if (dev.expiry_event != sim::kInvalidEvent) {
+    sim_->Cancel(dev.expiry_event);
+    dev.expiry_event = sim::kInvalidEvent;
   }
   dev.holder.reset();
   dev.token_valid = false;
@@ -147,15 +148,15 @@ Status TokenBackend::ReleaseToken(const ContainerId& container) {
   return Status::Ok();
 }
 
-TokenBackend::ContainerStats TokenBackend::StatsOf(
+TokenBackendReference::ContainerStats TokenBackendReference::StatsOf(
     const ContainerId& container) const {
   auto it = containers_.find(container);
   if (it == containers_.end()) return {};
   return it->second.stats;
 }
 
-Status TokenBackend::ExtendQuota(const ContainerId& container,
-                                 Duration extra) {
+Status TokenBackendReference::ExtendQuota(const ContainerId& container,
+                                          Duration extra) {
   auto it = containers_.find(container);
   if (it == containers_.end()) {
     return NotFoundError("container not registered: " + container.value());
@@ -168,51 +169,62 @@ Status TokenBackend::ExtendQuota(const ContainerId& container,
   }
   if (extra.count() <= 0) return Status::Ok();
   const GpuUuid device_id = it->second.device;
-  wheel_.Cancel(dev.expiry_timer);
+  sim_->Cancel(dev.expiry_event);
   dev.expiry += extra;
-  dev.expiry_timer = wheel_.ScheduleAt(dev.expiry, [this, device_id] {
+  dev.expiry_event = sim_->ScheduleAt(dev.expiry, [this, device_id] {
     OnExpiry(device_id);
   });
   return Status::Ok();
 }
 
-double TokenBackend::UsageOf(const ContainerId& container) const {
+double TokenBackendReference::UsageOf(const ContainerId& container) const {
   auto it = containers_.find(container);
   if (it == containers_.end()) return 0.0;
   return it->second.usage.Usage(sim_->Now());
 }
 
-std::optional<ContainerId> TokenBackend::HolderOf(const GpuUuid& device) const {
+std::optional<ContainerId> TokenBackendReference::HolderOf(
+    const GpuUuid& device) const {
   auto it = devices_.find(device);
   if (it == devices_.end()) return std::nullopt;
   return it->second.holder;
 }
 
-std::size_t TokenBackend::QueueLength(const GpuUuid& device) const {
+std::size_t TokenBackendReference::QueueLength(const GpuUuid& device) const {
   auto it = devices_.find(device);
   if (it == devices_.end()) return 0;
   return it->second.queue.size();
 }
 
-void TokenBackend::ScheduleReeval(DeviceState& dev, const GpuUuid& device_id) {
-  if (dev.reeval_timer != sim::kInvalidTimer) return;
-  dev.reeval_timer = wheel_.ScheduleAfter(config_.reeval_period, [this,
-                                                                  device_id] {
+std::size_t TokenBackendReference::pending_timers() const {
+  std::size_t n = down_ ? 1 : 0;  // the restart come-back deadline
+  for (const auto& [device_id, dev] : devices_) {
+    if (dev.expiry_event != sim::kInvalidEvent) ++n;
+    if (dev.reeval_event != sim::kInvalidEvent) ++n;
+  }
+  return n;
+}
+
+void TokenBackendReference::ScheduleReeval(DeviceState& dev,
+                                           const GpuUuid& device_id) {
+  if (dev.reeval_event != sim::kInvalidEvent) return;
+  dev.reeval_event = sim_->ScheduleAfter(config_.reeval_period, [this,
+                                                                 device_id] {
     auto it = devices_.find(device_id);
     if (it == devices_.end()) return;
-    it->second.reeval_timer = sim::kInvalidTimer;
+    it->second.reeval_event = sim::kInvalidEvent;
     TryGrant(device_id);
   });
 }
 
-void TokenBackend::CancelIdleReeval(DeviceState& dev) {
-  if (dev.queue.empty() && dev.reeval_timer != sim::kInvalidTimer) {
-    wheel_.Cancel(dev.reeval_timer);
-    dev.reeval_timer = sim::kInvalidTimer;
+void TokenBackendReference::CancelIdleReeval(DeviceState& dev) {
+  if (dev.queue.empty() && dev.reeval_event != sim::kInvalidEvent) {
+    sim_->Cancel(dev.reeval_event);
+    dev.reeval_event = sim::kInvalidEvent;
   }
 }
 
-void TokenBackend::TryGrant(const GpuUuid& device_id) {
+void TokenBackendReference::TryGrant(const GpuUuid& device_id) {
   DeviceState& dev = devices_.at(device_id);
   if (dev.holder.has_value() || dev.grant_in_flight) return;
   if (dev.queue.empty()) return;
@@ -268,8 +280,8 @@ void TokenBackend::TryGrant(const GpuUuid& device_id) {
   GrantTo(dev, device_id, *pick);
 }
 
-void TokenBackend::GrantTo(DeviceState& dev, const GpuUuid& device_id,
-                           const ContainerId& container) {
+void TokenBackendReference::GrantTo(DeviceState& dev, const GpuUuid& device_id,
+                                    const ContainerId& container) {
   ContainerState& state = containers_.at(container);
   dev.queue.erase(std::remove(dev.queue.begin(), dev.queue.end(), container),
                   dev.queue.end());
@@ -280,11 +292,9 @@ void TokenBackend::GrantTo(DeviceState& dev, const GpuUuid& device_id,
 
   // The hand-off costs one exchange latency, during which the device is
   // idle; the token is valid from the end of the exchange for one quota.
-  // The epoch guard is belt-and-braces here: a restart also invalidates
-  // this wheel timer outright.
   const ContainerId granted = container;
-  wheel_.ScheduleAfter(config_.exchange_latency, [this, device_id, granted,
-                                                  epoch = epoch_] {
+  sim_->ScheduleAfter(config_.exchange_latency, [this, device_id, granted,
+                                                 epoch = epoch_] {
     if (epoch != epoch_) return;  // daemon restarted mid-exchange
     auto dit = devices_.find(device_id);
     if (dit == devices_.end()) return;
@@ -298,25 +308,28 @@ void TokenBackend::GrantTo(DeviceState& dev, const GpuUuid& device_id,
     cit->second.grant_time = sim_->Now();
     ++cit->second.stats.grants;
     cit->second.usage.Start(sim_->Now());
-    d.expiry_timer = wheel_.ScheduleAt(d.expiry, [this, device_id] {
+    d.expiry_event = sim_->ScheduleAt(d.expiry, [this, device_id] {
       OnExpiry(device_id);
     });
     cit->second.client->OnTokenGranted(d.expiry);
   });
 }
 
-void TokenBackend::Restart() {
+void TokenBackendReference::Restart() {
   ++epoch_;  // invalidate in-flight grant hand-offs
   ++restarts_;
   down_ = true;
-  // All per-device token state dies with the daemon. One wholesale wheel
-  // invalidation replaces the per-timer cancels: every outstanding timer
-  // id of the old incarnation goes stale at once (generation stamps), so
-  // nothing can fire into the new one.
-  wheel_.InvalidateAll();
+  // All per-device token state dies with the daemon; pending timers are
+  // cancelled so nothing from the old incarnation fires into the new one.
   for (auto& [device_id, dev] : devices_) {
-    dev.expiry_timer = sim::kInvalidTimer;
-    dev.reeval_timer = sim::kInvalidTimer;
+    if (dev.expiry_event != sim::kInvalidEvent) {
+      sim_->Cancel(dev.expiry_event);
+      dev.expiry_event = sim::kInvalidEvent;
+    }
+    if (dev.reeval_event != sim::kInvalidEvent) {
+      sim_->Cancel(dev.reeval_event);
+      dev.reeval_event = sim::kInvalidEvent;
+    }
     dev.queue.clear();
     dev.holder.reset();
     dev.token_valid = false;
@@ -329,8 +342,7 @@ void TokenBackend::Restart() {
     pending_reattach_[container] = {state.device, state.spec, state.client};
   }
   containers_.clear();
-  // The come-back deadline re-arms the wheel for the new incarnation.
-  wheel_.ScheduleAfter(config_.restart_downtime, [this, epoch = epoch_] {
+  sim_->ScheduleAfter(config_.restart_downtime, [this, epoch = epoch_] {
     if (epoch != epoch_) return;  // restarted again before coming up
     down_ = false;
     // pending_reattach_ is a sorted map — deterministic reattach order.
@@ -347,9 +359,9 @@ void TokenBackend::Restart() {
   });
 }
 
-void TokenBackend::OnExpiry(const GpuUuid& device_id) {
+void TokenBackendReference::OnExpiry(const GpuUuid& device_id) {
   DeviceState& dev = devices_.at(device_id);
-  dev.expiry_timer = sim::kInvalidTimer;
+  dev.expiry_event = sim::kInvalidEvent;
   if (!dev.holder.has_value()) return;
   dev.token_valid = false;
   auto it = containers_.find(*dev.holder);

@@ -50,7 +50,7 @@ void WorkloadHost::OnContainerStart(const k8s::ContainerInstance& inst) {
   // Install the vGPU device library when DevMgr configured one; otherwise
   // offer the container to the registered baseline decorator.
   if (auto binding = kubeshare::KubeShare::ParseBinding(inst.env)) {
-    vgpu::TokenBackend* backend = cluster_->BackendForGpu(device->uuid());
+    vgpu::TokenBackendApi* backend = cluster_->BackendForGpu(device->uuid());
     assert(backend != nullptr);
     stack->hook = std::make_unique<vgpu::FrontendHook>(
         stack->ctx.get(), backend, inst.id, device->uuid(), binding->spec,

@@ -54,6 +54,20 @@ ScheduleRequest RandomRequest(Rng& rng, int i) {
   return r;
 }
 
+/// Like RandomRequest, but biased hard toward node-constrained placements:
+/// most requests pin a node, and some pin one outside the supply (the
+/// must-fail path both schedulers have to reject identically).
+ScheduleRequest RandomNodeConstrainedRequest(Rng& rng, int i) {
+  ScheduleRequest r = RandomRequest(rng, i);
+  if (rng.Chance(0.75)) {
+    // node-0..4 against a 3-node supply: indices 3 and 4 never match.
+    r.node_constraint = "node-" + std::to_string(rng.UniformInt(0, 4));
+  } else {
+    r.node_constraint.clear();
+  }
+  return r;
+}
+
 /// Full structural comparison of two pools. The indexed scheduler must
 /// leave the pool in exactly the state the reference scan does.
 void ExpectPoolsEqual(const VgpuPool& a, const VgpuPool& b,
@@ -75,14 +89,18 @@ void ExpectPoolsEqual(const VgpuPool& a, const VgpuPool& b,
   }
 }
 
-void RunEquivalenceSequence(PlacementVariant variant, std::uint64_t seed) {
+using RequestGen = ScheduleRequest (*)(Rng&, int);
+
+void RunEquivalenceSequence(PlacementVariant variant, std::uint64_t seed,
+                            RequestGen make_request = &RandomRequest,
+                            int ops = 400) {
   Rng rng(seed);
   VgpuPool indexed;
   VgpuPool reference;
   const std::vector<NodeFreeGpus> supply = Supply(3, 3);
   std::vector<std::string> attached;
 
-  for (int i = 0; i < 400; ++i) {
+  for (int i = 0; i < ops; ++i) {
     const std::string context =
         "seed " + std::to_string(seed) + " op " + std::to_string(i);
     if (!attached.empty() && rng.Chance(0.25)) {
@@ -113,7 +131,7 @@ void RunEquivalenceSequence(PlacementVariant variant, std::uint64_t seed) {
       EXPECT_EQ(indexed.Remove(id).code(), reference.Remove(id).code())
           << context;
     } else {
-      const ScheduleRequest r = RandomRequest(rng, i);
+      const ScheduleRequest r = make_request(rng, i);
       auto ra = ScheduleSharePod(indexed, r, supply, variant);
       auto rb = ScheduleSharePodReference(reference, r, supply, variant);
       ASSERT_EQ(ra.status().code(), rb.status().code())
@@ -134,16 +152,33 @@ void RunEquivalenceSequence(PlacementVariant variant, std::uint64_t seed) {
 TEST(SchedulerEquivalence, PaperVariantMatchesReference) {
   RunEquivalenceSequence(PlacementVariant::kPaper, 11);
   RunEquivalenceSequence(PlacementVariant::kPaper, 12);
+  RunEquivalenceSequence(PlacementVariant::kPaper, 13);
 }
 
 TEST(SchedulerEquivalence, WorstFitVariantMatchesReference) {
   RunEquivalenceSequence(PlacementVariant::kWorstFitEverywhere, 21);
   RunEquivalenceSequence(PlacementVariant::kWorstFitEverywhere, 22);
+  RunEquivalenceSequence(PlacementVariant::kWorstFitEverywhere, 23);
 }
 
 TEST(SchedulerEquivalence, FirstFitVariantMatchesReference) {
   RunEquivalenceSequence(PlacementVariant::kFirstFit, 31);
   RunEquivalenceSequence(PlacementVariant::kFirstFit, 32);
+  RunEquivalenceSequence(PlacementVariant::kFirstFit, 33);
+}
+
+TEST(SchedulerEquivalence, NodeConstrainedRequestsMatchReference) {
+  // Node-pinned placements exercise the per-node index cut of the fused
+  // scan, including pins to nodes outside the supply (hard rejections) —
+  // the indexed scheduler must agree with the full scan on every one.
+  for (const std::uint64_t seed : {41, 42, 43, 44}) {
+    RunEquivalenceSequence(PlacementVariant::kPaper, seed,
+                           &RandomNodeConstrainedRequest, 500);
+  }
+  RunEquivalenceSequence(PlacementVariant::kWorstFitEverywhere, 45,
+                         &RandomNodeConstrainedRequest, 500);
+  RunEquivalenceSequence(PlacementVariant::kFirstFit, 46,
+                         &RandomNodeConstrainedRequest, 500);
 }
 
 TEST(SchedulerEquivalence, OvercommitPoolsStayEquivalent) {

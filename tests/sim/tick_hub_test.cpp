@@ -1,0 +1,78 @@
+#include "sim/tick_hub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace ks::sim {
+namespace {
+
+TEST(TickHubTest, FiresAtExactPeriodMultiples) {
+  Simulation sim;
+  TickHub hub(&sim);
+  std::vector<std::int64_t> at;
+  hub.Subscribe(Millis(10), [&] { at.push_back(sim.Now().count()); });
+  sim.RunUntil(Millis(35));
+  EXPECT_EQ(at, (std::vector<std::int64_t>{10000, 20000, 30000}));
+}
+
+TEST(TickHubTest, EqualPeriodSubscribersShareOneEngineEvent) {
+  Simulation sim;
+  TickHub hub(&sim, Micros(500));
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  hub.Subscribe(Seconds(1.0), [&] { ++a; });
+  hub.Subscribe(Seconds(1.0), [&] { ++b; });
+  hub.Subscribe(Seconds(1.0), [&] { ++c; });
+  sim.RunUntil(Seconds(10.0));
+  EXPECT_EQ(a, 10);
+  EXPECT_EQ(b, 10);
+  EXPECT_EQ(c, 10);
+  EXPECT_EQ(hub.fires(), 30u);
+  // Three subscribers, ten sampling instants, ten engine events.
+  EXPECT_EQ(hub.ticks(), 10u);
+}
+
+TEST(TickHubTest, UnsubscribeStopsFiring) {
+  Simulation sim;
+  TickHub hub(&sim);
+  int n = 0;
+  const TickHub::SubId id = hub.Subscribe(Millis(1), [&] { ++n; });
+  sim.RunUntil(Millis(3));
+  EXPECT_TRUE(hub.Unsubscribe(id));
+  EXPECT_FALSE(hub.Unsubscribe(id));
+  sim.RunUntil(Millis(10));
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(TickHubTest, SubscriberMayUnsubscribeItselfMidFire) {
+  Simulation sim;
+  TickHub hub(&sim);
+  int n = 0;
+  TickHub::SubId id = 0;
+  id = hub.Subscribe(Millis(1), [&] {
+    if (++n == 2) hub.Unsubscribe(id);
+  });
+  sim.RunUntil(Millis(10));
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(hub.subscribers(), 0u);
+}
+
+TEST(TickHubTest, MixedPeriodsKeepTheirOwnGrids) {
+  Simulation sim;
+  TickHub hub(&sim, Micros(500));
+  std::vector<std::int64_t> fast;
+  std::vector<std::int64_t> slow;
+  hub.Subscribe(Millis(3), [&] { fast.push_back(sim.Now().count()); });
+  hub.Subscribe(Millis(5), [&] { slow.push_back(sim.Now().count()); });
+  sim.RunUntil(Millis(15));
+  EXPECT_EQ(fast, (std::vector<std::int64_t>{3000, 6000, 9000, 12000, 15000}));
+  EXPECT_EQ(slow, (std::vector<std::int64_t>{5000, 10000, 15000}));
+}
+
+}  // namespace
+}  // namespace ks::sim

@@ -8,6 +8,7 @@
 #include "gpu/device.hpp"
 #include "vgpu/frontend_hook.hpp"
 #include "vgpu/token_backend.hpp"
+#include "vgpu/token_backend_reference.hpp"
 
 namespace ks::vgpu {
 namespace {
@@ -19,7 +20,7 @@ namespace {
 class BurstyClient {
  public:
   BurstyClient(sim::Simulation* sim, gpu::GpuDevice* dev,
-               TokenBackend* backend, std::string name, ResourceSpec spec,
+               TokenBackendApi* backend, std::string name, ResourceSpec spec,
                Rng* rng)
       : sim_(sim),
         name_(std::move(name)),
@@ -76,6 +77,9 @@ class BurstyClient {
 
 struct ChurnParam {
   std::uint64_t seed;
+  /// Both timer implementations must satisfy the churn properties: the
+  /// wheel (default) and the one-event-per-deadline reference oracle.
+  TokenTimerMode mode = TokenTimerMode::kWheel;
 };
 
 class TokenChurnProperty : public ::testing::TestWithParam<ChurnParam> {};
@@ -88,7 +92,13 @@ TEST_P(TokenChurnProperty, SurvivesRandomChurn) {
   Rng rng(GetParam().seed);
   sim::Simulation sim;
   gpu::GpuDevice dev(&sim, GpuUuid("GPU-C"));
-  TokenBackend backend(&sim);
+  std::unique_ptr<TokenBackendApi> backend_ptr;
+  if (GetParam().mode == TokenTimerMode::kWheel) {
+    backend_ptr = std::make_unique<TokenBackend>(&sim);
+  } else {
+    backend_ptr = std::make_unique<TokenBackendReference>(&sim);
+  }
+  TokenBackendApi& backend = *backend_ptr;
 
   std::vector<std::unique_ptr<BurstyClient>> clients;
   int next_id = 0;
@@ -136,13 +146,24 @@ TEST_P(TokenChurnProperty, SurvivesRandomChurn) {
   EXPECT_EQ(backend.QueueLength(dev.uuid()), 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, TokenChurnProperty,
-                         ::testing::Values(ChurnParam{7}, ChurnParam{77},
-                                           ChurnParam{777}, ChurnParam{7777},
-                                           ChurnParam{77777}),
-                         [](const ::testing::TestParamInfo<ChurnParam>& i) {
-                           return "seed" + std::to_string(i.param.seed);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TokenChurnProperty,
+    ::testing::Values(
+        ChurnParam{7, TokenTimerMode::kWheel},
+        ChurnParam{77, TokenTimerMode::kWheel},
+        ChurnParam{777, TokenTimerMode::kWheel},
+        ChurnParam{7777, TokenTimerMode::kWheel},
+        ChurnParam{77777, TokenTimerMode::kWheel},
+        ChurnParam{7, TokenTimerMode::kReference},
+        ChurnParam{77, TokenTimerMode::kReference},
+        ChurnParam{777, TokenTimerMode::kReference},
+        ChurnParam{7777, TokenTimerMode::kReference},
+        ChurnParam{77777, TokenTimerMode::kReference}),
+    [](const ::testing::TestParamInfo<ChurnParam>& i) {
+      return std::string(i.param.mode == TokenTimerMode::kWheel ? "wheel"
+                                                                : "reference") +
+             "_seed" + std::to_string(i.param.seed);
+    });
 
 }  // namespace
 }  // namespace ks::vgpu

@@ -1,0 +1,405 @@
+// Differential test: the timer-wheel TokenBackend against the
+// one-event-per-deadline TokenBackendReference (the oracle).
+//
+// A seeded churn plan — registrations, unregistrations, spec resizes and
+// daemon restarts at random grid-aligned times — is generated once and
+// replayed against both backends in two independent simulations. With the
+// default coalesce_window (the GCD of every daemon duration knob) the wheel
+// quantization is lossless, so the runs must agree exactly:
+//   - the grant trace (time, container, expiry) is identical,
+//   - the allocated-quota trace (sliding-window usage sampled on a fixed
+//     probe grid, per container) is identical,
+//   - the isolation-violation count (usage above gpu_limit at a probe) is
+//     identical,
+//   - the final per-container ContainerStats agree.
+//
+// This mirrors the ScheduleSharePod / ScheduleSharePodReference oracle pair
+// from the scheduler layer: the reference stays the documentation of record,
+// the wheel must earn its event-count win without changing one decision.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simulation.hpp"
+#include "vgpu/token_backend.hpp"
+#include "vgpu/token_backend_reference.hpp"
+
+namespace ks::vgpu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Churn plan: generated once per seed, replayed against both backends.
+
+struct ChurnOp {
+  enum Kind { kRegister, kUnregister, kUpdateSpec, kRestart };
+  Time at{0};
+  Kind kind = kRegister;
+  std::string name;    // container (empty for kRestart)
+  ResourceSpec spec;   // for kRegister / kUpdateSpec
+};
+
+struct ChurnPlan {
+  std::vector<ChurnOp> ops;
+  Time horizon{0};
+};
+
+ResourceSpec RandomSpec(Rng& rng) {
+  ResourceSpec spec;
+  spec.gpu_request = rng.Uniform(0.05, 0.3);
+  spec.gpu_limit = std::min(1.0, spec.gpu_request + rng.Uniform(0.05, 0.5));
+  return spec;
+}
+
+/// Ops land on a 1 ms grid (a multiple of the default 500 us wheel tick) so
+/// every daemon deadline they induce stays exactly representable.
+ChurnPlan MakePlan(std::uint64_t seed) {
+  Rng rng(seed);
+  ChurnPlan plan;
+  std::vector<std::string> live;
+  int next_id = 0;
+  Time t = Millis(1);
+  const int ops = static_cast<int>(rng.UniformInt(30, 50));
+  for (int i = 0; i < ops; ++i) {
+    t = t + Millis(rng.UniformInt(1, 80));
+    ChurnOp op;
+    op.at = t;
+    const double roll = rng.Uniform(0.0, 1.0);
+    if (live.size() < 2 || (live.size() < 7 && roll < 0.45)) {
+      op.kind = ChurnOp::kRegister;
+      op.name = "c" + std::to_string(next_id++);
+      op.spec = RandomSpec(rng);
+      live.push_back(op.name);
+    } else if (roll < 0.65) {
+      op.kind = ChurnOp::kUnregister;
+      const auto idx = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+      op.name = live[idx];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (roll < 0.9) {
+      op.kind = ChurnOp::kUpdateSpec;
+      const auto idx = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+      op.name = live[idx];
+      op.spec = RandomSpec(rng);
+    } else {
+      op.kind = ChurnOp::kRestart;
+    }
+    plan.ops.push_back(op);
+  }
+  plan.horizon = t + Seconds(1.5);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Reactive greedy client: always wants the token, never originates its own
+// timing (all spontaneous events belong to the driver or the backend), so
+// the run's event timeline is a pure function of the plan + the backend.
+
+class GreedyClient : public TokenClient {
+ public:
+  GreedyClient(TokenBackendApi* backend, ContainerId id,
+               std::vector<std::string>* trace)
+      : backend_(backend), id_(std::move(id)), trace_(trace) {}
+
+  void OnTokenGranted(Time expiry) override {
+    holding_ = true;
+    std::ostringstream line;
+    line << "grant " << id_.value() << " exp=" << expiry.count();
+    trace_->push_back(line.str());
+  }
+
+  void OnTokenExpired() override {
+    holding_ = false;
+    (void)backend_->ReleaseToken(id_);
+    if (live_) (void)backend_->RequestToken(id_);  // greedy: go again
+  }
+
+  void OnBackendRestart() override {
+    holding_ = false;
+    if (live_) (void)backend_->RequestToken(id_);
+  }
+
+  void MarkDead() {
+    live_ = false;
+    holding_ = false;
+  }
+  bool holding() const { return holding_; }
+
+ private:
+  TokenBackendApi* backend_;
+  ContainerId id_;
+  std::vector<std::string>* trace_;
+  bool live_ = true;
+  bool holding_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// One full run of a plan against one backend implementation.
+
+struct RunTrace {
+  std::vector<std::string> events;  // grants + probe samples, in sim order
+  std::uint64_t violations = 0;     // probe saw usage above gpu_limit
+  std::uint64_t grants = 0;
+  std::uint64_t lifetime_events = 0;
+};
+
+RunTrace RunPlan(const ChurnPlan& plan, TokenTimerMode mode) {
+  sim::Simulation sim;
+  std::unique_ptr<TokenBackendApi> backend;
+  if (mode == TokenTimerMode::kWheel) {
+    backend = std::make_unique<TokenBackend>(&sim);
+  } else {
+    backend = std::make_unique<TokenBackendReference>(&sim);
+  }
+  const GpuUuid gpu("GPU-EQ");
+  backend->RegisterDevice(gpu);
+
+  RunTrace trace;
+  // name -> (client, spec) of currently registered containers, name-sorted
+  // so probe iteration order is identical across runs.
+  std::map<std::string, std::pair<std::unique_ptr<GreedyClient>, ResourceSpec>>
+      registered;
+
+  // Driver ops, all pre-scheduled before Run() so they carry the lowest
+  // insertion seqs and fire ahead of any same-instant reactive event — in
+  // both simulations.
+  for (const ChurnOp& op : plan.ops) {
+    sim.ScheduleAt(op.at, [&, op] {
+      switch (op.kind) {
+        case ChurnOp::kRegister: {
+          auto client = std::make_unique<GreedyClient>(
+              backend.get(), ContainerId(op.name), &trace.events);
+          const Status st = backend->RegisterContainer(
+              ContainerId(op.name), gpu, op.spec, client.get());
+          trace.events.push_back("register " + op.name + " " + st.ToString());
+          if (st.ok()) {
+            (void)backend->RequestToken(ContainerId(op.name));
+            registered[op.name] = {std::move(client), op.spec};
+          }
+          break;
+        }
+        case ChurnOp::kUnregister: {
+          auto it = registered.find(op.name);
+          if (it == registered.end()) break;
+          it->second.first->MarkDead();
+          const Status st =
+              backend->UnregisterContainer(ContainerId(op.name));
+          trace.events.push_back("unregister " + op.name + " " +
+                                 st.ToString());
+          registered.erase(it);
+          break;
+        }
+        case ChurnOp::kUpdateSpec: {
+          auto it = registered.find(op.name);
+          if (it == registered.end()) break;
+          const Status st =
+              backend->UpdateSpec(ContainerId(op.name), op.spec);
+          trace.events.push_back("resize " + op.name + " " + st.ToString());
+          if (st.ok()) it->second.second = op.spec;
+          break;
+        }
+        case ChurnOp::kRestart: {
+          backend->Restart();
+          trace.events.push_back("restart");
+          // The daemon must never be left timerless after the wipe: the
+          // rebuild deadline is armed inside Restart() itself.
+          EXPECT_GT(backend->pending_timers(), 0u);
+          break;
+        }
+      }
+    });
+  }
+
+  // Allocated-quota probes on a fixed 100 ms grid: the sliding-window usage
+  // of every registered container, plus the isolation check against its
+  // gpu_limit. Pre-scheduled like the driver ops.
+  for (Time probe = Millis(100); probe <= plan.horizon;
+       probe = probe + Millis(100)) {
+    sim.ScheduleAt(probe, [&] {
+      for (const auto& [name, entry] : registered) {
+        const double usage = backend->UsageOf(ContainerId(name));
+        std::ostringstream line;
+        line << "probe t=" << sim.Now().count() << " " << name << " usage="
+             << usage;
+        trace.events.push_back(line.str());
+        if (usage > entry.second.gpu_limit + 1e-9) ++trace.violations;
+      }
+    });
+  }
+
+  sim.RunUntil(plan.horizon);
+  for (const auto& [name, entry] : registered) {
+    const auto stats = backend->StatsOf(ContainerId(name));
+    std::ostringstream line;
+    line << "final " << name << " grants=" << stats.grants
+         << " held=" << stats.held_total.count()
+         << " overrun=" << stats.overrun_total.count();
+    trace.events.push_back(line.str());
+  }
+  trace.grants = backend->grants();
+  trace.lifetime_events = sim.lifetime_events();
+  return trace;
+}
+
+struct EquivParam {
+  std::uint64_t seed;
+};
+
+class TokenWheelEquivalence : public ::testing::TestWithParam<EquivParam> {};
+
+TEST_P(TokenWheelEquivalence, WheelMatchesReferenceTraceForTrace) {
+  const ChurnPlan plan = MakePlan(GetParam().seed);
+  const RunTrace wheel = RunPlan(plan, TokenTimerMode::kWheel);
+  const RunTrace reference = RunPlan(plan, TokenTimerMode::kReference);
+
+  ASSERT_EQ(wheel.events.size(), reference.events.size());
+  for (std::size_t i = 0; i < wheel.events.size(); ++i) {
+    ASSERT_EQ(wheel.events[i], reference.events[i]) << "at trace index " << i;
+  }
+  EXPECT_EQ(wheel.violations, reference.violations);
+  EXPECT_EQ(wheel.grants, reference.grants);
+  // On a sparse single-device plan there may be nothing to coalesce (the
+  // wheel then spends one armed event per deadline, same as the oracle) —
+  // but it must never spend meaningfully more. The strict win is pinned by
+  // ContendedNodeSchedulesFewerEngineEvents below and measured for real by
+  // bench_engine's token-cluster scenario.
+  EXPECT_LE(wheel.lifetime_events, reference.lifetime_events + 8);
+}
+
+std::vector<EquivParam> EquivSeeds() {
+  std::vector<EquivParam> seeds;
+  for (std::uint64_t s = 1; s <= 24; ++s) seeds.push_back({s * 1033 + 7});
+  return seeds;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenWheelEquivalence,
+                         ::testing::ValuesIn(EquivSeeds()),
+                         [](const ::testing::TestParamInfo<EquivParam>& i) {
+                           return "seed" + std::to_string(i.param.seed);
+                         });
+
+// ---------------------------------------------------------------------------
+// The coalescing win itself: a contended node — many greedy containers per
+// device, several devices — keeps the daemon's deadlines landing on shared
+// 500 us ticks, so the wheel must schedule strictly fewer engine events
+// than one-per-deadline while reaching the exact same grant totals.
+
+std::uint64_t RunContendedNode(TokenTimerMode mode, std::uint64_t* grants) {
+  sim::Simulation sim;
+  std::unique_ptr<TokenBackendApi> backend;
+  if (mode == TokenTimerMode::kWheel) {
+    backend = std::make_unique<TokenBackend>(&sim);
+  } else {
+    backend = std::make_unique<TokenBackendReference>(&sim);
+  }
+  std::vector<GpuUuid> gpus;
+  for (int d = 0; d < 4; ++d) {
+    gpus.emplace_back("GPU-CN-" + std::to_string(d));
+    backend->RegisterDevice(gpus.back());
+  }
+  std::vector<std::string> sink;
+  std::vector<std::unique_ptr<GreedyClient>> clients;
+  for (int c = 0; c < 32; ++c) {
+    const ContainerId id("cn" + std::to_string(c));
+    clients.push_back(
+        std::make_unique<GreedyClient>(backend.get(), id, &sink));
+    ResourceSpec spec;
+    spec.gpu_request = 0.1;
+    spec.gpu_limit = 1.0;
+    EXPECT_TRUE(backend
+                    ->RegisterContainer(id, gpus[static_cast<std::size_t>(
+                                                c % 4)],
+                                        spec, clients.back().get())
+                    .ok());
+    EXPECT_TRUE(backend->RequestToken(id).ok());
+  }
+  sim.RunUntil(Seconds(5));
+  *grants = backend->grants();
+  return sim.lifetime_events();
+}
+
+TEST(TokenWheelEquivalence, ContendedNodeSchedulesFewerEngineEvents) {
+  std::uint64_t wheel_grants = 0;
+  std::uint64_t reference_grants = 0;
+  const std::uint64_t wheel_events =
+      RunContendedNode(TokenTimerMode::kWheel, &wheel_grants);
+  const std::uint64_t reference_events =
+      RunContendedNode(TokenTimerMode::kReference, &reference_grants);
+  EXPECT_EQ(wheel_grants, reference_grants);
+  EXPECT_GT(wheel_grants, 100u);
+  EXPECT_LT(wheel_events, reference_events);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: unregistering the last queued container between a reeval's
+// scheduling and its fire must cancel the pending timer, not leave it
+// dangling. A limit-throttled lone requester is exactly that state: the
+// token is free, the queue holds one filtered container, the reeval timer
+// is armed. Before the fix both backends kept the timer (a stale fire into
+// an empty queue); now pending_timers() drops to zero with the queue.
+
+class ThrottledClient : public TokenClient {
+ public:
+  ThrottledClient(TokenBackendApi* backend, ContainerId id)
+      : backend_(backend), id_(std::move(id)) {}
+  void OnTokenGranted(Time) override {}
+  void OnTokenExpired() override {
+    (void)backend_->ReleaseToken(id_);
+    (void)backend_->RequestToken(id_);
+  }
+
+ private:
+  TokenBackendApi* backend_;
+  ContainerId id_;
+};
+
+void DanglingReevalScenario(sim::Simulation& sim, TokenBackendApi& backend) {
+  const GpuUuid gpu("GPU-RV");
+  backend.RegisterDevice(gpu);
+  ResourceSpec spec;
+  spec.gpu_request = 0.005;
+  spec.gpu_limit = 0.005;  // one 100 ms hold in a 10 s window exceeds this
+  ThrottledClient client(&backend, ContainerId("rv"));
+  ASSERT_TRUE(
+      backend.RegisterContainer(ContainerId("rv"), gpu, spec, &client).ok());
+  ASSERT_TRUE(backend.RequestToken(ContainerId("rv")).ok());
+  // First hold runs a full quota, pushing usage past the limit; the greedy
+  // re-request then parks in the queue behind the reeval timer.
+  sim.RunUntil(Millis(300));
+  ASSERT_EQ(backend.QueueLength(gpu), 1u);
+  ASSERT_FALSE(backend.HolderOf(gpu).has_value());
+  ASSERT_GT(backend.pending_timers(), 0u);  // the armed reeval
+
+  // Unregister between schedule and fire: the timer must die with the
+  // queue. (RunUntil stops just past a reeval boundary, so one is always
+  // pending here.)
+  ASSERT_TRUE(backend.UnregisterContainer(ContainerId("rv")).ok());
+  EXPECT_EQ(backend.QueueLength(gpu), 0u);
+  EXPECT_EQ(backend.pending_timers(), 0u)
+      << "reeval timer left dangling after the last waiter unregistered";
+  // And nothing fires later: the simulation drains completely.
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(backend.pending_timers(), 0u);
+}
+
+TEST(DanglingReevalRegression, WheelCancelsReevalOnLastUnregister) {
+  sim::Simulation sim;
+  TokenBackend backend(&sim);
+  DanglingReevalScenario(sim, backend);
+}
+
+TEST(DanglingReevalRegression, ReferenceCancelsReevalOnLastUnregister) {
+  sim::Simulation sim;
+  TokenBackendReference backend(&sim);
+  DanglingReevalScenario(sim, backend);
+}
+
+}  // namespace
+}  // namespace ks::vgpu
