@@ -26,13 +26,19 @@ struct TimelineResult {
 TimelineResult RunTimeline(bool use_kubeshare,
                            ks::vgpu::TokenTimerMode timers =
                                ks::vgpu::TokenTimerMode::kWheel,
-                           ks::Duration coalesce_window = ks::Micros(500)) {
+                           ks::Duration coalesce_window = ks::Micros(500),
+                           ks::gpu::GpuExecMode exec =
+                               ks::gpu::GpuExecMode::kFused,
+                           ks::workload::WorkloadConfig::JobKind kind =
+                               ks::workload::WorkloadConfig::JobKind::
+                                   kInference) {
   using namespace ks;
   k8s::ClusterConfig ccfg;
   ccfg.nodes = 8;
   ccfg.gpus_per_node = 4;
   ccfg.token_timers = timers;
   ccfg.backend.coalesce_window = coalesce_window;
+  ccfg.exec = exec;
   k8s::Cluster cluster(ccfg);
   std::unique_ptr<kubeshare::KubeShare> kubeshare;
   if (use_kubeshare) {
@@ -46,6 +52,7 @@ TimelineResult RunTimeline(bool use_kubeshare,
   wcfg.demand_stddev = 0.14;  // the paper's "variance 2" demand spread
   wcfg.gpu_mem = 0.2;
   wcfg.seed = 77;
+  wcfg.job_kind = kind;
   workload::WorkloadDriver driver(
       &cluster, &host,
       use_kubeshare ? workload::WorkloadDriver::Mode::kKubeShare
@@ -149,22 +156,58 @@ int main() {
                     2)
             << "x reduction).\n";
 
+  // Device-engine comparison: the same KubeShare timeline on the per-kernel
+  // reference device, and the kernel-heavy variant (the same jobs issuing
+  // their request volume as back-to-back training streams) on both engines.
+  // The differential suite pins the traces byte-equal; this records what
+  // the fused engine's event economy is worth on a full workload.
+  TimelineResult kshare_devref = RunTimeline(
+      true, vgpu::TokenTimerMode::kWheel, Micros(500),
+      gpu::GpuExecMode::kReference);
+  TimelineResult train_fused = RunTimeline(
+      true, vgpu::TokenTimerMode::kWheel, Micros(500),
+      gpu::GpuExecMode::kFused, workload::WorkloadConfig::JobKind::kTraining);
+  TimelineResult train_devref = RunTimeline(
+      true, vgpu::TokenTimerMode::kWheel, Micros(500),
+      gpu::GpuExecMode::kReference,
+      workload::WorkloadConfig::JobKind::kTraining);
+  std::cout << "\nDevice-engine events (inference workload): "
+            << kshare_devref.total_events << " per-kernel reference, "
+            << kshare.total_events << " fused ("
+            << Cell(static_cast<double>(kshare_devref.total_events) /
+                        static_cast<double>(kshare.total_events),
+                    2)
+            << "x).\nDevice-engine events (training workload): "
+            << train_devref.total_events << " per-kernel reference, "
+            << train_fused.total_events << " fused ("
+            << Cell(static_cast<double>(train_devref.total_events) /
+                        static_cast<double>(train_fused.total_events),
+                    2)
+            << "x reduction on the kernel-heavy case).\n";
+
   JsonValue report = bench::MakeReport("fig9");
   struct NamedResult {
     const char* system;
     const char* timers;
+    const char* exec;
+    const char* workload;
     const TimelineResult* r;
   };
   const NamedResult named[] = {
-      {"native", "wheel", &k8s},
-      {"kubeshare", "wheel", &kshare},
-      {"kubeshare", "reference", &kshare_ref},
-      {"kubeshare", "wheel-5ms", &kshare_coarse},
+      {"native", "wheel", "fused", "inference", &k8s},
+      {"kubeshare", "wheel", "fused", "inference", &kshare},
+      {"kubeshare", "reference", "fused", "inference", &kshare_ref},
+      {"kubeshare", "wheel-5ms", "fused", "inference", &kshare_coarse},
+      {"kubeshare", "wheel", "reference", "inference", &kshare_devref},
+      {"kubeshare", "wheel", "fused", "training", &train_fused},
+      {"kubeshare", "wheel", "reference", "training", &train_devref},
   };
   for (const NamedResult& n : named) {
     JsonValue row = JsonValue::Object();
     row.Set("system", n.system);
     row.Set("token_timers", n.timers);
+    row.Set("exec", n.exec);
+    row.Set("workload", n.workload);
     row.Set("completed", n.r->completed);
     row.Set("makespan_s", n.r->makespan_s);
     row.Set("total_events", n.r->total_events);

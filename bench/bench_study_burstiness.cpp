@@ -9,9 +9,11 @@
 // 1/duty_cycle until packing limits bind.
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "harness.hpp"
+#include "sweep.hpp"
 #include "workload/host.hpp"
 
 namespace {
@@ -91,21 +93,37 @@ int main() {
 
   Table table({"io per epoch (s)", "duty cycle", "k8s jobs/min",
                "kubeshare jobs/min", "gain", "1/duty"});
-  for (const double io_s : {0.0, 0.5, 1.0, 2.0, 4.0}) {
-    workload::PhasedTrainingSpec probe;
-    probe.steps_per_epoch = 100;
-    probe.step_kernel = Millis(10);
-    probe.io_per_epoch = Seconds(io_s);
-    const double duty = probe.duty_cycle();
-    const Result k8s = Run(false, Seconds(io_s), duty);
-    const Result kshare = Run(true, Seconds(io_s), duty);
-    table.AddRow({Cell(io_s, 1), Cell(duty, 2), Cell(k8s.jobs_per_minute, 1),
-                  Cell(kshare.jobs_per_minute, 1),
-                  Cell(k8s.jobs_per_minute > 0
-                           ? kshare.jobs_per_minute / k8s.jobs_per_minute
+  // Each point builds its own clusters, so the sweep pool can run them
+  // concurrently; results print in point order (byte-identical to serial).
+  const std::vector<double> io_seconds = {0.0, 0.5, 1.0, 2.0, 4.0};
+  struct Point {
+    double duty = 0.0;
+    Result k8s;
+    Result kshare;
+  };
+  const std::vector<Point> results = bench::RunSweep<Point>(
+      io_seconds.size(), [&io_seconds](std::size_t i) {
+        const double io_s = io_seconds[i];
+        workload::PhasedTrainingSpec probe;
+        probe.steps_per_epoch = 100;
+        probe.step_kernel = Millis(10);
+        probe.io_per_epoch = Seconds(io_s);
+        Point p;
+        p.duty = probe.duty_cycle();
+        p.k8s = Run(false, Seconds(io_s), p.duty);
+        p.kshare = Run(true, Seconds(io_s), p.duty);
+        return p;
+      });
+  for (std::size_t i = 0; i < io_seconds.size(); ++i) {
+    const Point& p = results[i];
+    table.AddRow({Cell(io_seconds[i], 1), Cell(p.duty, 2),
+                  Cell(p.k8s.jobs_per_minute, 1),
+                  Cell(p.kshare.jobs_per_minute, 1),
+                  Cell(p.k8s.jobs_per_minute > 0
+                           ? p.kshare.jobs_per_minute / p.k8s.jobs_per_minute
                            : 0.0,
                        2),
-                  Cell(1.0 / duty, 2)});
+                  Cell(1.0 / p.duty, 2)});
   }
   table.Print(std::cout);
   std::cout << "\nExpected: with duty > 0.5 the jobs' gpu_requests exceed "

@@ -10,10 +10,12 @@
 // worse service tails).
 
 #include <iostream>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "harness.hpp"
+#include "sweep.hpp"
 #include "workload/host.hpp"
 
 namespace {
@@ -89,12 +91,23 @@ int main() {
 
   Table table({"quota (ms)", "solo p50/p99 (ms)", "shared p50 (ms)",
                "shared p99 (ms)"});
-  for (const int quota_ms : {25, 50, 100, 200}) {
-    const LatencyResult solo = RunSampled(Millis(quota_ms), false);
-    const LatencyResult shared = RunSampled(Millis(quota_ms), true);
-    table.AddRow({Cell(static_cast<std::int64_t>(quota_ms)),
-                  Cell(solo.p50_ms, 1) + " / " + Cell(solo.p99_ms, 1),
-                  Cell(shared.p50_ms, 1), Cell(shared.p99_ms, 1)});
+  // Each point builds its own cluster, so the sweep pool can run them
+  // concurrently; results print in point order (byte-identical to serial).
+  const std::vector<int> quotas_ms = {25, 50, 100, 200};
+  struct Point {
+    LatencyResult solo;
+    LatencyResult shared;
+  };
+  const std::vector<Point> results = bench::RunSweep<Point>(
+      quotas_ms.size(), [&quotas_ms](std::size_t i) {
+        return Point{RunSampled(Millis(quotas_ms[i]), false),
+                     RunSampled(Millis(quotas_ms[i]), true)};
+      });
+  for (std::size_t i = 0; i < quotas_ms.size(); ++i) {
+    const Point& p = results[i];
+    table.AddRow({Cell(static_cast<std::int64_t>(quotas_ms[i])),
+                  Cell(p.solo.p50_ms, 1) + " / " + Cell(p.solo.p99_ms, 1),
+                  Cell(p.shared.p50_ms, 1), Cell(p.shared.p99_ms, 1)});
   }
   table.Print(std::cout);
   std::cout << "\nExpected: solo latency ~= the 20 ms kernel regardless of "

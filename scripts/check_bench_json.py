@@ -17,7 +17,13 @@ Checks, per file:
   * studies whose rows come from full cluster runs (study_chaos,
     ablation_placement, fig9) report a positive integer "total_events"
     in every row, so event-count regressions across timer modes stay
-    visible in the archived reports.
+    visible in the archived reports;
+  * fig9 rows carry non-empty "exec" and "workload" discriminators (the
+    device-engine comparison must stay in the archived report);
+  * the engine study's cluster-scenario rows ("pattern" of
+    "token-cluster" or "kernel-cluster") report a positive integer
+    "total_events", so the per-mode event counts the fused device
+    engine is benchmarked on cannot silently vanish.
 
 Exit status 0 when every file passes, 1 otherwise. Stdlib only.
 """
@@ -72,7 +78,10 @@ def check_file(path):
                 ok = fail(path, f"row {i} field {key!r} is a nested container")
             if isinstance(value, float) and not math.isfinite(value):
                 ok = fail(path, f"row {i} field {key!r} is not finite")
-        if study in TOTAL_EVENTS_REQUIRED:
+        needs_events = study in TOTAL_EVENTS_REQUIRED or (
+            study == "engine"
+            and row.get("pattern") in ("token-cluster", "kernel-cluster"))
+        if needs_events:
             events = row.get("total_events")
             if not isinstance(events, int) or isinstance(events, bool) \
                     or events <= 0:
@@ -81,10 +90,21 @@ def check_file(path):
                     f"row {i} \"total_events\" missing or not a positive "
                     f"integer: {events!r}",
                 )
+        if study == "fig9":
+            for field in ("exec", "workload"):
+                value = row.get(field)
+                if not isinstance(value, str) or not value:
+                    ok = fail(
+                        path,
+                        f"row {i} {field!r} missing or not a non-empty "
+                        f"string: {value!r}",
+                    )
         # Rows may legitimately differ in shape between row kinds (e.g.
-        # bench_engine's per-engine rows vs its summary row); group by the
+        # bench_engine's per-engine rows vs its summary row, or its
+        # token-cluster vs kernel-cluster scenario rows); group by the
         # discriminator fields that are present.
-        kind = (row.get("engine"), row.get("mode"), row.get("policy"))
+        kind = (row.get("pattern"), row.get("engine"), row.get("mode"),
+                row.get("policy"))
         keys = frozenset(row.keys())
         if kind in key_sets and key_sets[kind] != keys:
             ok = fail(

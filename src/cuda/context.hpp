@@ -3,6 +3,7 @@
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -42,6 +43,13 @@ class CudaContext final : public CudaApi {
 
   CudaResult LaunchKernel(const gpu::KernelDesc& desc, StreamId stream,
                           HostFn on_complete) override;
+  CudaResult LaunchKernelStream(const gpu::KernelDesc& desc, int count,
+                                StreamId stream,
+                                gpu::UnitDoneFn on_unit) override;
+  std::size_t CancelPending(StreamId stream) override;
+  std::size_t RetiredUnits(StreamId stream) const override;
+  Duration ExclusiveKernelTime(const gpu::KernelDesc& desc) const override;
+  Time Now() const override;
   CudaResult Synchronize(HostFn fn) override;
 
   CudaResult EventCreate(EventId* out) override;
@@ -56,17 +64,32 @@ class CudaContext final : public CudaApi {
   std::size_t PendingKernels() const override { return pending_kernels_; }
 
  private:
-  /// A stream queue entry: a kernel, or an event marker that completes the
-  /// event once every earlier kernel on the stream has retired.
+  /// A stream queue entry: a kernel, a declared repeat run (fused-stream
+  /// path), or an event marker that completes the event once every earlier
+  /// kernel on the stream has retired.
   struct Entry {
     bool is_event = false;
+    bool is_repeat = false;
+    int count = 1;  // units, for repeat entries
     gpu::KernelDesc desc;
     HostFn fn;
+    gpu::UnitDoneFn unit_fn;
     EventId event = 0;
   };
   struct Stream {
     std::deque<Entry> queue;
     bool in_flight = false;
+    /// Kernels of this stream retired so far (both entry points).
+    std::size_t retired_units = 0;
+    /// In-flight repeat batch forwarded to the device as one SubmitRepeat:
+    /// adjacent identical-desc repeat entries coalesce, and `segs` maps
+    /// delivered units back to each entry's callback.
+    gpu::RepeatId batch = 0;
+    std::size_t batch_size = 0;
+    std::size_t batch_delivered = 0;
+    std::vector<std::pair<int, gpu::UnitDoneFn>> segs;
+    std::size_t seg_idx = 0;
+    int seg_fired = 0;
   };
   struct EventState {
     bool recorded = false;
@@ -77,6 +100,7 @@ class CudaContext final : public CudaApi {
 
   void SubmitNext(StreamId stream_id);
   void OnKernelRetired(StreamId stream_id, HostFn user_fn);
+  void OnUnitRetired(StreamId stream_id, Time finish);
   void CompleteEvent(EventId event);
   void MaybeFireSync();
 

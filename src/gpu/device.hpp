@@ -2,8 +2,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -36,6 +40,35 @@ struct KernelDesc {
 
 using KernelId = std::uint64_t;
 using DevicePtr = std::uint64_t;
+/// Handle to a repeated-kernel stream declared with SubmitRepeat.
+using RepeatId = std::uint64_t;
+
+/// Per-unit completion callback for repeated kernels. `finish` is the exact
+/// retirement time of the unit; callbacks may be *delivered* in arrears
+/// (batched onto the stream's single engine event), so implementations must
+/// use `finish` rather than Simulation::Now() for timing.
+using UnitDoneFn = std::function<void(Time finish)>;
+
+/// One kernel's lifetime, reported in retirement order. `start`/`finish`
+/// are exact regardless of the execution mode (fused or per-kernel), which
+/// is what the differential suite pins.
+struct KernelTraceEvent {
+  KernelId id = 0;
+  ContainerId owner;
+  std::string name;
+  Time start{0};
+  Time finish{0};
+};
+using KernelTraceFn = std::function<void(const KernelTraceEvent&)>;
+
+/// Which execution engine a cluster's devices use. kFused is the
+/// virtual-time engine with fused kernel streams; kReference is the
+/// original one-event-per-kernel implementation kept as the differential
+/// oracle (same pattern as vgpu::TokenTimerMode).
+enum class GpuExecMode {
+  kFused,
+  kReference,
+};
 
 /// Simulated GPU device: a memory ledger plus a processor-sharing kernel
 /// execution engine driven by the discrete-event simulation.
@@ -48,9 +81,21 @@ using DevicePtr = std::uint64_t;
 ///    SMs evenly;
 ///  - device memory is physically bounded: allocation past capacity fails,
 ///    which is the crash mode KubeShare's memory interception prevents.
+///
+/// This class is the virtual-time engine: each in-flight kernel's remaining
+/// work is a fixed point `end_v` on a global virtual-service axis, Progress
+/// advances one accumulator instead of rescaling every kernel, and exactly
+/// one completion event is armed at the earliest `end_v` (the TimerWheel's
+/// one-armed-event discipline). A completion is therefore O(log n) instead
+/// of an O(n) rescale. On top of that, SubmitRepeat lets steady kernel
+/// streams retire K identical back-to-back units with a single engine
+/// event; any membership, teardown or cancellation event splits the fusion
+/// so observable traces (kernel ids/times, utilization, callbacks) are
+/// byte-equal to the per-kernel oracle, GpuDeviceReference.
 class GpuDevice {
  public:
   GpuDevice(sim::Simulation* sim, GpuUuid uuid, GpuSpec spec = {});
+  virtual ~GpuDevice() = default;
   GpuDevice(const GpuDevice&) = delete;
   GpuDevice& operator=(const GpuDevice&) = delete;
 
@@ -71,46 +116,122 @@ class GpuDevice {
   /// Enqueues a kernel for execution; `on_complete` fires (via the event
   /// queue) when it finishes. Execution begins immediately — stream
   /// ordering is enforced by the CUDA layer above, not by the device.
-  KernelId Submit(const ContainerId& owner, const KernelDesc& desc,
-                  std::function<void()> on_complete);
+  virtual KernelId Submit(const ContainerId& owner, const KernelDesc& desc,
+                          std::function<void()> on_complete);
+
+  /// Declares `count` identical kernels to run back to back (a steady
+  /// kernel stream: train steps, inference requests at a fixed service
+  /// time). `on_unit` fires once per unit, in order, with the unit's exact
+  /// finish time; delivery may be batched onto one engine event. When the
+  /// device is otherwise idle the whole run retires on a single event;
+  /// otherwise units are chained one at a time exactly like Submit.
+  virtual RepeatId SubmitRepeat(const ContainerId& owner,
+                                const KernelDesc& desc, int count,
+                                UnitDoneFn on_unit);
+
+  /// Cancels the not-yet-started units of a repeat stream (the in-flight
+  /// unit always completes — the device cannot preempt). Units already due
+  /// are delivered first. Returns the number of units cancelled.
+  virtual std::size_t CancelRepeatTail(RepeatId id);
+
+  /// Units of `id` that have finished by now, including due-but-undelivered
+  /// ones — the pull-side progress probe that keeps mid-run introspection
+  /// exact under fusion.
+  virtual std::size_t RepeatUnitsFinished(RepeatId id) const;
 
   /// Drops the completion callbacks of every in-flight kernel owned by
-  /// `owner`. The kernels still run to completion (the device cannot
-  /// preempt), but nothing is invoked when they retire. Called when a
+  /// `owner` and cancels its unstarted repeat units. In-flight kernels
+  /// still run to completion (the device cannot preempt) and are counted
+  /// and traced when they retire, but nothing is invoked. Called when a
   /// container is torn down while its kernels are on the device — the
   /// callbacks would otherwise dangle into freed per-container state.
-  void DetachOwner(const ContainerId& owner);
+  virtual void DetachOwner(const ContainerId& owner);
 
-  std::size_t active_kernels() const { return running_.size(); }
-  bool busy() const { return !running_.empty(); }
+  /// Exact wall time one unit of `desc` takes with the device to itself —
+  /// the quantum the vGPU frontend sizes token-interval batches with.
+  Duration ExclusiveWallTime(const KernelDesc& desc) const;
+
+  /// Kernels resident on the device (in flight; queued repeat units do not
+  /// count, matching the chained oracle where they are not yet submitted).
+  virtual std::size_t active_kernels() const;
+  bool busy() const { return active_kernels() > 0; }
 
   /// Device-level utilization (fraction of time >= 1 kernel active).
   const UtilizationTracker& utilization() const { return util_; }
   UtilizationTracker& utilization() { return util_; }
 
-  /// Total kernels completed — a cheap progress probe for tests.
-  std::uint64_t completed_kernels() const { return completed_; }
+  /// Total kernels completed — a cheap progress probe for tests. Analytic:
+  /// includes due-but-unmaterialized units of an active fused stream.
+  virtual std::uint64_t completed_kernels() const;
+
+  /// Observer for per-kernel lifetimes, invoked in retirement order. The
+  /// differential suite compares these traces across execution modes.
+  void SetKernelTraceFn(KernelTraceFn fn) { trace_ = std::move(fn); }
+
+ protected:
+  void RecordTrace(KernelId id, const ContainerId& owner,
+                   const std::string& name, Time start, Time finish) {
+    if (trace_) trace_(KernelTraceEvent{id, owner, name, start, finish});
+  }
+
+  sim::Simulation* sim_;
+  GpuUuid uuid_;
+  GpuSpec spec_;
+  KernelId next_kernel_ = 1;
+  UtilizationTracker util_;
+  std::uint64_t completed_ = 0;
+  KernelTraceFn trace_;
 
  private:
   struct Running {
     KernelId id;
     ContainerId owner;
     double bandwidth_demand;
-    Duration remaining;  // work left at full (exclusive) rate
-    std::function<void()> on_complete;
+    std::int64_t end_v;  // virtual-time completion point
+    std::string name;
+    Time start{0};
+    UnitDoneFn on_done;     // null once detached
+    RepeatId chain = 0;     // repeat stream to advance on retirement
+  };
+  /// A fused repeat stream: K identical units retiring at analytic
+  /// boundaries anchor + i*unit_wall with one armed event at the last.
+  struct FusedGroup {
+    RepeatId id = 0;
+    ContainerId owner;
+    KernelDesc desc;
+    int total = 0;
+    Duration unit_wall{0};
+    Time anchor{0};
+    UnitDoneFn on_unit;
+    sim::EventId event = sim::kInvalidEvent;
+  };
+  /// Un-started tail of a repeat stream running in chained (per-unit) mode.
+  struct ChainTail {
+    ContainerId owner;
+    KernelDesc desc;
+    int remaining = 0;       // units not yet started
+    std::size_t finished = 0;
+    UnitDoneFn on_unit;
+    bool in_flight = false;  // one unit currently running
   };
 
   /// Re-times the pending completion event after the active set changed.
   void Reschedule();
-  /// Advances all running kernels' remaining work by the time since
-  /// last_update_ at the current sharing rate.
+  /// Advances the virtual-time accumulator by the time since last_update_
+  /// at the current sharing rate (O(1); kernels carry fixed end_v points).
   void Progress();
-  double CurrentRatePerKernel() const;
+  void RecomputeRate();
   void OnCompletionEvent();
-
-  sim::Simulation* sim_;
-  GpuUuid uuid_;
-  GpuSpec spec_;
+  void OnGroupEvent();
+  /// Collapses the fused group into chained per-unit execution: due units
+  /// materialize (ids, traces, callbacks), the in-flight unit becomes a
+  /// normal running kernel, the tail keeps chaining. Called on any
+  /// membership / cancellation / teardown event so every externally
+  /// visible trace matches the per-kernel oracle.
+  void SplitGroup(bool fire_callbacks);
+  void AdvanceChain(RepeatId id);
+  void StartChainUnit(RepeatId id);
+  void InsertRunning(Running r);
 
   std::uint64_t used_memory_ = 0;
   DevicePtr next_ptr_ = 1;
@@ -120,12 +241,18 @@ class GpuDevice {
   };
   std::unordered_map<DevicePtr, Allocation> allocations_;
 
-  KernelId next_kernel_ = 1;
-  std::vector<Running> running_;
+  // Virtual-time processor-sharing state.
+  std::int64_t vnow_ = 0;
+  double rate_ = 0.0;  // per-kernel service rate; recomputed on membership
+  std::uint64_t next_seq_ = 1;
+  std::map<std::uint64_t, Running> running_;            // insertion order
+  std::set<std::pair<std::int64_t, std::uint64_t>> by_end_;  // (end_v, seq)
   Time last_update_{0};
   sim::EventId completion_event_ = sim::kInvalidEvent;
-  UtilizationTracker util_;
-  std::uint64_t completed_ = 0;
+
+  RepeatId next_repeat_ = 1;
+  std::optional<FusedGroup> group_;
+  std::unordered_map<RepeatId, ChainTail> chains_;
 };
 
 }  // namespace ks::gpu

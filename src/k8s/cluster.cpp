@@ -22,9 +22,15 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
 
     std::vector<gpu::GpuDevice*> raw_gpus;
     for (int g = 0; g < config_.gpus_per_node; ++g) {
-      auto dev = std::make_unique<gpu::GpuDevice>(
-          &sim_, GpuUuid("GPU-" + std::to_string(n) + "-" + std::to_string(g)),
-          config_.gpu_spec);
+      const GpuUuid uuid("GPU-" + std::to_string(n) + "-" +
+                         std::to_string(g));
+      std::unique_ptr<gpu::GpuDevice> dev;
+      if (config_.exec == gpu::GpuExecMode::kReference) {
+        dev = std::make_unique<gpu::GpuDeviceReference>(&sim_, uuid,
+                                                        config_.gpu_spec);
+      } else {
+        dev = std::make_unique<gpu::GpuDevice>(&sim_, uuid, config_.gpu_spec);
+      }
       nvml_->Register(dev.get());
       raw_gpus.push_back(dev.get());
       handle->gpus.push_back(std::move(dev));

@@ -6,6 +6,7 @@
 
 #include "common/status.hpp"
 #include "gpu/device.hpp"
+#include "gpu/device_reference.hpp"
 #include "gpu/nvml.hpp"
 #include "k8s/apiserver.hpp"
 #include "k8s/device_plugin.hpp"
@@ -35,6 +36,10 @@ struct ClusterConfig {
   /// the hierarchical timer wheel (default) or the one-event-per-deadline
   /// reference backend kept as the differential-test oracle.
   vgpu::TokenTimerMode token_timers = vgpu::TokenTimerMode::kWheel;
+  /// Which device execution engine the GPUs use: the virtual-time core
+  /// with fused kernel streams (default) or the per-kernel reference
+  /// engine kept as the differential-test oracle.
+  gpu::GpuExecMode exec = gpu::GpuExecMode::kFused;
   /// Grid for the shared sampler tick (NVML poll and any pull-mode
   /// PeriodicSampler ride one sim::TickHub instead of keeping private
   /// self-rescheduling events). Zero keeps monitors in push mode.

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -54,6 +55,19 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   cuda::CudaResult LaunchKernel(const gpu::KernelDesc& desc,
                                 cuda::StreamId stream,
                                 cuda::HostFn on_complete) override;
+  /// Declared kernel streams are the frontend's batching unit: while the
+  /// token is valid, up to a token-interval's worth of units (sized from
+  /// ExclusiveKernelTime against the grant's expiry) is forwarded as one
+  /// inner launch, so the device can fuse them onto a single engine event.
+  /// The final in-quota unit is always forwarded alone, keeping
+  /// expiry-boundary event ordering identical to unbatched forwarding.
+  cuda::CudaResult LaunchKernelStream(const gpu::KernelDesc& desc, int count,
+                                      cuda::StreamId stream,
+                                      gpu::UnitDoneFn on_unit) override;
+  std::size_t CancelPending(cuda::StreamId stream) override;
+  std::size_t RetiredUnits(cuda::StreamId stream) const override;
+  Duration ExclusiveKernelTime(const gpu::KernelDesc& desc) const override;
+  Time Now() const override;
   cuda::CudaResult Synchronize(cuda::HostFn fn) override;
 
   // Events keep stream order through the hook's own queues: a record is
@@ -100,13 +114,26 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
  private:
   struct PendingEntry {
     bool is_event = false;
+    bool is_repeat = false;
+    int count = 1;  // units, for repeat entries
     gpu::KernelDesc desc;
     cuda::HostFn fn;
+    gpu::UnitDoneFn unit_fn;
     cuda::EventId event = 0;
   };
   struct StreamQueue {
     std::deque<PendingEntry> pending;
     bool in_flight = false;
+    /// Forwarded batch (token-interval fast path): units handed to the
+    /// inner driver as one LaunchKernelStream call. `segs` maps delivered
+    /// units back to each source entry's callback, and lets a backend
+    /// restart recall the unstarted tail into `pending`.
+    gpu::KernelDesc fwd_desc;
+    std::size_t fwd_size = 0;
+    std::size_t fwd_delivered = 0;
+    std::vector<std::pair<int, gpu::UnitDoneFn>> segs;
+    std::size_t seg_idx = 0;
+    int seg_fired = 0;
   };
 
   /// Forwards the next kernel of every stream that has one, while the token
@@ -115,6 +142,12 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   /// Forwards event markers at queue heads (token-independent).
   void FlushMarkers();
   void OnKernelRetired(cuda::StreamId stream, cuda::HostFn user_fn);
+  void OnUnitRetired(cuda::StreamId stream, Time finish);
+  /// Pulls every not-yet-started unit of forwarded batches back into the
+  /// frontend queues (token died under them: expiry or backend restart).
+  /// The in-flight unit always retires on its own — kernels are
+  /// non-preemptive.
+  void RecallForwardedTails();
   void MaybeReleaseOrRerequest();
   void MaybeFireSync();
   bool HasQueuedWork() const;
@@ -141,6 +174,10 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   bool token_valid_ = false;
   bool token_held_ = false;  // holder (valid or overrun) per backend
   bool token_requested_ = false;
+  /// Expiry of the current grant — the token-interval hint that sizes
+  /// forwarded batches. Stale once the token lapses (guarded by
+  /// token_valid_).
+  Time expiry_{0};
 
   SwapManager* swap_ = nullptr;
   sim::Simulation* sim_ = nullptr;

@@ -143,6 +143,7 @@ Status TokenBackend::ReleaseToken(const ContainerId& container) {
   }
   dev.holder.reset();
   dev.token_valid = false;
+  RecordGrantTrace("release", container, now);
   TryGrant(state.device);
   return Status::Ok();
 }
@@ -301,6 +302,7 @@ void TokenBackend::GrantTo(DeviceState& dev, const GpuUuid& device_id,
     d.expiry_timer = wheel_.ScheduleAt(d.expiry, [this, device_id] {
       OnExpiry(device_id);
     });
+    RecordGrantTrace("grant", granted, d.expiry);
     cit->second.client->OnTokenGranted(d.expiry);
   });
 }
@@ -309,6 +311,7 @@ void TokenBackend::Restart() {
   ++epoch_;  // invalidate in-flight grant hand-offs
   ++restarts_;
   down_ = true;
+  RecordGrantTrace("restart", ContainerId(""), sim_->Now());
   // All per-device token state dies with the daemon. One wholesale wheel
   // invalidation replaces the per-timer cancels: every outstanding timer
   // id of the old incarnation goes stale at once (generation stamps), so
@@ -356,6 +359,7 @@ void TokenBackend::OnExpiry(const GpuUuid& device_id) {
   if (it == containers_.end()) return;
   // The holder keeps the token (and keeps accruing usage) until it releases
   // — its in-flight kernel is non-preemptive.
+  RecordGrantTrace("expire", *dev.holder, sim_->Now());
   it->second.client->OnTokenExpired();
 }
 

@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "common/ids.hpp"
 #include "common/sliding_window.hpp"
@@ -171,6 +173,24 @@ class TokenBackendApi {
   /// implementation stores them. Zero when the daemon owes the engine
   /// nothing — the dangling-reeval regression test pins this.
   virtual std::size_t pending_timers() const = 0;
+
+  /// Observer of token lifecycle transitions. `what` is one of "grant",
+  /// "expire", "release", "restart"; `when` is the quota expiry for grants
+  /// and the transition time otherwise. The differential suite records
+  /// these from twin cluster runs and demands byte-equal traces across
+  /// device execution modes.
+  using GrantTraceFn =
+      std::function<void(const char* what, const ContainerId&, Time when)>;
+  void SetGrantTraceFn(GrantTraceFn fn) { grant_trace_ = std::move(fn); }
+
+ protected:
+  void RecordGrantTrace(const char* what, const ContainerId& container,
+                        Time when) {
+    if (grant_trace_) grant_trace_(what, container, when);
+  }
+
+ private:
+  GrantTraceFn grant_trace_;
 };
 
 /// Selects the token-backend implementation a cluster builds per node.

@@ -144,6 +144,7 @@ Status TokenBackendReference::ReleaseToken(const ContainerId& container) {
   }
   dev.holder.reset();
   dev.token_valid = false;
+  RecordGrantTrace("release", container, now);
   TryGrant(state.device);
   return Status::Ok();
 }
@@ -311,6 +312,7 @@ void TokenBackendReference::GrantTo(DeviceState& dev, const GpuUuid& device_id,
     d.expiry_event = sim_->ScheduleAt(d.expiry, [this, device_id] {
       OnExpiry(device_id);
     });
+    RecordGrantTrace("grant", granted, d.expiry);
     cit->second.client->OnTokenGranted(d.expiry);
   });
 }
@@ -319,6 +321,7 @@ void TokenBackendReference::Restart() {
   ++epoch_;  // invalidate in-flight grant hand-offs
   ++restarts_;
   down_ = true;
+  RecordGrantTrace("restart", ContainerId(""), sim_->Now());
   // All per-device token state dies with the daemon; pending timers are
   // cancelled so nothing from the old incarnation fires into the new one.
   for (auto& [device_id, dev] : devices_) {
@@ -368,6 +371,7 @@ void TokenBackendReference::OnExpiry(const GpuUuid& device_id) {
   if (it == containers_.end()) return;
   // The holder keeps the token (and keeps accruing usage) until it releases
   // — its in-flight kernel is non-preemptive.
+  RecordGrantTrace("expire", *dev.holder, sim_->Now());
   it->second.client->OnTokenExpired();
 }
 

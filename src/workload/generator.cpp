@@ -48,14 +48,23 @@ void WorkloadDriver::SubmitOne() {
   const double rate = demand / ToSeconds(config_.kernel);
   const int requests = std::max(
       1, static_cast<int>(std::lround(rate * ToSeconds(config_.job_duration))));
-  InferenceSpec spec;
-  spec.total_requests = requests;
-  spec.request_rate_hz = rate;
-  spec.kernel_per_request = config_.kernel;
-  spec.model_bytes = config_.model_bytes;
-  spec.seed = config_.seed + static_cast<std::uint64_t>(index) * 7919 + 1;
-
-  host_->ExpectJob(name, [spec] { return std::make_unique<InferenceJob>(spec); });
+  if (config_.job_kind == WorkloadConfig::JobKind::kTraining) {
+    TrainingSpec spec;
+    spec.steps = requests;  // same compute volume, issued back to back
+    spec.step_kernel = config_.kernel;
+    spec.model_bytes = config_.model_bytes;
+    host_->ExpectJob(name,
+                     [spec] { return std::make_unique<TrainingJob>(spec); });
+  } else {
+    InferenceSpec spec;
+    spec.total_requests = requests;
+    spec.request_rate_hz = rate;
+    spec.kernel_per_request = config_.kernel;
+    spec.model_bytes = config_.model_bytes;
+    spec.seed = config_.seed + static_cast<std::uint64_t>(index) * 7919 + 1;
+    host_->ExpectJob(
+        name, [spec] { return std::make_unique<InferenceJob>(spec); });
+  }
 
   if (mode_ == Mode::kKubeShare) {
     kubeshare::SharePod sp;

@@ -35,6 +35,12 @@ struct WorkloadConfig {
   std::uint64_t seed = 42;
   /// gpu_limit for KubeShare submissions: 1.0 leaves elasticity on.
   double gpu_limit = 1.0;
+  /// Job flavor the generator emits: Poisson inference services (the
+  /// paper's §5.3 mix) or continuous training jobs — the same compute
+  /// volume issued as one back-to-back kernel stream per job, the
+  /// kernel-heavy case that exercises the fused device path.
+  enum class JobKind { kInference, kTraining };
+  JobKind job_kind = JobKind::kInference;
 };
 
 /// Submits one generated workload to the cluster — either through

@@ -25,26 +25,34 @@ void TrainingJob::Start(cuda::CudaApi* api, sim::Simulation* /*sim*/,
     if (done_) done_(true);
     return;
   }
-  NextStep();
-}
-
-void TrainingJob::NextStep() {
-  if (stopped_) return;
   gpu::KernelDesc kernel;
   kernel.nominal_duration = spec_.step_kernel;
   kernel.bandwidth_demand = spec_.bandwidth_demand;
   kernel.name = "train-step";
-  const cuda::CudaResult r =
-      api_->LaunchKernel(kernel, cuda::kDefaultStream, [this] {
+  // The whole run is one declared kernel stream: the steps are identical
+  // and back to back, which is what lets the device retire them fused.
+  const cuda::CudaResult r = api_->LaunchKernelStream(
+      kernel, spec_.steps, cuda::kDefaultStream, [this](Time /*finish*/) {
         if (stopped_) return;
         ++completed_steps_;
         if (completed_steps_ >= spec_.steps) {
+          finished_ = true;
           if (done_) done_(true);
-          return;
         }
-        NextStep();
       });
   if (r != cuda::CudaResult::kSuccess && done_) done_(false);
+}
+
+void TrainingJob::Stop() {
+  if (!stopped_ && !finished_ && api_ != nullptr) {
+    // Freeze the step count at the analytic value before the probe's API
+    // goes away with the container.
+    completed_steps_ =
+        static_cast<int>(api_->RetiredUnits(cuda::kDefaultStream));
+  }
+  stopped_ = true;
+  finished_ = true;
+  if (api_ != nullptr) (void)api_->CancelPending(cuda::kDefaultStream);
 }
 
 // ---- PhasedTrainingJob ------------------------------------------------------
@@ -65,7 +73,7 @@ void PhasedTrainingJob::Start(cuda::CudaApi* api, sim::Simulation* sim,
     if (done_) done_(true);
     return;
   }
-  NextStep();
+  NextEpoch();
 }
 
 void PhasedTrainingJob::Stop() {
@@ -74,22 +82,22 @@ void PhasedTrainingJob::Stop() {
     sim_->Cancel(io_event_);
     io_event_ = sim::kInvalidEvent;
   }
+  if (api_ != nullptr) (void)api_->CancelPending(cuda::kDefaultStream);
 }
 
-void PhasedTrainingJob::NextStep() {
+void PhasedTrainingJob::NextEpoch() {
   if (stopped_) return;
   gpu::KernelDesc kernel;
   kernel.nominal_duration = spec_.step_kernel;
   kernel.bandwidth_demand = spec_.bandwidth_demand;
   kernel.name = "phased-step";
-  const cuda::CudaResult r =
-      api_->LaunchKernel(kernel, cuda::kDefaultStream, [this] {
+  // Each compute burst is one declared stream; the off-GPU phase between
+  // epochs is the membership boundary that naturally ends a fused run.
+  const cuda::CudaResult r = api_->LaunchKernelStream(
+      kernel, spec_.steps_per_epoch, cuda::kDefaultStream,
+      [this](Time /*finish*/) {
         if (stopped_) return;
-        if (++steps_in_epoch_ >= spec_.steps_per_epoch) {
-          FinishEpoch();
-        } else {
-          NextStep();
-        }
+        if (++steps_in_epoch_ >= spec_.steps_per_epoch) FinishEpoch();
       });
   if (r != cuda::CudaResult::kSuccess && done_) done_(false);
 }
@@ -105,7 +113,7 @@ void PhasedTrainingJob::FinishEpoch() {
   // token) are free for anyone else.
   io_event_ = sim_->ScheduleAfter(spec_.io_per_epoch, [this] {
     io_event_ = sim::kInvalidEvent;
-    NextStep();
+    NextEpoch();
   });
 }
 
@@ -146,6 +154,7 @@ void InferenceJob::Stop() {
     sim_->Cancel(next_arrival_);
     next_arrival_ = sim::kInvalidEvent;
   }
+  if (api_ != nullptr) (void)api_->CancelPending(cuda::kDefaultStream);
 }
 
 void InferenceJob::ScheduleNextArrival() {
@@ -165,9 +174,12 @@ void InferenceJob::OnArrival() {
   kernel.bandwidth_demand = spec_.bandwidth_demand;
   kernel.name = "inference";
   const Time arrival = sim_->Now();
-  const cuda::CudaResult r =
-      api_->LaunchKernel(kernel, cuda::kDefaultStream,
-                         [this, arrival] { OnServed(arrival); });
+  // A declared single-unit stream: a backlog of queued requests presents
+  // as a run of identical units the driver can coalesce and the device can
+  // fuse. The unit's finish time is exact even when delivered in arrears.
+  const cuda::CudaResult r = api_->LaunchKernelStream(
+      kernel, 1, cuda::kDefaultStream,
+      [this, arrival](Time finish) { OnServed(arrival, finish); });
   if (r != cuda::CudaResult::kSuccess) {
     if (done_) done_(false);
     return;
@@ -175,10 +187,10 @@ void InferenceJob::OnArrival() {
   ScheduleNextArrival();
 }
 
-void InferenceJob::OnServed(Time arrival) {
+void InferenceJob::OnServed(Time arrival, Time finish) {
   if (stopped_) return;
   ++served_;
-  latencies_.push_back(sim_->Now() - arrival);
+  latencies_.push_back(finish - arrival);
   if (served_ >= spec_.total_requests) {
     if (done_) done_(true);
   }

@@ -48,18 +48,25 @@ class TrainingJob final : public Job {
   explicit TrainingJob(TrainingSpec spec) : spec_(spec) {}
 
   void Start(cuda::CudaApi* api, sim::Simulation* sim, DoneFn done) override;
-  void Stop() override { stopped_ = true; }
+  void Stop() override;
 
-  int completed_steps() const { return completed_steps_; }
+  /// Steps finished so far. While running this is the driver's analytic
+  /// count, which stays exact mid-batch when the device has fused the
+  /// stream and unit callbacks are delivered in arrears.
+  int completed_steps() const {
+    if (api_ != nullptr && !finished_) {
+      return static_cast<int>(api_->RetiredUnits(cuda::kDefaultStream));
+    }
+    return completed_steps_;
+  }
 
  private:
-  void NextStep();
-
   TrainingSpec spec_;
   cuda::CudaApi* api_ = nullptr;
   DoneFn done_;
   int completed_steps_ = 0;
   bool stopped_ = false;
+  bool finished_ = false;
 };
 
 /// Phased training job: epochs of back-to-back GPU steps separated by
@@ -95,7 +102,7 @@ class PhasedTrainingJob final : public Job {
   int completed_epochs() const { return completed_epochs_; }
 
  private:
-  void NextStep();
+  void NextEpoch();
   void FinishEpoch();
 
   PhasedTrainingSpec spec_;
@@ -154,7 +161,7 @@ class InferenceJob final : public Job {
  private:
   void ScheduleNextArrival();
   void OnArrival();
-  void OnServed(Time arrival);
+  void OnServed(Time arrival, Time finish);
 
   InferenceSpec spec_;
   cuda::CudaApi* api_ = nullptr;
