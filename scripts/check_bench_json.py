@@ -20,6 +20,11 @@ Checks, per file:
     visible in the archived reports;
   * fig9 rows carry non-empty "exec" and "workload" discriminators (the
     device-engine comparison must stay in the archived report);
+  * spatial rows carry a non-empty "mix" and a "mode" of "temporal" or
+    "spatial", plus finite non-negative "goodput", "goodput_gain" and
+    "fragmentation_ratio" (in [0, 1]) and a non-negative integer
+    "concurrent_tokens_peak" — the goodput/fragmentation comparison is
+    the study's reason to exist and must not silently drop out;
   * the engine study's cluster-scenario rows ("pattern" of
     "token-cluster" or "kernel-cluster") report a positive integer
     "total_events", so the per-mode event counts the fused device
@@ -41,7 +46,8 @@ def fail(path, msg):
 
 # Studies whose every row is produced by a whole-cluster run and must carry
 # the engine's scheduled-event count.
-TOTAL_EVENTS_REQUIRED = {"study_chaos", "ablation_placement", "fig9"}
+TOTAL_EVENTS_REQUIRED = {"study_chaos", "ablation_placement", "fig9",
+                         "spatial"}
 
 
 def check_file(path):
@@ -99,6 +105,37 @@ def check_file(path):
                         f"row {i} {field!r} missing or not a non-empty "
                         f"string: {value!r}",
                     )
+        if study == "spatial":
+            mix = row.get("mix")
+            if not isinstance(mix, str) or not mix:
+                ok = fail(path, f"row {i} \"mix\" missing or empty: {mix!r}")
+            if row.get("mode") not in ("temporal", "spatial"):
+                ok = fail(
+                    path,
+                    f"row {i} \"mode\" must be temporal|spatial: "
+                    f"{row.get('mode')!r}",
+                )
+            for field in ("goodput", "goodput_gain", "fragmentation_ratio"):
+                value = row.get(field)
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool) or value < 0:
+                    ok = fail(
+                        path,
+                        f"row {i} {field!r} missing or not a non-negative "
+                        f"number: {value!r}",
+                    )
+            frag = row.get("fragmentation_ratio")
+            if isinstance(frag, (int, float)) and not isinstance(frag, bool) \
+                    and frag > 1:
+                ok = fail(path, f"row {i} \"fragmentation_ratio\" > 1: {frag!r}")
+            tokens = row.get("concurrent_tokens_peak")
+            if not isinstance(tokens, int) or isinstance(tokens, bool) \
+                    or tokens < 0:
+                ok = fail(
+                    path,
+                    f"row {i} \"concurrent_tokens_peak\" missing or not a "
+                    f"non-negative integer: {tokens!r}",
+                )
         # Rows may legitimately differ in shape between row kinds (e.g.
         # bench_engine's per-engine rows vs its summary row, or its
         # token-cluster vs kernel-cluster scenario rows); group by the

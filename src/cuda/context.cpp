@@ -251,7 +251,9 @@ std::size_t CudaContext::RetiredUnits(StreamId stream) const {
 }
 
 Duration CudaContext::ExclusiveKernelTime(const gpu::KernelDesc& desc) const {
-  return device_->ExclusiveWallTime(desc);
+  // Owner-aware: a container pinned to a spatial slice sizes its token
+  // batches with the slice-stretched unit wall time.
+  return device_->ExclusiveWallTimeFor(owner_, desc);
 }
 
 Time CudaContext::Now() const { return device_->sim()->Now(); }

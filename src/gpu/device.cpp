@@ -17,6 +17,19 @@ Expected<DevicePtr> GpuDevice::Allocate(const ContainerId& owner,
   if (used_memory_ + bytes > spec_.memory_bytes) {
     return ResourceExhaustedError("device out of memory on " + uuid_.value());
   }
+  const auto sa = slice_assign_.find(owner);
+  if (sa != slice_assign_.end()) {
+    // The slice's proportional share of device memory is a hard wall, like
+    // a MIG instance's dedicated framebuffer.
+    const auto wall = static_cast<std::uint64_t>(
+        static_cast<double>(spec_.memory_bytes) *
+        static_cast<double>(sa->second.groups) /
+        static_cast<double>(sa->second.total));
+    if (MemoryUsedBy(owner) + bytes > wall) {
+      return ResourceExhaustedError("slice memory wall exceeded on " +
+                                    uuid_.value());
+    }
+  }
   used_memory_ += bytes;
   const DevicePtr ptr = next_ptr_++;
   allocations_.emplace(ptr, Allocation{owner, bytes});
@@ -61,6 +74,154 @@ Duration GpuDevice::ExclusiveWallTime(const KernelDesc& desc) const {
       std::ceil(static_cast<double>(nominal.count()) / rate))};
 }
 
+void GpuDevice::SetSliceAssignment(const ContainerId& owner, int groups,
+                                   int total) {
+  if (total < 1) total = 1;
+  if (groups < 1) groups = 1;
+  if (groups > total) groups = total;
+  slice_assign_[owner] = SliceAssign{groups, total};
+}
+
+void GpuDevice::ClearSliceAssignment(const ContainerId& owner) {
+  slice_assign_.erase(owner);
+}
+
+bool GpuDevice::HasSliceAssignment(const ContainerId& owner) const {
+  return slice_assign_.count(owner) > 0;
+}
+
+Duration GpuDevice::SlicedWallTime(const ContainerId& owner,
+                                   const KernelDesc& desc) const {
+  double fraction = 1.0;
+  const auto it = slice_assign_.find(owner);
+  if (it != slice_assign_.end()) {
+    fraction = static_cast<double>(it->second.groups) /
+               static_cast<double>(it->second.total);
+  }
+  // An isolated partition: the only stretch is the kernel demanding more
+  // SMs than the slice has. Bandwidth contention does not apply.
+  const double stretch = std::max(1.0, desc.sm_demand / std::max(1e-9, fraction));
+  const auto nominal = std::max(Duration{1}, desc.nominal_duration);
+  return Duration{static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(nominal.count()) * stretch))};
+}
+
+Duration GpuDevice::ExclusiveWallTimeFor(const ContainerId& owner,
+                                         const KernelDesc& desc) const {
+  if (HasSliceAssignment(owner)) return SlicedWallTime(owner, desc);
+  return ExclusiveWallTime(desc);
+}
+
+bool GpuDevice::EngineBusy() const {
+  return !running_.empty() || group_.has_value();
+}
+
+KernelId GpuDevice::SubmitSliced(const ContainerId& owner,
+                                 const KernelDesc& desc, UnitDoneFn on_done,
+                                 RepeatId chain) {
+  const KernelId id = next_kernel_++;
+  const Time start = sim_->Now();
+  const Duration wall = SlicedWallTime(owner, desc);
+  const std::uint64_t seq = next_slice_seq_++;
+  SlicedRunning r;
+  r.id = id;
+  r.owner = owner;
+  r.name = desc.name;
+  r.start = start;
+  r.finish = start + wall;
+  r.on_done = std::move(on_done);
+  r.chain = chain;
+  r.event = sim_->ScheduleAfter(wall, [this, seq] { OnSlicedComplete(seq); });
+  sliced_.emplace(seq, std::move(r));
+  util_.Start(start);
+  return id;
+}
+
+void GpuDevice::OnSlicedComplete(std::uint64_t seq) {
+  auto it = sliced_.find(seq);
+  if (it == sliced_.end()) return;
+  SlicedRunning r = std::move(it->second);
+  sliced_.erase(it);
+  ++completed_;
+  if (r.chain != 0) {
+    auto chain = sliced_chains_.find(r.chain);
+    if (chain != sliced_chains_.end()) {
+      ++chain->second.finished;
+      chain->second.in_flight = false;
+    }
+  }
+  RecordTrace(r.id, r.owner, r.name, r.start, r.finish);
+  if (sliced_.empty() && !EngineBusy()) util_.Stop(r.finish);
+  if (r.on_done) r.on_done(r.finish);
+  if (r.chain != 0) AdvanceSlicedChain(r.chain);
+}
+
+RepeatId GpuDevice::SubmitRepeatSliced(const ContainerId& owner,
+                                       const KernelDesc& desc, int count,
+                                       UnitDoneFn on_unit) {
+  if (count <= 0) return 0;
+  const RepeatId rid = next_sliced_repeat_++;
+  ChainTail tail;
+  tail.owner = owner;
+  tail.desc = desc;
+  tail.remaining = count - 1;
+  tail.on_unit = std::move(on_unit);
+  tail.in_flight = true;
+  sliced_chains_.emplace(rid, std::move(tail));
+  StartSlicedChainUnit(rid);
+  return rid;
+}
+
+void GpuDevice::StartSlicedChainUnit(RepeatId id) {
+  ChainTail& tail = sliced_chains_.at(id);
+  SubmitSliced(tail.owner, tail.desc, tail.on_unit, id);
+}
+
+void GpuDevice::AdvanceSlicedChain(RepeatId id) {
+  auto it = sliced_chains_.find(id);
+  if (it == sliced_chains_.end()) return;
+  ChainTail& tail = it->second;
+  if (tail.remaining <= 0) {
+    sliced_chains_.erase(it);
+    return;
+  }
+  --tail.remaining;
+  tail.in_flight = true;
+  StartSlicedChainUnit(id);
+}
+
+std::size_t GpuDevice::CancelSlicedTail(RepeatId id) {
+  auto it = sliced_chains_.find(id);
+  if (it == sliced_chains_.end()) return 0;
+  const auto cancelled =
+      static_cast<std::size_t>(std::max(0, it->second.remaining));
+  it->second.remaining = 0;
+  if (!it->second.in_flight) sliced_chains_.erase(it);
+  return cancelled;
+}
+
+std::size_t GpuDevice::SlicedUnitsFinished(RepeatId id) const {
+  auto it = sliced_chains_.find(id);
+  return it == sliced_chains_.end() ? 0 : it->second.finished;
+}
+
+void GpuDevice::DetachSlicedOwner(const ContainerId& owner) {
+  for (auto& [seq, r] : sliced_) {
+    if (r.owner == owner) r.on_done = nullptr;
+  }
+  for (auto it = sliced_chains_.begin(); it != sliced_chains_.end();) {
+    if (it->second.owner == owner) {
+      it->second.remaining = 0;
+      it->second.on_unit = nullptr;
+      if (!it->second.in_flight) {
+        it = sliced_chains_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
 void GpuDevice::RecomputeRate() {
   if (running_.empty()) {
     rate_ = 0.0;
@@ -95,7 +256,7 @@ void GpuDevice::Reschedule() {
     completion_event_ = sim::kInvalidEvent;
   }
   if (running_.empty()) {
-    if (!group_) util_.Stop(sim_->Now());
+    if (!group_ && !SlicedBusy()) util_.Stop(sim_->Now());
     return;
   }
   util_.Start(sim_->Now());
@@ -116,6 +277,13 @@ void GpuDevice::InsertRunning(Running r) {
 
 KernelId GpuDevice::Submit(const ContainerId& owner, const KernelDesc& desc,
                            std::function<void()> on_complete) {
+  if (HasSliceAssignment(owner)) {
+    UnitDoneFn done;
+    if (on_complete) {
+      done = [fn = std::move(on_complete)](Time) { fn(); };
+    }
+    return SubmitSliced(owner, desc, std::move(done), /*chain=*/0);
+  }
   if (group_) SplitGroup(/*fire_callbacks=*/true);
   Progress();
   const KernelId id = next_kernel_++;
@@ -139,6 +307,9 @@ RepeatId GpuDevice::SubmitRepeat(const ContainerId& owner,
                                  const KernelDesc& desc, int count,
                                  UnitDoneFn on_unit) {
   if (count <= 0) return 0;
+  if (HasSliceAssignment(owner)) {
+    return SubmitRepeatSliced(owner, desc, count, std::move(on_unit));
+  }
   if (group_) SplitGroup(/*fire_callbacks=*/true);
   const RepeatId rid = next_repeat_++;
   if (running_.empty() && count >= 2) {
@@ -293,6 +464,7 @@ void GpuDevice::OnGroupEvent() {
 }
 
 std::size_t GpuDevice::CancelRepeatTail(RepeatId id) {
+  if (IsSlicedRepeat(id)) return CancelSlicedTail(id);
   if (group_ && group_->id == id) {
     // Deliver due units and demote the in-flight one; the unstarted tail
     // becomes the chain remainder cancelled below.
@@ -308,6 +480,7 @@ std::size_t GpuDevice::CancelRepeatTail(RepeatId id) {
 }
 
 std::size_t GpuDevice::RepeatUnitsFinished(RepeatId id) const {
+  if (IsSlicedRepeat(id)) return SlicedUnitsFinished(id);
   if (group_ && group_->id == id) {
     const std::int64_t unit_wall = group_->unit_wall.count();
     std::int64_t due = (sim_->Now() - group_->anchor).count() / unit_wall;
@@ -320,6 +493,7 @@ std::size_t GpuDevice::RepeatUnitsFinished(RepeatId id) const {
 }
 
 void GpuDevice::DetachOwner(const ContainerId& owner) {
+  DetachSlicedOwner(owner);
   if (group_ && group_->owner == owner) {
     SplitGroup(/*fire_callbacks=*/false);
   }
@@ -340,7 +514,7 @@ void GpuDevice::DetachOwner(const ContainerId& owner) {
 }
 
 std::size_t GpuDevice::active_kernels() const {
-  return running_.size() + (group_ ? 1u : 0u);
+  return running_.size() + (group_ ? 1u : 0u) + sliced_.size();
 }
 
 std::uint64_t GpuDevice::completed_kernels() const {

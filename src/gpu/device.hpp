@@ -36,6 +36,12 @@ struct KernelDesc {
   Duration nominal_duration{0};
   double bandwidth_demand = 0.0;
   std::string name;
+  /// Fraction of the device's SMs the kernel can saturate. Only consulted
+  /// when the owner runs on a spatial slice: a kernel whose demand exceeds
+  /// its slice's compute fraction stretches by demand/fraction, while a
+  /// small kernel on a matching slice runs at nominal speed (the spatial
+  /// goodput win). 1.0 — the default — models a full-device kernel.
+  double sm_demand = 1.0;
 };
 
 using KernelId = std::uint64_t;
@@ -151,6 +157,24 @@ class GpuDevice {
   /// the quantum the vGPU frontend sizes token-interval batches with.
   Duration ExclusiveWallTime(const KernelDesc& desc) const;
 
+  // --- Spatial slices ---------------------------------------------------
+  /// Pins `owner` onto a `groups`-of-`total` SM slice (MIG-style spatial
+  /// partition). Its kernels then run on an isolated lane: fixed wall time
+  /// nominal * max(1, sm_demand / slice_fraction), no processor-sharing or
+  /// bandwidth coupling with other tenants (hardware isolation), and its
+  /// allocations are bounded by the slice's proportional memory wall.
+  /// Both execution engines share this lane, so differential traces stay
+  /// byte-equal. With no assignment (the default) behavior is untouched.
+  void SetSliceAssignment(const ContainerId& owner, int groups, int total);
+  void ClearSliceAssignment(const ContainerId& owner);
+  bool HasSliceAssignment(const ContainerId& owner) const;
+  /// Wall time of one `desc` unit for `owner`, honoring its slice
+  /// assignment; equals ExclusiveWallTime(desc) without one.
+  Duration ExclusiveWallTimeFor(const ContainerId& owner,
+                                const KernelDesc& desc) const;
+  /// Kernels currently in flight on slice lanes (subset of active_kernels).
+  std::size_t sliced_active_kernels() const { return sliced_.size(); }
+
   /// Kernels resident on the device (in flight; queued repeat units do not
   /// count, matching the chained oracle where they are not yet submitted).
   virtual std::size_t active_kernels() const;
@@ -173,6 +197,23 @@ class GpuDevice {
                    const std::string& name, Time start, Time finish) {
     if (trace_) trace_(KernelTraceEvent{id, owner, name, start, finish});
   }
+
+  // Slice-lane hooks for the execution engines. Repeat streams on slices
+  // draw ids from a disjoint range so virtual dispatch can route by id.
+  static constexpr RepeatId kSlicedRepeatBase = RepeatId{1} << 32;
+  static bool IsSlicedRepeat(RepeatId id) { return id >= kSlicedRepeatBase; }
+  bool SlicedBusy() const { return !sliced_.empty(); }
+  /// True while the (engine-specific) time-shared lane has work in flight;
+  /// the device-level busy interval closes only when both lanes drain.
+  virtual bool EngineBusy() const;
+  KernelId SubmitSliced(const ContainerId& owner, const KernelDesc& desc,
+                        UnitDoneFn on_done, RepeatId chain);
+  RepeatId SubmitRepeatSliced(const ContainerId& owner,
+                              const KernelDesc& desc, int count,
+                              UnitDoneFn on_unit);
+  std::size_t CancelSlicedTail(RepeatId id);
+  std::size_t SlicedUnitsFinished(RepeatId id) const;
+  void DetachSlicedOwner(const ContainerId& owner);
 
   sim::Simulation* sim_;
   GpuUuid uuid_;
@@ -214,6 +255,24 @@ class GpuDevice {
     UnitDoneFn on_unit;
     bool in_flight = false;  // one unit currently running
   };
+  /// An owner's spatial slice: `groups` of `total` SM groups.
+  struct SliceAssign {
+    int groups = 0;
+    int total = 1;
+  };
+  /// A kernel in flight on a slice lane. Wall time is fixed at submit
+  /// (hardware-isolated partition: no cross-tenant sharing), so each unit
+  /// carries its own completion event.
+  struct SlicedRunning {
+    KernelId id = 0;
+    ContainerId owner;
+    std::string name;
+    Time start{0};
+    Time finish{0};
+    UnitDoneFn on_done;  // null once detached
+    RepeatId chain = 0;
+    sim::EventId event = sim::kInvalidEvent;
+  };
 
   /// Re-times the pending completion event after the active set changed.
   void Reschedule();
@@ -253,6 +312,19 @@ class GpuDevice {
   RepeatId next_repeat_ = 1;
   std::optional<FusedGroup> group_;
   std::unordered_map<RepeatId, ChainTail> chains_;
+
+  // Slice-lane state (shared by both engines).
+  Duration SlicedWallTime(const ContainerId& owner,
+                          const KernelDesc& desc) const;
+  void OnSlicedComplete(std::uint64_t seq);
+  void AdvanceSlicedChain(RepeatId id);
+  void StartSlicedChainUnit(RepeatId id);
+
+  std::map<ContainerId, SliceAssign> slice_assign_;
+  std::uint64_t next_slice_seq_ = 1;
+  std::map<std::uint64_t, SlicedRunning> sliced_;
+  RepeatId next_sliced_repeat_ = kSlicedRepeatBase;
+  std::unordered_map<RepeatId, ChainTail> sliced_chains_;
 };
 
 }  // namespace ks::gpu

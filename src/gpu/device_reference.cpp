@@ -40,7 +40,7 @@ void GpuDeviceReference::Reschedule() {
     completion_event_ = sim::kInvalidEvent;
   }
   if (running_.empty()) {
-    util_.Stop(sim_->Now());
+    if (!SlicedBusy()) util_.Stop(sim_->Now());
     return;
   }
   util_.Start(sim_->Now());
@@ -60,6 +60,11 @@ void GpuDeviceReference::Reschedule() {
 KernelId GpuDeviceReference::Submit(const ContainerId& owner,
                                     const KernelDesc& desc,
                                     std::function<void()> on_complete) {
+  if (HasSliceAssignment(owner)) {
+    // The slice lane lives in the base class and is shared verbatim by
+    // both engines, keeping differential traces byte-equal.
+    return GpuDevice::Submit(owner, desc, std::move(on_complete));
+  }
   Progress();
   const KernelId id = next_kernel_++;
   Running r;
@@ -81,6 +86,9 @@ RepeatId GpuDeviceReference::SubmitRepeat(const ContainerId& owner,
                                           const KernelDesc& desc, int count,
                                           UnitDoneFn on_unit) {
   if (count <= 0) return 0;
+  if (HasSliceAssignment(owner)) {
+    return GpuDevice::SubmitRepeat(owner, desc, count, std::move(on_unit));
+  }
   const RepeatId rid = next_repeat_++;
   ChainTail tail;
   tail.owner = owner;
@@ -123,6 +131,7 @@ void GpuDeviceReference::AdvanceChain(RepeatId id) {
 }
 
 std::size_t GpuDeviceReference::CancelRepeatTail(RepeatId id) {
+  if (IsSlicedRepeat(id)) return CancelSlicedTail(id);
   auto it = chains_.find(id);
   if (it == chains_.end()) return 0;
   const auto cancelled =
@@ -133,11 +142,13 @@ std::size_t GpuDeviceReference::CancelRepeatTail(RepeatId id) {
 }
 
 std::size_t GpuDeviceReference::RepeatUnitsFinished(RepeatId id) const {
+  if (IsSlicedRepeat(id)) return SlicedUnitsFinished(id);
   auto it = chains_.find(id);
   return it == chains_.end() ? 0 : it->second.finished;
 }
 
 void GpuDeviceReference::DetachOwner(const ContainerId& owner) {
+  DetachSlicedOwner(owner);
   for (Running& r : running_) {
     if (r.owner == owner) r.on_done = nullptr;
   }
@@ -155,8 +166,10 @@ void GpuDeviceReference::DetachOwner(const ContainerId& owner) {
 }
 
 std::size_t GpuDeviceReference::active_kernels() const {
-  return running_.size();
+  return running_.size() + sliced_active_kernels();
 }
+
+bool GpuDeviceReference::EngineBusy() const { return !running_.empty(); }
 
 std::uint64_t GpuDeviceReference::completed_kernels() const {
   return completed_;

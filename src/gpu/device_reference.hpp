@@ -34,6 +34,9 @@ class GpuDeviceReference final : public GpuDevice {
   std::size_t active_kernels() const override;
   std::uint64_t completed_kernels() const override;
 
+ protected:
+  bool EngineBusy() const override;
+
  private:
   struct Running {
     KernelId id;

@@ -53,13 +53,19 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
         api_.get(), handle->name, machine, handle->runtime.get(),
         handle->plugin.get());
 
+    // The spatial knobs ride the backend config into each node's token
+    // daemon (the daemon itself has no view of ClusterConfig).
+    vgpu::BackendConfig backend_cfg = config_.backend;
+    if (config_.spatial.enabled) {
+      backend_cfg.spatial_enabled = true;
+      backend_cfg.sm_groups = config_.spatial.sm_groups;
+    }
     if (config_.token_timers == vgpu::TokenTimerMode::kWheel) {
       handle->token_backend =
-          std::make_unique<vgpu::TokenBackend>(&sim_, config_.backend);
+          std::make_unique<vgpu::TokenBackend>(&sim_, backend_cfg);
     } else {
       handle->token_backend =
-          std::make_unique<vgpu::TokenBackendReference>(&sim_,
-                                                        config_.backend);
+          std::make_unique<vgpu::TokenBackendReference>(&sim_, backend_cfg);
     }
     for (gpu::GpuDevice* g : raw_gpus) {
       handle->token_backend->RegisterDevice(g->uuid());

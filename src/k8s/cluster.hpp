@@ -16,6 +16,7 @@
 #include "k8s/scheduler.hpp"
 #include "sim/simulation.hpp"
 #include "sim/tick_hub.hpp"
+#include "spatial/geometry.hpp"
 #include "vgpu/token_backend.hpp"
 #include "vgpu/token_backend_reference.hpp"
 
@@ -32,6 +33,10 @@ struct ClusterConfig {
   gpu::GpuSpec gpu_spec;
   LatencyModel latency;
   vgpu::BackendConfig backend;
+  /// MIG-style spatial sharing (SM-group slices, concurrent tokens,
+  /// fragmentation-aware placement). Disabled by default: the cluster
+  /// behaves byte-identically to the temporal-only system.
+  spatial::SpatialConfig spatial;
   /// Which token-renewal timer implementation the per-node daemons use:
   /// the hierarchical timer wheel (default) or the one-event-per-deadline
   /// reference backend kept as the differential-test oracle.

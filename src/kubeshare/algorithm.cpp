@@ -20,6 +20,27 @@ bool FitsResources(const ScheduleRequest& r, const VgpuInfo& d,
   return mem_overcommit || r.gpu.gpu_mem <= d.residual_mem() + kEps;
 }
 
+/// Slice feasibility on spatial pools: the claim needs a free contiguous
+/// SM-group run. Trivially true for temporal requests and on non-spatial
+/// pools (idle devices are fully free, so they always pass).
+bool FitsSlices(const ScheduleRequest& r, const VgpuInfo& d, bool spatial) {
+  if (!spatial || r.gpu.slice_groups <= 0) return true;
+  return d.slices.FirstFit(r.gpu.slice_groups).has_value();
+}
+
+/// Fragmentation the device would have after first-fit placing the claim:
+/// the packing score of the fragmentation-aware Step 3 (lower is better —
+/// keep the surviving free space in large contiguous runs).
+double PostPlacementFragmentation(const VgpuInfo& d, int claim) {
+  spatial::SliceMap map = d.slices;
+  const auto fit = map.FirstFit(claim);
+  assert(fit.has_value());
+  const Status occupied = map.Occupy(*fit, claim);
+  assert(occupied.ok());
+  (void)occupied;
+  return map.FragmentationScore();
+}
+
 /// Picks the node with the most free physical GPUs (spreading new vGPUs,
 /// so the native scheduler keeps room too). Returns nullptr when no node
 /// has supply.
@@ -48,6 +69,10 @@ Expected<GpuId> ScheduleSharePodReference(
     VgpuPool& pool, const ScheduleRequest& r,
     const std::vector<NodeFreeGpus>& free_gpus, PlacementVariant variant) {
   KS_RETURN_IF_ERROR(r.gpu.Validate());
+  const bool sliced = pool.spatial_enabled() && r.gpu.slice_groups > 0;
+  if (sliced && r.gpu.slice_groups > pool.sm_groups()) {
+    return RejectedError("slice claim exceeds device geometry");
+  }
 
   const auto devices = pool.List();
 
@@ -75,6 +100,10 @@ Expected<GpuId> ScheduleSharePodReference(
       }
       if (!FitsResources(r, *labelled, pool.memory_overcommit())) {
         return RejectedError("insufficient resources on affinity device " +
+                             labelled->id.value());
+      }
+      if (!FitsSlices(r, *labelled, pool.spatial_enabled())) {
+        return RejectedError("insufficient slice groups on affinity device " +
                              labelled->id.value());
       }
       return AttachOrPropagate(pool, labelled->id, r);
@@ -112,6 +141,7 @@ Expected<GpuId> ScheduleSharePodReference(
       continue;
     }
     if (!FitsResources(r, *d, pool.memory_overcommit())) continue;
+    if (!FitsSlices(r, *d, pool.spatial_enabled())) continue;
     candidates.push_back(d);
   }
 
@@ -126,11 +156,30 @@ Expected<GpuId> ScheduleSharePodReference(
   auto tie_break_better = [&](const VgpuInfo* d, const VgpuInfo* pick) {
     return node_attached[d->node] < node_attached[pick->node];
   };
+  // Fragmentation-aware packing: on spatial pools a slice claim ranks
+  // candidates first by post-placement fragmentation (lowest wins), so
+  // slices consolidate and large free runs survive; residual capacity and
+  // the node tie-break only order devices whose fragmentation ties.
+  // Returns <0 / 0 / >0 like strcmp; always 0 for temporal requests.
+  auto frag_compare = [&](const VgpuInfo* d, const VgpuInfo* pick) {
+    if (!sliced) return 0;
+    const double fd = PostPlacementFragmentation(*d, r.gpu.slice_groups);
+    const double fp = PostPlacementFragmentation(*pick, r.gpu.slice_groups);
+    if (fd < fp - kEps) return -1;
+    if (fd > fp + kEps) return 1;
+    return 0;
+  };
   auto best_fit = [&](bool labelled) {
     const VgpuInfo* pick = nullptr;
     for (const VgpuInfo* d : candidates) {
       if (d->affinity.empty() == labelled) continue;
-      if (pick == nullptr ||
+      if (pick == nullptr) {
+        pick = d;
+        continue;
+      }
+      const int frag = frag_compare(d, pick);
+      if (frag > 0) continue;
+      if (frag < 0 ||
           d->residual_util() < pick->residual_util() - kEps ||
           (std::abs(d->residual_util() - pick->residual_util()) <= kEps &&
            (d->residual_mem() < pick->residual_mem() - kEps ||
@@ -145,7 +194,13 @@ Expected<GpuId> ScheduleSharePodReference(
     const VgpuInfo* pick = nullptr;
     for (const VgpuInfo* d : candidates) {
       if (d->affinity.empty() == labelled) continue;
-      if (pick == nullptr ||
+      if (pick == nullptr) {
+        pick = d;
+        continue;
+      }
+      const int frag = frag_compare(d, pick);
+      if (frag > 0) continue;
+      if (frag < 0 ||
           d->residual_util() > pick->residual_util() + kEps ||
           (std::abs(d->residual_util() - pick->residual_util()) <= kEps &&
            (d->residual_mem() > pick->residual_mem() + kEps ||
@@ -190,6 +245,10 @@ Expected<GpuId> ScheduleSharePod(VgpuPool& pool, const ScheduleRequest& r,
                                  const std::vector<NodeFreeGpus>& free_gpus,
                                  PlacementVariant variant) {
   KS_RETURN_IF_ERROR(r.gpu.Validate());
+  const bool sliced = pool.spatial_enabled() && r.gpu.slice_groups > 0;
+  if (sliced && r.gpu.slice_groups > pool.sm_groups()) {
+    return RejectedError("slice claim exceeds device geometry");
+  }
 
   // Index-accelerated Algorithm 1. Every index iterates in GpuId order —
   // the same order the reference scan visits pool.List() — so each step
@@ -215,6 +274,11 @@ Expected<GpuId> ScheduleSharePod(VgpuPool& pool, const ScheduleRequest& r,
         if (!FitsResources(r, *labelled, pool.memory_overcommit())) {
           return RejectedError("insufficient resources on affinity device " +
                                labelled->id.value());
+        }
+        if (!FitsSlices(r, *labelled, pool.spatial_enabled())) {
+          return RejectedError(
+              "insufficient slice groups on affinity device " +
+              labelled->id.value());
         }
         return AttachOrPropagate(pool, labelled->id, r);
       }
@@ -266,6 +330,19 @@ Expected<GpuId> ScheduleSharePod(VgpuPool& pool, const ScheduleRequest& r,
                (std::abs(d.residual_mem() - p->residual_mem()) <= kEps &&
                 tie_break_better(d, *p))));
     };
+    // Same fragmentation-first ordering as the reference Step 3: only a
+    // slice claim activates it, and residual capacity breaks frag ties.
+    auto improves_with_frag = [&](const VgpuInfo& d, const VgpuInfo* p,
+                                  auto&& base) {
+      if (p == nullptr) return true;
+      if (sliced) {
+        const double fd = PostPlacementFragmentation(d, r.gpu.slice_groups);
+        const double fp = PostPlacementFragmentation(*p, r.gpu.slice_groups);
+        if (fd < fp - kEps) return true;
+        if (fd > fp + kEps) return false;
+      }
+      return static_cast<bool>(base(d, p));
+    };
 
     const VgpuInfo* primary = nullptr;    // unlabelled-group winner
     const VgpuInfo* secondary = nullptr;  // labelled-group winner
@@ -281,6 +358,7 @@ Expected<GpuId> ScheduleSharePod(VgpuPool& pool, const ScheduleRequest& r,
           continue;
         }
         if (!FitsResources(r, d, pool.memory_overcommit())) continue;
+        if (!FitsSlices(r, d, pool.spatial_enabled())) continue;
       }
       if (variant == PlacementVariant::kFirstFit) {
         pick = &d;
@@ -289,8 +367,8 @@ Expected<GpuId> ScheduleSharePod(VgpuPool& pool, const ScheduleRequest& r,
       const VgpuInfo*& winner = d.affinity.empty() ? primary : secondary;
       const bool improves = (variant == PlacementVariant::kPaper &&
                              d.affinity.empty())
-                                ? better_best(d, winner)
-                                : better_worst(d, winner);
+                                ? improves_with_frag(d, winner, better_best)
+                                : improves_with_frag(d, winner, better_worst);
       if (improves) winner = &d;
     }
     if (variant != PlacementVariant::kFirstFit && pick == nullptr) {

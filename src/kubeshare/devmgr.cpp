@@ -169,8 +169,11 @@ Status KubeShareDevMgr::RebuildFromApiServer() {
       ++rebuilt_vgpus_;
     }
     if (pool_->DeviceOf(name) != sp.spec.gpu_id) {
+      // Pinning the recorded slice_offset keeps the rebuilt occupancy
+      // byte-equal to the pre-crash pool regardless of reattach order.
       const Status attached =
-          pool_->Attach(sp.spec.gpu_id, name, sp.spec.gpu, sp.spec.locality);
+          pool_->Attach(sp.spec.gpu_id, name, sp.spec.gpu, sp.spec.locality,
+                        sp.spec.slice_offset);
       if (!attached.ok()) {
         // The placement no longer fits (the scheduler over-committed the
         // device while the pool was dark). Infrastructure's fault, not the
@@ -269,7 +272,7 @@ Status KubeShareDevMgr::EnsureAttached(const SharePod& pod) {
         pool_->CreateWithId(pod.spec.gpu_id, pod.spec.node_name).status());
   }
   return pool_->Attach(pod.spec.gpu_id, pod.meta.name, pod.spec.gpu,
-                       pod.spec.locality);
+                       pod.spec.locality, pod.spec.slice_offset);
 }
 
 void KubeShareDevMgr::HandleScheduled(const SharePod& pod) {
@@ -381,6 +384,14 @@ void KubeShareDevMgr::LaunchWorkloadPod(const std::string& sharepod_name) {
   pod.spec.env[kEnvGpuRequest] = FormatFraction(sp->spec.gpu.gpu_request);
   pod.spec.env[kEnvGpuLimit] = FormatFraction(sp->spec.gpu.gpu_limit);
   pod.spec.env[kEnvGpuMem] = FormatFraction(sp->spec.gpu.gpu_mem);
+  if (sp->spec.gpu.slice_groups > 0) {
+    pod.spec.env[kEnvSliceGroups] =
+        std::to_string(sp->spec.gpu.slice_groups);
+    if (auto slice = pool_->SliceOf(sharepod_name)) {
+      pod.meta.labels[kSliceLabel] = std::to_string(slice->first) + "-" +
+                                     std::to_string(slice->second);
+    }
+  }
 
   const Status created = cluster_->api().pods().Create(pod, Token());
   if (!created.ok()) {

@@ -12,6 +12,9 @@ KubeShare::KubeShare(k8s::Cluster* cluster, KubeShareConfig config)
       config_(config),
       sharepods_(&cluster->sim(), cluster->api().latency().watch_propagation) {
   pool_.set_memory_overcommit(config_.allow_memory_overcommit);
+  if (cluster_->config().spatial.enabled) {
+    pool_.EnableSpatial(cluster_->config().spatial.sm_groups);
+  }
   sched_ = std::make_unique<KubeShareSched>(cluster_, &sharepods_, &pool_,
                                             config_);
   devmgr_ = std::make_unique<KubeShareDevMgr>(cluster_, &sharepods_, &pool_,
@@ -158,6 +161,8 @@ std::optional<KubeShare::Binding> KubeShare::ParseBinding(
   binding.spec.gpu_request = parse(kEnvGpuRequest, 0.0);
   binding.spec.gpu_limit = parse(kEnvGpuLimit, 1.0);
   binding.spec.gpu_mem = parse(kEnvGpuMem, 1.0);
+  binding.spec.slice_groups =
+      static_cast<int>(parse(kEnvSliceGroups, 0.0));
   return binding;
 }
 

@@ -9,6 +9,17 @@ namespace {
 constexpr double kCapacityEps = 1e-9;
 }
 
+void VgpuPool::EnableSpatial(int sm_groups) {
+  assert(sm_groups >= 1 && sm_groups <= 64);
+  sm_groups_ = sm_groups;
+  for (auto& [id, dev] : entries_) {
+    if (dev.slices.groups() != sm_groups_) {
+      assert(dev.slices.UsedGroups() == 0);
+      dev.slices = spatial::SliceMap(sm_groups_);
+    }
+  }
+}
+
 VgpuInfo& VgpuPool::Create(const std::string& node) {
   // The paper's new_dev() "generates a device variable with a new hashed
   // id"; a counter-derived id is equally unique and keeps runs
@@ -17,6 +28,7 @@ VgpuInfo& VgpuPool::Create(const std::string& node) {
   VgpuInfo info;
   info.id = id;
   info.node = node;
+  if (sm_groups_ > 0) info.slices = spatial::SliceMap(sm_groups_);
   auto [it, inserted] = entries_.emplace(id, std::move(info));
   assert(inserted);
   ++node_devices_[node];
@@ -33,6 +45,7 @@ Expected<GpuId> VgpuPool::CreateWithId(const GpuId& id,
   VgpuInfo info;
   info.id = id;
   info.node = node;
+  if (sm_groups_ > 0) info.slices = spatial::SliceMap(sm_groups_);
   auto [it, inserted] = entries_.emplace(id, std::move(info));
   ++node_devices_[node];
   OnAfterDeviceChange(it->second);
@@ -133,6 +146,28 @@ Status VgpuPool::CheckIndexInvariants() const {
   if (residuals != residuals_) {
     return InternalError("residual index out of sync");
   }
+  // Slice occupancy: replaying every attachment's recorded run into a
+  // fresh map must reproduce each device's incrementally-maintained
+  // bitmap exactly (and never collide).
+  std::map<GpuId, spatial::SliceMap> slice_maps;
+  for (const auto& [id, dev] : entries_) {
+    slice_maps.emplace(id, spatial::SliceMap(dev.slices.groups()));
+  }
+  for (const auto& [name, att] : attachments_) {
+    if (att.slice_offset < 0) continue;
+    auto it = slice_maps.find(att.device);
+    if (it == slice_maps.end()) {
+      return InternalError("slice attachment to unknown device: " + name);
+    }
+    if (!it->second.Occupy(att.slice_offset, att.gpu.slice_groups).ok()) {
+      return InternalError("overlapping slice attachments: " + name);
+    }
+  }
+  for (const auto& [id, dev] : entries_) {
+    if (slice_maps.at(id) != dev.slices) {
+      return InternalError("slice occupancy out of sync on " + id.value());
+    }
+  }
   return Status::Ok();
 }
 
@@ -149,7 +184,7 @@ Status VgpuPool::Activate(const GpuId& id, const GpuUuid& uuid) {
 
 Status VgpuPool::Attach(const GpuId& id, const std::string& sharepod,
                         const vgpu::ResourceSpec& gpu,
-                        const LocalitySpec& locality) {
+                        const LocalitySpec& locality, int slice_offset) {
   VgpuInfo* dev = Find(id);
   if (dev == nullptr) return NotFoundError("no vGPU: " + id.value());
   if (attachments_.count(sharepod) > 0) {
@@ -170,8 +205,36 @@ Status VgpuPool::Attach(const GpuId& id, const std::string& sharepod,
       dev->anti_affinity.count(*locality.anti_affinity) > 0) {
     return RejectedError("anti-affinity violation on " + id.value());
   }
+  // Spatial claims reserve a contiguous SM-group run. Claims are ignored
+  // on non-spatial pools (the spec degrades to a temporal attachment).
+  int granted_offset = -1;
+  if (sm_groups_ > 0 && gpu.slice_groups > 0) {
+    if (gpu.slice_groups > sm_groups_) {
+      return RejectedError("slice claim exceeds device geometry on " +
+                           id.value());
+    }
+    if (slice_offset >= 0) {
+      if (!dev->slices.IsFree(slice_offset, gpu.slice_groups)) {
+        return ResourceExhaustedError("pinned slice busy on " + id.value());
+      }
+      granted_offset = slice_offset;
+    } else {
+      auto fit = dev->slices.FirstFit(gpu.slice_groups);
+      if (!fit.has_value()) {
+        return ResourceExhaustedError("insufficient slice groups on " +
+                                      id.value());
+      }
+      granted_offset = *fit;
+    }
+  }
 
   OnBeforeDeviceChange(*dev);
+  if (granted_offset >= 0) {
+    const Status occupied =
+        dev->slices.Occupy(granted_offset, gpu.slice_groups);
+    assert(occupied.ok());
+    (void)occupied;
+  }
   dev->used_util += gpu.gpu_request;
   dev->used_mem += gpu.gpu_mem;
   if (locality.affinity.has_value()) dev->affinity.insert(*locality.affinity);
@@ -181,9 +244,27 @@ Status VgpuPool::Attach(const GpuId& id, const std::string& sharepod,
   dev->exclusion = locality.exclusion;
   dev->attached.insert(sharepod);
   if (dev->uuid.has_value()) dev->state = VgpuState::kActive;
-  attachments_[sharepod] = {id, gpu, locality};
+  attachments_[sharepod] = {id, gpu, locality, granted_offset};
   OnAfterDeviceChange(*dev);
   return Status::Ok();
+}
+
+std::optional<std::pair<int, int>> VgpuPool::SliceOf(
+    const std::string& sharepod) const {
+  auto it = attachments_.find(sharepod);
+  if (it == attachments_.end() || it->second.slice_offset < 0) {
+    return std::nullopt;
+  }
+  return std::make_pair(it->second.slice_offset,
+                        it->second.gpu.slice_groups);
+}
+
+double VgpuPool::FragmentationRatio() const {
+  if (sm_groups_ == 0) return 0.0;
+  std::vector<const spatial::SliceMap*> maps;
+  maps.reserve(entries_.size());
+  for (const auto& [id, dev] : entries_) maps.push_back(&dev.slices);
+  return spatial::PoolFragmentationRatio(maps);
 }
 
 Status VgpuPool::UpdateAttachment(const std::string& sharepod,
@@ -216,10 +297,17 @@ Expected<GpuId> VgpuPool::Detach(const std::string& sharepod) {
     return NotFoundError("sharePod not attached: " + sharepod);
   }
   const GpuId device = it->second.device;
+  const int slice_offset = it->second.slice_offset;
+  const int slice_groups = it->second.gpu.slice_groups;
   attachments_.erase(it);
   VgpuInfo* dev = Find(device);
   if (dev != nullptr) {
     OnBeforeDeviceChange(*dev);
+    if (slice_offset >= 0) {
+      const Status released = dev->slices.Release(slice_offset, slice_groups);
+      assert(released.ok());
+      (void)released;
+    }
     dev->attached.erase(sharepod);
     RecomputeDevice(*dev);
     if (dev->attached.empty() && dev->uuid.has_value()) {
@@ -307,6 +395,10 @@ std::string VgpuPool::DebugString() const {
     for (const Label& l : dev.affinity) out += " aff=" + l.value();
     for (const Label& l : dev.anti_affinity) out += " anti=" + l.value();
     if (dev.exclusion.has_value()) out += " excl=" + dev.exclusion->value();
+    // Spatial pools dump the slice picture too, so the crash-restart
+    // byte-equality tests also pin slice placements. Non-spatial pools
+    // keep the pre-spatial format verbatim.
+    if (sm_groups_ > 0) out += " slices=" + dev.slices.DebugString();
     out += "\n";
   }
   return out;

@@ -9,6 +9,7 @@
 #include "common/ids.hpp"
 #include "common/status.hpp"
 #include "kubeshare/sharepod.hpp"
+#include "spatial/geometry.hpp"
 
 namespace ks::kubeshare {
 
@@ -42,6 +43,9 @@ struct VgpuInfo {
   std::set<Label> anti_affinity;
   std::optional<Label> exclusion;
   std::set<std::string> attached;  // sharePod names
+  /// SM-group occupancy (spatial pools only; groups()==0 otherwise).
+  /// Maintained incrementally by Attach/Detach from the slice claims.
+  spatial::SliceMap slices;
 
   double residual_util() const { return 1.0 - used_util; }
   double residual_mem() const { return 1.0 - used_mem; }
@@ -58,6 +62,14 @@ class VgpuPool {
   /// enforcing the gpu_mem residual — the device library swaps instead.
   void set_memory_overcommit(bool enabled) { memory_overcommit_ = enabled; }
   bool memory_overcommit() const { return memory_overcommit_; }
+
+  /// Turns on MIG-style spatial sharing: every device (existing and
+  /// future) carries a SliceMap of `sm_groups` SM groups, and Attach
+  /// allocates contiguous slice runs for specs with slice_groups > 0.
+  /// Survives Clear() — it is process configuration, not pool state.
+  void EnableSpatial(int sm_groups);
+  bool spatial_enabled() const { return sm_groups_ > 0; }
+  int sm_groups() const { return sm_groups_; }
 
   /// Adds a vGPU in kCreating state on `node` with a fresh id.
   /// KubeShare-Sched calls this through new_dev() in Algorithm 1.
@@ -111,8 +123,20 @@ class VgpuPool {
   /// Reserves capacity and labels for `sharepod` on device `id`. Fails if
   /// the reservation would over-commit or violate the device's exclusion
   /// label; label sets are extended as Algorithm 1 lines 7/11-13 do.
+  /// `slice_offset` applies only on spatial pools with gpu.slice_groups
+  /// > 0: -1 lets the pool pick the first-fit (lowest-offset) free run; a
+  /// concrete offset pins the exact groups (DevMgr rebuild re-attaching
+  /// the placement the scheduler persisted in the SharePodSpec).
   Status Attach(const GpuId& id, const std::string& sharepod,
-                const vgpu::ResourceSpec& gpu, const LocalitySpec& locality);
+                const vgpu::ResourceSpec& gpu, const LocalitySpec& locality,
+                int slice_offset = -1);
+
+  /// The slice run (offset, groups) a sharePod holds, if it holds one.
+  std::optional<std::pair<int, int>> SliceOf(const std::string& sharepod)
+      const;
+
+  /// Pool-wide slice fragmentation ratio (0 on non-spatial pools).
+  double FragmentationRatio() const;
 
   /// Adjusts an existing attachment's compute reservation in place
   /// (vertical resize). Fails if the new gpu_request does not fit the
@@ -156,6 +180,7 @@ class VgpuPool {
     GpuId device;
     vgpu::ResourceSpec gpu;
     LocalitySpec locality;
+    int slice_offset = -1;  // -1: no slice held (temporal attachment)
   };
 
   void RecomputeDevice(VgpuInfo& dev);
@@ -170,6 +195,7 @@ class VgpuPool {
   std::map<std::string, Attachment> attachments_;
   std::uint64_t next_id_ = 1;
   bool memory_overcommit_ = false;
+  int sm_groups_ = 0;  // 0: spatial sharing off
 
   // Incremental indices — see the accessor block above.
   std::set<GpuId> idle_;

@@ -199,11 +199,16 @@ void KubeShareSched::ScheduleOne(const std::string& name) {
 
   auto device = pool_->Get(*result);
   assert(device.ok());
+  // Slice placements are part of the scheduling decision: persist the
+  // assigned SM-group offset so a restarted DevMgr re-attaches the exact
+  // same groups instead of re-running first-fit against a rebuilt pool.
+  const auto slice = pool_->SliceOf(name);
   const Status wrote = k8s::RetryOnConflict(
       *sharepods_, name,
       [&](SharePod& sp) {
         sp.spec.gpu_id = *result;
         sp.spec.node_name = device->node;
+        sp.spec.slice_offset = slice.has_value() ? slice->first : -1;
         sp.status.scheduled_time = cluster_->sim().Now();
         return Status::Ok();
       },

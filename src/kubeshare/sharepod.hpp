@@ -26,12 +26,18 @@ inline constexpr const char* kRoleWorkload = "workload";
 /// vGPU pool from the apiserver alone (the pod's node selector names the
 /// node; its effective environment carries the UUID once Running).
 inline constexpr const char* kGpuIdLabel = "kubeshare.io/gpu-id";
+/// Slice placement of a spatially-shared workload pod, "offset/groups"
+/// (e.g. "2/1"): observability only — the authoritative copy lives in the
+/// SharePodSpec so a restarted DevMgr rebuilds placements from the CRD.
+inline constexpr const char* kSliceLabel = "kubeshare.io/slice";
 
 inline constexpr const char* kEnvSharePod = "KUBESHARE_SHAREPOD";
 inline constexpr const char* kEnvGpuId = "KUBESHARE_GPUID";
 inline constexpr const char* kEnvGpuRequest = "KUBESHARE_GPU_REQUEST";
 inline constexpr const char* kEnvGpuLimit = "KUBESHARE_GPU_LIMIT";
 inline constexpr const char* kEnvGpuMem = "KUBESHARE_GPU_MEM";
+/// SM-group slice claim (integer; absent or "0" = temporal full-GPU).
+inline constexpr const char* kEnvSliceGroups = "KUBESHARE_SLICE_GROUPS";
 
 /// Locality constraints of §4.2: all three are arbitrary string labels.
 struct LocalitySpec {
@@ -55,6 +61,10 @@ struct SharePodSpec {
   LocalitySpec locality;
   GpuId gpu_id;            // empty until scheduled (or user-pinned)
   std::string node_name;   // empty until scheduled (or user-pinned)
+  /// First SM group of the slice KubeShare-Sched assigned when
+  /// gpu.slice_groups > 0 on a spatial pool; -1 until placed. Persisted in
+  /// the spec so a restarted DevMgr re-attaches the exact same groups.
+  int slice_offset = -1;
   /// Scheduling priority: higher-priority sharePods leave the queue first
   /// (ties break FIFO). No preemption — priority orders admission only,
   /// like Kubernetes PriorityClass without the eviction half.

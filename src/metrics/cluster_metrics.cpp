@@ -64,6 +64,20 @@ void ExportClusterMetrics(k8s::Cluster& cluster,
     }
   }
 
+  if (cluster.config().spatial.enabled) {
+    for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+      auto& node = cluster.node(n);
+      for (auto& dev : node.gpus) {
+        exporter.Gauge(
+            "ks_spatial_concurrent_tokens",
+            "Containers holding a compute token on the device right now",
+            {{"uuid", dev->uuid().value()}, {"node", node.name}},
+            static_cast<double>(
+                node.token_backend->ActiveHolders(dev->uuid())));
+      }
+    }
+  }
+
   std::map<std::string, int> pods_by_phase;
   for (const k8s::Pod& pod : cluster.api().pods().List()) {
     ++pods_by_phase[k8s::PodPhaseName(pod.status.phase)];
@@ -84,6 +98,19 @@ void ExportClusterMetrics(k8s::Cluster& cluster,
                    "Committed compute fraction (sum of gpu_requests)",
                    {{"id", dev->id.value()}, {"node", dev->node}},
                    dev->used_util);
+    if (kubeshare->pool().spatial_enabled() && dev->slices.groups() > 0) {
+      exporter.Gauge("ks_spatial_slice_occupancy",
+                     "Fraction of the device's SM groups assigned to slices",
+                     {{"id", dev->id.value()}, {"node", dev->node}},
+                     static_cast<double>(dev->slices.UsedGroups()) /
+                         static_cast<double>(dev->slices.groups()));
+    }
+  }
+  if (kubeshare->pool().spatial_enabled()) {
+    exporter.Gauge("ks_spatial_fragmentation_ratio",
+                   "Pool-wide slice fragmentation (1 - largest free "
+                   "run / free groups, aggregated)",
+                   {}, kubeshare->pool().FragmentationRatio());
   }
   for (const auto& [state, count] : vgpus_by_state) {
     exporter.Gauge("ks_vgpu_pool_size", "vGPU count by lifecycle state",

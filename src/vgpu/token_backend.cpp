@@ -63,6 +63,20 @@ Status TokenBackend::UnregisterContainer(const ContainerId& container) {
   // dangle until it fired as a no-op; the wheel's generation stamp makes
   // the cancel safe even if the tick is already being dispatched.
   CancelIdleReeval(dev);
+  if (config_.spatial_enabled) {
+    auto hit = dev.holds.find(container);
+    const bool held = hit != dev.holds.end();
+    if (held) {
+      if (hit->second.expiry_timer != sim::kInvalidTimer) {
+        wheel_.Cancel(hit->second.expiry_timer);
+      }
+      dev.groups_held -= hit->second.groups;
+      dev.holds.erase(hit);
+    }
+    containers_.erase(it);
+    if (held) TryGrantSpatial(device_id);
+    return Status::Ok();
+  }
   const bool was_holder = dev.holder.has_value() && *dev.holder == container;
   if (was_holder) {
     if (dev.expiry_timer != sim::kInvalidTimer) {
@@ -99,8 +113,14 @@ Status TokenBackend::RequestToken(const ContainerId& container) {
   }
   ContainerState& state = it->second;
   DeviceState& dev = devices_.at(state.device);
-  if (dev.holder.has_value() && *dev.holder == container &&
-      (dev.token_valid || dev.grant_in_flight)) {
+  if (config_.spatial_enabled) {
+    auto hit = dev.holds.find(container);
+    if (hit != dev.holds.end() &&
+        (hit->second.valid || hit->second.in_flight)) {
+      return Status::Ok();  // already holding (or being granted) a token
+    }
+  } else if (dev.holder.has_value() && *dev.holder == container &&
+             (dev.token_valid || dev.grant_in_flight)) {
     return Status::Ok();  // already holding (or being granted) a valid token
   }
   // An expired holder may queue BEFORE it releases: its re-request must be
@@ -123,6 +143,30 @@ Status TokenBackend::ReleaseToken(const ContainerId& container) {
   }
   ContainerState& state = it->second;
   DeviceState& dev = devices_.at(state.device);
+  if (config_.spatial_enabled) {
+    auto hit = dev.holds.find(container);
+    if (hit == dev.holds.end()) {
+      return FailedPreconditionError("container does not hold the token: " +
+                                     container.value());
+    }
+    const Time now = sim_->Now();
+    state.usage.Stop(now);
+    if (now > state.grant_time) {
+      state.stats.held_total += now - state.grant_time;
+    }
+    Hold& hold = hit->second;
+    if (!hold.valid && !hold.in_flight && now > hold.expiry) {
+      state.stats.overrun_total += now - hold.expiry;
+    }
+    if (hold.expiry_timer != sim::kInvalidTimer) {
+      wheel_.Cancel(hold.expiry_timer);
+    }
+    dev.groups_held -= hold.groups;
+    dev.holds.erase(hit);
+    RecordGrantTrace("release", container, now);
+    TryGrantSpatial(state.device);
+    return Status::Ok();
+  }
   if (!dev.holder.has_value() || *dev.holder != container) {
     return FailedPreconditionError("container does not hold the token: " +
                                    container.value());
@@ -162,13 +206,30 @@ Status TokenBackend::ExtendQuota(const ContainerId& container,
     return NotFoundError("container not registered: " + container.value());
   }
   DeviceState& dev = devices_.at(it->second.device);
+  const GpuUuid device_id = it->second.device;
+  if (config_.spatial_enabled) {
+    auto hit = dev.holds.find(container);
+    if (hit == dev.holds.end() || !hit->second.valid) {
+      return FailedPreconditionError("container holds no valid token: " +
+                                     container.value());
+    }
+    if (extra.count() <= 0) return Status::Ok();
+    Hold& hold = hit->second;
+    wheel_.Cancel(hold.expiry_timer);
+    hold.expiry += extra;
+    const ContainerId holder = container;
+    hold.expiry_timer = wheel_.ScheduleAt(hold.expiry,
+                                          [this, device_id, holder] {
+      OnHoldExpiry(device_id, holder);
+    });
+    return Status::Ok();
+  }
   if (!dev.holder.has_value() || *dev.holder != container ||
       !dev.token_valid) {
     return FailedPreconditionError("container holds no valid token: " +
                                    container.value());
   }
   if (extra.count() <= 0) return Status::Ok();
-  const GpuUuid device_id = it->second.device;
   wheel_.Cancel(dev.expiry_timer);
   dev.expiry += extra;
   dev.expiry_timer = wheel_.ScheduleAt(dev.expiry, [this, device_id] {
@@ -186,7 +247,17 @@ double TokenBackend::UsageOf(const ContainerId& container) const {
 std::optional<ContainerId> TokenBackend::HolderOf(const GpuUuid& device) const {
   auto it = devices_.find(device);
   if (it == devices_.end()) return std::nullopt;
+  if (config_.spatial_enabled && !it->second.holds.empty()) {
+    return it->second.holds.begin()->first;
+  }
   return it->second.holder;
+}
+
+std::size_t TokenBackend::ActiveHolders(const GpuUuid& device) const {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) return 0;
+  if (config_.spatial_enabled) return it->second.holds.size();
+  return it->second.holder.has_value() ? 1 : 0;
 }
 
 std::size_t TokenBackend::QueueLength(const GpuUuid& device) const {
@@ -214,6 +285,10 @@ void TokenBackend::CancelIdleReeval(DeviceState& dev) {
 }
 
 void TokenBackend::TryGrant(const GpuUuid& device_id) {
+  if (config_.spatial_enabled) {
+    TryGrantSpatial(device_id);
+    return;
+  }
   DeviceState& dev = devices_.at(device_id);
   if (dev.holder.has_value() || dev.grant_in_flight) return;
   if (dev.queue.empty()) return;
@@ -278,6 +353,7 @@ void TokenBackend::GrantTo(DeviceState& dev, const GpuUuid& device_id,
   dev.holder = container;
   dev.grant_in_flight = true;
   ++grants_;
+  peak_holders_ = std::max<std::size_t>(peak_holders_, 1);
 
   // The hand-off costs one exchange latency, during which the device is
   // idle; the token is valid from the end of the exchange for one quota.
@@ -324,6 +400,8 @@ void TokenBackend::Restart() {
     dev.holder.reset();
     dev.token_valid = false;
     dev.grant_in_flight = false;
+    dev.holds.clear();
+    dev.groups_held = 0;
   }
   // Registered frontends become reattach candidates: their sockets
   // reconnect once the daemon is back. Sliding-window usage is lost — the
@@ -348,6 +426,143 @@ void TokenBackend::Restart() {
       info.client->OnBackendRestart();
     }
   });
+}
+
+int TokenBackend::ClaimOf(const ContainerState& state) const {
+  // No slice claim = the whole GPU: the container holds every SM group,
+  // which reduces spatial mode to one-token-at-a-time for it.
+  if (state.spec.slice_groups <= 0) return config_.sm_groups;
+  return std::min(state.spec.slice_groups, config_.sm_groups);
+}
+
+void TokenBackend::TryGrantSpatial(const GpuUuid& device_id) {
+  DeviceState& dev = devices_.at(device_id);
+  // Grants loop until space or eligibility runs out: one release can admit
+  // several small-slice waiters in the same decision.
+  while (!dev.queue.empty()) {
+    const Time now = sim_->Now();
+    const int free = config_.sm_groups - dev.groups_held;
+
+    // Space filter: claims that don't fit the free SM groups wait for a
+    // release (not a reeval poll — window decay can't free groups). With
+    // every claim full-GPU this reduces to the temporal "holder exists →
+    // return" early-out. A queued container that still has a hold is a
+    // re-requester racing its own release (the frontend re-requests before
+    // releasing); granting it now would stack a second hold on the same
+    // entry, which the imminent release would erase — dropping the grant
+    // and leaking its groups. Its release re-enters this function and
+    // grants it a fresh hold then.
+    std::vector<ContainerId> space_eligible;
+    for (const ContainerId& c : dev.queue) {
+      if (dev.holds.count(c) > 0) continue;
+      if (ClaimOf(containers_.at(c)) <= free) space_eligible.push_back(c);
+    }
+    if (space_eligible.empty()) return;
+
+    // Step 1: filter requesters already at their gpu_limit.
+    std::vector<ContainerId> eligible;
+    for (const ContainerId& c : space_eligible) {
+      const ContainerState& s = containers_.at(c);
+      if (s.usage.Usage(now) < s.spec.gpu_limit) eligible.push_back(c);
+    }
+    if (eligible.empty()) {
+      // Everyone who fits is throttled; usage decays as the window
+      // slides, so check again shortly.
+      ScheduleReeval(dev, device_id);
+      return;
+    }
+
+    // Step 2: prefer the container farthest below its guaranteed minimum.
+    const ContainerId* pick = nullptr;
+    double best_deficit = 0.0;
+    std::uint64_t best_seq = 0;
+    for (const ContainerId& c : eligible) {
+      const ContainerState& s = containers_.at(c);
+      const double deficit = s.spec.gpu_request - s.usage.Usage(now);
+      if (deficit <= 0.0) continue;
+      if (pick == nullptr || deficit > best_deficit ||
+          (deficit == best_deficit && s.enqueue_seq < best_seq)) {
+        pick = &c;
+        best_deficit = deficit;
+        best_seq = s.enqueue_seq;
+      }
+    }
+
+    // Step 3: all requesters met their minimum — lowest usage wins.
+    if (pick == nullptr) {
+      double best_usage = 0.0;
+      for (const ContainerId& c : eligible) {
+        const ContainerState& s = containers_.at(c);
+        const double usage = s.usage.Usage(now);
+        if (pick == nullptr || usage < best_usage ||
+            (usage == best_usage && s.enqueue_seq < best_seq)) {
+          pick = &c;
+          best_usage = usage;
+          best_seq = s.enqueue_seq;
+        }
+      }
+    }
+
+    assert(pick != nullptr);
+    GrantSpatialTo(dev, device_id, *pick);
+  }
+}
+
+void TokenBackend::GrantSpatialTo(DeviceState& dev, const GpuUuid& device_id,
+                                  const ContainerId& container) {
+  ContainerState& state = containers_.at(container);
+  dev.queue.erase(std::remove(dev.queue.begin(), dev.queue.end(), container),
+                  dev.queue.end());
+  state.queued = false;
+  Hold& hold = dev.holds[container];
+  hold.in_flight = true;
+  hold.valid = false;
+  hold.groups = ClaimOf(state);
+  dev.groups_held += hold.groups;
+  peak_holders_ = std::max(peak_holders_, dev.holds.size());
+  ++grants_;
+
+  // Same exchange protocol as the temporal GrantTo, per hold: the token
+  // becomes valid after one exchange latency, for one quota.
+  const ContainerId granted = container;
+  wheel_.ScheduleAfter(config_.exchange_latency, [this, device_id, granted,
+                                                  epoch = epoch_] {
+    if (epoch != epoch_) return;  // daemon restarted mid-exchange
+    auto dit = devices_.find(device_id);
+    if (dit == devices_.end()) return;
+    auto hit = dit->second.holds.find(granted);
+    if (hit == dit->second.holds.end()) return;  // unregistered
+    auto cit = containers_.find(granted);
+    if (cit == containers_.end()) return;
+    Hold& h = hit->second;
+    h.in_flight = false;
+    h.valid = true;
+    h.expiry = sim_->Now() + config_.quota;
+    cit->second.grant_time = sim_->Now();
+    ++cit->second.stats.grants;
+    cit->second.usage.Start(sim_->Now());
+    h.expiry_timer = wheel_.ScheduleAt(h.expiry, [this, device_id, granted] {
+      OnHoldExpiry(device_id, granted);
+    });
+    RecordGrantTrace("grant", granted, h.expiry);
+    cit->second.client->OnTokenGranted(h.expiry);
+  });
+}
+
+void TokenBackend::OnHoldExpiry(const GpuUuid& device_id,
+                                const ContainerId& container) {
+  auto dit = devices_.find(device_id);
+  if (dit == devices_.end()) return;
+  auto hit = dit->second.holds.find(container);
+  if (hit == dit->second.holds.end()) return;
+  hit->second.expiry_timer = sim::kInvalidTimer;
+  hit->second.valid = false;
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return;
+  // As in the temporal path: the holder keeps its groups (and keeps
+  // accruing usage) until it releases — kernels are non-preemptive.
+  RecordGrantTrace("expire", container, sim_->Now());
+  it->second.client->OnTokenExpired();
 }
 
 void TokenBackend::OnExpiry(const GpuUuid& device_id) {

@@ -45,6 +45,14 @@ struct BackendConfig {
   /// events (bench_engine's token-cluster scenario measures the trade).
   /// TokenBackendReference ignores this knob.
   Duration coalesce_window = Micros(500);
+  /// Spatial sharing (MIG-style slices): when enabled, TokenBackend grants
+  /// multiple simultaneous tokens per device as long as the holders' SM-
+  /// group claims fit the device's `sm_groups`. A container whose
+  /// ResourceSpec::slice_groups is 0 claims every group (full-GPU,
+  /// temporal-style exclusive hold). TokenBackendReference ignores both
+  /// knobs — it stays the single-token oracle.
+  bool spatial_enabled = false;
+  int sm_groups = 7;
 };
 
 /// Callback surface of the per-container frontend, as seen by the backend.
@@ -134,7 +142,21 @@ class TokenBackendApi {
   virtual double UsageOf(const ContainerId& container) const = 0;
 
   /// Current holder of a device's token (valid or in overrun), if any.
+  /// Spatial backends with several concurrent holders report the first in
+  /// ContainerId order — use ActiveHolders() for the count.
   virtual std::optional<ContainerId> HolderOf(const GpuUuid& device) const = 0;
+
+  /// Tokens currently granted (valid, in overrun, or mid-exchange) on a
+  /// device. Single-token backends derive this from HolderOf.
+  virtual std::size_t ActiveHolders(const GpuUuid& device) const {
+    return HolderOf(device).has_value() ? 1 : 0;
+  }
+
+  /// High-water mark of ActiveHolders over any device since construction.
+  /// At most 1 for single-token backends, by construction.
+  virtual std::size_t peak_active_holders() const {
+    return grants() > 0 ? 1 : 0;
+  }
 
   /// Number of containers queued for a device's token.
   virtual std::size_t QueueLength(const GpuUuid& device) const = 0;
@@ -223,6 +245,8 @@ class TokenBackend : public TokenBackendApi {
   Status ExtendQuota(const ContainerId& container, Duration extra) override;
   double UsageOf(const ContainerId& container) const override;
   std::optional<ContainerId> HolderOf(const GpuUuid& device) const override;
+  std::size_t ActiveHolders(const GpuUuid& device) const override;
+  std::size_t peak_active_holders() const override { return peak_holders_; }
   std::size_t QueueLength(const GpuUuid& device) const override;
   std::uint64_t grants() const override { return grants_; }
   void Restart() override;
@@ -249,6 +273,16 @@ class TokenBackend : public TokenBackendApi {
     explicit ContainerState(Duration window) : usage(window) {}
   };
 
+  /// One concurrent token in spatial mode: a slice-holder's grant state,
+  /// the per-holder analogue of the temporal DeviceState fields.
+  struct Hold {
+    bool valid = false;      // false while mid-exchange or in overrun
+    bool in_flight = false;  // exchange latency elapsing
+    Time expiry{0};
+    sim::TimerId expiry_timer = sim::kInvalidTimer;
+    int groups = 0;  // SM groups the hold occupies
+  };
+
   struct DeviceState {
     std::deque<ContainerId> queue;
     std::optional<ContainerId> holder;
@@ -257,6 +291,10 @@ class TokenBackend : public TokenBackendApi {
     Time expiry{0};                // current quota deadline
     sim::TimerId expiry_timer = sim::kInvalidTimer;
     sim::TimerId reeval_timer = sim::kInvalidTimer;
+    /// Spatial mode only: concurrent holds, ContainerId-sorted for
+    /// deterministic iteration, plus the SM groups they pin.
+    std::map<ContainerId, Hold> holds;
+    int groups_held = 0;
   };
 
   void TryGrant(const GpuUuid& device);
@@ -265,6 +303,15 @@ class TokenBackend : public TokenBackendApi {
   void OnExpiry(const GpuUuid& device);
   void ScheduleReeval(DeviceState& dev, const GpuUuid& device_id);
   void CancelIdleReeval(DeviceState& dev);
+
+  // Spatial-mode twins of the grant path. Dispatched from the same public
+  // entry points when config_.spatial_enabled; the temporal code above is
+  // untouched when it is off.
+  int ClaimOf(const ContainerState& state) const;
+  void TryGrantSpatial(const GpuUuid& device);
+  void GrantSpatialTo(DeviceState& dev, const GpuUuid& device_id,
+                      const ContainerId& container);
+  void OnHoldExpiry(const GpuUuid& device, const ContainerId& container);
 
   /// What the daemon needs to re-admit a surviving frontend after a
   /// restart. Keyed by a sorted map so reattach order is deterministic.
@@ -289,6 +336,7 @@ class TokenBackend : public TokenBackendApi {
   std::uint64_t epoch_ = 0;
   std::uint64_t restarts_ = 0;
   std::uint64_t reattached_ = 0;
+  std::size_t peak_holders_ = 0;
   bool down_ = false;
 };
 

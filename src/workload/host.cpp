@@ -52,6 +52,14 @@ void WorkloadHost::OnContainerStart(const k8s::ContainerInstance& inst) {
   if (auto binding = kubeshare::KubeShare::ParseBinding(inst.env)) {
     vgpu::TokenBackendApi* backend = cluster_->BackendForGpu(device->uuid());
     assert(backend != nullptr);
+    if (cluster_->config().spatial.enabled && binding->spec.slice_groups > 0) {
+      // Pin the container's kernels and memory to its MIG-style slice
+      // before any CUDA call runs; torn down on container stop.
+      device->SetSliceAssignment(inst.id, binding->spec.slice_groups,
+                                 cluster_->config().spatial.sm_groups);
+      stack->sliced_device = device;
+      stack->container_id = inst.id;
+    }
     stack->hook = std::make_unique<vgpu::FrontendHook>(
         stack->ctx.get(), backend, inst.id, device->uuid(), binding->spec,
         device->spec().memory_bytes);
@@ -102,6 +110,12 @@ void WorkloadHost::OnContainerStop(const k8s::ContainerInstance& inst) {
   std::shared_ptr<Stack> stack = std::move(it->second);
   active_.erase(it);
   stack->job->Stop();
+  if (stack->sliced_device != nullptr) {
+    // In-flight sliced kernels still retire (the stack's teardown detaches
+    // their callbacks); the slice itself frees for the next tenant now.
+    stack->sliced_device->ClearSliceAssignment(stack->container_id);
+    stack->sliced_device = nullptr;
+  }
   // A kill while the job was still running counts as a failure.
   FinishJob(stack->job_name, false);
   // The stop notification can arrive from inside the stack's own kernel

@@ -100,6 +100,10 @@ class WorkloadHost {
     std::unique_ptr<vgpu::FrontendHook> hook;
     std::unique_ptr<cuda::CudaApi> custom_hook;
     std::unique_ptr<Job> job;
+    /// Set when the container was pinned to a spatial slice: the
+    /// assignment on this device is cleared when the stack unwinds.
+    gpu::GpuDevice* sliced_device = nullptr;
+    ContainerId container_id;
   };
 
   void OnContainerStart(const k8s::ContainerInstance& inst);

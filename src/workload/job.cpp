@@ -28,6 +28,7 @@ void TrainingJob::Start(cuda::CudaApi* api, sim::Simulation* /*sim*/,
   gpu::KernelDesc kernel;
   kernel.nominal_duration = spec_.step_kernel;
   kernel.bandwidth_demand = spec_.bandwidth_demand;
+  kernel.sm_demand = spec_.sm_demand;
   kernel.name = "train-step";
   // The whole run is one declared kernel stream: the steps are identical
   // and back to back, which is what lets the device retire them fused.
@@ -90,6 +91,7 @@ void PhasedTrainingJob::NextEpoch() {
   gpu::KernelDesc kernel;
   kernel.nominal_duration = spec_.step_kernel;
   kernel.bandwidth_demand = spec_.bandwidth_demand;
+  kernel.sm_demand = spec_.sm_demand;
   kernel.name = "phased-step";
   // Each compute burst is one declared stream; the off-GPU phase between
   // epochs is the membership boundary that naturally ends a fused run.
@@ -172,6 +174,7 @@ void InferenceJob::OnArrival() {
   gpu::KernelDesc kernel;
   kernel.nominal_duration = spec_.kernel_per_request;
   kernel.bandwidth_demand = spec_.bandwidth_demand;
+  kernel.sm_demand = spec_.sm_demand;
   kernel.name = "inference";
   const Time arrival = sim_->Now();
   // A declared single-unit stream: a backlog of queued requests presents

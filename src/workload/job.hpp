@@ -41,6 +41,9 @@ struct TrainingSpec {
   Duration step_kernel = Millis(10);
   std::uint64_t model_bytes = 2ull << 30;
   double bandwidth_demand = 0.0;
+  /// Fraction of the device's SMs one step can saturate (KernelDesc::
+  /// sm_demand). Matters only on spatial slices.
+  double sm_demand = 1.0;
 };
 
 class TrainingJob final : public Job {
@@ -84,6 +87,9 @@ struct PhasedTrainingSpec {
   Duration io_per_epoch = Seconds(1.0);
   std::uint64_t model_bytes = 2ull << 30;
   double bandwidth_demand = 0.0;
+  /// Fraction of the device's SMs one step can saturate (KernelDesc::
+  /// sm_demand). Matters only on spatial slices.
+  double sm_demand = 1.0;
 
   /// GPU usage fraction when running alone.
   double duty_cycle() const {
@@ -127,6 +133,9 @@ struct InferenceSpec {
   Duration kernel_per_request = Millis(20);
   std::uint64_t model_bytes = 2ull << 30;
   double bandwidth_demand = 0.0;
+  /// Fraction of the device's SMs one step can saturate (KernelDesc::
+  /// sm_demand). Matters only on spatial slices.
+  double sm_demand = 1.0;
   std::uint64_t seed = 1;
 
   /// GPU usage fraction this job generates when unthrottled.

@@ -13,6 +13,12 @@ vgpu::ResourceSpec Spec(double request, double mem = 0.1) {
   return s;
 }
 
+vgpu::ResourceSpec SliceSpec(int groups, double request = 0.1) {
+  vgpu::ResourceSpec s = Spec(request);
+  s.slice_groups = groups;
+  return s;
+}
+
 TEST(VgpuPool, CreateAssignsUniqueIds) {
   VgpuPool pool;
   const GpuId a = pool.Create("node-0").id;
@@ -149,6 +155,102 @@ TEST(VgpuPool, AffinityLabelsAccumulate) {
   EXPECT_EQ(dev->affinity.size(), 2u);
   EXPECT_TRUE(dev->affinity.count(Label("grp-1")) > 0);
   EXPECT_TRUE(dev->affinity.count(Label("grp-2")) > 0);
+}
+
+TEST(VgpuPoolSlices, AttachAllocatesContiguousFirstFitRuns) {
+  VgpuPool pool;
+  pool.EnableSpatial(7);
+  const GpuId id = pool.Create("node-0").id;
+  ASSERT_TRUE(pool.Attach(id, "a", SliceSpec(2), {}).ok());
+  ASSERT_TRUE(pool.Attach(id, "b", SliceSpec(3), {}).ok());
+  EXPECT_EQ(pool.SliceOf("a"), std::make_pair(0, 2));
+  EXPECT_EQ(pool.SliceOf("b"), std::make_pair(2, 3));
+  EXPECT_EQ(pool.Get(id)->slices.DebugString(), "#####..");
+  // 3 more groups do not fit the 2 free ones.
+  EXPECT_EQ(pool.Attach(id, "c", SliceSpec(3), {}).code(),
+            StatusCode::kResourceExhausted);
+  // A temporal attachment (no claim) coexists without consuming groups.
+  ASSERT_TRUE(pool.Attach(id, "d", Spec(0.1), {}).ok());
+  EXPECT_FALSE(pool.SliceOf("d").has_value());
+  EXPECT_EQ(pool.Get(id)->slices.UsedGroups(), 5);
+  ASSERT_TRUE(pool.CheckIndexInvariants().ok());
+}
+
+TEST(VgpuPoolSlices, DetachReleasesGroupsForReuse) {
+  VgpuPool pool;
+  pool.EnableSpatial(7);
+  const GpuId id = pool.Create("node-0").id;
+  ASSERT_TRUE(pool.Attach(id, "a", SliceSpec(2), {}).ok());
+  ASSERT_TRUE(pool.Attach(id, "b", SliceSpec(2), {}).ok());
+  ASSERT_TRUE(pool.Attach(id, "c", SliceSpec(3), {}).ok());
+  ASSERT_TRUE(pool.Detach("b").ok());
+  // The freed middle run is fragmented away from the tail free space...
+  EXPECT_EQ(pool.Get(id)->slices.DebugString(), "##..###");
+  // ...and first-fit reuses it for the next fitting claim.
+  ASSERT_TRUE(pool.Attach(id, "e", SliceSpec(2), {}).ok());
+  EXPECT_EQ(pool.SliceOf("e"), std::make_pair(2, 2));
+  ASSERT_TRUE(pool.CheckIndexInvariants().ok());
+}
+
+TEST(VgpuPoolSlices, PinnedOffsetAttachRestoresExactPlacement) {
+  // The DevMgr rebuild path re-attaches recovered sharePods at the offset
+  // persisted in their spec; the pool must honor it or reject it, never
+  // silently relocate.
+  VgpuPool pool;
+  pool.EnableSpatial(7);
+  const GpuId id = pool.Create("node-0").id;
+  ASSERT_TRUE(pool.Attach(id, "a", SliceSpec(2), {}, /*slice_offset=*/4).ok());
+  EXPECT_EQ(pool.SliceOf("a"), std::make_pair(4, 2));
+  EXPECT_EQ(pool.Attach(id, "b", SliceSpec(3), {}, /*slice_offset=*/3).code(),
+            StatusCode::kResourceExhausted);  // overlaps a's run
+  ASSERT_TRUE(pool.Attach(id, "b", SliceSpec(3), {}, /*slice_offset=*/0).ok());
+  EXPECT_EQ(pool.Get(id)->slices.DebugString(), "###.##.");
+  ASSERT_TRUE(pool.CheckIndexInvariants().ok());
+}
+
+TEST(VgpuPoolSlices, ClaimsRejectedWithoutSpatialMode) {
+  VgpuPool pool;  // spatial off: devices have no slice geometry
+  const GpuId id = pool.Create("node-0").id;
+  ASSERT_TRUE(pool.Attach(id, "a", SliceSpec(2), {}).ok());
+  // The claim is ignored on a temporal pool — no slice is recorded.
+  EXPECT_FALSE(pool.SliceOf("a").has_value());
+  EXPECT_DOUBLE_EQ(pool.FragmentationRatio(), 0.0);
+}
+
+TEST(VgpuPoolSlices, OversizedClaimRejected) {
+  VgpuPool pool;
+  pool.EnableSpatial(4);
+  const GpuId id = pool.Create("node-0").id;
+  EXPECT_EQ(pool.Attach(id, "a", SliceSpec(5), {}).code(),
+            StatusCode::kRejected);
+  EXPECT_EQ(pool.Get(id)->slices.UsedGroups(), 0);
+}
+
+TEST(VgpuPoolSlices, FragmentationRatioTracksPoolShape) {
+  VgpuPool pool;
+  pool.EnableSpatial(7);
+  const GpuId id = pool.Create("node-0").id;
+  EXPECT_DOUBLE_EQ(pool.FragmentationRatio(), 0.0);
+  ASSERT_TRUE(pool.Attach(id, "a", SliceSpec(2), {}, 0).ok());
+  ASSERT_TRUE(pool.Attach(id, "b", SliceSpec(2), {}, 3).ok());
+  // "##.##..": free groups {2, 5, 6}, largest run 2 -> 1 - 2/3.
+  EXPECT_DOUBLE_EQ(pool.FragmentationRatio(), 1.0 - 2.0 / 3.0);
+  ASSERT_TRUE(pool.Detach("b").ok());
+  // "##.....": one contiguous free run again.
+  EXPECT_DOUBLE_EQ(pool.FragmentationRatio(), 0.0);
+}
+
+TEST(VgpuPoolSlices, DebugStringPinsSliceOccupancy) {
+  // The crash-restart byte-equality tests compare DebugString dumps; on
+  // spatial pools those must include the slice picture so a rebuild that
+  // relocates a slice cannot pass.
+  VgpuPool pool;
+  pool.EnableSpatial(7);
+  const GpuId id = pool.Create("node-0").id;
+  ASSERT_TRUE(pool.Activate(id, GpuUuid("GPU-X")).ok());
+  ASSERT_TRUE(pool.Attach(id, "a", SliceSpec(3), {}).ok());
+  EXPECT_NE(pool.DebugString().find("slices=###...."), std::string::npos)
+      << pool.DebugString();
 }
 
 }  // namespace

@@ -54,6 +54,18 @@ ScheduleRequest RandomRequest(Rng& rng, int i) {
   return r;
 }
 
+/// Like RandomRequest, but most requests carry a MIG-style slice claim
+/// (spatial pools). Width 0 — no claim — stays in the mix: temporal and
+/// sliced attachments must coexist on one device without confusing either
+/// scheduler, and the fragmentation-aware scoring only sees the sliced ones.
+ScheduleRequest RandomSliceRequest(Rng& rng, int i) {
+  ScheduleRequest r = RandomRequest(rng, i);
+  if (rng.Chance(0.8)) {
+    r.gpu.slice_groups = static_cast<int>(rng.UniformInt(1, 4));
+  }
+  return r;
+}
+
 /// Like RandomRequest, but biased hard toward node-constrained placements:
 /// most requests pin a node, and some pin one outside the supply (the
 /// must-fail path both schedulers have to reject identically).
@@ -86,6 +98,9 @@ void ExpectPoolsEqual(const VgpuPool& a, const VgpuPool& b,
     EXPECT_EQ(da.anti_affinity, db.anti_affinity) << context;
     EXPECT_EQ(da.exclusion, db.exclusion) << context;
     EXPECT_EQ(da.attached, db.attached) << context;
+    EXPECT_EQ(da.slices, db.slices)
+        << context << " slices " << da.slices.DebugString() << " vs "
+        << db.slices.DebugString();
   }
 }
 
@@ -93,10 +108,14 @@ using RequestGen = ScheduleRequest (*)(Rng&, int);
 
 void RunEquivalenceSequence(PlacementVariant variant, std::uint64_t seed,
                             RequestGen make_request = &RandomRequest,
-                            int ops = 400) {
+                            int ops = 400, bool spatial = false) {
   Rng rng(seed);
   VgpuPool indexed;
   VgpuPool reference;
+  if (spatial) {
+    indexed.EnableSpatial(7);
+    reference.EnableSpatial(7);
+  }
   const std::vector<NodeFreeGpus> supply = Supply(3, 3);
   std::vector<std::string> attached;
 
@@ -181,6 +200,21 @@ TEST(SchedulerEquivalence, NodeConstrainedRequestsMatchReference) {
                          &RandomNodeConstrainedRequest, 500);
 }
 
+TEST(SchedulerEquivalence, SpatialSliceClaimsMatchReference) {
+  // Spatial pools add the slice-fit admission rule and the fragmentation
+  // tie-break to placement; the indexed scheduler must still agree with
+  // the Algorithm 1 reference scan on every placement, error code, and on
+  // the resulting slice occupancy of every device.
+  for (const std::uint64_t seed : {51, 52, 53, 54}) {
+    RunEquivalenceSequence(PlacementVariant::kPaper, seed,
+                           &RandomSliceRequest, 400, /*spatial=*/true);
+  }
+  RunEquivalenceSequence(PlacementVariant::kWorstFitEverywhere, 55,
+                         &RandomSliceRequest, 400, /*spatial=*/true);
+  RunEquivalenceSequence(PlacementVariant::kFirstFit, 56,
+                         &RandomSliceRequest, 400, /*spatial=*/true);
+}
+
 TEST(SchedulerEquivalence, OvercommitPoolsStayEquivalent) {
   // Memory over-commitment changes Attach's admission rule; the indexed
   // scan must track the reference under it too.
@@ -254,6 +288,60 @@ TEST(PoolIndexInvariants, HoldAcrossRandomMutations) {
     }
     const Status inv = pool.CheckIndexInvariants();
     ASSERT_TRUE(inv.ok()) << "op " << i << ": " << inv;
+  }
+}
+
+TEST(PoolIndexInvariants, SliceOccupancyHoldsAcrossRandomMutations) {
+  // Spatial pool under random slice-claim churn: CheckIndexInvariants
+  // rebuilds every device's SliceMap from the attachment table and any
+  // drift (leaked groups, overlapping runs, stale occupancy after Detach)
+  // is a mutator bug.
+  Rng rng(6160);
+  VgpuPool pool;
+  pool.EnableSpatial(7);
+  std::vector<std::string> attached;
+  int next_pod = 0;
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t action = rng.UniformInt(0, 9);
+    if (action <= 4) {
+      if (pool.size() == 0 || rng.Chance(0.3)) {
+        pool.Create("node-" + std::to_string(rng.UniformInt(0, 2)));
+      }
+      auto it = pool.entries().begin();
+      std::advance(it, rng.UniformInt(
+          0, static_cast<std::int64_t>(pool.size()) - 1));
+      const GpuId id = it->first;
+      const std::string name = "pod-" + std::to_string(next_pod++);
+      vgpu::ResourceSpec gpu;
+      gpu.gpu_request = 0.05 * static_cast<double>(rng.UniformInt(1, 6));
+      gpu.gpu_mem = 0.05 * static_cast<double>(rng.UniformInt(1, 4));
+      if (rng.Chance(0.85)) {
+        gpu.slice_groups = static_cast<int>(rng.UniformInt(1, 4));
+      }
+      // Occasionally pin an explicit offset (the DevMgr rebuild path).
+      const int offset =
+          rng.Chance(0.2) ? static_cast<int>(rng.UniformInt(0, 6)) : -1;
+      if (pool.Attach(id, name, gpu, LocalitySpec{}, offset).ok()) {
+        attached.push_back(name);
+        if (gpu.slice_groups > 0) {
+          EXPECT_TRUE(pool.SliceOf(name).has_value()) << name;
+        }
+      }
+    } else if (action <= 7 && !attached.empty()) {
+      const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(attached.size()) - 1));
+      (void)pool.Detach(attached[pick]);
+      attached.erase(attached.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (action == 8 && !pool.idle_devices().empty()) {
+      const GpuId id = *pool.idle_devices().begin();  // copy before Remove
+      (void)pool.Remove(id);
+    } else {
+      pool.Create("node-" + std::to_string(rng.UniformInt(0, 2)));
+    }
+    const Status inv = pool.CheckIndexInvariants();
+    ASSERT_TRUE(inv.ok()) << "op " << i << ": " << inv;
+    EXPECT_GE(pool.FragmentationRatio(), 0.0);
+    EXPECT_LE(pool.FragmentationRatio(), 1.0);
   }
 }
 

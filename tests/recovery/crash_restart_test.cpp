@@ -35,11 +35,16 @@ struct RestartResult {
 
 constexpr int kWaveJobs = 6;
 
-RestartResult RunRestartScenario(bool crash, std::uint64_t seed = 2026) {
+RestartResult RunRestartScenario(bool crash, std::uint64_t seed = 2026,
+                                 bool spatial = false) {
   k8s::ClusterConfig ccfg;
   ccfg.nodes = 4;
   ccfg.gpus_per_node = 2;
   ccfg.component_resync = Seconds(1);
+  if (spatial) {
+    ccfg.spatial.enabled = true;
+    ccfg.spatial.sm_groups = 7;
+  }
   k8s::Cluster cluster(ccfg);
 
   kubeshare::KubeShareConfig kcfg;
@@ -70,6 +75,11 @@ RestartResult RunRestartScenario(bool crash, std::uint64_t seed = 2026) {
         sp.spec.gpu.gpu_request = 0.45;
         sp.spec.gpu.gpu_limit = 1.0;
         sp.spec.gpu.gpu_mem = 0.3;
+        if (spatial) {
+          // Mixed 2/3-group claims: two per device, at distinct offsets,
+          // so the rebuilt pool has real slice placements to reproduce.
+          sp.spec.gpu.slice_groups = (i % 2 == 0) ? 3 : 2;
+        }
         EXPECT_TRUE(kubeshare.CreateSharePod(sp).ok());
       });
     }
@@ -138,6 +148,28 @@ TEST(CrashRestart, RebuiltPoolByteEqualToUncrashedRun) {
   EXPECT_EQ(crashed.pool_dump, clean.pool_dump);
   EXPECT_EQ(crashed.completed, clean.completed);
   EXPECT_EQ(crashed.failed, clean.failed);
+}
+
+TEST(CrashRestart, SpatialRebuiltPoolRestoresSlicePlacementsByteEqual) {
+  // Spatial variant of the byte-equality oracle: the crashed DevMgr must
+  // re-attach every recovered sharePod at the exact slice offset the
+  // scheduler persisted in its spec — DebugString includes each device's
+  // slice picture, so a relocated or leaked slice cannot pass.
+  const RestartResult crashed =
+      RunRestartScenario(/*crash=*/true, 2026, /*spatial=*/true);
+  const RestartResult clean =
+      RunRestartScenario(/*crash=*/false, 2026, /*spatial=*/true);
+  SCOPED_TRACE(crashed.timeline);
+  EXPECT_TRUE(crashed.invariants_ok);
+  EXPECT_TRUE(clean.invariants_ok);
+  EXPECT_FALSE(clean.pool_dump.empty());
+  EXPECT_NE(clean.pool_dump.find("slices="), std::string::npos)
+      << clean.pool_dump;
+  EXPECT_EQ(crashed.pool_dump, clean.pool_dump);
+  EXPECT_EQ(crashed.completed, clean.completed);
+  EXPECT_EQ(crashed.failed, clean.failed);
+  EXPECT_EQ(crashed.rebuilds, 1u);
+  EXPECT_GT(crashed.rebuilt_vgpus, 0u);
 }
 
 TEST(CrashRestart, CrashScenarioIsDeterministic) {
