@@ -28,7 +28,15 @@ Checks, per file:
   * the engine study's cluster-scenario rows ("pattern" of
     "token-cluster" or "kernel-cluster") report a positive integer
     "total_events", so the per-mode event counts the fused device
-    engine is benchmarked on cannot silently vanish.
+    engine is benchmarked on cannot silently vanish;
+  * scale rows (the 10k-node / 100k-sharePod soak) carry a non-empty
+    "engine", finite positive "events_per_sec", finite non-negative
+    "sched_p99_ms" and "speedup_vs_single", a positive integer
+    "total_events", and zero for the hard invariants
+    ("lookahead_violations", "mirror_divergence",
+    "watch_order_violations") — a nonzero invariant is a correctness
+    bug published as a perf number, which is the one thing this report
+    must never do.
 
 Exit status 0 when every file passes, 1 otherwise. Stdlib only.
 """
@@ -47,7 +55,7 @@ def fail(path, msg):
 # Studies whose every row is produced by a whole-cluster run and must carry
 # the engine's scheduled-event count.
 TOTAL_EVENTS_REQUIRED = {"study_chaos", "ablation_placement", "fig9",
-                         "spatial"}
+                         "spatial", "scale"}
 
 
 def check_file(path):
@@ -136,6 +144,36 @@ def check_file(path):
                     f"row {i} \"concurrent_tokens_peak\" missing or not a "
                     f"non-negative integer: {tokens!r}",
                 )
+        if study == "scale":
+            engine = row.get("engine")
+            if not isinstance(engine, str) or not engine:
+                ok = fail(path,
+                          f"row {i} \"engine\" missing or empty: {engine!r}")
+            eps = row.get("events_per_sec")
+            if not isinstance(eps, (int, float)) or isinstance(eps, bool) \
+                    or eps <= 0:
+                ok = fail(
+                    path,
+                    f"row {i} \"events_per_sec\" missing or not a positive "
+                    f"number: {eps!r}",
+                )
+            for field in ("sched_p99_ms", "speedup_vs_single"):
+                value = row.get(field)
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool) or value < 0:
+                    ok = fail(
+                        path,
+                        f"row {i} {field!r} missing or not a non-negative "
+                        f"number: {value!r}",
+                    )
+            for field in ("lookahead_violations", "mirror_divergence",
+                          "watch_order_violations"):
+                value = row.get(field)
+                if value != 0 or isinstance(value, bool):
+                    ok = fail(
+                        path,
+                        f"row {i} invariant {field!r} must be 0: {value!r}",
+                    )
         # Rows may legitimately differ in shape between row kinds (e.g.
         # bench_engine's per-engine rows vs its summary row, or its
         # token-cluster vs kernel-cluster scenario rows); group by the

@@ -5,7 +5,8 @@
 namespace ks::k8s {
 
 Cluster::Cluster(ClusterConfig config) : config_(config) {
-  api_ = std::make_unique<ApiServer>(&sim_, config_.latency);
+  api_ = std::make_unique<ApiServer>(&sim_, config_.latency,
+                                     config_.watch_fanout);
   scheduler_ = std::make_unique<KubeScheduler>(api_.get());
   node_controller_ = std::make_unique<NodeLifecycleController>(
       api_.get(), config_.node_detection, config_.pod_eviction_timeout);

@@ -49,6 +49,12 @@ struct ClusterConfig {
   /// PeriodicSampler ride one sim::TickHub instead of keeping private
   /// self-rescheduling events). Zero keeps monitors in push mode.
   Duration sampler_granularity = Millis(1);
+  /// Watch fan-out delivery path for every store on the apiserver (and
+  /// KubeShare's sharePod store, which joins the same hub). kBatched — the
+  /// default — coalesces same-time deliveries into one engine event;
+  /// watcher-visible ordering and timing are byte-identical to kUnbatched,
+  /// which stays available as the differential comparison path.
+  WatchFanout watch_fanout = WatchFanout::kBatched;
   /// Use the scaling-factor device plugin (the §3.1 trick) instead of the
   /// stock whole-GPU plugin. Used by the fragmentation baselines.
   bool scaled_plugin = false;

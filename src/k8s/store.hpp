@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,66 @@ struct WatchEvent {
 };
 
 using WatchId = std::uint64_t;
+
+/// Watch notification delivery strategy.
+///
+/// kUnbatched is the original path: every (event, watcher) pair gets its own
+/// engine event at now + notify_latency. At 100k sharePods the fan-out
+/// dominates the engine — events × watchers heap pushes per sync window.
+///
+/// kBatched coalesces deliveries through a WatchHub: all deliveries landing
+/// on the same virtual time share ONE engine event, executed in exactly the
+/// order the unbatched path would have run them (the hub preserves enqueue
+/// order, and enqueue order equals the legacy schedule order). Delivery
+/// times and watcher-visible ordering are identical by construction — only
+/// the engine event count drops.
+enum class WatchFanout { kUnbatched, kBatched };
+
+/// Shared delivery scheduler for batched watch fan-out. One hub serves all
+/// stores that can interleave deliveries at the same virtual time (the
+/// ApiServer's built-in stores and KubeShare's sharePod store share one);
+/// per-time batching across stores is what keeps cross-store delivery order
+/// byte-identical to the unbatched path.
+class WatchHub {
+ public:
+  explicit WatchHub(sim::Simulation* sim) : sim_(sim) {}
+
+  WatchHub(const WatchHub&) = delete;
+  WatchHub& operator=(const WatchHub&) = delete;
+
+  /// Enqueues a delivery closure for absolute time `at`. The first closure
+  /// for a given time arms one engine event; later closures for the same
+  /// time ride it. Closures enqueued *during* a flush for the same time
+  /// (zero-latency cascades) arm a fresh event, which the engine runs after
+  /// the current one — the same FIFO order the unbatched path yields.
+  void Enqueue(Time at, std::function<void()> fn) {
+    ++deliveries_;
+    auto [it, fresh] = pending_.try_emplace(at);
+    it->second.push_back(std::move(fn));
+    if (fresh) {
+      ++batches_;
+      sim_->ScheduleAt(at, [this, at] { Flush(at); });
+    }
+  }
+
+  /// Engine events actually armed (one per distinct delivery time).
+  std::uint64_t batches() const { return batches_; }
+  /// Individual (event, watcher) deliveries carried — what the engine event
+  /// count would have been unbatched.
+  std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  void Flush(Time at) {
+    auto node = pending_.extract(at);
+    if (node.empty()) return;
+    for (auto& fn : node.mapped()) fn();
+  }
+
+  sim::Simulation* sim_;
+  std::map<Time, std::vector<std::function<void()>>> pending_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t deliveries_ = 0;
+};
 
 /// Write-fencing gate shared by a store's mutating operations. A leader
 /// elector that wins a lease with fencing token N raises the floor to N at
@@ -64,9 +125,22 @@ class ObjectStore {
  public:
   using WatchFn = std::function<void(const WatchEvent<T>&)>;
 
+  /// `fanout` selects the delivery path; kBatched coalesces same-time
+  /// deliveries through `hub`. Stores whose deliveries can interleave at
+  /// the same virtual time must share one hub to keep cross-store order
+  /// identical to the unbatched path; a null hub under kBatched gets a
+  /// private one (fine for a store alone on its engine, as in most tests).
   explicit ObjectStore(sim::Simulation* sim,
-                       Duration notify_latency = Millis(1))
-      : sim_(sim), notify_latency_(notify_latency) {}
+                       Duration notify_latency = Millis(1),
+                       WatchFanout fanout = WatchFanout::kUnbatched,
+                       WatchHub* hub = nullptr)
+      : sim_(sim), notify_latency_(notify_latency), fanout_(fanout),
+        hub_(hub) {
+    if (fanout_ == WatchFanout::kBatched && hub_ == nullptr) {
+      owned_hub_ = std::make_unique<WatchHub>(sim);
+      hub_ = owned_hub_.get();
+    }
+  }
 
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
@@ -104,6 +178,13 @@ class ObjectStore {
   }
 
   std::size_t size() const { return objects_.size(); }
+
+  /// Zero-copy scan in name order. List() copies every object — at 100k
+  /// sharePods that copy dominated the scheduler's pump loop; read-only
+  /// passes use this instead. The callback must not mutate the store.
+  void ForEach(const std::function<void(const T&)>& fn) const {
+    for (const auto& [name, obj] : objects_) fn(obj);
+  }
 
   /// Replaces the stored object with optimistic concurrency: the submitted
   /// object's resource_version is the version the writer read, and the
@@ -169,13 +250,7 @@ class ObjectStore {
     const WatchId id = next_watch_++;
     watchers_.emplace(id, std::move(fn));
     for (const auto& [name, obj] : objects_) {
-      T copy = obj;
-      const WatchId wid = id;
-      sim_->ScheduleAfter(notify_latency_, [this, wid, copy = std::move(copy)] {
-        auto it = watchers_.find(wid);
-        if (it == watchers_.end()) return;
-        it->second(WatchEvent<T>{WatchEventType::kAdded, copy});
-      });
+      Deliver(id, WatchEvent<T>{WatchEventType::kAdded, obj});
     }
     return id;
   }
@@ -202,6 +277,21 @@ class ObjectStore {
   /// Optimistic-concurrency rejections issued by Update/Delete.
   std::uint64_t update_conflicts() const { return update_conflicts_; }
 
+  WatchFanout fanout() const { return fanout_; }
+  /// The hub carrying this store's batched deliveries (null when
+  /// unbatched). Shared hubs aggregate across every store wired to them.
+  WatchHub* watch_hub() { return hub_; }
+
+  /// Individual (event, watcher) deliveries issued by this store — the
+  /// engine-event count the unbatched path would have spent. Counted in
+  /// both modes, so batched-vs-unbatched comparisons share a denominator.
+  std::uint64_t watch_deliveries() const { return watch_deliveries_; }
+  /// Engine events this store actually armed for fan-out (unbatched mode
+  /// only; in batched mode the shared hub's batches() is the analogue).
+  std::uint64_t unbatched_fanout_events() const {
+    return unbatched_fanout_events_;
+  }
+
   FencingGate& fencing() { return fencing_; }
   const FencingGate& fencing() const { return fencing_; }
 
@@ -225,17 +315,37 @@ class ObjectStore {
     std::vector<WatchId> ids;
     ids.reserve(watchers_.size());
     for (const auto& [id, fn] : watchers_) ids.push_back(id);
-    for (const WatchId id : ids) {
-      sim_->ScheduleAfter(notify_latency_, [this, id, event] {
-        auto it = watchers_.find(id);
-        if (it == watchers_.end()) return;
-        it->second(event);
-      });
+    for (const WatchId id : ids) Deliver(id, event);
+  }
+
+  /// One (event, watcher) delivery at now + notify_latency. Both fan-out
+  /// modes run the same closure at the same virtual time; they differ only
+  /// in whether the closure gets a private engine event or rides the hub's
+  /// per-time batch. Enqueue order equals legacy schedule order, so the
+  /// watcher-visible sequence is identical across modes.
+  void Deliver(WatchId id, WatchEvent<T> event) {
+    ++watch_deliveries_;
+    const Time at = sim_->Now() + notify_latency_;
+    auto closure = [this, id, event = std::move(event)] {
+      auto it = watchers_.find(id);
+      if (it == watchers_.end()) return;
+      it->second(event);
+    };
+    if (fanout_ == WatchFanout::kBatched) {
+      hub_->Enqueue(at, std::move(closure));
+    } else {
+      ++unbatched_fanout_events_;
+      sim_->ScheduleAt(at, std::move(closure));
     }
   }
 
   sim::Simulation* sim_;
   Duration notify_latency_;
+  WatchFanout fanout_;
+  WatchHub* hub_ = nullptr;
+  std::unique_ptr<WatchHub> owned_hub_;
+  std::uint64_t watch_deliveries_ = 0;
+  std::uint64_t unbatched_fanout_events_ = 0;
   std::map<std::string, T> objects_;
   std::map<WatchId, WatchFn> watchers_;
   std::uint64_t next_uid_ = 1;

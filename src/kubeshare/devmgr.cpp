@@ -215,15 +215,17 @@ Status KubeShareDevMgr::RebuildFromApiServer() {
   // with no non-terminal sharePod owning them (the sharePod finished or
   // was deleted during the downtime). Stop them; nothing will.
   std::vector<std::string> orphans;
-  for (const k8s::Pod& pod : cluster_->api().pods().List()) {
+  // Read-only scan (deletes happen after), so ForEach avoids List()'s full
+  // copy of every pod. Phases 1/2 mutate stores mid-loop and keep List().
+  cluster_->api().pods().ForEach([&](const k8s::Pod& pod) {
     auto role = pod.meta.labels.find(kRoleLabel);
     if (role == pod.meta.labels.end() || role->second != kRoleWorkload) {
-      continue;
+      return;
     }
-    if (pod.terminal()) continue;
-    if (workload_owner_.count(pod.meta.name) > 0) continue;
+    if (pod.terminal()) return;
+    if (workload_owner_.count(pod.meta.name) > 0) return;
     orphans.push_back(pod.meta.name);
-  }
+  });
   for (const std::string& name : orphans) {
     (void)cluster_->api().pods().Delete(name, 0, Token());
   }

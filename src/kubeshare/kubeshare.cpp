@@ -10,7 +10,13 @@ namespace ks::kubeshare {
 KubeShare::KubeShare(k8s::Cluster* cluster, KubeShareConfig config)
     : cluster_(cluster),
       config_(config),
-      sharepods_(&cluster->sim(), cluster->api().latency().watch_propagation) {
+      // The sharePod store joins the apiserver's delivery hub: its watch
+      // events interleave with pod/node events at the same virtual times,
+      // and sharing the hub is what keeps that order byte-identical to the
+      // unbatched path.
+      sharepods_(&cluster->sim(), cluster->api().latency().watch_propagation,
+                 cluster->api().watch_fanout(),
+                 &cluster->api().watch_hub()) {
   pool_.set_memory_overcommit(config_.allow_memory_overcommit);
   if (cluster_->config().spatial.enabled) {
     pool_.EnableSpatial(cluster_->config().spatial.sm_groups);

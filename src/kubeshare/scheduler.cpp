@@ -39,6 +39,10 @@ void KubeShareSched::Crash() {
   waiting_.clear();
   flush_scheduled_ = false;
   cycle_active_ = false;
+  // In-memory caches die with the process; the version guard would keep a
+  // stale snapshot correct, but a restarted scheduler starts cold.
+  snapshot_valid_ = false;
+  snapshot_base_.clear();
 }
 
 Status KubeShareSched::Restart() {
@@ -56,27 +60,47 @@ std::uint64_t KubeShareSched::Token() const {
 }
 
 std::vector<NodeFreeGpus> KubeShareSched::FreePhysicalGpus() const {
-  std::vector<NodeFreeGpus> out;
-  // Native (non-KubeShare) GPU pods per node.
-  std::map<std::string, int> native;
-  for (const k8s::Pod& pod : cluster_->api().pods().List()) {
-    if (pod.terminal() || !pod.scheduled()) continue;
-    if (pod.meta.labels.count(kManagedLabel) > 0) continue;
-    const auto gpus = pod.spec.requests.Get(k8s::kResourceNvidiaGpu);
-    if (gpus > 0) native[pod.status.node_name] += static_cast<int>(gpus);
+  const std::uint64_t pods_v = cluster_->api().pods().version();
+  const std::uint64_t nodes_v = cluster_->api().nodes().version();
+  if (!snapshot_valid_ || snapshot_pods_version_ != pods_v ||
+      snapshot_nodes_version_ != nodes_v) {
+    // Rebuild the store-derived base: one consistent pass over the pod and
+    // node stores, valid until either store's version moves again.
+    snapshot_base_.clear();
+    // Native (non-KubeShare) GPU pods per node.
+    std::map<std::string, int> native;
+    cluster_->api().pods().ForEach([&](const k8s::Pod& pod) {
+      if (pod.terminal() || !pod.scheduled()) return;
+      if (pod.meta.labels.count(kManagedLabel) > 0) return;
+      const auto gpus = pod.spec.requests.Get(k8s::kResourceNvidiaGpu);
+      if (gpus > 0) native[pod.status.node_name] += static_cast<int>(gpus);
+    });
+    cluster_->api().nodes().ForEach([&](const k8s::Node& node) {
+      // A NotReady node's GPUs are not schedulable capacity — new vGPUs
+      // must not be acquired there (the acquisition pod could never start).
+      if (!node.ready) return;
+      NodeFreeGpus entry;
+      entry.node = node.meta.name;
+      // Physical GPU count: with the stock plugin this equals the
+      // advertised capacity; KubeShare requires the stock (unscaled)
+      // plugin.
+      entry.free =
+          static_cast<int>(node.capacity.Get(k8s::kResourceNvidiaGpu)) -
+          native[node.meta.name];
+      snapshot_base_.push_back(entry);
+    });
+    snapshot_pods_version_ = pods_v;
+    snapshot_nodes_version_ = nodes_v;
+    snapshot_valid_ = true;
+    ++snapshot_refreshes_;
+  } else {
+    ++snapshot_hits_;
   }
-  for (const k8s::Node& node : cluster_->api().nodes().List()) {
-    // A NotReady node's GPUs are not schedulable capacity — new vGPUs must
-    // not be acquired there (the acquisition pod could never start).
-    if (!node.ready) continue;
-    NodeFreeGpus entry;
-    entry.node = node.meta.name;
-    // Physical GPU count: with the stock plugin this equals the advertised
-    // capacity; KubeShare requires the stock (unscaled) plugin.
-    entry.free = static_cast<int>(node.capacity.Get(k8s::kResourceNvidiaGpu)) -
-                 static_cast<int>(pool_->CountOnNode(node.meta.name)) -
-                 native[node.meta.name];
-    out.push_back(entry);
+  // The pool term moves with Algorithm 1's own reservations inside a
+  // cycle, so it is applied live rather than baked into the snapshot.
+  std::vector<NodeFreeGpus> out = snapshot_base_;
+  for (NodeFreeGpus& entry : out) {
+    entry.free -= static_cast<int>(pool_->CountOnNode(entry.node));
   }
   return out;
 }
@@ -120,11 +144,13 @@ void KubeShareSched::Pump() {
   queued_.erase(name);
   // The O(N) term counts *live* sharePods (Fig 11): each cycle re-reads
   // the status of every non-terminal sharePod through the apiserver.
-  // Completed sharePods drop out of the loop.
+  // Completed sharePods drop out of the loop. ForEach, not List: the scan
+  // only needs the terminal flag, and at 100k sharePods a full deep copy
+  // per cycle dominates the scheduler's own work.
   std::int64_t live = 0;
-  for (const SharePod& sp : sharepods_->List()) {
+  sharepods_->ForEach([&](const SharePod& sp) {
     if (!sp.terminal()) ++live;
-  }
+  });
   const Duration cycle =
       config_.sched_fixed + config_.sched_per_sharepod * live;
   const std::uint64_t epoch = epoch_;

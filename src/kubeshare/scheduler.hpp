@@ -51,11 +51,21 @@ class KubeShareSched {
   /// Free physical (not-yet-vGPU) GPUs per node: node capacity minus vGPUs
   /// already acquired there minus native GPU pods. This is the supply
   /// Algorithm 1's new_dev() can draw on.
+  ///
+  /// Snapshot-based: the (node, capacity - native pods) base is rebuilt
+  /// only when the pod or node store's resource version moves — one
+  /// consistent relist per apiserver state, not per decision. The vGPU
+  /// pool term is applied live at read time, and the placement write is
+  /// still validated on commit (the OCC Conflict path in ScheduleOne), so
+  /// a stale snapshot costs at most a retry, never a double booking.
   std::vector<NodeFreeGpus> FreePhysicalGpus() const;
 
   std::uint64_t scheduled_count() const { return scheduled_count_; }
   std::uint64_t rejected_count() const { return rejected_count_; }
   std::uint64_t retry_count() const { return retry_count_; }
+  /// Snapshot cache behaviour: rebuilds vs. version-match reuses.
+  std::uint64_t snapshot_refreshes() const { return snapshot_refreshes_; }
+  std::uint64_t snapshot_hits() const { return snapshot_hits_; }
   std::uint64_t crashes() const { return crashes_; }
   /// Pure-algorithm time (wall clock) per decision — Fig 11's subject.
   const RunningStats& decision_stats() const { return decision_stats_; }
@@ -92,6 +102,16 @@ class KubeShareSched {
   std::uint64_t rejected_count_ = 0;
   std::uint64_t retry_count_ = 0;
   RunningStats decision_stats_;
+
+  /// FreePhysicalGpus snapshot cache, keyed on the pod/node store versions
+  /// it was built from. mutable: the cache is an observable-behaviour-free
+  /// memoization of a const query.
+  mutable std::vector<NodeFreeGpus> snapshot_base_;
+  mutable std::uint64_t snapshot_pods_version_ = 0;
+  mutable std::uint64_t snapshot_nodes_version_ = 0;
+  mutable bool snapshot_valid_ = false;
+  mutable std::uint64_t snapshot_refreshes_ = 0;
+  mutable std::uint64_t snapshot_hits_ = 0;
 };
 
 }  // namespace ks::kubeshare

@@ -1,0 +1,226 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace ks::sim {
+namespace {
+
+/// Index of the shard the current thread is draining, or -1 when outside
+/// any drain (setup code, the barrier thread between windows). thread_local
+/// so worker threads and the serial path share one mechanism.
+thread_local int tls_current_shard = -1;
+
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+int ShardForIndex(std::uint64_t seed, std::uint64_t index, int node_shards) {
+  if (node_shards <= 1) return node_shards;  // 0 shards: everything global
+  const std::uint64_t h = SplitMix64(SplitMix64(seed) ^ index);
+  return 1 + static_cast<int>(h % static_cast<std::uint64_t>(node_shards));
+}
+
+ShardedSimulation::ShardedSimulation(ShardedConfig config)
+    : config_(config), window_(config.window) {
+  if (config_.node_shards < 1) config_.node_shards = 1;
+  if (window_.count() <= 0) window_ = Millis(1);
+  shards_.reserve(static_cast<std::size_t>(config_.node_shards) + 1);
+  for (int i = 0; i <= config_.node_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedSimulation::~ShardedSimulation() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+}
+
+ShardedSimulation::EventRef ShardedSimulation::ScheduleAt(int shard, Time t,
+                                                          EventCallback fn) {
+  Shard& target = *shards_[shard];
+  const int from = tls_current_shard;
+  if (from < 0 || from == shard) {
+    // Direct insert: setup code, the barrier thread, or a shard scheduling
+    // onto itself.
+    return EventRef{shard, target.sim.ScheduleAt(t, std::move(fn))};
+  }
+  // Cross-shard: buffer in the sender's outbox; transferred at the barrier.
+  Time fire = t;
+  if (fire < window_end_) {
+    fire = window_end_;
+    ++shards_[from]->lookahead_violations;  // thread-owned with the outbox
+  }
+  shards_[from]->outbox.push_back(PendingSend{shard, fire, std::move(fn)});
+  // The shard-local id is unknown until the flush; cross-shard events are
+  // fire-and-forget (cancellation across shards would race anyway).
+  return EventRef{shard, kInvalidEvent};
+}
+
+ShardedSimulation::EventRef ShardedSimulation::ScheduleAfter(
+    int shard, Duration delay, EventCallback fn) {
+  if (delay.count() < 0) delay = Duration{0};
+  const int from = tls_current_shard;
+  const Time base = from >= 0 ? shards_[from]->sim.Now() : now_;
+  return ScheduleAt(shard, base + delay, std::move(fn));
+}
+
+bool ShardedSimulation::Cancel(const EventRef& ref) {
+  if (!ref.valid()) return false;
+  // Legal from the event's own shard or from outside any drain; a
+  // cross-shard cancel during a parallel drain would race the target heap.
+  return shards_[ref.shard]->sim.Cancel(ref.id);
+}
+
+void ShardedSimulation::RunUntil(Time t) {
+  for (;;) {
+    // Earliest pending event across all shards (skip-ahead: idle stretches
+    // cost nothing, the engine jumps straight to the next populated window).
+    Time next = Time::max();
+    for (auto& s : shards_) {
+      const auto nt = s->sim.NextEventTime();
+      if (nt && *nt < next) next = *nt;
+    }
+    if (next == Time::max() || next > t) break;
+
+    const std::int64_t w = window_.count();
+    const Time anchor = std::max(next, now_);
+    const Time base{Duration{(anchor.count() / w) * w}};
+    const Time end = base + window_;
+    window_end_ = end;
+    // Events at exactly `end` belong to the next window; clamp to t so a
+    // RunUntil ending mid-window stops exactly there.
+    const Time drain_to = std::min(end - Duration{1}, t);
+    DrainShards(drain_to);
+    FlushOutboxes();
+    now_ = std::min(end, t);
+    ++windows_;
+  }
+  // Advance every clock to exactly t (events are all > t now).
+  for (auto& s : shards_) s->sim.RunUntil(t);
+  if (t > now_) now_ = t;
+  window_end_ = now_;
+}
+
+void ShardedSimulation::DrainShards(Time target) {
+  const int threads = std::min<int>(config_.threads, shard_count());
+  if (threads <= 1) {
+    for (int i = 0; i < shard_count(); ++i) {
+      tls_current_shard = i;
+      shards_[i]->sim.RunUntil(target);
+      tls_current_shard = -1;
+    }
+    return;
+  }
+  if (workers_.empty()) StartWorkers();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    drain_target_ = target;
+    workers_done_ = 0;
+    next_shard_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return workers_done_ == static_cast<int>(workers_.size());
+  });
+}
+
+void ShardedSimulation::StartWorkers() {
+  const int threads = std::min<int>(config_.threads, shard_count());
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ShardedSimulation::WorkerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Time target;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      target = drain_target_;
+    }
+    for (;;) {
+      const int i = next_shard_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shard_count()) break;
+      tls_current_shard = i;
+      shards_[i]->sim.RunUntil(target);
+      tls_current_shard = -1;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++workers_done_ == static_cast<int>(workers_.size())) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+void ShardedSimulation::FlushOutboxes() {
+  // Serial, in shard order: the target-shard insertion sequence of
+  // barrier-transferred events is a pure function of (source shard, send
+  // order), independent of how many threads drained the window.
+  for (auto& s : shards_) {
+    for (auto& send : s->outbox) {
+      ++cross_shard_sends_;
+      shards_[send.target]->sim.ScheduleAt(send.at, std::move(send.fn));
+    }
+    s->outbox.clear();
+  }
+}
+
+std::size_t ShardedSimulation::pending() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->sim.pending();
+  return n;
+}
+
+std::uint64_t ShardedSimulation::executed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->sim.executed();
+  return n;
+}
+
+std::uint64_t ShardedSimulation::lifetime_events() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->sim.lifetime_events();
+  return n;
+}
+
+bool ShardedSimulation::exhausted() const {
+  for (const auto& s : shards_) {
+    if (s->sim.exhausted()) return true;
+  }
+  return false;
+}
+
+Status ShardedSimulation::CapacityStatus() const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Status st = shards_[i]->sim.CapacityStatus();
+    if (!st.ok()) {
+      return ResourceExhaustedError("shard " + std::to_string(i) + ": " +
+                                    std::string(st.message()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ks::sim

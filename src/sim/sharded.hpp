@@ -1,0 +1,192 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "sim/event_callback.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::sim {
+
+/// Configuration for ShardedSimulation.
+struct ShardedConfig {
+  /// Number of node shards. The engine owns node_shards + 1 Simulations:
+  /// shard 0 is the global shard (apiserver, scheduler, controllers), shards
+  /// 1..node_shards hold the per-node components.
+  int node_shards = 4;
+  /// Worker threads draining shards inside a window. 0 or 1 runs the drain
+  /// serially on the calling thread, in shard order — the deterministic
+  /// reference used by the differential tests; any thread count produces
+  /// identical results because shard drains are independent by construction.
+  int threads = 0;
+  /// Synchronization window width. Must not exceed the minimum cross-shard
+  /// latency (the conservative-PDES lookahead): every cross-shard message
+  /// sent inside window [B, B+W) fires no earlier than B+W, so shards never
+  /// need to roll back. In this codebase the anchor is
+  /// LatencyModel::watch_propagation (1 ms).
+  Duration window = Millis(1);
+};
+
+/// Conservative time-window parallel discrete-event engine: N+1 independent
+/// sim::Simulation shards advanced in lock-step windows.
+///
+/// Invariants (the whole determinism argument rests on these):
+///  - an event scheduled on shard S runs on S's Simulation, ordered by S's
+///    own (time, insertion-seq) heap — per-shard sequence numbers, so the
+///    2^40 lifetime-id budget is per shard, not global;
+///  - a callback running on shard S may schedule onto S directly, but a
+///    schedule targeting another shard is buffered in S's outbox and only
+///    transferred at the window barrier, clamped to fire no earlier than the
+///    end of the current window (the lookahead rule). Cross-shard messages
+///    are therefore appended while the target shard is quiescent — never
+///    while another thread drains it;
+///  - outboxes are flushed serially in shard order after every window, so
+///    the target-shard insertion order of barrier-transferred events is a
+///    pure function of (window, source shard, send order within the source)
+///    — independent of thread count and thread scheduling.
+///
+/// Determinism across thread counts is exact, not statistical: the
+/// differential suite pins serial (threads=0) against threaded runs
+/// byte-for-byte, and the single-engine run remains the oracle for the
+/// model layered on top (see tests/scale/).
+class ShardedSimulation {
+ public:
+  static constexpr int kGlobalShard = 0;
+
+  /// Cross-shard event handle: shard index plus the shard-local EventId.
+  struct EventRef {
+    int shard = -1;
+    EventId id = kInvalidEvent;
+    bool valid() const { return shard >= 0 && id != kInvalidEvent; }
+  };
+
+  explicit ShardedSimulation(ShardedConfig config = {});
+  ~ShardedSimulation();
+
+  ShardedSimulation(const ShardedSimulation&) = delete;
+  ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const ShardedConfig& config() const { return config_; }
+
+  /// Global barrier time: every shard has fully executed all events strictly
+  /// before this time.
+  Time Now() const { return now_; }
+  /// A shard's local clock (its Simulation's Now()).
+  Time Now(int shard) const { return shards_[shard]->sim.Now(); }
+
+  /// Schedules `fn` on `shard` at absolute time `t`.
+  ///
+  /// From outside any shard callback (setup code, between RunUntil calls)
+  /// this inserts directly — any shard, any time >= Now(). From inside a
+  /// callback running on the same shard it also inserts directly. From a
+  /// callback on a *different* shard the event is buffered in the sender's
+  /// outbox and transferred at the next window barrier; if `t` lands inside
+  /// the current window it is clamped to the window end and
+  /// lookahead_violations() is bumped — a model bug (latency below the
+  /// window), made visible instead of silently non-deterministic.
+  EventRef ScheduleAt(int shard, Time t, EventCallback fn);
+  EventRef ScheduleAfter(int shard, Duration delay, EventCallback fn);
+
+  /// Cancels a pending event. Only valid from the event's own shard or from
+  /// outside the drain loop (cross-shard cancellation during a parallel
+  /// drain would race the target heap). Returns true if it was pending.
+  bool Cancel(const EventRef& ref);
+
+  /// Runs every shard's events with time <= t in conservative windows, then
+  /// advances all clocks to exactly t.
+  void RunUntil(Time t);
+
+  /// Aggregates across shards.
+  std::size_t pending() const;
+  std::uint64_t executed() const;
+  std::uint64_t lifetime_events() const;
+  bool exhausted() const;
+  /// Ok while every shard is healthy; otherwise the first exhausted shard's
+  /// CapacityStatus, prefixed with the shard index.
+  Status CapacityStatus() const;
+
+  std::uint64_t windows() const { return windows_; }
+  std::uint64_t cross_shard_sends() const { return cross_shard_sends_; }
+  /// Cross-shard sends whose requested fire time fell inside the sending
+  /// window (clamped to the window end). Always 0 for a correctly-modelled
+  /// system; counted, not asserted, so benches can report it. Accumulated
+  /// per sending shard (thread-owned during drains), summed here.
+  std::uint64_t lookahead_violations() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += s->lookahead_violations;
+    return n;
+  }
+
+  /// Direct access to a shard's engine (tests, capacity injection).
+  Simulation& shard(int i) { return shards_[i]->sim; }
+  void InjectLifetimeEventCountForTest(int shard, std::uint64_t count) {
+    shards_[shard]->sim.InjectLifetimeEventCountForTest(count);
+  }
+
+ private:
+  struct PendingSend {
+    int target;
+    Time at;
+    EventCallback fn;
+  };
+
+  /// Cache-line aligned so adjacent shards' hot counters never false-share
+  /// under threaded drains.
+  struct alignas(64) Shard {
+    Simulation sim;
+    /// Cross-shard sends originated by this shard during the current
+    /// window. Only touched by the thread draining this shard, and by the
+    /// barrier thread after the drain handshake.
+    std::vector<PendingSend> outbox;
+    std::uint64_t lookahead_violations = 0;
+  };
+
+  void DrainShards(Time target);
+  void FlushOutboxes();
+  void WorkerLoop();
+  void StartWorkers();
+
+  ShardedConfig config_;
+  Duration window_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  Time now_{0};
+  /// End of the window currently being drained; cross-shard sends clamp to
+  /// this. Written only at the barrier (single-threaded), read by drains.
+  Time window_end_{0};
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_shard_sends_ = 0;
+
+  // Worker pool (created lazily on the first threaded drain).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  // bumped per drain pass
+  Time drain_target_{0};
+  int workers_done_ = 0;
+  bool stop_ = false;
+  std::atomic<int> next_shard_{0};
+};
+
+/// Deterministic shard assignment for entity `index` under `seed`: a
+/// splitmix64 hash of (seed, index) mapped onto the node shards
+/// 1..node_shards. Pure function of its arguments — never pointer values or
+/// container iteration order — so shard layouts (and therefore
+/// BENCH_scale.json) are byte-reproducible across runs and platforms.
+int ShardForIndex(std::uint64_t seed, std::uint64_t index, int node_shards);
+
+/// The underlying mix, exposed for model code that needs more deterministic
+/// per-entity draws from the same stream discipline.
+std::uint64_t SplitMix64(std::uint64_t x);
+
+}  // namespace ks::sim

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <type_traits>
 #include <vector>
 
@@ -112,6 +113,16 @@ class Simulation {
   /// Runs events with time <= t, then advances the clock to exactly t even
   /// if no event lands on it.
   void RunUntil(Time t);
+
+  /// Fire time of the earliest pending event, or nullopt when the queue is
+  /// empty. Purges stale (cancelled) roots first, so the answer is exact.
+  /// The sharded engine uses this to skip idle shards straight to the next
+  /// populated synchronization window.
+  std::optional<Time> NextEventTime() {
+    DropStaleRoots();
+    if (heap_size_ == 0) return std::nullopt;
+    return heap_[0].at;
+  }
 
   /// Exact count of live (scheduled, not yet fired or cancelled) events.
   std::size_t pending() const { return live_; }

@@ -1,0 +1,207 @@
+#include "sim/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ks::sim {
+namespace {
+
+TEST(ShardedSimulation, StartsEmpty) {
+  ShardedSimulation sharded;
+  EXPECT_EQ(sharded.shard_count(), 5);  // 4 node shards + global
+  EXPECT_EQ(sharded.Now(), kTimeZero);
+  EXPECT_EQ(sharded.pending(), 0u);
+  EXPECT_EQ(sharded.executed(), 0u);
+  EXPECT_TRUE(sharded.CapacityStatus().ok());
+}
+
+TEST(ShardedSimulation, RunsShardLocalEventsInTimeOrder) {
+  ShardedSimulation sharded;
+  std::vector<int> order;
+  sharded.ScheduleAt(1, Millis(3), [&] { order.push_back(3); });
+  sharded.ScheduleAt(1, Millis(1), [&] { order.push_back(1); });
+  sharded.ScheduleAt(1, Millis(2), [&] { order.push_back(2); });
+  sharded.RunUntil(Millis(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sharded.Now(), Millis(10));
+  EXPECT_EQ(sharded.executed(), 3u);
+}
+
+TEST(ShardedSimulation, SkipAheadOverIdleWindows) {
+  // One event at t=0, one at t=10s: the engine must not grind through ten
+  // thousand empty 1 ms windows in between.
+  ShardedSimulation sharded;
+  int fired = 0;
+  sharded.ScheduleAt(1, kTimeZero, [&] { ++fired; });
+  sharded.ScheduleAt(2, Seconds(10), [&] { ++fired; });
+  sharded.RunUntil(Seconds(10));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sharded.windows(), 2u);
+}
+
+TEST(ShardedSimulation, CrossShardSendLandsAfterWindowBarrier) {
+  ShardedConfig config;
+  config.window = Millis(1);
+  ShardedSimulation sharded(config);
+  Time landed = kTimeZero;
+  // From shard 1, at t=100us, schedule onto shard 2 two windows out.
+  sharded.ScheduleAt(1, Micros(100), [&] {
+    sharded.ScheduleAt(2, Millis(2) + Micros(7), [&] {
+      landed = sharded.Now(2);
+    });
+  });
+  sharded.RunUntil(Millis(5));
+  EXPECT_EQ(landed, Millis(2) + Micros(7));
+  EXPECT_EQ(sharded.cross_shard_sends(), 1u);
+  EXPECT_EQ(sharded.lookahead_violations(), 0u);
+}
+
+TEST(ShardedSimulation, LookaheadViolationClampsAndCounts) {
+  ShardedConfig config;
+  config.window = Millis(1);
+  ShardedSimulation sharded(config);
+  Time landed = kTimeZero;
+  // A same-window cross-shard send violates the conservative lookahead:
+  // clamped to the window end, and counted.
+  sharded.ScheduleAt(1, Micros(100), [&] {
+    sharded.ScheduleAt(2, Micros(200), [&] { landed = sharded.Now(2); });
+  });
+  sharded.RunUntil(Millis(5));
+  EXPECT_EQ(landed, Millis(1));
+  EXPECT_EQ(sharded.lookahead_violations(), 1u);
+}
+
+TEST(ShardedSimulation, CancelShardLocalEvent) {
+  ShardedSimulation sharded;
+  int fired = 0;
+  auto ref = sharded.ScheduleAt(3, Millis(2), [&] { ++fired; });
+  ASSERT_TRUE(ref.valid());
+  EXPECT_TRUE(sharded.Cancel(ref));
+  EXPECT_FALSE(sharded.Cancel(ref));  // already cancelled
+  sharded.RunUntil(Millis(5));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ShardedSimulation, CrossShardSendIsFireAndForget) {
+  ShardedSimulation sharded;
+  ShardedSimulation::EventRef ref;
+  sharded.ScheduleAt(1, Micros(10), [&] {
+    ref = sharded.ScheduleAt(2, Millis(3), [] {});
+  });
+  sharded.RunUntil(Millis(5));
+  EXPECT_FALSE(ref.valid());
+}
+
+// The determinism contract: a workload fanning messages across shards
+// produces a byte-identical execution trace regardless of how many worker
+// threads drain the windows.
+std::string RunPingWorkload(int threads) {
+  ShardedConfig config;
+  config.node_shards = 4;
+  config.threads = threads;
+  config.window = Millis(1);
+  ShardedSimulation sharded(config);
+  std::string trace;
+
+  // Each node shard runs a periodic tick; every third tick it messages the
+  // global shard. All appends to `trace` happen on the global shard — the
+  // per-shard work only touches that shard's own counter, and the window
+  // barrier orders the global-shard appends across threads.
+  struct NodeState {
+    int ticks = 0;
+  };
+  std::vector<NodeState> states(5);
+
+  std::function<void(int)> tick = [&](int shard) {
+    auto& st = states[static_cast<std::size_t>(shard)];
+    ++st.ticks;
+    if (st.ticks % 3 == 0) {
+      const int count = st.ticks;
+      sharded.ScheduleAt(
+          ShardedSimulation::kGlobalShard,
+          sharded.Now(shard) + Millis(1), [&, shard, count] {
+            trace += "g<-" + std::to_string(shard) + ":" +
+                     std::to_string(count) + "@" +
+                     std::to_string(
+                         sharded.Now(ShardedSimulation::kGlobalShard).count()) +
+                     "\n";
+          });
+    }
+    if (st.ticks < 30) {
+      sharded.ScheduleAt(shard, sharded.Now(shard) + Millis(1),
+                         [&, shard] { tick(shard); });
+    }
+  };
+  for (int shard = 1; shard <= 4; ++shard) {
+    sharded.ScheduleAt(shard, Micros(100 * shard), [&, shard] { tick(shard); });
+  }
+  sharded.RunUntil(Seconds(1));
+  return trace;
+}
+
+TEST(ShardedSimulation, DeterministicAcrossThreadCounts) {
+  const std::string serial = RunPingWorkload(0);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(RunPingWorkload(2), serial);
+  EXPECT_EQ(RunPingWorkload(5), serial);
+}
+
+// Satellite: event-id headroom. Each shard owns its own 2^40 sequence
+// namespace, so the capacity latch (and its test) extends per shard: an
+// exhausted shard reports through CapacityStatus with its index, and the
+// other shards stay healthy.
+TEST(ShardedSimulation, CapacityStatusLatchesPerShard) {
+  ShardedSimulation sharded;
+  EXPECT_TRUE(sharded.CapacityStatus().ok());
+  // Pretend shard 2 already consumed its whole lifetime budget (the same
+  // 2^40 sequence cap simulation_test.cpp pins for the single engine).
+  constexpr std::uint64_t kMaxSeq = (1ull << 40) - 1;
+  sharded.InjectLifetimeEventCountForTest(2, kMaxSeq);
+  sharded.ScheduleAt(2, Millis(1), [] {});  // pushes shard 2 over
+  EXPECT_TRUE(sharded.exhausted());
+  const Status st = sharded.CapacityStatus();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("shard 2"), std::string::npos);
+  // Other shards still accept events; their own latches are untouched.
+  EXPECT_TRUE(sharded.shard(1).CapacityStatus().ok());
+  sharded.ScheduleAt(1, Millis(1), [] {});
+  sharded.RunUntil(Millis(2));
+}
+
+TEST(ShardForIndex, DeterministicAndInRange) {
+  // Pure function of (seed, index, node_shards): same inputs, same shard —
+  // never pointer values or iteration order.
+  for (int shards : {1, 4, 16}) {
+    for (std::uint64_t index = 0; index < 1000; ++index) {
+      const int a = ShardForIndex(42, index, shards);
+      const int b = ShardForIndex(42, index, shards);
+      EXPECT_EQ(a, b);
+      EXPECT_GE(a, 1);
+      EXPECT_LE(a, shards);
+    }
+  }
+  // Different seeds shuffle the layout.
+  int moved = 0;
+  for (std::uint64_t index = 0; index < 1000; ++index) {
+    if (ShardForIndex(1, index, 16) != ShardForIndex(2, index, 16)) ++moved;
+  }
+  EXPECT_GT(moved, 800);
+}
+
+TEST(ShardForIndex, SpreadsRoughlyEvenly) {
+  std::vector<int> counts(17, 0);
+  for (std::uint64_t index = 0; index < 16000; ++index) {
+    ++counts[static_cast<std::size_t>(ShardForIndex(7, index, 16))];
+  }
+  for (int shard = 1; shard <= 16; ++shard) {
+    EXPECT_GT(counts[static_cast<std::size_t>(shard)], 700);
+    EXPECT_LT(counts[static_cast<std::size_t>(shard)], 1300);
+  }
+}
+
+}  // namespace
+}  // namespace ks::sim
