@@ -29,6 +29,15 @@ Checks, per file:
     "token-cluster" or "kernel-cluster") report a positive integer
     "total_events", so the per-mode event counts the fused device
     engine is benchmarked on cannot silently vanish;
+  * isolation rows carry a "mode" of baseline|unenforced|enforced, a
+    non-empty "tenant", a boolean "hostile", finite non-negative "usage"
+    and "ratio_vs_baseline", and non-negative integer enforcement
+    counters; the study's acceptance gate is also enforced here — every
+    polite tenant keeps >= 95% of its baseline usage when enforcement is
+    on (and enforcement visibly engaged: violations_total > 0), while
+    with enforcement off the attack collapses at least one polite
+    tenant below 80% — a report where enforcement makes no difference
+    means the subsystem silently stopped working;
   * scale rows (the 10k-node / 100k-sharePod soak) carry a non-empty
     "engine", finite positive "events_per_sec", finite non-negative
     "sched_p99_ms" and "speedup_vs_single", a positive integer
@@ -52,10 +61,43 @@ def fail(path, msg):
     return False
 
 
+def check_isolation_gate(path, rows):
+    """The isolation study's acceptance gate, enforced on the report itself:
+    polite tenants keep >= 95% of baseline usage under enforcement, and the
+    unenforced run demonstrates the collapse enforcement prevents."""
+    ok = True
+    polite = [r for r in rows
+              if isinstance(r, dict) and r.get("hostile") is False]
+    enforced = [r for r in polite if r.get("mode") == "enforced"]
+    unenforced = [r for r in polite if r.get("mode") == "unenforced"]
+    if not enforced or not unenforced:
+        return fail(path, "isolation report lacks enforced/unenforced "
+                          "polite-tenant rows")
+    for r in enforced:
+        ratio = r.get("ratio_vs_baseline")
+        if not isinstance(ratio, (int, float)) or isinstance(ratio, bool) \
+                or ratio < 0.95:
+            ok = fail(
+                path,
+                f"enforced polite tenant {r.get('tenant')!r} kept only "
+                f"{ratio!r} of its baseline usage (gate: >= 0.95)",
+            )
+        violations = r.get("violations_total")
+        if not isinstance(violations, int) or violations <= 0:
+            ok = fail(path, "enforced rows report violations_total == 0 — "
+                            "enforcement never engaged")
+    if not any(isinstance(r.get("ratio_vs_baseline"), (int, float))
+               and not isinstance(r.get("ratio_vs_baseline"), bool)
+               and r.get("ratio_vs_baseline") < 0.8 for r in unenforced):
+        ok = fail(path, "no unenforced polite tenant fell below 0.8x "
+                        "baseline — the attack had no visible effect")
+    return ok
+
+
 # Studies whose every row is produced by a whole-cluster run and must carry
 # the engine's scheduled-event count.
 TOTAL_EVENTS_REQUIRED = {"study_chaos", "ablation_placement", "fig9",
-                         "spatial", "scale"}
+                         "spatial", "scale", "isolation"}
 
 
 def check_file(path):
@@ -144,6 +186,42 @@ def check_file(path):
                     f"row {i} \"concurrent_tokens_peak\" missing or not a "
                     f"non-negative integer: {tokens!r}",
                 )
+        if study == "isolation":
+            if row.get("mode") not in ("baseline", "unenforced", "enforced"):
+                ok = fail(
+                    path,
+                    f"row {i} \"mode\" must be baseline|unenforced|enforced: "
+                    f"{row.get('mode')!r}",
+                )
+            tenant = row.get("tenant")
+            if not isinstance(tenant, str) or not tenant:
+                ok = fail(path,
+                          f"row {i} \"tenant\" missing or empty: {tenant!r}")
+            if not isinstance(row.get("hostile"), bool):
+                ok = fail(
+                    path,
+                    f"row {i} \"hostile\" missing or not a boolean: "
+                    f"{row.get('hostile')!r}",
+                )
+            for field in ("usage", "ratio_vs_baseline"):
+                value = row.get(field)
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool) or value < 0:
+                    ok = fail(
+                        path,
+                        f"row {i} {field!r} missing or not a non-negative "
+                        f"number: {value!r}",
+                    )
+            for field in ("violations_total", "fenced_rejections",
+                          "clampdowns_total", "evictions_total"):
+                value = row.get(field)
+                if not isinstance(value, int) or isinstance(value, bool) \
+                        or value < 0:
+                    ok = fail(
+                        path,
+                        f"row {i} {field!r} missing or not a non-negative "
+                        f"integer: {value!r}",
+                    )
         if study == "scale":
             engine = row.get("engine")
             if not isinstance(engine, str) or not engine:
@@ -188,6 +266,8 @@ def check_file(path):
                 f"rows of the same kind {sorted(key_sets[kind])}",
             )
         key_sets.setdefault(kind, keys)
+    if study == "isolation":
+        ok = check_isolation_gate(path, rows) and ok
     return ok
 
 

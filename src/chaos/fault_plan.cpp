@@ -37,6 +37,10 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kDevMgrCrash: return "DevMgrCrash";
     case FaultKind::kSchedCrash: return "SchedCrash";
     case FaultKind::kLeaderPartition: return "LeaderPartition";
+    case FaultKind::kTenantTokenOverstay: return "TenantTokenOverstay";
+    case FaultKind::kTenantKernelFlood: return "TenantKernelFlood";
+    case FaultKind::kTenantMemoryProbe: return "TenantMemoryProbe";
+    case FaultKind::kTenantMetricsSpoof: return "TenantMetricsSpoof";
   }
   return "Unknown";
 }
@@ -89,6 +93,24 @@ FaultPlan FaultPlan::Random(const RandomPlanOptions& options) {
     entries.push_back(
         {FaultKind::kLeaderPartition, options.leader_partition_weight});
   }
+  // Adversarial kinds append after every pre-existing entry so a plan that
+  // enables none of them draws the identical PRNG sequence as before.
+  if (options.tenant_overstay_weight > 0) {
+    entries.push_back(
+        {FaultKind::kTenantTokenOverstay, options.tenant_overstay_weight});
+  }
+  if (options.tenant_flood_weight > 0) {
+    entries.push_back(
+        {FaultKind::kTenantKernelFlood, options.tenant_flood_weight});
+  }
+  if (options.tenant_probe_weight > 0) {
+    entries.push_back(
+        {FaultKind::kTenantMemoryProbe, options.tenant_probe_weight});
+  }
+  if (options.tenant_spoof_weight > 0) {
+    entries.push_back(
+        {FaultKind::kTenantMetricsSpoof, options.tenant_spoof_weight});
+  }
 
   FaultPlan plan;
   if (entries.empty() || options.fault_count <= 0) return plan;
@@ -138,6 +160,14 @@ FaultPlan FaultPlan::Random(const RandomPlanOptions& options) {
       case FaultKind::kLeaderPartition:
         fault.duration =
             NextDuration(rng, options.partition_min, options.partition_max);
+        break;
+      case FaultKind::kTenantTokenOverstay:
+      case FaultKind::kTenantKernelFlood:
+      case FaultKind::kTenantMemoryProbe:
+      case FaultKind::kTenantMetricsSpoof:
+        // Target job chosen at injection time from the live cluster.
+        fault.duration =
+            NextDuration(rng, options.adversarial_min, options.adversarial_max);
         break;
       case FaultKind::kNodeRecover:
         break;  // never generated: crashes carry their own outage duration

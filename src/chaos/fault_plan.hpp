@@ -30,6 +30,21 @@ namespace ks::chaos {
 ///  - kLeaderPartition: the elected control-plane leader is partitioned
 ///    from its lease past expiry; recovery = standby takeover, with the
 ///    deposed leader's stale writes rejected by fencing.
+///
+/// The kTenant* kinds are adversarial-client faults: one tenant's frontend
+/// hook (its own copy of the device library) turns hostile for `duration`.
+/// They have no recovery path in the classic sense — containment is
+/// server-side isolation enforcement (token-epoch fencing at the device,
+/// memory quotas, usage attribution, clamp-down and eviction in the token
+/// backend; see docs/robustness.md):
+///  - kTenantTokenOverstay: the tenant ignores token expiry and keeps
+///    submitting on the dead grant.
+///  - kTenantKernelFlood: the tenant submits kernels straight to the
+///    driver, token or no token.
+///  - kTenantMemoryProbe: the tenant allocates past its gpu_mem quota,
+///    bypassing the client-side check.
+///  - kTenantMetricsSpoof: the tenant under-reports its usage to the
+///    backend's sampler to win max-deficit token selection.
 enum class FaultKind {
   kNodeCrash,
   kNodeRecover,
@@ -40,18 +55,25 @@ enum class FaultKind {
   kDevMgrCrash,
   kSchedCrash,
   kLeaderPartition,
+  kTenantTokenOverstay,
+  kTenantKernelFlood,
+  kTenantMemoryProbe,
+  kTenantMetricsSpoof,
 };
 
 const char* FaultKindName(FaultKind kind);
 
 /// One scripted fault. Which fields matter depends on `kind`:
 ///   node      — kNodeCrash / kNodeRecover / kTokenDaemonRestart
-///   pod       — kContainerOomKill ("" = injector picks a running pod)
+///   pod       — kContainerOomKill ("" = injector picks a running pod);
+///               kTenant*: the target *job* name ("" = injector picks the
+///               first running KubeShare job)
 ///   duration  — kNodeCrash: outage length before auto-recovery (0 = stays
 ///               down until an explicit kNodeRecover); kApiLatencySpike:
 ///               how long the spike lasts; kDevMgrCrash / kSchedCrash:
 ///               controller downtime before restart; kLeaderPartition:
-///               how long the leader stays partitioned
+///               how long the leader stays partitioned; kTenant*: how long
+///               the tenant stays hostile (0 = for the rest of the run)
 ///   latency   — kApiLatencySpike: the degraded watch latency
 ///   drop_count— kDropWatchEvent: notifications to lose
 struct Fault {
@@ -85,6 +107,12 @@ struct RandomPlanOptions {
   double devmgr_crash_weight = 0.0;
   double sched_crash_weight = 0.0;
   double leader_partition_weight = 0.0;
+  /// Adversarial-tenant faults also default to 0 for the same byte-equality
+  /// reason.
+  double tenant_overstay_weight = 0.0;
+  double tenant_flood_weight = 0.0;
+  double tenant_probe_weight = 0.0;
+  double tenant_spoof_weight = 0.0;
   /// Node outages auto-recover after a duration drawn from this range.
   Duration outage_min{Seconds(5)};
   Duration outage_max{Seconds(15)};
@@ -99,6 +127,10 @@ struct RandomPlanOptions {
   /// past the default 10 s lease so a takeover actually happens.
   Duration partition_min{Seconds(12)};
   Duration partition_max{Seconds(20)};
+  /// Hostile-window length range for the kTenant* faults. The floor clears
+  /// several 100 ms token quanta so the attack spans multiple grants.
+  Duration adversarial_min{Seconds(3)};
+  Duration adversarial_max{Seconds(8)};
 };
 
 /// A deterministic, pre-computed fault schedule. The same options always

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "k8s/resources.hpp"
+#include "workload/host.hpp"
 
 namespace ks::chaos {
 
@@ -21,6 +22,10 @@ void FaultInjector::SetKubeShare(kubeshare::KubeShare* kubeshare) {
   if (kubeshare_ != nullptr && kubeshare_->elector() != nullptr) {
     RegisterElector(kubeshare_->elector());
   }
+}
+
+void FaultInjector::SetWorkloadHost(workload::WorkloadHost* host) {
+  workload_host_ = host;
 }
 
 void FaultInjector::RegisterElector(k8s::LeaderElector* elector) {
@@ -55,6 +60,12 @@ void FaultInjector::Inject(const Fault& fault) {
     case FaultKind::kDevMgrCrash: InjectDevMgrCrash(fault); break;
     case FaultKind::kSchedCrash: InjectSchedCrash(fault); break;
     case FaultKind::kLeaderPartition: InjectLeaderPartition(fault); break;
+    case FaultKind::kTenantTokenOverstay:
+    case FaultKind::kTenantKernelFlood:
+    case FaultKind::kTenantMemoryProbe:
+    case FaultKind::kTenantMetricsSpoof:
+      InjectAdversarial(fault);
+      break;
   }
 }
 
@@ -291,6 +302,92 @@ void FaultInjector::InjectLeaderPartition(const Fault& fault) {
   cluster_->sim().ScheduleAfter(config_.recovery_poll, [this, partitioned_at] {
     PollLeaderTakeover(partitioned_at);
   });
+}
+
+void FaultInjector::InjectAdversarial(const Fault& fault) {
+  if (workload_host_ == nullptr) {
+    RecordSkip(fault, "no workload host attached");
+    return;
+  }
+  std::string job = fault.pod;
+  if (job.empty()) {
+    // Deterministic default target: the first running KubeShare job in
+    // name order — a pure function of cluster state, like the OOM-killer's
+    // memory-hog pick above.
+    const std::vector<std::string> running =
+        workload_host_->RunningKubeShareJobs();
+    if (!running.empty()) job = running.front();
+  }
+  if (job.empty()) {
+    RecordSkip(fault, "no running KubeShare job to turn hostile");
+    return;
+  }
+  vgpu::FrontendHook* hook = workload_host_->MutableRunningHook(job);
+  if (hook == nullptr) {
+    RecordSkip(fault, "job not running under a frontend hook: " + job);
+    return;
+  }
+  // Overlapping windows compose: start from whatever misbehavior is
+  // already active and add this fault's flag.
+  vgpu::AdversarialSpec spec =
+      hook->adversarial() ? *hook->adversarial_spec() : vgpu::AdversarialSpec{};
+  switch (fault.kind) {
+    case FaultKind::kTenantTokenOverstay:
+      spec.overstay = true;
+      ++stats_.tenant_overstays;
+      break;
+    case FaultKind::kTenantKernelFlood:
+      spec.kernel_flood = true;
+      ++stats_.tenant_floods;
+      break;
+    case FaultKind::kTenantMemoryProbe:
+      spec.memory_probe = true;
+      ++stats_.tenant_probes;
+      break;
+    case FaultKind::kTenantMetricsSpoof:
+      spec.metrics_spoof = true;
+      ++stats_.tenant_spoofs;
+      break;
+    default:
+      RecordSkip(fault, "not an adversarial fault");
+      return;
+  }
+  hook->SetAdversarial(spec, &cluster_->sim());
+  ++stats_.faults_injected;
+  cluster_->api().events().Record(kComponent, "job/" + job, "TenantHostile",
+                                  FaultKindName(fault.kind));
+  if (fault.duration.count() > 0) {
+    cluster_->sim().ScheduleAfter(fault.duration,
+                                  [this, job, kind = fault.kind] {
+                                    ClearAdversarial(job, kind);
+                                  });
+  }
+}
+
+void FaultInjector::ClearAdversarial(const std::string& job, FaultKind kind) {
+  // Re-resolve: the job may have finished, been evicted, or restarted into
+  // a fresh (polite) hook since the window opened.
+  vgpu::FrontendHook* hook =
+      workload_host_ == nullptr ? nullptr
+                                : workload_host_->MutableRunningHook(job);
+  if (hook == nullptr || !hook->adversarial()) return;
+  vgpu::AdversarialSpec spec = *hook->adversarial_spec();
+  switch (kind) {
+    case FaultKind::kTenantTokenOverstay: spec.overstay = false; break;
+    case FaultKind::kTenantKernelFlood: spec.kernel_flood = false; break;
+    case FaultKind::kTenantMemoryProbe: spec.memory_probe = false; break;
+    case FaultKind::kTenantMetricsSpoof: spec.metrics_spoof = false; break;
+    default: return;
+  }
+  if (spec.overstay || spec.kernel_flood || spec.memory_probe ||
+      spec.metrics_spoof) {
+    hook->SetAdversarial(spec, &cluster_->sim());
+  } else {
+    hook->ClearAdversarial();
+  }
+  ++stats_.tenant_attacks_cleared;
+  cluster_->api().events().Record(kComponent, "job/" + job, "TenantPolite",
+                                  FaultKindName(kind));
 }
 
 void FaultInjector::PollDevMgrRecovery(std::vector<std::string> snapshot,

@@ -10,6 +10,10 @@
 #include "k8s/leader_election.hpp"
 #include "kubeshare/kubeshare.hpp"
 
+namespace ks::workload {
+class WorkloadHost;
+}  // namespace ks::workload
+
 namespace ks::chaos {
 
 /// Everything the injector itself can observe about a chaos run. The
@@ -31,6 +35,15 @@ struct ChaosStats {
   std::uint64_t devmgr_crashes = 0;
   std::uint64_t sched_crashes = 0;
   std::uint64_t leader_partitions = 0;
+  /// Adversarial-tenant faults injected, by kind, plus how many hostile
+  /// windows were closed again (the tenant returned to the polite
+  /// protocol; windows open at end-of-run or ended by eviction don't
+  /// close).
+  std::uint64_t tenant_overstays = 0;
+  std::uint64_t tenant_floods = 0;
+  std::uint64_t tenant_probes = 0;
+  std::uint64_t tenant_spoofs = 0;
+  std::uint64_t tenant_attacks_cleared = 0;
   /// Faults skipped because their target was gone (node already down,
   /// no running pod to OOM-kill, ...). Skips are recorded, not errors —
   /// a random plan may legitimately race its own outages.
@@ -109,6 +122,11 @@ class FaultInjector {
   /// replica in a test) as a kLeaderPartition target / takeover observer.
   void RegisterElector(k8s::LeaderElector* elector);
 
+  /// Targets the workload host for the kTenant* adversarial faults — the
+  /// injector flips a running job's frontend hook hostile through it.
+  /// Without this, adversarial faults are recorded as skips.
+  void SetWorkloadHost(workload::WorkloadHost* host);
+
   const ChaosStats& stats() const { return stats_; }
   const FaultPlan& plan() const { return plan_; }
 
@@ -123,6 +141,10 @@ class FaultInjector {
   void InjectDevMgrCrash(const Fault& fault);
   void InjectSchedCrash(const Fault& fault);
   void InjectLeaderPartition(const Fault& fault);
+  void InjectAdversarial(const Fault& fault);
+  /// Drops `kind`'s behavior flag from the job's hook when the hostile
+  /// window closes (other still-open windows keep their flags).
+  void ClearAdversarial(const std::string& job, FaultKind kind);
 
   /// MTTR probe for one node crash: polls until every pod that was bound
   /// to the node at crash time has left it (or the timeout expires).
@@ -138,6 +160,7 @@ class FaultInjector {
   FaultPlan plan_;
   InjectorConfig config_;
   kubeshare::KubeShare* kubeshare_ = nullptr;
+  workload::WorkloadHost* workload_host_ = nullptr;
   std::vector<k8s::LeaderElector*> electors_;
   bool armed_ = false;
   ChaosStats stats_;

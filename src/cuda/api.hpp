@@ -17,6 +17,7 @@ enum class CudaResult {
   kErrorInvalidContext,
   kErrorInvalidHandle,
   kErrorNotReady,
+  kErrorNotPermitted,
 };
 
 const char* CudaResultName(CudaResult r);
@@ -127,6 +128,7 @@ inline const char* CudaResultName(CudaResult r) {
     case CudaResult::kErrorInvalidContext: return "CUDA_ERROR_INVALID_CONTEXT";
     case CudaResult::kErrorInvalidHandle: return "CUDA_ERROR_INVALID_HANDLE";
     case CudaResult::kErrorNotReady: return "CUDA_ERROR_NOT_READY";
+    case CudaResult::kErrorNotPermitted: return "CUDA_ERROR_NOT_PERMITTED";
   }
   return "CUDA_ERROR_UNKNOWN";
 }

@@ -91,46 +91,71 @@ bool SameKernel(const gpu::KernelDesc& a, const gpu::KernelDesc& b) {
 }  // namespace
 
 void CudaContext::SubmitNext(StreamId stream_id) {
-  Stream& stream = streams_.at(stream_id);
-  // Event markers at the head of the queue complete immediately — every
-  // earlier kernel on this FIFO stream has retired.
-  while (!stream.in_flight && !stream.queue.empty() &&
-         stream.queue.front().is_event) {
-    const EventId event = stream.queue.front().event;
-    stream.queue.pop_front();
-    CompleteEvent(event);
-  }
-  if (stream.in_flight || stream.queue.empty()) return;
-  if (stream.queue.front().is_repeat) {
-    // Coalesce the head run of identical-desc repeat entries into one
-    // device-level repeat batch; `segs` remembers each entry's callback.
-    const gpu::KernelDesc desc = stream.queue.front().desc;
-    int total = 0;
-    stream.segs.clear();
-    stream.seg_idx = 0;
-    stream.seg_fired = 0;
-    while (!stream.queue.empty() && stream.queue.front().is_repeat &&
-           SameKernel(stream.queue.front().desc, desc)) {
-      Entry entry = std::move(stream.queue.front());
+  // Loops so a run of device-rejected (token-fenced) submits drains the
+  // queue iteratively instead of recursing per dropped entry.
+  for (;;) {
+    const auto stream_it = streams_.find(stream_id);
+    if (stream_it == streams_.end()) return;  // destroyed by a sync waiter
+    Stream& stream = stream_it->second;
+    // Event markers at the head of the queue complete immediately — every
+    // earlier kernel on this FIFO stream has retired.
+    while (!stream.in_flight && !stream.queue.empty() &&
+           stream.queue.front().is_event) {
+      const EventId event = stream.queue.front().event;
       stream.queue.pop_front();
-      total += entry.count;
-      stream.segs.emplace_back(entry.count, std::move(entry.unit_fn));
+      CompleteEvent(event);
     }
+    if (stream.in_flight || stream.queue.empty()) return;
+    if (stream.queue.front().is_repeat) {
+      // Coalesce the head run of identical-desc repeat entries into one
+      // device-level repeat batch; `segs` remembers each entry's callback.
+      const gpu::KernelDesc desc = stream.queue.front().desc;
+      int total = 0;
+      stream.segs.clear();
+      stream.seg_idx = 0;
+      stream.seg_fired = 0;
+      while (!stream.queue.empty() && stream.queue.front().is_repeat &&
+             SameKernel(stream.queue.front().desc, desc)) {
+        Entry entry = std::move(stream.queue.front());
+        stream.queue.pop_front();
+        total += entry.count;
+        stream.segs.emplace_back(entry.count, std::move(entry.unit_fn));
+      }
+      stream.in_flight = true;
+      stream.batch_size = static_cast<std::size_t>(total);
+      stream.batch_delivered = 0;
+      stream.batch = device_->SubmitRepeat(
+          owner_, desc, total,
+          [this, stream_id](Time finish) { OnUnitRetired(stream_id, finish); });
+      if (stream.batch == 0) {
+        // The device fenced the batch (expired/revoked token epoch): the
+        // units are dropped without callbacks, and the stream keeps
+        // draining so queued work behind the fence cannot wedge it.
+        stream.in_flight = false;
+        stream.batch_size = 0;
+        stream.segs.clear();
+        pending_kernels_ -= static_cast<std::size_t>(total);
+        MaybeFireSync();
+        continue;
+      }
+      return;
+    }
+    Entry entry = std::move(stream.queue.front());
+    stream.queue.pop_front();
     stream.in_flight = true;
-    stream.batch_size = static_cast<std::size_t>(total);
-    stream.batch_delivered = 0;
-    stream.batch = device_->SubmitRepeat(
-        owner_, desc, total,
-        [this, stream_id](Time finish) { OnUnitRetired(stream_id, finish); });
+    const gpu::KernelId id = device_->Submit(
+        owner_, entry.desc,
+        [this, stream_id, user_fn = std::move(entry.fn)]() mutable {
+          OnKernelRetired(stream_id, std::move(user_fn));
+        });
+    if (id == 0) {
+      stream.in_flight = false;
+      --pending_kernels_;
+      MaybeFireSync();
+      continue;
+    }
     return;
   }
-  Entry entry = std::move(stream.queue.front());
-  stream.queue.pop_front();
-  stream.in_flight = true;
-  device_->Submit(owner_, entry.desc,
-                  [this, stream_id, user_fn = std::move(entry.fn)]() mutable {
-                    OnKernelRetired(stream_id, std::move(user_fn));
-                  });
 }
 
 void CudaContext::OnKernelRetired(StreamId stream_id, HostFn user_fn) {

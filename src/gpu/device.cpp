@@ -30,6 +30,14 @@ Expected<DevicePtr> GpuDevice::Allocate(const ContainerId& owner,
                                     uuid_.value());
     }
   }
+  const auto quota = memory_quotas_.find(owner);
+  if (quota != memory_quotas_.end() &&
+      MemoryUsedBy(owner) + bytes > quota->second) {
+    ++memory_quota_rejections_;
+    if (violation_) violation_(owner, DeviceViolation::kMemoryQuota);
+    return ResourceExhaustedError("memory quota exceeded on " +
+                                  uuid_.value());
+  }
   used_memory_ += bytes;
   const DevicePtr ptr = next_ptr_++;
   allocations_.emplace(ptr, Allocation{owner, bytes});
@@ -63,6 +71,57 @@ std::uint64_t GpuDevice::MemoryUsedBy(const ContainerId& owner) const {
     if (alloc.owner == owner) total += alloc.bytes;
   }
   return total;
+}
+
+void GpuDevice::EnforceTokenGate(const ContainerId& owner) {
+  token_gates_.emplace(owner, TokenGate{});  // keeps an existing gate's state
+}
+
+void GpuDevice::LiftTokenGate(const ContainerId& owner) {
+  token_gates_.erase(owner);
+}
+
+void GpuDevice::AdmitTokenEpoch(const ContainerId& owner,
+                                std::uint64_t epoch) {
+  const auto it = token_gates_.find(owner);
+  if (it == token_gates_.end()) return;
+  it->second.epoch = std::max(it->second.epoch, epoch);
+}
+
+void GpuDevice::FenceTokenEpoch(const ContainerId& owner) {
+  const auto it = token_gates_.find(owner);
+  if (it == token_gates_.end()) return;
+  it->second.floor = std::max(it->second.floor, it->second.epoch + 1);
+}
+
+bool GpuDevice::TokenGateAdmits(const ContainerId& owner) const {
+  const auto it = token_gates_.find(owner);
+  if (it == token_gates_.end()) return true;  // ungated owners unaffected
+  return it->second.epoch >= it->second.floor;
+}
+
+std::uint64_t GpuDevice::FencedRejectionsOf(const ContainerId& owner) const {
+  const auto it = token_gates_.find(owner);
+  return it == token_gates_.end() ? 0 : it->second.rejections;
+}
+
+bool GpuDevice::RejectFencedSubmit(const ContainerId& owner) {
+  const auto it = token_gates_.find(owner);
+  if (it == token_gates_.end()) return false;
+  if (it->second.epoch >= it->second.floor) return false;
+  ++it->second.rejections;
+  ++fenced_rejections_;
+  if (violation_) violation_(owner, DeviceViolation::kFencedSubmit);
+  return true;
+}
+
+void GpuDevice::SetMemoryQuota(const ContainerId& owner,
+                               std::uint64_t bytes) {
+  memory_quotas_[owner] = bytes;
+}
+
+void GpuDevice::ClearMemoryQuota(const ContainerId& owner) {
+  memory_quotas_.erase(owner);
 }
 
 Duration GpuDevice::ExclusiveWallTime(const KernelDesc& desc) const {
@@ -277,6 +336,7 @@ void GpuDevice::InsertRunning(Running r) {
 
 KernelId GpuDevice::Submit(const ContainerId& owner, const KernelDesc& desc,
                            std::function<void()> on_complete) {
+  if (RejectFencedSubmit(owner)) return 0;
   if (HasSliceAssignment(owner)) {
     UnitDoneFn done;
     if (on_complete) {
@@ -307,6 +367,7 @@ RepeatId GpuDevice::SubmitRepeat(const ContainerId& owner,
                                  const KernelDesc& desc, int count,
                                  UnitDoneFn on_unit) {
   if (count <= 0) return 0;
+  if (RejectFencedSubmit(owner)) return 0;
   if (HasSliceAssignment(owner)) {
     return SubmitRepeatSliced(owner, desc, count, std::move(on_unit));
   }

@@ -67,6 +67,14 @@ struct KernelTraceEvent {
 };
 using KernelTraceFn = std::function<void(const KernelTraceEvent&)>;
 
+/// What a tenant did wrong, as observed at the device. Reported through the
+/// violation observer so the token backend can attribute and escalate.
+enum class DeviceViolation {
+  kFencedSubmit,  // kernel submitted without an admitted token epoch
+  kMemoryQuota,   // cuMemAlloc past the tenant's enforced quota
+};
+using ViolationFn = std::function<void(const ContainerId&, DeviceViolation)>;
+
 /// Which execution engine a cluster's devices use. kFused is the
 /// virtual-time engine with fused kernel streams; kReference is the
 /// original one-event-per-kernel implementation kept as the differential
@@ -175,6 +183,42 @@ class GpuDevice {
   /// Kernels currently in flight on slice lanes (subset of active_kernels).
   std::size_t sliced_active_kernels() const { return sliced_.size(); }
 
+  // --- Isolation enforcement -------------------------------------------
+  /// Hard token fencing, reusing the k8s::FencingGate idiom: each gated
+  /// owner carries a (epoch, floor) pair and a submit is admitted only
+  /// while epoch >= floor. The token backend admits a fresh monotonic
+  /// epoch on every grant and raises the floor past it on release or on
+  /// an overstay fence, so a client that keeps submitting after expiry —
+  /// or that floods the device without ever holding the token — is
+  /// rejected at Submit/SubmitRepeat (return id 0, no trace, no
+  /// callback). Owners with no gate (the default, and every native pod)
+  /// are always admitted, so behavior without enforcement is untouched.
+  /// The gate lives in this base class and is checked identically by the
+  /// fused and reference engines, keeping differential traces byte-equal.
+  void EnforceTokenGate(const ContainerId& owner);
+  void LiftTokenGate(const ContainerId& owner);
+  /// Admits `epoch` for `owner` (token granted). No-op without a gate.
+  void AdmitTokenEpoch(const ContainerId& owner, std::uint64_t epoch);
+  /// Raises the floor past the current epoch (token released or fenced);
+  /// subsequent submits are rejected until a newer epoch is admitted.
+  void FenceTokenEpoch(const ContainerId& owner);
+  bool TokenGateAdmits(const ContainerId& owner) const;
+  std::uint64_t fenced_kernel_rejections() const { return fenced_rejections_; }
+  std::uint64_t FencedRejectionsOf(const ContainerId& owner) const;
+
+  /// Server-side memory quota: Allocate fails with kResourceExhausted once
+  /// `owner`'s ledger would exceed `bytes`, regardless of what the
+  /// (bypassable) frontend hook believes. No quota (the default) keeps the
+  /// physical-capacity-only behavior.
+  void SetMemoryQuota(const ContainerId& owner, std::uint64_t bytes);
+  void ClearMemoryQuota(const ContainerId& owner);
+  std::uint64_t memory_quota_rejections() const {
+    return memory_quota_rejections_;
+  }
+
+  /// Observer fired once per fenced submit / quota-rejected allocation.
+  void SetViolationFn(ViolationFn fn) { violation_ = std::move(fn); }
+
   /// Kernels resident on the device (in flight; queued repeat units do not
   /// count, matching the chained oracle where they are not yet submitted).
   virtual std::size_t active_kernels() const;
@@ -197,6 +241,11 @@ class GpuDevice {
                    const std::string& name, Time start, Time finish) {
     if (trace_) trace_(KernelTraceEvent{id, owner, name, start, finish});
   }
+
+  /// Gate check shared by both engines' submit paths. Returns true when
+  /// the submit must be rejected; counts the rejection and notifies the
+  /// violation observer.
+  bool RejectFencedSubmit(const ContainerId& owner);
 
   // Slice-lane hooks for the execution engines. Repeat streams on slices
   // draw ids from a disjoint range so virtual dispatch can route by id.
@@ -291,6 +340,19 @@ class GpuDevice {
   void AdvanceChain(RepeatId id);
   void StartChainUnit(RepeatId id);
   void InsertRunning(Running r);
+
+  /// Per-owner fencing gate (FencingGate idiom): admitted while
+  /// epoch >= floor. A fresh gate (epoch 0, floor 1) admits nothing.
+  struct TokenGate {
+    std::uint64_t epoch = 0;
+    std::uint64_t floor = 1;
+    std::uint64_t rejections = 0;
+  };
+  std::map<ContainerId, TokenGate> token_gates_;
+  std::map<ContainerId, std::uint64_t> memory_quotas_;
+  std::uint64_t fenced_rejections_ = 0;
+  std::uint64_t memory_quota_rejections_ = 0;
+  ViolationFn violation_;
 
   std::uint64_t used_memory_ = 0;
   DevicePtr next_ptr_ = 1;

@@ -60,6 +60,7 @@ void GpuDeviceReference::Reschedule() {
 KernelId GpuDeviceReference::Submit(const ContainerId& owner,
                                     const KernelDesc& desc,
                                     std::function<void()> on_complete) {
+  if (RejectFencedSubmit(owner)) return 0;
   if (HasSliceAssignment(owner)) {
     // The slice lane lives in the base class and is shared verbatim by
     // both engines, keeping differential traces byte-equal.
@@ -86,6 +87,7 @@ RepeatId GpuDeviceReference::SubmitRepeat(const ContainerId& owner,
                                           const KernelDesc& desc, int count,
                                           UnitDoneFn on_unit) {
   if (count <= 0) return 0;
+  if (RejectFencedSubmit(owner)) return 0;
   if (HasSliceAssignment(owner)) {
     return GpuDevice::SubmitRepeat(owner, desc, count, std::move(on_unit));
   }

@@ -71,6 +71,24 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
     for (gpu::GpuDevice* g : raw_gpus) {
       handle->token_backend->RegisterDevice(g->uuid());
     }
+    if (backend_cfg.enforcement.enabled) {
+      // Isolation enforcement closes the loop between daemon and device:
+      // the backend drives the per-owner token gates / memory quotas, and
+      // the device reports what the gates caught back to the backend's
+      // per-tenant violation ledger.
+      handle->token_backend->SetDeviceResolver(
+          [this](const GpuUuid& u) { return FindGpu(u); });
+      vgpu::TokenBackendApi* backend = handle->token_backend.get();
+      for (gpu::GpuDevice* g : raw_gpus) {
+        g->SetViolationFn([backend](const ContainerId& owner,
+                                    gpu::DeviceViolation v) {
+          backend->RecordViolation(
+              owner, v == gpu::DeviceViolation::kMemoryQuota
+                         ? vgpu::ViolationKind::kMemoryQuota
+                         : vgpu::ViolationKind::kFencedSubmit);
+        });
+      }
+    }
 
     nodes_.push_back(std::move(handle));
   }

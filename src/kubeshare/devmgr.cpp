@@ -653,6 +653,28 @@ void KubeShareDevMgr::SetSharePodPhase(const std::string& name,
       Token());
 }
 
+void KubeShareDevMgr::EvictTenant(const std::string& node,
+                                  const ContainerId& container,
+                                  const std::string& reason) {
+  k8s::Cluster::NodeHandle* handle = cluster_->FindNode(node);
+  if (handle == nullptr) return;
+  // workload_owner_ is an ordered map, so a (pathological) double match
+  // resolves deterministically to the lexicographically-first workload pod.
+  for (const auto& [workload, sharepod] : workload_owner_) {
+    const auto cid = handle->runtime->ContainerIdOf(workload);
+    if (!cid.has_value() || !(*cid == container)) continue;
+    // Copy before FinishSharePod: its TearDown erases this workload_owner_
+    // node, which would free the string `sharepod` refers into.
+    const std::string victim = sharepod;
+    ++tenants_evicted_;
+    cluster_->api().events().Record("kubeshare-devmgr",
+                                    "sharepod/" + victim, "TenantEvicted",
+                                    reason);
+    FinishSharePod(victim, SharePodPhase::kFailed, "Evicted: " + reason);
+    return;
+  }
+}
+
 void KubeShareDevMgr::FinishSharePod(const std::string& name,
                                      SharePodPhase phase,
                                      const std::string& message) {

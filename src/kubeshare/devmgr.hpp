@@ -74,6 +74,14 @@ class KubeShareDevMgr {
   ///  3. scheduled sharePods the watch never delivered are adopted.
   void ReconcileOnce();
 
+  /// Isolation-enforcement hook: a node's token backend reports a repeat
+  /// offender (violation ledger past the eviction threshold); DevMgr maps
+  /// the container back to its sharePod and fails it through the normal
+  /// teardown path. No-op when no running workload pod on `node` maps to
+  /// `container` (already finished or torn down).
+  void EvictTenant(const std::string& node, const ContainerId& container,
+                   const std::string& reason);
+
   std::uint64_t vgpus_created() const { return vgpus_created_; }
   std::uint64_t vgpus_released() const { return vgpus_released_; }
   std::uint64_t workload_pods_launched() const { return workload_launched_; }
@@ -88,6 +96,8 @@ class KubeShareDevMgr {
   /// vGPU entries / sharePod records recovered by the last rebuild.
   std::uint64_t rebuilt_vgpus() const { return rebuilt_vgpus_; }
   std::uint64_t rebuilt_records() const { return rebuilt_records_; }
+  /// SharePods failed by isolation enforcement (EvictTenant).
+  std::uint64_t tenants_evicted() const { return tenants_evicted_; }
 
  private:
   enum class RecState {
@@ -166,6 +176,7 @@ class KubeShareDevMgr {
   std::uint64_t rebuilds_ = 0;
   std::uint64_t rebuilt_vgpus_ = 0;
   std::uint64_t rebuilt_records_ = 0;
+  std::uint64_t tenants_evicted_ = 0;
   std::uint64_t next_acq_ = 1;
 };
 

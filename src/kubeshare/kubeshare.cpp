@@ -53,6 +53,19 @@ Status KubeShare::Start() {
   }
   KS_RETURN_IF_ERROR(sched_->Start());
   KS_RETURN_IF_ERROR(devmgr_->Start());
+  // Close the isolation-enforcement loop: each node's token backend can
+  // report a repeat offender (violation ledger past its eviction
+  // threshold) and DevMgr evicts the offender's sharePod. The hook is a
+  // no-op unless BackendConfig::enforcement is enabled — the backend never
+  // calls it otherwise.
+  for (std::size_t i = 0; i < cluster_->node_count(); ++i) {
+    k8s::Cluster::NodeHandle& node = cluster_->node(i);
+    node.token_backend->SetEvictionFn(
+        [this, name = node.name](const ContainerId& container,
+                                 const std::string& reason) {
+          devmgr_->EvictTenant(name, container, reason);
+        });
+  }
   return Status::Ok();
 }
 

@@ -1,0 +1,88 @@
+#include "metrics/isolation.hpp"
+
+namespace ks::metrics {
+
+IsolationMetrics CollectIsolationMetrics(k8s::Cluster& cluster,
+                                         kubeshare::KubeShare* kubeshare) {
+  IsolationMetrics out;
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    auto& node = cluster.node(n);
+    out.violations_total += node.token_backend->violations_total();
+    out.clampdowns_total += node.token_backend->clampdowns_total();
+    out.evictions_total += node.token_backend->evictions_total();
+    for (const auto& [container, stats] :
+         node.token_backend->IsolationLedger()) {
+      out.overstays += stats.overstays;
+      out.fenced_submits += stats.fenced_submits;
+      out.memory_violations += stats.memory_violations;
+      out.metrics_spoofs += stats.spoofs;
+      IsolationMetrics::TenantEntry entry;
+      entry.container = container.value();
+      entry.overstays = stats.overstays;
+      entry.fenced_submits = stats.fenced_submits;
+      entry.memory_violations = stats.memory_violations;
+      entry.metrics_spoofs = stats.spoofs;
+      entry.clamped = stats.clamped;
+      entry.evicted = stats.evicted;
+      out.tenants.push_back(std::move(entry));
+    }
+    for (const auto& gpu : node.gpus) {
+      out.fenced_kernel_rejections += gpu->fenced_kernel_rejections();
+      out.memory_quota_rejections += gpu->memory_quota_rejections();
+    }
+  }
+  if (kubeshare != nullptr) {
+    out.tenants_evicted = kubeshare->devmgr().tenants_evicted();
+  }
+  return out;
+}
+
+void ExportIsolationMetrics(const IsolationMetrics& metrics,
+                            PrometheusExporter& exporter) {
+  exporter.Gauge("ks_isolation_violations_total",
+                 "Tenant isolation violations attributed by token backends",
+                 {}, static_cast<double>(metrics.violations_total));
+  exporter.Gauge("ks_isolation_clampdowns_total",
+                 "Tenants clamped to the penalty limit", {},
+                 static_cast<double>(metrics.clampdowns_total));
+  exporter.Gauge("ks_isolation_evictions_total",
+                 "Eviction requests raised by token backends", {},
+                 static_cast<double>(metrics.evictions_total));
+  exporter.Gauge("ks_isolation_overstays_total",
+                 "Token grants reclaimed by the fence deadline", {},
+                 static_cast<double>(metrics.overstays));
+  exporter.Gauge("ks_isolation_fenced_submits_total",
+                 "Fenced-submit violations attributed to tenants", {},
+                 static_cast<double>(metrics.fenced_submits));
+  exporter.Gauge("ks_isolation_memory_violations_total",
+                 "Memory-quota violations attributed to tenants", {},
+                 static_cast<double>(metrics.memory_violations));
+  exporter.Gauge("ks_isolation_metrics_spoofs_total",
+                 "Under-reported usage samples caught by attribution", {},
+                 static_cast<double>(metrics.metrics_spoofs));
+  exporter.Gauge("ks_isolation_fenced_kernel_rejections_total",
+                 "Kernel submissions rejected at device token gates", {},
+                 static_cast<double>(metrics.fenced_kernel_rejections));
+  exporter.Gauge("ks_isolation_memory_quota_rejections_total",
+                 "Allocations rejected at device memory quotas", {},
+                 static_cast<double>(metrics.memory_quota_rejections));
+  exporter.Gauge("ks_isolation_tenants_evicted_total",
+                 "SharePods evicted by isolation enforcement", {},
+                 static_cast<double>(metrics.tenants_evicted));
+  for (const IsolationMetrics::TenantEntry& t : metrics.tenants) {
+    const PrometheusExporter::Labels labels{{"tenant", t.container}};
+    exporter.Gauge("ks_isolation_tenant_violations",
+                   "Isolation violations attributed to one tenant", labels,
+                   static_cast<double>(t.overstays + t.fenced_submits +
+                                       t.memory_violations +
+                                       t.metrics_spoofs));
+    exporter.Gauge("ks_isolation_tenant_clamped",
+                   "1 when the tenant is quota-clamped", labels,
+                   t.clamped ? 1.0 : 0.0);
+    exporter.Gauge("ks_isolation_tenant_evicted",
+                   "1 when the tenant was referred for eviction", labels,
+                   t.evicted ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace ks::metrics

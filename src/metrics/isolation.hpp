@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "k8s/cluster.hpp"
+#include "kubeshare/kubeshare.hpp"
+#include "metrics/prometheus.hpp"
+
+namespace ks::metrics {
+
+/// Snapshot of the isolation-enforcement counters: what the token gates
+/// and memory quotas caught at the devices, what the token backends
+/// attributed per tenant, and how the escalation ladder (clamp-down,
+/// eviction) responded. Plain data, like RecoveryMetrics — independent of
+/// whether the violations came from the chaos injector's adversarial
+/// faults or a hand-scripted hostile tenant.
+struct IsolationMetrics {
+  // Backend violation ledgers (summed over nodes).
+  std::uint64_t violations_total = 0;
+  std::uint64_t clampdowns_total = 0;
+  std::uint64_t evictions_total = 0;
+  // Per-kind totals across every tenant's ledger entry.
+  std::uint64_t overstays = 0;
+  std::uint64_t fenced_submits = 0;
+  std::uint64_t memory_violations = 0;
+  std::uint64_t metrics_spoofs = 0;
+  // Device-side rejection counters (summed over GPUs). These can exceed
+  // the backend's fenced_submits when enforcement wiring is absent — they
+  // count at the gate, not at the ledger.
+  std::uint64_t fenced_kernel_rejections = 0;
+  std::uint64_t memory_quota_rejections = 0;
+  // DevMgr evictions actually carried out (zero without KubeShare).
+  std::uint64_t tenants_evicted = 0;
+
+  struct TenantEntry {
+    std::string container;
+    std::uint64_t overstays = 0;
+    std::uint64_t fenced_submits = 0;
+    std::uint64_t memory_violations = 0;
+    std::uint64_t metrics_spoofs = 0;
+    bool clamped = false;
+    bool evicted = false;
+  };
+  /// One entry per tenant with a non-empty ledger, in (node, container)
+  /// order.
+  std::vector<TenantEntry> tenants;
+};
+
+IsolationMetrics CollectIsolationMetrics(k8s::Cluster& cluster,
+                                         kubeshare::KubeShare* kubeshare);
+
+/// Exports the snapshot as ks_isolation_* gauges (per-tenant series carry
+/// a `tenant` label).
+void ExportIsolationMetrics(const IsolationMetrics& metrics,
+                            PrometheusExporter& exporter);
+
+}  // namespace ks::metrics

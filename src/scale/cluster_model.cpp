@@ -184,6 +184,8 @@ struct alignas(64) ShardStats {
   std::uint64_t heartbeats = 0;
   std::uint64_t completions = 0;
   std::uint64_t crash_kills = 0;
+  std::uint64_t hostile_fences = 0;
+  std::uint64_t fenced_bursts = 0;
   // Order-insensitive trace digest: commutative sum + xor of entry hashes,
   // so engine tie-breaking order cannot affect it, but any changed /
   // missing / duplicated entry does.
@@ -220,6 +222,8 @@ class ClusterModel {
     mirror_version_.assign(max_uids_, 0);
     mirror_state_.assign(max_uids_, PodState::kPending);
     alive_.assign(max_uids_, 0);
+    token_fenced_.assign(max_uids_, 0);
+    hostile_grants_.assign(max_uids_, 0);
     node_shard_.resize(cfg_.nodes);
     node_up_.assign(cfg_.nodes, 1);
     node_sched_.assign(cfg_.nodes, 1);
@@ -317,6 +321,8 @@ class ClusterModel {
       out.nvml_samples += s.nvml_samples;
       out.heartbeats += s.heartbeats;
       out.crash_kills += s.crash_kills;
+      out.hostile_fenced += s.hostile_fences;
+      out.fenced_bursts += s.fenced_bursts;
     }
     out.useful_events += watch_deliveries_;
     out.engine_events = engine_->engine_events();
@@ -440,6 +446,13 @@ class ClusterModel {
                      Duration period) const {
     return static_cast<std::int64_t>(
         Draw(tag, x) % static_cast<std::uint64_t>(period.count() / w_));
+  }
+
+  /// Whether the pod models an adversarial tenant (revocation-ignoring).
+  /// A pure function of the uid so every engine kind agrees without state.
+  bool IsHostile(std::uint32_t uid) const {
+    return cfg_.hostile_every > 0 &&
+           uid % static_cast<std::uint32_t>(cfg_.hostile_every) == 0;
   }
 
   Time AlignDown(Time t) const { return Time{Duration{(t.count() / w_) * w_}}; }
@@ -718,6 +731,8 @@ class ClusterModel {
   std::vector<std::uint8_t> node_up_;
   std::vector<std::int32_t> node_load_;
   std::vector<std::uint8_t> alive_;
+  std::vector<std::uint8_t> token_fenced_;
+  std::vector<std::uint16_t> hostile_grants_;
   std::vector<std::set<std::uint32_t>> resident_;
 
   // Per-shard infrastructure.
@@ -759,7 +774,20 @@ void ClusterModel::RunWork(int shard, Work w) {
     case WorkKind::kToken: {
       const std::uint32_t uid = w.a;
       if (!alive_[uid]) break;  // stale timer of an exited pod: fizzles
+      if (token_fenced_[uid]) break;  // gate closed: renewal refused
+      if (IsHostile(uid) &&
+          hostile_grants_[uid] >= cfg_.hostile_fence_after) {
+        // The over-budget tenant asks again; the backend fences its gate
+        // instead of granting. No further grants — but the tenant keeps
+        // bursting (see kKernel), which is exactly the containment shape
+        // the full vgpu stack enforces.
+        token_fenced_[uid] = 1;
+        ++s.hostile_fences;
+        Trace(shard, 'G', now, uid, store_[uid].node);
+        break;
+      }
       ++s.token_grants;
+      if (IsHostile(uid)) ++hostile_grants_[uid];
       Trace(shard, 'T', now, uid, store_[uid].node);
       Post(shard, now + cfg_.token_quota, w);
       break;
@@ -767,6 +795,15 @@ void ClusterModel::RunWork(int shard, Work w) {
     case WorkKind::kKernel: {
       const std::uint32_t uid = w.a;
       if (!alive_[uid]) break;
+      if (token_fenced_[uid]) {
+        // Revocation-ignoring flood: rejected at the gate, never useful
+        // work, but still traced — hostile schedules are part of the
+        // byte-equality surface.
+        ++s.fenced_bursts;
+        Trace(shard, 'F', now, uid, store_[uid].node);
+        Post(shard, now + cfg_.kernel_period, w);
+        break;
+      }
       ++s.kernel_bursts;
       Trace(shard, 'K', now, uid, store_[uid].node);
       Post(shard, now + cfg_.kernel_period, w);

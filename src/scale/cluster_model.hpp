@@ -61,6 +61,15 @@ struct ScaleConfig {
   Duration devmgr_crash_at = Seconds(3);
   Duration devmgr_resync_after = Millis(500);
 
+  /// Adversarial tenants: every `hostile_every`-th pod (by uid) ignores
+  /// token revocation. After `hostile_fence_after` grants its gate fences —
+  /// no further grants — and every subsequent kernel burst is rejected at
+  /// the gate (counted + traced as a fenced burst, never as useful work).
+  /// 0 disables. The hostile schedule rides the same window/lane grid as
+  /// polite work, so it is part of the byte-equality differential surface.
+  int hostile_every = 0;
+  int hostile_fence_after = 3;
+
   /// Record full per-shard trace dumps (canonically sorted) for the
   /// differential tests. Off for benches — the order-insensitive digest is
   /// always computed.
@@ -100,6 +109,10 @@ struct ScaleResult {
   std::uint64_t kernel_bursts = 0;
   std::uint64_t nvml_samples = 0;
   std::uint64_t heartbeats = 0;
+
+  // Adversarial tenants (zero when hostile_every == 0).
+  std::uint64_t hostile_fenced = 0;  // gates closed on over-budget tenants
+  std::uint64_t fenced_bursts = 0;   // bursts rejected at closed gates
 
   // Watch fan-out economy.
   std::uint64_t watch_events = 0;            // store mutations notified

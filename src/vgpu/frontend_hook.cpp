@@ -34,7 +34,75 @@ FrontendHook::~FrontendHook() {
     if (swap_event_ != sim::kInvalidEvent) sim_->Cancel(swap_event_);
     swap_->FreeAll(container_);
   }
+  if (adv_event_ != sim::kInvalidEvent) adv_sim_->Cancel(adv_event_);
   (void)backend_->UnregisterContainer(container_);
+}
+
+void FrontendHook::SetAdversarial(const AdversarialSpec& spec,
+                                  sim::Simulation* sim) {
+  assert(sim != nullptr);
+  const bool dropped_overstay =
+      adversarial_ && adversarial_->overstay && !spec.overstay;
+  adversarial_ = spec;
+  adv_sim_ = sim;
+  if (dropped_overstay && token_valid_ && Now() >= expiry_) {
+    OnTokenExpired();  // the zombie grant dies with the overstay behavior
+  }
+  if (adv_event_ != sim::kInvalidEvent) adv_sim_->Cancel(adv_event_);
+  adv_event_ = adv_sim_->ScheduleAfter(spec.attack_period, [this] {
+    adv_event_ = sim::kInvalidEvent;
+    AttackTick();
+  });
+}
+
+void FrontendHook::ClearAdversarial() {
+  if (!adversarial_) return;
+  const bool was_overstay = adversarial_->overstay;
+  adversarial_.reset();
+  if (adv_event_ != sim::kInvalidEvent) {
+    adv_sim_->Cancel(adv_event_);
+    adv_event_ = sim::kInvalidEvent;
+  }
+  if (was_overstay && token_valid_ && Now() >= expiry_) {
+    // The grant this hook kept alive past its expiry is a zombie — drop it
+    // through the same path a delivered expiry would have taken. If the
+    // backend already fenced and force-reclaimed it, the release below is a
+    // harmless no-op on a non-holder.
+    OnTokenExpired();
+  }
+}
+
+void FrontendHook::AttackTick() {
+  if (!adversarial_) return;
+  ++attack_ticks_;
+  const AdversarialSpec spec = *adversarial_;
+  if (spec.kernel_flood) {
+    // Straight to the driver, bypassing the hook's token-gated queues —
+    // the device-side token gate is the only thing standing.
+    (void)inner_->LaunchKernel(spec.flood_kernel, cuda::kDefaultStream,
+                               nullptr);
+  }
+  if (spec.memory_probe) {
+    // Probe past the quota without touching this hook's ledger (the
+    // client-side check is ours to skip). A successful probe is freed
+    // immediately — the attack is the attempt, not the hoard.
+    gpu::DevicePtr probe = 0;
+    if (inner_->MemAlloc(&probe, spec.probe_bytes) ==
+        cuda::CudaResult::kSuccess) {
+      (void)inner_->MemFree(probe);
+    }
+  }
+  if (spec.metrics_spoof) {
+    backend_->ReportUsage(container_,
+                          backend_->UsageOf(container_) * spec.spoof_factor);
+  }
+  if (spec.overstay && token_valid_) {
+    Drain();  // keep pushing work on the (possibly zombie) grant
+  }
+  adv_event_ = adv_sim_->ScheduleAfter(spec.attack_period, [this] {
+    adv_event_ = sim::kInvalidEvent;
+    AttackTick();
+  });
 }
 
 void FrontendHook::EnableMemoryOvercommit(SwapManager* swap,
@@ -498,6 +566,15 @@ void FrontendHook::OnTokenGranted(Time expiry) {
 }
 
 void FrontendHook::OnTokenExpired() {
+  if (adversarial_ && adversarial_->overstay) {
+    // Hostile: pretend the expiry never arrived and keep submitting. The
+    // zombie grant lives until the device fences the token epoch at the
+    // backend's fence deadline (expiry + fence_grace), after which every
+    // forwarded unit is dropped on the floor — this hook's in-flight
+    // accounting wedges by design; recovery is clamp-down/eviction, not
+    // forgiveness.
+    return;
+  }
   token_valid_ = false;
   // A forwarded batch was sized to finish inside the grant; if the quota
   // still lapsed under it (extension paths, bursty sharing), pull the

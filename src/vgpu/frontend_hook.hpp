@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -13,6 +14,32 @@
 #include "vgpu/token_backend.hpp"
 
 namespace ks::vgpu {
+
+/// Scripted misbehavior of a hostile tenant (ROADMAP item 5, Guardian
+/// direction). The frontend hook is the LD_PRELOAD-analog *client-side*
+/// library — a tenant controls its own copy, so a hostile build can simply
+/// stop honoring the token protocol. Each flag enables one behavior; the
+/// chaos injector arms them for a bounded window via the adversarial
+/// FaultKinds, and the enforcement that contains them lives server-side
+/// (GpuDevice token gates / memory quotas, TokenBackend attribution).
+struct AdversarialSpec {
+  /// Ignore OnTokenExpired: keep token_valid_ and keep submitting until
+  /// the device fences the epoch (contained as an overstay violation).
+  bool overstay = false;
+  /// Submit kernels straight to the driver on every attack tick, token or
+  /// no token (contained as fenced-submit violations).
+  bool kernel_flood = false;
+  /// cuMemAlloc past the gpu_mem quota on every attack tick, bypassing
+  /// the hook's own ledger (contained by the device memory quota).
+  bool memory_probe = false;
+  /// Self-report usage * spoof_factor to the backend sampler on every
+  /// attack tick (contained by server-side usage attribution).
+  bool metrics_spoof = false;
+  Duration attack_period = Millis(5);
+  gpu::KernelDesc flood_kernel{Millis(1), 0.0, "flood", 1.0};
+  std::uint64_t probe_bytes = 1ull << 30;
+  double spoof_factor = 0.1;
+};
 
 /// The per-container frontend of the vGPU device library (paper §4.5).
 ///
@@ -103,6 +130,24 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   void EnableMemoryOvercommit(SwapManager* swap, sim::Simulation* sim);
   bool overcommit_enabled() const { return swap_ != nullptr; }
 
+  // --- Adversarial-client extension ----------------------------------------
+  /// Turns this hook hostile: arms a repeating attack tick (every
+  /// `spec.attack_period`) that performs the enabled behaviors, plus the
+  /// passive overstay behavior in OnTokenExpired. Driven by the chaos
+  /// injector's adversarial FaultKinds; deterministic (pure sim events).
+  void SetAdversarial(const AdversarialSpec& spec, sim::Simulation* sim);
+  /// Back to polite: cancels the attack tick and, if overstaying on a dead
+  /// token, drops the zombie token state and re-enters the normal
+  /// request/release protocol.
+  void ClearAdversarial();
+  bool adversarial() const { return adversarial_.has_value(); }
+  /// The active misbehavior set, or nullptr when polite — lets the chaos
+  /// injector compose flags across overlapping adversarial faults.
+  const AdversarialSpec* adversarial_spec() const {
+    return adversarial_ ? &*adversarial_ : nullptr;
+  }
+  std::uint64_t attack_ticks() const { return attack_ticks_; }
+
   // --- Introspection ------------------------------------------------------
   bool holds_valid_token() const { return token_valid_; }
   std::uint64_t memory_quota_bytes() const { return memory_quota_bytes_; }
@@ -151,6 +196,7 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   void MaybeReleaseOrRerequest();
   void MaybeFireSync();
   bool HasQueuedWork() const;
+  void AttackTick();
 
   cuda::CudaApi* inner_;
   TokenBackendApi* backend_;
@@ -184,6 +230,11 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   bool swap_pending_ = false;
   sim::EventId swap_event_ = sim::kInvalidEvent;
   gpu::DevicePtr next_swap_ptr_ = 1ull << 48;  // distinct from device ptrs
+
+  std::optional<AdversarialSpec> adversarial_;
+  sim::Simulation* adv_sim_ = nullptr;
+  sim::EventId adv_event_ = sim::kInvalidEvent;
+  std::uint64_t attack_ticks_ = 0;
 
   std::vector<cuda::HostFn> sync_waiters_;
 };

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/log.hpp"
+#include "gpu/device.hpp"
 
 namespace ks::vgpu {
 
@@ -42,6 +44,20 @@ Status TokenBackend::RegisterContainer(const ContainerId& container,
   state.spec = spec;
   state.client = client;
   containers_.emplace(container, std::move(state));
+  if (Enforcing()) {
+    if (gpu::GpuDevice* d = ResolveDevice(device)) {
+      // Gate closed (no admitted epoch) until the first grant; the memory
+      // quota is the server-side wall the bypassable frontend hook only
+      // mirrors. Re-registration after a daemon restart keeps an existing
+      // gate's state (EnforceTokenGate is emplace-only), so fenced epochs
+      // stay fenced across the restart.
+      d->EnforceTokenGate(container);
+      d->SetMemoryQuota(
+          container,
+          static_cast<std::uint64_t>(std::llround(
+              spec.gpu_mem * static_cast<double>(d->spec().memory_bytes))));
+    }
+  }
   return Status::Ok();
 }
 
@@ -63,12 +79,25 @@ Status TokenBackend::UnregisterContainer(const ContainerId& container) {
   // dangle until it fired as a no-op; the wheel's generation stamp makes
   // the cancel safe even if the tick is already being dispatched.
   CancelIdleReeval(dev);
+  if (Enforcing()) {
+    // The container is gone (OOM-kill, node crash, eviction teardown):
+    // its gate and quota leave the device with it. Its violation ledger
+    // entry stays — unregistering is not absolution, and a requeued
+    // successor under the same id inherits the record.
+    if (gpu::GpuDevice* d = ResolveDevice(device_id)) {
+      d->LiftTokenGate(container);
+      d->ClearMemoryQuota(container);
+    }
+  }
   if (config_.spatial_enabled) {
     auto hit = dev.holds.find(container);
     const bool held = hit != dev.holds.end();
     if (held) {
       if (hit->second.expiry_timer != sim::kInvalidTimer) {
         wheel_.Cancel(hit->second.expiry_timer);
+      }
+      if (hit->second.fence_timer != sim::kInvalidTimer) {
+        wheel_.Cancel(hit->second.fence_timer);
       }
       dev.groups_held -= hit->second.groups;
       dev.holds.erase(hit);
@@ -82,6 +111,10 @@ Status TokenBackend::UnregisterContainer(const ContainerId& container) {
     if (dev.expiry_timer != sim::kInvalidTimer) {
       wheel_.Cancel(dev.expiry_timer);
       dev.expiry_timer = sim::kInvalidTimer;
+    }
+    if (dev.fence_timer != sim::kInvalidTimer) {
+      wheel_.Cancel(dev.fence_timer);
+      dev.fence_timer = sim::kInvalidTimer;
     }
     dev.holder.reset();
     dev.token_valid = false;
@@ -161,8 +194,19 @@ Status TokenBackend::ReleaseToken(const ContainerId& container) {
     if (hold.expiry_timer != sim::kInvalidTimer) {
       wheel_.Cancel(hold.expiry_timer);
     }
+    if (hold.fence_timer != sim::kInvalidTimer) {
+      wheel_.Cancel(hold.fence_timer);
+    }
     dev.groups_held -= hold.groups;
     dev.holds.erase(hit);
+    if (Enforcing()) {
+      // Clean close of the gate: submits between this release and the
+      // next grant are rejected (that is the flood containment), without
+      // counting an overstay against a polite releaser.
+      if (gpu::GpuDevice* d = ResolveDevice(state.device)) {
+        d->FenceTokenEpoch(container);
+      }
+    }
     RecordGrantTrace("release", container, now);
     TryGrantSpatial(state.device);
     return Status::Ok();
@@ -185,8 +229,17 @@ Status TokenBackend::ReleaseToken(const ContainerId& container) {
     wheel_.Cancel(dev.expiry_timer);
     dev.expiry_timer = sim::kInvalidTimer;
   }
+  if (dev.fence_timer != sim::kInvalidTimer) {
+    wheel_.Cancel(dev.fence_timer);
+    dev.fence_timer = sim::kInvalidTimer;
+  }
   dev.holder.reset();
   dev.token_valid = false;
+  if (Enforcing()) {
+    if (gpu::GpuDevice* d = ResolveDevice(state.device)) {
+      d->FenceTokenEpoch(container);
+    }
+  }
   RecordGrantTrace("release", container, now);
   TryGrant(state.device);
   return Status::Ok();
@@ -222,6 +275,14 @@ Status TokenBackend::ExtendQuota(const ContainerId& container,
                                           [this, device_id, holder] {
       OnHoldExpiry(device_id, holder);
     });
+    if (hold.fence_timer != sim::kInvalidTimer) {
+      wheel_.Cancel(hold.fence_timer);
+      hold.fence_timer = wheel_.ScheduleAt(
+          hold.expiry + config_.enforcement.fence_grace,
+          [this, device_id, holder] {
+            OnHoldFenceDeadline(device_id, holder);
+          });
+    }
     return Status::Ok();
   }
   if (!dev.holder.has_value() || *dev.holder != container ||
@@ -235,6 +296,12 @@ Status TokenBackend::ExtendQuota(const ContainerId& container,
   dev.expiry_timer = wheel_.ScheduleAt(dev.expiry, [this, device_id] {
     OnExpiry(device_id);
   });
+  if (dev.fence_timer != sim::kInvalidTimer) {
+    wheel_.Cancel(dev.fence_timer);
+    dev.fence_timer = wheel_.ScheduleAt(
+        dev.expiry + config_.enforcement.fence_grace,
+        [this, device_id] { OnFenceDeadline(device_id); });
+  }
   return Status::Ok();
 }
 
@@ -295,11 +362,13 @@ void TokenBackend::TryGrant(const GpuUuid& device_id) {
 
   const Time now = sim_->Now();
 
-  // Step 1: filter requesters already at their gpu_limit.
+  // Step 1: filter requesters already at their gpu_limit. Usage and spec
+  // go through the enforcement lens: measured (not self-reported)
+  // attribution, and clamped limits for repeat offenders.
   std::vector<ContainerId> eligible;
   for (const ContainerId& c : dev.queue) {
     const ContainerState& s = containers_.at(c);
-    if (s.usage.Usage(now) < s.spec.gpu_limit) eligible.push_back(c);
+    if (SchedulingUsage(s, now) < EffectiveLimit(c, s)) eligible.push_back(c);
   }
   if (eligible.empty()) {
     // Everyone is throttled; usage decays as the window slides, so check
@@ -314,7 +383,7 @@ void TokenBackend::TryGrant(const GpuUuid& device_id) {
   std::uint64_t best_seq = 0;
   for (const ContainerId& c : eligible) {
     const ContainerState& s = containers_.at(c);
-    const double deficit = s.spec.gpu_request - s.usage.Usage(now);
+    const double deficit = EffectiveRequest(c, s) - SchedulingUsage(s, now);
     if (deficit <= 0.0) continue;
     if (pick == nullptr || deficit > best_deficit ||
         (deficit == best_deficit && s.enqueue_seq < best_seq)) {
@@ -330,7 +399,7 @@ void TokenBackend::TryGrant(const GpuUuid& device_id) {
     double best_usage = 0.0;
     for (const ContainerId& c : eligible) {
       const ContainerState& s = containers_.at(c);
-      const double usage = s.usage.Usage(now);
+      const double usage = SchedulingUsage(s, now);
       if (pick == nullptr || usage < best_usage ||
           (usage == best_usage && s.enqueue_seq < best_seq)) {
         pick = &c;
@@ -378,6 +447,18 @@ void TokenBackend::GrantTo(DeviceState& dev, const GpuUuid& device_id,
     d.expiry_timer = wheel_.ScheduleAt(d.expiry, [this, device_id] {
       OnExpiry(device_id);
     });
+    if (Enforcing()) {
+      // Open the device gate for this grant only: a fresh monotonic epoch
+      // is admitted, and the overstay deadline is armed one fence_grace
+      // past the quota so a polite overrun (one non-preemptive kernel)
+      // never trips it.
+      if (gpu::GpuDevice* gd = ResolveDevice(device_id)) {
+        gd->AdmitTokenEpoch(granted, ++token_epoch_);
+      }
+      d.fence_timer = wheel_.ScheduleAt(
+          d.expiry + config_.enforcement.fence_grace,
+          [this, device_id] { OnFenceDeadline(device_id); });
+    }
     RecordGrantTrace("grant", granted, d.expiry);
     cit->second.client->OnTokenGranted(d.expiry);
   });
@@ -394,8 +475,22 @@ void TokenBackend::Restart() {
   // nothing can fire into the new one.
   wheel_.InvalidateAll();
   for (auto& [device_id, dev] : devices_) {
+    if (Enforcing()) {
+      // Every outstanding token dies with the daemon: fence the holders'
+      // epochs at the device so nothing can submit on a zombie token
+      // during the downtime. Grants of the new incarnation admit fresh
+      // (still-monotonic) epochs. Per-owner fencing is order-independent,
+      // so iterating the unordered device map here is deterministic.
+      if (gpu::GpuDevice* d = ResolveDevice(device_id)) {
+        if (dev.holder.has_value()) d->FenceTokenEpoch(*dev.holder);
+        for (const auto& entry : dev.holds) {
+          d->FenceTokenEpoch(entry.first);
+        }
+      }
+    }
     dev.expiry_timer = sim::kInvalidTimer;
     dev.reeval_timer = sim::kInvalidTimer;
+    dev.fence_timer = sim::kInvalidTimer;
     dev.queue.clear();
     dev.holder.reset();
     dev.token_valid = false;
@@ -459,11 +554,14 @@ void TokenBackend::TryGrantSpatial(const GpuUuid& device_id) {
     }
     if (space_eligible.empty()) return;
 
-    // Step 1: filter requesters already at their gpu_limit.
+    // Step 1: filter requesters already at their gpu_limit (measured
+    // attribution + clamped specs, as in the temporal path).
     std::vector<ContainerId> eligible;
     for (const ContainerId& c : space_eligible) {
       const ContainerState& s = containers_.at(c);
-      if (s.usage.Usage(now) < s.spec.gpu_limit) eligible.push_back(c);
+      if (SchedulingUsage(s, now) < EffectiveLimit(c, s)) {
+        eligible.push_back(c);
+      }
     }
     if (eligible.empty()) {
       // Everyone who fits is throttled; usage decays as the window
@@ -478,7 +576,7 @@ void TokenBackend::TryGrantSpatial(const GpuUuid& device_id) {
     std::uint64_t best_seq = 0;
     for (const ContainerId& c : eligible) {
       const ContainerState& s = containers_.at(c);
-      const double deficit = s.spec.gpu_request - s.usage.Usage(now);
+      const double deficit = EffectiveRequest(c, s) - SchedulingUsage(s, now);
       if (deficit <= 0.0) continue;
       if (pick == nullptr || deficit > best_deficit ||
           (deficit == best_deficit && s.enqueue_seq < best_seq)) {
@@ -493,7 +591,7 @@ void TokenBackend::TryGrantSpatial(const GpuUuid& device_id) {
       double best_usage = 0.0;
       for (const ContainerId& c : eligible) {
         const ContainerState& s = containers_.at(c);
-        const double usage = s.usage.Usage(now);
+        const double usage = SchedulingUsage(s, now);
         if (pick == nullptr || usage < best_usage ||
             (usage == best_usage && s.enqueue_seq < best_seq)) {
           pick = &c;
@@ -544,6 +642,16 @@ void TokenBackend::GrantSpatialTo(DeviceState& dev, const GpuUuid& device_id,
     h.expiry_timer = wheel_.ScheduleAt(h.expiry, [this, device_id, granted] {
       OnHoldExpiry(device_id, granted);
     });
+    if (Enforcing()) {
+      if (gpu::GpuDevice* gd = ResolveDevice(device_id)) {
+        gd->AdmitTokenEpoch(granted, ++token_epoch_);
+      }
+      h.fence_timer = wheel_.ScheduleAt(
+          h.expiry + config_.enforcement.fence_grace,
+          [this, device_id, granted] {
+            OnHoldFenceDeadline(device_id, granted);
+          });
+    }
     RecordGrantTrace("grant", granted, h.expiry);
     cit->second.client->OnTokenGranted(h.expiry);
   });
@@ -576,6 +684,178 @@ void TokenBackend::OnExpiry(const GpuUuid& device_id) {
   // — its in-flight kernel is non-preemptive.
   RecordGrantTrace("expire", *dev.holder, sim_->Now());
   it->second.client->OnTokenExpired();
+}
+
+// --- Isolation enforcement ----------------------------------------------
+
+gpu::GpuDevice* TokenBackend::ResolveDevice(const GpuUuid& device) const {
+  if (!device_resolver_) return nullptr;
+  return device_resolver_(device);
+}
+
+bool TokenBackend::IsClamped(const ContainerId& container) const {
+  const auto it = violations_.find(container);
+  return it != violations_.end() && it->second.clamped;
+}
+
+double TokenBackend::SchedulingUsage(const ContainerState& state,
+                                     Time now) const {
+  const double measured = state.usage.Usage(now);
+  if (!Enforcing() && state.claimed_usage.has_value()) {
+    // Without enforcement the daemon trusts the frontend's self-reported
+    // sampler value — an under-reporter looks permanently starved and
+    // wins every max-deficit / lowest-usage decision. This is the hole
+    // bench_study_isolation demonstrates; polite frontends never report,
+    // so pre-enforcement behavior is byte-identical.
+    return std::min(measured, *state.claimed_usage);
+  }
+  return measured;
+}
+
+double TokenBackend::EffectiveLimit(const ContainerId& container,
+                                    const ContainerState& state) const {
+  if (Enforcing() && IsClamped(container)) {
+    return std::min(state.spec.gpu_limit, config_.enforcement.clamp_limit);
+  }
+  return state.spec.gpu_limit;
+}
+
+double TokenBackend::EffectiveRequest(const ContainerId& container,
+                                      const ContainerState& state) const {
+  // A clamped tenant keeps no guaranteed minimum: it only sees residual
+  // capacity, below its clamped limit.
+  if (Enforcing() && IsClamped(container)) return 0.0;
+  return state.spec.gpu_request;
+}
+
+void TokenBackend::RecordViolation(const ContainerId& container,
+                                   ViolationKind kind) {
+  if (!Enforcing()) return;
+  IsolationStats& s = violations_[container];
+  switch (kind) {
+    case ViolationKind::kOverstay: ++s.overstays; break;
+    case ViolationKind::kFencedSubmit: ++s.fenced_submits; break;
+    case ViolationKind::kMemoryQuota: ++s.memory_violations; break;
+    case ViolationKind::kMetricsSpoof: ++s.spoofs; break;
+  }
+  ++violations_total_;
+  const EnforcementConfig& e = config_.enforcement;
+  if (!s.clamped && e.clamp_threshold > 0 &&
+      s.total() >= static_cast<std::uint64_t>(e.clamp_threshold)) {
+    s.clamped = true;
+    ++clampdowns_total_;
+  }
+  if (!s.evicted && e.evict_threshold > 0 &&
+      s.total() >= static_cast<std::uint64_t>(e.evict_threshold)) {
+    s.evicted = true;
+    ++evictions_total_;
+    if (eviction_fn_) {
+      // Deferred one event: violations surface deep inside submit paths
+      // (device -> violation fn -> here) and eviction tears the whole
+      // workload stack down — re-entering that from under a kernel submit
+      // would destroy the very frontend making the call.
+      const std::string reason =
+          std::string("isolation violations (last: ") + ViolationKindName(kind) +
+          ")";
+      sim_->ScheduleAfter(Duration{0}, [this, container, reason] {
+        if (eviction_fn_) eviction_fn_(container, reason);
+      });
+    }
+  }
+}
+
+TokenBackend::IsolationStats TokenBackend::IsolationOf(
+    const ContainerId& container) const {
+  const auto it = violations_.find(container);
+  if (it == violations_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::pair<ContainerId, TokenBackend::IsolationStats>>
+TokenBackend::IsolationLedger() const {
+  return {violations_.begin(), violations_.end()};
+}
+
+void TokenBackend::ReportUsage(const ContainerId& container, double claimed) {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return;
+  it->second.claimed_usage = std::max(0.0, claimed);
+  if (Enforcing()) {
+    // Server-side attribution: the claim never enters scheduling; it is
+    // only checked against the daemon's own measurement for under-reports.
+    const EnforcementConfig& e = config_.enforcement;
+    const double measured = it->second.usage.Usage(sim_->Now());
+    if (measured > e.spoof_floor &&
+        claimed < measured * (1.0 - e.spoof_tolerance)) {
+      RecordViolation(container, ViolationKind::kMetricsSpoof);
+    }
+  }
+}
+
+void TokenBackend::OnFenceDeadline(const GpuUuid& device_id) {
+  auto dit = devices_.find(device_id);
+  if (dit == devices_.end()) return;
+  DeviceState& dev = dit->second;
+  dev.fence_timer = sim::kInvalidTimer;
+  // A clean release or an ExtendQuota re-arm cancels this timer, so firing
+  // with a valid token (or no holder) means a stale tick — ignore it.
+  if (!dev.holder.has_value() || dev.token_valid) return;
+  const ContainerId container = *dev.holder;
+  auto cit = containers_.find(container);
+  if (cit == containers_.end()) return;
+  ContainerState& state = cit->second;
+  const Time now = sim_->Now();
+  // The holder sat on an expired token a full fence_grace past the quota:
+  // declare the overstay, fence its epoch at the device (in-flight
+  // kernels finish, nothing new is admitted), and reclaim the token so
+  // polite waiters stop starving.
+  state.usage.Stop(now);
+  if (now > state.grant_time) {
+    state.stats.held_total += now - state.grant_time;
+  }
+  if (now > dev.expiry) {
+    state.stats.overrun_total += now - dev.expiry;
+  }
+  if (gpu::GpuDevice* d = ResolveDevice(device_id)) {
+    d->FenceTokenEpoch(container);
+  }
+  dev.holder.reset();
+  dev.token_valid = false;
+  dev.grant_in_flight = false;
+  RecordGrantTrace("fence", container, now);
+  RecordViolation(container, ViolationKind::kOverstay);
+  TryGrant(device_id);
+}
+
+void TokenBackend::OnHoldFenceDeadline(const GpuUuid& device_id,
+                                       const ContainerId& container) {
+  auto dit = devices_.find(device_id);
+  if (dit == devices_.end()) return;
+  DeviceState& dev = dit->second;
+  auto hit = dev.holds.find(container);
+  if (hit == dev.holds.end()) return;
+  Hold& hold = hit->second;
+  hold.fence_timer = sim::kInvalidTimer;
+  if (hold.valid || hold.in_flight) return;  // stale tick
+  auto cit = containers_.find(container);
+  if (cit == containers_.end()) return;
+  ContainerState& state = cit->second;
+  const Time now = sim_->Now();
+  state.usage.Stop(now);
+  if (now > state.grant_time) {
+    state.stats.held_total += now - state.grant_time;
+  }
+  if (now > hold.expiry) {
+    state.stats.overrun_total += now - hold.expiry;
+  }
+  if (gpu::GpuDevice* d = ResolveDevice(device_id)) {
+    d->FenceTokenEpoch(container);
+  }
+  dev.groups_held -= hold.groups;
+  dev.holds.erase(hit);
+  RecordGrantTrace("fence", container, now);
+  RecordViolation(container, ViolationKind::kOverstay);
+  TryGrantSpatial(device_id);
 }
 
 }  // namespace ks::vgpu

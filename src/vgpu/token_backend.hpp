@@ -5,8 +5,10 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/sliding_window.hpp"
@@ -16,7 +18,56 @@
 #include "sim/timer_wheel.hpp"
 #include "vgpu/resource_spec.hpp"
 
+namespace ks::gpu {
+class GpuDevice;
+}  // namespace ks::gpu
+
 namespace ks::vgpu {
+
+/// Per-tenant isolation enforcement (ROADMAP item 5, Guardian direction):
+/// hard token fencing at the device, quota clamp-down after repeated
+/// violations, and eviction of repeat offenders. Off by default — with
+/// `enabled == false` every path below is bypassed and the backend is
+/// byte-identical to the pre-enforcement behavior, which is what keeps the
+/// differential oracles (TokenBackendReference, GpuDeviceReference) valid.
+struct EnforcementConfig {
+  bool enabled = false;
+  /// Overrun grace past quota expiry before a still-holding tenant is
+  /// declared an overstayer and fenced at the device. Must exceed the
+  /// longest polite kernel (kernels are non-preemptive, so polite holders
+  /// legitimately overrun by up to one kernel).
+  Duration fence_grace = Millis(50);
+  /// Violations before the tenant's spec is clamped down (gpu_request
+  /// treated as 0, gpu_limit capped at clamp_limit). 0 disables clamping.
+  int clamp_threshold = 3;
+  double clamp_limit = 0.05;
+  /// Violations before the tenant is reported to the eviction callback
+  /// (DevMgr tears the sharePod down). 0 disables eviction.
+  int evict_threshold = 8;
+  /// Self-reported usage below measured * (1 - spoof_tolerance) counts as
+  /// a metrics-spoof violation (only checked above spoof_floor, where the
+  /// sliding window is meaningful).
+  double spoof_tolerance = 0.25;
+  double spoof_floor = 0.05;
+};
+
+/// Kinds of tenant misbehavior the enforcement layer attributes.
+enum class ViolationKind {
+  kOverstay,      // still holding fence_grace past quota expiry
+  kFencedSubmit,  // kernel submitted without an admitted token epoch
+  kMemoryQuota,   // allocation past the device-enforced memory quota
+  kMetricsSpoof,  // self-reported usage under-reports measured usage
+};
+
+inline const char* ViolationKindName(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kOverstay: return "overstay";
+    case ViolationKind::kFencedSubmit: return "fenced_submit";
+    case ViolationKind::kMemoryQuota: return "memory_quota";
+    case ViolationKind::kMetricsSpoof: return "metrics_spoof";
+  }
+  return "unknown";
+}
 
 /// Tuning knobs of the per-node backend daemon (paper §4.5).
 struct BackendConfig {
@@ -53,6 +104,9 @@ struct BackendConfig {
   /// knobs — it stays the single-token oracle.
   bool spatial_enabled = false;
   int sm_groups = 7;
+  /// Isolation enforcement knobs. TokenBackendReference ignores these —
+  /// it stays the polite-tenant oracle.
+  EnforcementConfig enforcement;
 };
 
 /// Callback surface of the per-container frontend, as seen by the backend.
@@ -196,6 +250,65 @@ class TokenBackendApi {
   /// nothing — the dangling-reeval regression test pins this.
   virtual std::size_t pending_timers() const = 0;
 
+  // --- Isolation enforcement (no-op defaults keep TokenBackendReference
+  // --- the untouched polite-tenant oracle) -----------------------------
+
+  /// Per-tenant violation ledger. Survives Restart() — a daemon crash
+  /// forgives no violation (the ledger is rebuilt state, not token state).
+  struct IsolationStats {
+    std::uint64_t overstays = 0;
+    std::uint64_t fenced_submits = 0;
+    std::uint64_t memory_violations = 0;
+    std::uint64_t spoofs = 0;
+    bool clamped = false;
+    bool evicted = false;
+    std::uint64_t total() const {
+      return overstays + fenced_submits + memory_violations + spoofs;
+    }
+  };
+
+  /// Attributes one violation to `container` and escalates (clamp-down,
+  /// eviction) per EnforcementConfig. Devices route their fenced-submit /
+  /// memory-quota observations here via the cluster wiring.
+  virtual void RecordViolation(const ContainerId& container,
+                               ViolationKind kind) {
+    (void)container;
+    (void)kind;
+  }
+  virtual IsolationStats IsolationOf(const ContainerId& container) const {
+    (void)container;
+    return {};
+  }
+  /// The full ledger in ContainerId order, for metrics export.
+  virtual std::vector<std::pair<ContainerId, IsolationStats>>
+  IsolationLedger() const {
+    return {};
+  }
+  virtual std::uint64_t violations_total() const { return 0; }
+  virtual std::uint64_t clampdowns_total() const { return 0; }
+  virtual std::uint64_t evictions_total() const { return 0; }
+
+  /// Frontend-sampler self-report of the container's usage rate. The
+  /// untrusted input of the metrics-spoofing attack: without enforcement
+  /// the daemon trusts it in grant decisions; with enforcement the daemon
+  /// schedules on its own measured attribution and flags under-reports.
+  virtual void ReportUsage(const ContainerId& container, double claimed) {
+    (void)container;
+    (void)claimed;
+  }
+
+  /// Invoked (asynchronously, once per tenant) when a tenant crosses the
+  /// eviction threshold; DevMgr wires this to sharePod teardown.
+  using EvictionFn =
+      std::function<void(const ContainerId&, const std::string& reason)>;
+  virtual void SetEvictionFn(EvictionFn fn) { (void)fn; }
+
+  /// Resolves a device uuid to the simulated device so the backend can
+  /// drive its token gate / memory quota. Wired by k8s::Cluster when
+  /// enforcement is on.
+  using DeviceResolver = std::function<gpu::GpuDevice*(const GpuUuid&)>;
+  virtual void SetDeviceResolver(DeviceResolver fn) { (void)fn; }
+
   /// Observer of token lifecycle transitions. `what` is one of "grant",
   /// "expire", "release", "restart"; `when` is the quota expiry for grants
   /// and the transition time otherwise. The differential suite records
@@ -256,6 +369,26 @@ class TokenBackend : public TokenBackendApi {
   ContainerStats StatsOf(const ContainerId& container) const override;
   std::size_t pending_timers() const override { return wheel_.pending(); }
 
+  void RecordViolation(const ContainerId& container,
+                       ViolationKind kind) override;
+  IsolationStats IsolationOf(const ContainerId& container) const override;
+  std::vector<std::pair<ContainerId, IsolationStats>> IsolationLedger()
+      const override;
+  std::uint64_t violations_total() const override {
+    return violations_total_;
+  }
+  std::uint64_t clampdowns_total() const override {
+    return clampdowns_total_;
+  }
+  std::uint64_t evictions_total() const override { return evictions_total_; }
+  void ReportUsage(const ContainerId& container, double claimed) override;
+  void SetEvictionFn(EvictionFn fn) override {
+    eviction_fn_ = std::move(fn);
+  }
+  void SetDeviceResolver(DeviceResolver fn) override {
+    device_resolver_ = std::move(fn);
+  }
+
   /// The per-node wheel, for observability (cluster metrics export the
   /// coalescing ratio) and the chaos injector's re-arm check.
   const sim::TimerWheel& wheel() const { return wheel_; }
@@ -270,6 +403,9 @@ class TokenBackend : public TokenBackendApi {
     std::uint64_t enqueue_seq = 0;  // FIFO tie-break
     Time grant_time{0};             // of the current hold
     ContainerStats stats;
+    /// Last self-reported usage (ReportUsage). Trusted in grant decisions
+    /// only while enforcement is off — the spoofing hole.
+    std::optional<double> claimed_usage;
     explicit ContainerState(Duration window) : usage(window) {}
   };
 
@@ -280,6 +416,8 @@ class TokenBackend : public TokenBackendApi {
     bool in_flight = false;  // exchange latency elapsing
     Time expiry{0};
     sim::TimerId expiry_timer = sim::kInvalidTimer;
+    /// Enforcement only: overstay deadline at expiry + fence_grace.
+    sim::TimerId fence_timer = sim::kInvalidTimer;
     int groups = 0;  // SM groups the hold occupies
   };
 
@@ -291,6 +429,8 @@ class TokenBackend : public TokenBackendApi {
     Time expiry{0};                // current quota deadline
     sim::TimerId expiry_timer = sim::kInvalidTimer;
     sim::TimerId reeval_timer = sim::kInvalidTimer;
+    /// Enforcement only: overstay deadline at expiry + fence_grace.
+    sim::TimerId fence_timer = sim::kInvalidTimer;
     /// Spatial mode only: concurrent holds, ContainerId-sorted for
     /// deterministic iteration, plus the SM groups they pin.
     std::map<ContainerId, Hold> holds;
@@ -312,6 +452,22 @@ class TokenBackend : public TokenBackendApi {
   void GrantSpatialTo(DeviceState& dev, const GpuUuid& device_id,
                       const ContainerId& container);
   void OnHoldExpiry(const GpuUuid& device, const ContainerId& container);
+
+  // Enforcement internals. All no-ops / pass-throughs when
+  // config_.enforcement.enabled is false.
+  bool Enforcing() const { return config_.enforcement.enabled; }
+  gpu::GpuDevice* ResolveDevice(const GpuUuid& device) const;
+  bool IsClamped(const ContainerId& container) const;
+  /// Usage rate grant decisions run on: the daemon's own measured
+  /// attribution under enforcement, the (spoofable) self-report otherwise.
+  double SchedulingUsage(const ContainerState& state, Time now) const;
+  double EffectiveLimit(const ContainerId& container,
+                        const ContainerState& state) const;
+  double EffectiveRequest(const ContainerId& container,
+                          const ContainerState& state) const;
+  void OnFenceDeadline(const GpuUuid& device);
+  void OnHoldFenceDeadline(const GpuUuid& device,
+                           const ContainerId& container);
 
   /// What the daemon needs to re-admit a surviving frontend after a
   /// restart. Keyed by a sorted map so reattach order is deterministic.
@@ -338,6 +494,19 @@ class TokenBackend : public TokenBackendApi {
   std::uint64_t reattached_ = 0;
   std::size_t peak_holders_ = 0;
   bool down_ = false;
+
+  /// Violation ledger, keyed separately from containers_ so Restart()
+  /// (which clears container state) forgives nothing; sorted for
+  /// deterministic metrics export.
+  std::map<ContainerId, IsolationStats> violations_;
+  std::uint64_t violations_total_ = 0;
+  std::uint64_t clampdowns_total_ = 0;
+  std::uint64_t evictions_total_ = 0;
+  /// Monotonic token epoch admitted at the device gate on every grant.
+  /// Never reset — a post-restart grant must out-rank every fenced epoch.
+  std::uint64_t token_epoch_ = 0;
+  EvictionFn eviction_fn_;
+  DeviceResolver device_resolver_;
 };
 
 }  // namespace ks::vgpu

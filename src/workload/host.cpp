@@ -1,5 +1,6 @@
 #include "workload/host.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.hpp"
@@ -78,6 +79,20 @@ void WorkloadHost::OnContainerStart(const k8s::ContainerInstance& inst) {
   }
 
   stack->job = fit->second();
+  if (auto stale = active_.find(inst.pod_name); stale != active_.end()) {
+    // The pod's previous container died without a stop notification (hard
+    // node crash kills the kubelet before it can report): unwind the stale
+    // stack the way OnContainerStop would, or its job's pending timers
+    // would fire into freed memory once we overwrite the entry.
+    std::shared_ptr<Stack> old = std::move(stale->second);
+    old->job->Stop();
+    if (old->sliced_device != nullptr) {
+      old->sliced_device->ClearSliceAssignment(old->container_id);
+      old->sliced_device = nullptr;
+    }
+    cluster_->sim().ScheduleAfter(Duration{0},
+                                  [old]() mutable { old.reset(); });
+  }
   active_[inst.pod_name] = stack;
 
   JobRecord& rec = records_[job_name];
@@ -164,6 +179,22 @@ const vgpu::FrontendHook* WorkloadHost::RunningHook(
     if (stack->job_name == name) return stack->hook.get();
   }
   return nullptr;
+}
+
+vgpu::FrontendHook* WorkloadHost::MutableRunningHook(const std::string& name) {
+  for (auto& [pod, stack] : active_) {
+    if (stack->job_name == name) return stack->hook.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> WorkloadHost::RunningKubeShareJobs() const {
+  std::vector<std::string> names;
+  for (const auto& [pod, stack] : active_) {
+    if (stack->hook != nullptr) names.push_back(stack->job_name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 Job* WorkloadHost::RunningJob(const std::string& name) {

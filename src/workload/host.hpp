@@ -77,6 +77,15 @@ class WorkloadHost {
   /// used by experiments that sample per-container usage (Fig 6).
   const vgpu::FrontendHook* RunningHook(const std::string& name) const;
 
+  /// Mutable variant, for the chaos injector's adversarial-tenant faults
+  /// (a tenant controls its own copy of the device library, so "turn a
+  /// tenant hostile" is a client-side switch).
+  vgpu::FrontendHook* MutableRunningHook(const std::string& name);
+
+  /// Names of the KubeShare jobs currently running under a frontend hook,
+  /// sorted — a deterministic target list for injected tenant misbehavior.
+  std::vector<std::string> RunningKubeShareJobs() const;
+
   /// Custom interposition for non-KubeShare containers (the baseline GPU
   /// sharing systems install their own device libraries this way). The
   /// decorator may return nullptr to leave the raw driver context in place.

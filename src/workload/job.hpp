@@ -101,6 +101,7 @@ struct PhasedTrainingSpec {
 class PhasedTrainingJob final : public Job {
  public:
   explicit PhasedTrainingJob(PhasedTrainingSpec spec) : spec_(spec) {}
+  ~PhasedTrainingJob() override { Stop(); }
 
   void Start(cuda::CudaApi* api, sim::Simulation* sim, DoneFn done) override;
   void Stop() override;
@@ -151,6 +152,10 @@ struct InferenceSpec {
 class InferenceJob final : public Job {
  public:
   explicit InferenceJob(InferenceSpec spec) : spec_(spec) {}
+  // Destruction without a prior Stop() happens when a job's container dies
+  // without a stop notification; the pending arrival timer must not
+  // outlive the object.
+  ~InferenceJob() override { Stop(); }
 
   void Start(cuda::CudaApi* api, sim::Simulation* sim, DoneFn done) override;
   void Stop() override;

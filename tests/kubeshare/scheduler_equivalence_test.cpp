@@ -215,6 +215,96 @@ TEST(SchedulerEquivalence, SpatialSliceClaimsMatchReference) {
                          &RandomSliceRequest, 400, /*spatial=*/true);
 }
 
+/// Eviction-triggered re-placement: the isolation enforcer evicts a tenant
+/// (Detach) and the controller immediately re-schedules the surviving
+/// sharePod name as a fresh request — often into a pool whose shape the
+/// eviction just changed. The indexed scheduler must agree with the
+/// reference scan on every re-placement, including ones that land the pod
+/// on a different device than it was evicted from.
+void RunEvictionReplacementSequence(PlacementVariant variant,
+                                    std::uint64_t seed, bool spatial) {
+  Rng rng(seed);
+  VgpuPool indexed;
+  VgpuPool reference;
+  if (spatial) {
+    indexed.EnableSpatial(7);
+    reference.EnableSpatial(7);
+  }
+  const std::vector<NodeFreeGpus> supply = Supply(3, 3);
+  struct Placement {
+    ScheduleRequest request;
+    GpuId device;
+  };
+  std::vector<Placement> attached;
+  int evict_replacements = 0;
+
+  for (int i = 0; i < 400; ++i) {
+    const std::string context = "seed " + std::to_string(seed) + " op " +
+                                std::to_string(i) + " (eviction mix)";
+    if (!attached.empty() && rng.Chance(0.30)) {
+      // Evict a random tenant and re-place it immediately.
+      const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(attached.size()) - 1));
+      Placement victim = attached[pick];
+      attached.erase(attached.begin() + static_cast<std::ptrdiff_t>(pick));
+      auto da = indexed.Detach(victim.request.sharepod);
+      auto db = reference.Detach(victim.request.sharepod);
+      ASSERT_EQ(da.status().code(), db.status().code()) << context;
+      if (da.ok()) EXPECT_EQ(*da, *db) << context;
+
+      auto ra = ScheduleSharePod(indexed, victim.request, supply, variant);
+      auto rb =
+          ScheduleSharePodReference(reference, victim.request, supply, variant);
+      ASSERT_EQ(ra.status().code(), rb.status().code())
+          << context << " re-placement indexed=" << ra.status()
+          << " reference=" << rb.status();
+      if (ra.ok()) {
+        EXPECT_EQ(*ra, *rb) << context << " re-placement";
+        attached.push_back({victim.request, *ra});
+        ++evict_replacements;
+      }
+    } else {
+      const ScheduleRequest r =
+          spatial ? RandomSliceRequest(rng, i) : RandomRequest(rng, i);
+      auto ra = ScheduleSharePod(indexed, r, supply, variant);
+      auto rb = ScheduleSharePodReference(reference, r, supply, variant);
+      ASSERT_EQ(ra.status().code(), rb.status().code())
+          << context << " indexed=" << ra.status()
+          << " reference=" << rb.status();
+      if (ra.ok()) {
+        EXPECT_EQ(*ra, *rb) << context;
+        attached.push_back({r, *ra});
+      }
+    }
+    const Status inv = indexed.CheckIndexInvariants();
+    ASSERT_TRUE(inv.ok()) << context << ": " << inv;
+    ExpectPoolsEqual(indexed, reference, context);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+  // The mix must actually have exercised the evict→re-place path.
+  EXPECT_GT(evict_replacements, 10) << "seed " << seed;
+}
+
+TEST(SchedulerEquivalence, EvictionReplacementsMatchReference) {
+  for (const std::uint64_t seed : {61, 62, 63}) {
+    RunEvictionReplacementSequence(PlacementVariant::kPaper, seed,
+                                   /*spatial=*/false);
+  }
+  RunEvictionReplacementSequence(PlacementVariant::kWorstFitEverywhere, 64,
+                                 /*spatial=*/false);
+  RunEvictionReplacementSequence(PlacementVariant::kFirstFit, 65,
+                                 /*spatial=*/false);
+}
+
+TEST(SchedulerEquivalence, SpatialEvictionReplacementsMatchReference) {
+  // Evicting a sliced tenant frees a slice run; the re-placement must see
+  // identical fragmentation-aware scoring in both schedulers.
+  for (const std::uint64_t seed : {66, 67}) {
+    RunEvictionReplacementSequence(PlacementVariant::kPaper, seed,
+                                   /*spatial=*/true);
+  }
+}
+
 TEST(SchedulerEquivalence, OvercommitPoolsStayEquivalent) {
   // Memory over-commitment changes Attach's admission rule; the indexed
   // scan must track the reference under it too.

@@ -1,0 +1,169 @@
+// Property: the per-tenant violation ledger survives controller loss. A
+// DevMgr crash + RebuildFromApiServer must neither forgive a violation
+// (attacker crashes the controller to get amnesty) nor double-count one
+// (rebuild replays attribution). Pinned by a twin-run comparison — the
+// same seeded hostile run with and without a kDevMgrCrash — plus a
+// monotonicity check across the crash inside one run.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "chaos/injector.hpp"
+#include "k8s/cluster.hpp"
+#include "kubeshare/kubeshare.hpp"
+#include "vgpu/token_backend.hpp"
+#include "workload/generator.hpp"
+#include "workload/host.hpp"
+
+namespace ks {
+namespace {
+
+/// Canonical text form of every node's violation ledger, ContainerId-sorted
+/// by construction. Two runs with the same hostile history must serialize
+/// identically regardless of what the controllers went through.
+std::string SerializeLedgers(k8s::Cluster& cluster) {
+  std::string out;
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    auto& node = cluster.node(n);
+    out += node.name + ": total=" +
+           std::to_string(node.token_backend->violations_total()) +
+           " clamps=" + std::to_string(node.token_backend->clampdowns_total()) +
+           " evicts=" + std::to_string(node.token_backend->evictions_total()) +
+           "\n";
+    for (const auto& [container, s] : node.token_backend->IsolationLedger()) {
+      out += "  " + container.value() + " o=" + std::to_string(s.overstays) +
+             " f=" + std::to_string(s.fenced_submits) +
+             " m=" + std::to_string(s.memory_violations) +
+             " s=" + std::to_string(s.spoofs) +
+             " clamped=" + std::to_string(s.clamped) +
+             " evicted=" + std::to_string(s.evicted) + "\n";
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::uint64_t> LedgerTotals(k8s::Cluster& cluster) {
+  std::map<std::string, std::uint64_t> totals;
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    for (const auto& [container, s] :
+         cluster.node(n).token_backend->IsolationLedger()) {
+      totals[container.value()] = s.total();
+    }
+  }
+  return totals;
+}
+
+struct LedgerRun {
+  std::string ledger;
+  std::map<std::string, std::uint64_t> totals_before_crash;
+  std::map<std::string, std::uint64_t> totals_after;
+  std::uint64_t violations_total = 0;
+};
+
+LedgerRun RunHostileWithOptionalCrash(std::uint64_t seed, bool crash_devmgr) {
+  LedgerRun out;
+  k8s::ClusterConfig ccfg;
+  ccfg.nodes = 3;
+  ccfg.gpus_per_node = 2;
+  ccfg.backend.enforcement.enabled = true;
+  k8s::Cluster cluster(ccfg);
+
+  kubeshare::KubeShare kubeshare(&cluster);
+  workload::WorkloadHost host(&cluster);
+  workload::WorkloadConfig wcfg;
+  wcfg.total_jobs = 8;
+  wcfg.mean_interarrival = Seconds(0.5);
+  wcfg.demand_mean = 0.4;
+  wcfg.demand_stddev = 0.15;
+  wcfg.job_duration = Seconds(6);
+  wcfg.seed = seed;
+  wcfg.job_kind = workload::WorkloadConfig::JobKind::kInference;
+  workload::WorkloadDriver driver(
+      &cluster, &host, workload::WorkloadDriver::Mode::kKubeShare,
+      &kubeshare, wcfg);
+
+  chaos::FaultPlan plan;
+  {
+    // Hostile window [6s, 10s): overstay + flood against the first running
+    // job (the workload pipeline needs ~5s before the first container is
+    // up). Every violation is attributed well before the controller goes
+    // down at 12s, so the crash can only corrupt the ledger, not race it.
+    chaos::Fault overstay;
+    overstay.at = Seconds(6);
+    overstay.kind = chaos::FaultKind::kTenantTokenOverstay;
+    overstay.duration = Seconds(4);
+    plan.faults.push_back(overstay);
+    chaos::Fault flood;
+    flood.at = Seconds(6) + Millis(100);
+    flood.kind = chaos::FaultKind::kTenantKernelFlood;
+    flood.duration = Seconds(4);
+    plan.faults.push_back(flood);
+    if (crash_devmgr) {
+      chaos::Fault crash;
+      crash.at = Seconds(12);
+      crash.kind = chaos::FaultKind::kDevMgrCrash;
+      crash.duration = Seconds(2);
+      plan.faults.push_back(crash);
+    }
+  }
+  chaos::FaultInjector injector(&cluster, plan);
+  injector.SetKubeShare(&kubeshare);
+  injector.SetWorkloadHost(&host);
+
+  EXPECT_TRUE(cluster.Start().ok());
+  EXPECT_TRUE(kubeshare.Start().ok());
+  EXPECT_TRUE(injector.Arm().ok());
+  driver.Start();
+
+  cluster.sim().RunUntil(Seconds(11) + Millis(500));
+  out.totals_before_crash = LedgerTotals(cluster);
+  cluster.sim().RunUntil(Seconds(22));
+
+  out.ledger = SerializeLedgers(cluster);
+  out.totals_after = LedgerTotals(cluster);
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    out.violations_total += cluster.node(n).token_backend->violations_total();
+  }
+  EXPECT_EQ(injector.stats().recoveries_timed_out, 0u);
+  return out;
+}
+
+class ViolationLedgerRecovery
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ViolationLedgerRecovery, DevMgrCrashForgivesAndDoublesNothing) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  const LedgerRun crashed = RunHostileWithOptionalCrash(seed, true);
+  const LedgerRun uncrashed = RunHostileWithOptionalCrash(seed, false);
+
+  // The attack actually attributed something.
+  ASSERT_GT(crashed.violations_total, 0u);
+  // Rebuilt-vs-uncrashed: byte-equal ledgers. A forgiven violation shows
+  // as a smaller entry, a double-counted one as a larger entry — both
+  // diverge here.
+  EXPECT_EQ(crashed.ledger, uncrashed.ledger);
+  EXPECT_EQ(crashed.violations_total, uncrashed.violations_total);
+}
+
+TEST_P(ViolationLedgerRecovery, LedgerIsMonotoneAcrossTheCrash) {
+  const LedgerRun crashed = RunHostileWithOptionalCrash(GetParam(), true);
+  ASSERT_FALSE(crashed.totals_before_crash.empty());
+  for (const auto& [tenant, before] : crashed.totals_before_crash) {
+    const auto it = crashed.totals_after.find(tenant);
+    ASSERT_NE(it, crashed.totals_after.end())
+        << tenant << " vanished from the ledger across the crash";
+    EXPECT_GE(it->second, before) << tenant;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViolationLedgerRecovery,
+                         ::testing::Values(71u, 72u, 73u));
+
+}  // namespace
+}  // namespace ks

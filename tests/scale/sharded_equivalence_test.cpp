@@ -55,6 +55,8 @@ void ExpectEquivalent(const ScaleResult& oracle, const ScaleResult& got) {
   EXPECT_EQ(got.crash_kills, oracle.crash_kills);
   EXPECT_EQ(got.token_grants, oracle.token_grants);
   EXPECT_EQ(got.kernel_bursts, oracle.kernel_bursts);
+  EXPECT_EQ(got.hostile_fenced, oracle.hostile_fenced);
+  EXPECT_EQ(got.fenced_bursts, oracle.fenced_bursts);
   EXPECT_EQ(got.nvml_samples, oracle.nvml_samples);
   EXPECT_EQ(got.heartbeats, oracle.heartbeats);
   EXPECT_EQ(got.watch_events, oracle.watch_events);
@@ -144,6 +146,55 @@ TEST(ShardedEquivalenceDetail, EventEconomyIsReal) {
   EXPECT_EQ(batched.useful_events, baseline.useful_events);
   EXPECT_LT(batched.engine_events, baseline.engine_events / 2);
   EXPECT_LT(batched.watch_fanout_events, batched.watch_fanout_unbatched);
+}
+
+// Adversarial tenants in the churn soak: every 7th pod overstays its token
+// budget, gets its gate fenced, and floods rejected bursts until it exits.
+// The hostile schedule must be byte-equal across every engine kind and
+// across thread counts — an attacker must not be able to hide behind
+// parallelism nondeterminism.
+class AdversarialSharded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdversarialSharded, HostileScheduleIsEngineInvariant) {
+  ScaleConfig config = SmallCluster(GetParam());
+  config.hostile_every = 7;
+  config.hostile_fence_after = 3;
+  const ScaleResult oracle = RunScaleModel(config, EngineKind::kSingleBaseline);
+  // The run must actually fence gates and reject floods.
+  ASSERT_GT(oracle.hostile_fenced, 0u);
+  ASSERT_GT(oracle.fenced_bursts, 0u);
+  ASSERT_GT(oracle.kernel_bursts, 0u);
+
+  ExpectEquivalent(oracle,
+                   RunScaleModel(config, EngineKind::kSingleBatched));
+  ExpectEquivalent(oracle,
+                   RunScaleModel(config, EngineKind::kShardedSerial));
+  ExpectEquivalent(oracle,
+                   RunScaleModel(config, EngineKind::kShardedParallel));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialSharded,
+                         ::testing::Values(21u, 22u, 23u));
+
+TEST(ShardedEquivalenceDetail, AdversarialThreadCountIsInvisible) {
+  // Same thread-invariance bar as the polite soak, with hostile tenants
+  // flooding fenced bursts throughout.
+  ScaleConfig config = SmallCluster(31);
+  config.hostile_every = 5;
+  config.hostile_fence_after = 2;
+  config.threads = 1;
+  const ScaleResult one = RunScaleModel(config, EngineKind::kShardedParallel);
+  ASSERT_GT(one.fenced_bursts, 0u);
+  config.threads = 4;
+  const ScaleResult four = RunScaleModel(config, EngineKind::kShardedParallel);
+  EXPECT_EQ(one.trace_digest, four.trace_digest);
+  EXPECT_EQ(one.state_digest, four.state_digest);
+  EXPECT_EQ(one.fenced_bursts, four.fenced_bursts);
+  EXPECT_EQ(one.hostile_fenced, four.hostile_fenced);
+  ASSERT_EQ(one.shard_traces.size(), four.shard_traces.size());
+  for (std::size_t i = 0; i < one.shard_traces.size(); ++i) {
+    EXPECT_EQ(one.shard_traces[i], four.shard_traces[i]);
+  }
 }
 
 TEST(ShardedEquivalenceDetail, ParallelThreadCountIsInvisible) {

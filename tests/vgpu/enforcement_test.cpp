@@ -1,0 +1,335 @@
+// Unit tests for backend-side isolation enforcement: overstay fencing at
+// the fence deadline, the per-tenant violation ledger and its escalation
+// ladder (clamp-down, eviction), server-side usage attribution vs spoofed
+// self-reports, ledger survival across Restart(), and the reclamation of
+// expired-but-never-released holders on UnregisterContainer (the
+// OOM-killed / node-crashed tenant audit) in both the temporal and
+// spatial token paths.
+
+#include "vgpu/token_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "metrics/isolation.hpp"
+#include "metrics/prometheus.hpp"
+
+namespace ks::vgpu {
+namespace {
+
+/// Polite client: releases as soon as the backend says the quota is up.
+class PoliteClient : public TokenClient {
+ public:
+  PoliteClient(TokenBackend* backend, ContainerId id)
+      : backend_(backend), id_(std::move(id)) {}
+  void OnTokenGranted(Time) override {
+    ++grants;
+    holding = true;
+  }
+  void OnTokenExpired() override {
+    ++expiries;
+    if (!holding) return;
+    holding = false;
+    (void)backend_->ReleaseToken(id_);
+    if (rerequest) (void)backend_->RequestToken(id_);
+  }
+  TokenBackend* backend_;
+  ContainerId id_;
+  int grants = 0;
+  int expiries = 0;
+  bool holding = false;
+  bool rerequest = true;
+};
+
+/// Adversarial client: acknowledges nothing — it never releases, modeling
+/// the token-overstay attack (or a tenant whose process was OOM-killed
+/// before it could release).
+class HostileClient : public TokenClient {
+ public:
+  void OnTokenGranted(Time) override { ++grants; }
+  void OnTokenExpired() override { ++expiries; }
+  int grants = 0;
+  int expiries = 0;
+};
+
+class EnforcementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_.quota = Millis(100);
+    cfg_.exchange_latency = Micros(1500);
+    cfg_.usage_window = Seconds(1);
+    cfg_.enforcement.enabled = true;
+    Rebuild();
+  }
+
+  void Rebuild() {
+    backend_ = std::make_unique<TokenBackend>(&sim_, cfg_);
+    backend_->RegisterDevice(dev_);
+    backend_->SetDeviceResolver([this](const GpuUuid& uuid) {
+      return uuid == dev_ ? &device_ : nullptr;
+    });
+  }
+
+  template <typename Client>
+  Client* Add(const std::string& name, double request, double limit,
+              int slice_groups = 0) {
+    auto client = std::make_unique<Client>();
+    Client* raw = client.get();
+    ResourceSpec spec;
+    spec.gpu_request = request;
+    spec.gpu_limit = limit;
+    spec.slice_groups = slice_groups;
+    EXPECT_TRUE(
+        backend_->RegisterContainer(ContainerId(name), dev_, spec, raw).ok());
+    owned_.push_back(std::move(client));
+    return raw;
+  }
+
+  PoliteClient* AddPolite(const std::string& name, double request,
+                          double limit) {
+    auto client =
+        std::make_unique<PoliteClient>(backend_.get(), ContainerId(name));
+    PoliteClient* raw = client.get();
+    ResourceSpec spec;
+    spec.gpu_request = request;
+    spec.gpu_limit = limit;
+    EXPECT_TRUE(
+        backend_->RegisterContainer(ContainerId(name), dev_, spec, raw).ok());
+    polite_.push_back(std::move(client));
+    return raw;
+  }
+
+  sim::Simulation sim_;
+  BackendConfig cfg_;
+  GpuUuid dev_{"GPU-0"};
+  gpu::GpuDevice device_{&sim_, GpuUuid("GPU-0")};
+  std::unique_ptr<TokenBackend> backend_;
+  std::vector<std::unique_ptr<TokenClient>> owned_;
+  std::vector<std::unique_ptr<PoliteClient>> polite_;
+};
+
+TEST_F(EnforcementTest, OverstayerIsFencedAndTokenReclaimed) {
+  HostileClient* hostile = Add<HostileClient>("hostile", 0.3, 1.0);
+  PoliteClient* polite = AddPolite("polite", 0.3, 1.0);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("hostile")).ok());
+  sim_.RunUntil(Millis(5));
+  ASSERT_EQ(hostile->grants, 1);
+  // The device gate is open for the admitted epoch.
+  EXPECT_TRUE(device_.TokenGateAdmits(ContainerId("hostile")));
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("polite")).ok());
+
+  // Expiry at ~101.5 ms is ignored; the fence deadline at expiry +
+  // fence_grace declares the overstay, closes the gate, reclaims the
+  // token, and the polite waiter gets its grant.
+  sim_.RunUntil(Millis(250));
+  EXPECT_EQ(hostile->expiries, 1);
+  EXPECT_FALSE(device_.TokenGateAdmits(ContainerId("hostile")));
+  EXPECT_GE(polite->grants, 1);
+  const auto stats = backend_->IsolationOf(ContainerId("hostile"));
+  EXPECT_EQ(stats.overstays, 1u);
+  EXPECT_EQ(backend_->violations_total(), 1u);
+  EXPECT_EQ(backend_->IsolationOf(ContainerId("polite")).total(), 0u);
+}
+
+TEST_F(EnforcementTest, PoliteReleaseNeverCountsAViolation) {
+  PoliteClient* a = AddPolite("a", 0.4, 1.0);
+  PoliteClient* b = AddPolite("b", 0.4, 1.0);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("a")).ok());
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("b")).ok());
+  sim_.RunUntil(Seconds(2));
+  EXPECT_GT(a->grants + b->grants, 4);
+  EXPECT_EQ(backend_->violations_total(), 0u);
+  EXPECT_EQ(backend_->clampdowns_total(), 0u);
+}
+
+TEST_F(EnforcementTest, RepeatedViolationsClampThenEvict) {
+  Add<HostileClient>("hostile", 0.3, 1.0);
+  std::vector<std::pair<ContainerId, std::string>> evictions;
+  backend_->SetEvictionFn(
+      [&](const ContainerId& c, const std::string& reason) {
+        evictions.emplace_back(c, reason);
+      });
+
+  const ContainerId c{"hostile"};
+  for (int i = 0; i < cfg_.enforcement.clamp_threshold; ++i) {
+    backend_->RecordViolation(c, ViolationKind::kFencedSubmit);
+  }
+  EXPECT_TRUE(backend_->IsolationOf(c).clamped);
+  EXPECT_EQ(backend_->clampdowns_total(), 1u);
+  EXPECT_TRUE(evictions.empty());
+
+  for (int i = cfg_.enforcement.clamp_threshold;
+       i < cfg_.enforcement.evict_threshold; ++i) {
+    backend_->RecordViolation(c, ViolationKind::kMemoryQuota);
+  }
+  EXPECT_TRUE(backend_->IsolationOf(c).evicted);
+  EXPECT_EQ(backend_->evictions_total(), 1u);
+  // Eviction is deferred one event — violations surface under submit
+  // paths, and tearing the workload stack down re-entrantly would destroy
+  // the caller.
+  EXPECT_TRUE(evictions.empty());
+  sim_.RunUntil(sim_.Now() + Millis(1));
+  ASSERT_EQ(evictions.size(), 1u);
+  EXPECT_EQ(evictions[0].first, c);
+  EXPECT_NE(evictions[0].second.find("memory_quota"), std::string::npos);
+
+  // Further violations never re-evict.
+  backend_->RecordViolation(c, ViolationKind::kFencedSubmit);
+  sim_.RunUntil(sim_.Now() + Millis(1));
+  EXPECT_EQ(evictions.size(), 1u);
+  EXPECT_EQ(backend_->evictions_total(), 1u);
+}
+
+TEST_F(EnforcementTest, SpoofedSelfReportIsCaughtByAttribution) {
+  HostileClient* hostile = Add<HostileClient>("spoofer", 0.3, 1.0);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("spoofer")).ok());
+  // Hold across most of the 1 s usage window so measured usage is well
+  // above spoof_floor.
+  sim_.RunUntil(Millis(90));
+  ASSERT_EQ(hostile->grants, 1);
+  const double measured = backend_->UsageOf(ContainerId("spoofer"));
+  ASSERT_GT(measured, cfg_.enforcement.spoof_floor);
+
+  // Under-report far past the tolerance: caught.
+  backend_->ReportUsage(ContainerId("spoofer"), measured * 0.1);
+  EXPECT_EQ(backend_->IsolationOf(ContainerId("spoofer")).spoofs, 1u);
+  // An honest report is not a violation.
+  backend_->ReportUsage(ContainerId("spoofer"), measured);
+  EXPECT_EQ(backend_->IsolationOf(ContainerId("spoofer")).spoofs, 1u);
+}
+
+TEST_F(EnforcementTest, SpoofCheckSkippedBelowUsageFloor) {
+  Add<HostileClient>("idle", 0.3, 1.0);
+  // No grant yet: measured usage 0 — the sliding window is meaningless,
+  // an under-report cannot be distinguished from idleness.
+  backend_->ReportUsage(ContainerId("idle"), 0.0);
+  EXPECT_EQ(backend_->IsolationOf(ContainerId("idle")).total(), 0u);
+}
+
+TEST_F(EnforcementTest, RestartForgivesNoViolation) {
+  Add<HostileClient>("hostile", 0.3, 1.0);
+  const ContainerId c{"hostile"};
+  backend_->RecordViolation(c, ViolationKind::kOverstay);
+  backend_->RecordViolation(c, ViolationKind::kFencedSubmit);
+  ASSERT_EQ(backend_->violations_total(), 2u);
+
+  backend_->Restart();
+  sim_.RunUntil(sim_.Now() + cfg_.restart_downtime + Millis(10));
+
+  const auto stats = backend_->IsolationOf(c);
+  EXPECT_EQ(stats.overstays, 1u);
+  EXPECT_EQ(stats.fenced_submits, 1u);
+  EXPECT_EQ(backend_->violations_total(), 2u);
+}
+
+TEST_F(EnforcementTest, DisabledEnforcementRecordsNothing) {
+  cfg_.enforcement.enabled = false;
+  Rebuild();
+  Add<HostileClient>("hostile", 0.3, 1.0);
+  backend_->RecordViolation(ContainerId("hostile"),
+                            ViolationKind::kFencedSubmit);
+  EXPECT_EQ(backend_->violations_total(), 0u);
+  EXPECT_EQ(backend_->IsolationOf(ContainerId("hostile")).total(), 0u);
+  // No gate was installed either: the device admits everything.
+  EXPECT_TRUE(device_.TokenGateAdmits(ContainerId("hostile")));
+}
+
+// --- UnregisterContainer audit: holder dies expired-but-not-released ------
+// An OOM-killed or node-crashed tenant never calls ReleaseToken. Its
+// container teardown (UnregisterContainer) must reclaim the hold, cancel
+// every daemon timer (expiry AND fence), and hand the token to waiters —
+// in both the temporal and spatial paths. These pin the audited behavior.
+
+TEST_F(EnforcementTest, TemporalUnregisterReclaimsExpiredUnreleasedHolder) {
+  HostileClient* dead = Add<HostileClient>("dead", 0.3, 1.0);
+  PoliteClient* waiter = AddPolite("waiter", 0.3, 1.0);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("dead")).ok());
+  sim_.RunUntil(Millis(5));
+  ASSERT_EQ(dead->grants, 1);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("waiter")).ok());
+  // Run past expiry but short of the fence deadline: the holder is in
+  // overrun, expiry timer fired, fence timer still pending.
+  sim_.RunUntil(Millis(120));
+  ASSERT_EQ(dead->expiries, 1);
+  ASSERT_GT(backend_->pending_timers(), 0u);
+
+  // The container is torn down (OOM kill) without ever releasing.
+  ASSERT_TRUE(backend_->UnregisterContainer(ContainerId("dead")).ok());
+  EXPECT_EQ(backend_->HolderOf(dev_).value_or(ContainerId("")).value(),
+            "waiter");
+  sim_.RunUntil(Millis(130));
+  EXPECT_GE(waiter->grants, 1);
+
+  // Nothing of the dead holder lingers: once the waiter's own token cycle
+  // finishes, the wheel drains completely.
+  waiter->rerequest = false;
+  sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(backend_->pending_timers(), 0u);
+}
+
+TEST_F(EnforcementTest, SpatialUnregisterReclaimsExpiredUnreleasedHold) {
+  cfg_.spatial_enabled = true;
+  cfg_.sm_groups = 7;
+  Rebuild();
+  HostileClient* dead = Add<HostileClient>("dead", 0.3, 1.0, 4);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("dead")).ok());
+  sim_.RunUntil(Millis(120));  // expired, never released, fence pending
+  ASSERT_EQ(dead->grants, 1);
+  ASSERT_EQ(dead->expiries, 1);
+
+  ASSERT_TRUE(backend_->UnregisterContainer(ContainerId("dead")).ok());
+  EXPECT_EQ(backend_->pending_timers(), 0u);
+
+  // Every SM group came back: a full-GPU claimant (slice_groups = 0
+  // claims all 7) can be granted immediately.
+  PoliteClient* full = AddPolite("full", 0.3, 1.0);
+  ASSERT_TRUE(backend_->RequestToken(ContainerId("full")).ok());
+  sim_.RunUntil(Millis(125));
+  EXPECT_EQ(full->grants, 1);
+}
+
+// --- metrics export -------------------------------------------------------
+
+TEST_F(EnforcementTest, IsolationMetricsExportTheLedger) {
+  Add<HostileClient>("tenant-a", 0.3, 1.0);
+  const ContainerId c{"tenant-a"};
+  for (int i = 0; i < cfg_.enforcement.clamp_threshold; ++i) {
+    backend_->RecordViolation(c, ViolationKind::kFencedSubmit);
+  }
+
+  metrics::IsolationMetrics snapshot;
+  snapshot.violations_total = backend_->violations_total();
+  snapshot.clampdowns_total = backend_->clampdowns_total();
+  for (const auto& [container, stats] : backend_->IsolationLedger()) {
+    snapshot.fenced_submits += stats.fenced_submits;
+    metrics::IsolationMetrics::TenantEntry entry;
+    entry.container = container.value();
+    entry.fenced_submits = stats.fenced_submits;
+    entry.clamped = stats.clamped;
+    snapshot.tenants.push_back(entry);
+  }
+
+  metrics::PrometheusExporter exporter;
+  metrics::ExportIsolationMetrics(snapshot, exporter);
+  std::ostringstream os;
+  exporter.Write(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("ks_isolation_violations_total 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ks_isolation_clampdowns_total 1"), std::string::npos);
+  EXPECT_NE(text.find("ks_isolation_fenced_submits_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ks_isolation_tenant_violations{tenant=\"tenant-a\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ks_isolation_tenant_clamped{tenant=\"tenant-a\"} 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ks::vgpu
