@@ -38,6 +38,14 @@ Checks, per file:
     with enforcement off the attack collapses at least one polite
     tenant below 80% — a report where enforcement makes no difference
     means the subsystem silently stopped working;
+  * oversub rows carry a "mode" of share|tq, a finite positive "factor"
+    and "completion_time_s", non-negative integer migration counters,
+    and a "link_busy_fraction" in [0, 1]; the study's acceptance gate is
+    also enforced here — the tq run at factor 2.5 completes every job
+    within 2x the 1.0x baseline's time, while the share run at 2.5
+    demonstrates swap-thrashing (>= 2x the tq time, or incomplete) — a
+    report where TQ makes no difference means the anti-thrashing
+    subsystem silently stopped working;
   * scale rows (the 10k-node / 100k-sharePod soak) carry a non-empty
     "engine", finite positive "events_per_sec", finite non-negative
     "sched_p99_ms" and "speedup_vs_single", a positive integer
@@ -94,10 +102,64 @@ def check_isolation_gate(path, rows):
     return ok
 
 
+def check_oversub_gate(path, rows):
+    """The oversubscription study's acceptance gate: the TQ rotation keeps
+    a 2.5x-oversubscribed bursty mix within 2x of the fits-in-memory
+    baseline, and the plain-sharing run at 2.5x shows the thrashing
+    collapse TQ prevents."""
+    def pick(mode, factor):
+        for r in rows:
+            if isinstance(r, dict) and r.get("mode") == mode \
+                    and r.get("factor") == factor:
+                return r
+        return None
+
+    base = pick("tq", 1.0)
+    tq = pick("tq", 2.5)
+    share = pick("share", 2.5)
+    if base is None or tq is None or share is None:
+        return fail(path, "oversub report lacks the factor 1.0/2.5 rows "
+                          "the gate compares")
+    ok = True
+    for name, r in (("baseline", base), ("tq@2.5", tq)):
+        if r.get("completed") != r.get("jobs"):
+            ok = fail(path, f"{name} row left jobs incomplete: "
+                            f"{r.get('completed')!r}/{r.get('jobs')!r}")
+    base_t = base.get("completion_time_s")
+    tq_t = tq.get("completion_time_s")
+    share_t = share.get("completion_time_s")
+    times_ok = all(isinstance(t, (int, float)) and not isinstance(t, bool)
+                   and t > 0 for t in (base_t, tq_t, share_t))
+    if not times_ok:
+        return fail(path, "oversub gate rows carry non-positive or missing "
+                          "completion_time_s")
+    if tq_t > 2.0 * base_t:
+        ok = fail(
+            path,
+            f"tq completion at 2.5x ({tq_t}s) exceeds 2x the 1.0x "
+            f"baseline ({base_t}s) — the TQ rotation stopped containing "
+            f"the migration overhead",
+        )
+    collapsed = share.get("completed") != share.get("jobs") \
+        or share_t >= 2.0 * tq_t
+    if not collapsed:
+        ok = fail(
+            path,
+            f"share completion at 2.5x ({share_t}s) shows no thrashing "
+            f"collapse vs tq ({tq_t}s) — the workload no longer "
+            f"exercises the oversubscribed regime",
+        )
+    if not isinstance(tq.get("tq_engagements"), int) \
+            or tq.get("tq_engagements") <= 0:
+        ok = fail(path, "tq@2.5 row reports tq_engagements == 0 — the "
+                        "thrash detector never engaged")
+    return ok
+
+
 # Studies whose every row is produced by a whole-cluster run and must carry
 # the engine's scheduled-event count.
 TOTAL_EVENTS_REQUIRED = {"study_chaos", "ablation_placement", "fig9",
-                         "spatial", "scale", "isolation"}
+                         "spatial", "scale", "isolation", "oversub"}
 
 
 def check_file(path):
@@ -222,6 +284,39 @@ def check_file(path):
                         f"row {i} {field!r} missing or not a non-negative "
                         f"integer: {value!r}",
                     )
+        if study == "oversub":
+            if row.get("mode") not in ("share", "tq"):
+                ok = fail(
+                    path,
+                    f"row {i} \"mode\" must be share|tq: {row.get('mode')!r}",
+                )
+            for field in ("factor", "completion_time_s"):
+                value = row.get(field)
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool) or value <= 0:
+                    ok = fail(
+                        path,
+                        f"row {i} {field!r} missing or not a positive "
+                        f"number: {value!r}",
+                    )
+            for field in ("jobs", "completed", "migrations",
+                          "bytes_migrated", "tq_engagements"):
+                value = row.get(field)
+                if not isinstance(value, int) or isinstance(value, bool) \
+                        or value < 0:
+                    ok = fail(
+                        path,
+                        f"row {i} {field!r} missing or not a non-negative "
+                        f"integer: {value!r}",
+                    )
+            busy = row.get("link_busy_fraction")
+            if not isinstance(busy, (int, float)) or isinstance(busy, bool) \
+                    or busy < 0 or busy > 1:
+                ok = fail(
+                    path,
+                    f"row {i} \"link_busy_fraction\" missing or outside "
+                    f"[0, 1]: {busy!r}",
+                )
         if study == "scale":
             engine = row.get("engine")
             if not isinstance(engine, str) or not engine:
@@ -268,6 +363,8 @@ def check_file(path):
         key_sets.setdefault(kind, keys)
     if study == "isolation":
         ok = check_isolation_gate(path, rows) and ok
+    if study == "oversub":
+        ok = check_oversub_gate(path, rows) and ok
     return ok
 
 

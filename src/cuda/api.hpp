@@ -52,6 +52,21 @@ class CudaApi {
                                  std::uint64_t height,
                                  std::uint64_t element_bytes) = 0;
 
+  /// cuMemPrefetchAsync-equivalent: moves `bytes` over the host<->device
+  /// link for `duration`, firing `on_complete` when the transfer lands.
+  /// The over-commitment layer routes page migrations through this call so
+  /// the driver context can charge them into the device's busy-time
+  /// accounting. The default implementation completes immediately — the
+  /// call is a no-op for API implementations that do not model the link
+  /// (and for every pre-existing decorator).
+  virtual CudaResult MemPrefetch(std::uint64_t bytes, Duration duration,
+                                 HostFn on_complete) {
+    (void)bytes;
+    (void)duration;
+    if (on_complete) on_complete();
+    return CudaResult::kSuccess;
+  }
+
   // --- Streams ----------------------------------------------------------
   virtual CudaResult StreamCreate(StreamId* out) = 0;
   virtual CudaResult StreamDestroy(StreamId stream) = 0;

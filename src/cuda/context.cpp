@@ -48,6 +48,16 @@ CudaResult CudaContext::ArrayCreate(gpu::DevicePtr* out, std::uint64_t width,
   return MemAlloc(out, width * height * element_bytes);
 }
 
+CudaResult CudaContext::MemPrefetch(std::uint64_t bytes, Duration duration,
+                                    HostFn on_complete) {
+  gpu::UnitDoneFn done;
+  if (on_complete) {
+    done = [fn = std::move(on_complete)](Time) { fn(); };
+  }
+  device_->ChargeMigration(owner_, bytes, duration, std::move(done));
+  return CudaResult::kSuccess;
+}
+
 CudaResult CudaContext::StreamCreate(StreamId* out) {
   if (out == nullptr) return CudaResult::kErrorInvalidValue;
   const StreamId id = next_stream_++;

@@ -37,6 +37,8 @@ class CudaContext final : public CudaApi {
   CudaResult ArrayCreate(gpu::DevicePtr* out, std::uint64_t width,
                          std::uint64_t height,
                          std::uint64_t element_bytes) override;
+  CudaResult MemPrefetch(std::uint64_t bytes, Duration duration,
+                         HostFn on_complete) override;
 
   CudaResult StreamCreate(StreamId* out) override;
   CudaResult StreamDestroy(StreamId stream) override;

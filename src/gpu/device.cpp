@@ -210,7 +210,9 @@ void GpuDevice::OnSlicedComplete(std::uint64_t seq) {
     }
   }
   RecordTrace(r.id, r.owner, r.name, r.start, r.finish);
-  if (sliced_.empty() && !EngineBusy()) util_.Stop(r.finish);
+  if (sliced_.empty() && !EngineBusy() && !MigrationBusy()) {
+    util_.Stop(r.finish);
+  }
   if (r.on_done) r.on_done(r.finish);
   if (r.chain != 0) AdvanceSlicedChain(r.chain);
 }
@@ -281,6 +283,36 @@ void GpuDevice::DetachSlicedOwner(const ContainerId& owner) {
   }
 }
 
+void GpuDevice::ChargeMigration(const ContainerId& owner, std::uint64_t bytes,
+                                Duration duration, UnitDoneFn on_done) {
+  ++migrations_charged_;
+  migration_bytes_total_ += bytes;
+  const std::uint64_t seq = next_migration_seq_++;
+  Migration m;
+  m.owner = owner;
+  m.on_done = std::move(on_done);
+  util_.Start(sim_->Now());
+  m.event = sim_->ScheduleAfter(std::max(Duration{0}, duration),
+                                [this, seq] { OnMigrationComplete(seq); });
+  migrations_.emplace(seq, std::move(m));
+}
+
+void GpuDevice::OnMigrationComplete(std::uint64_t seq) {
+  auto it = migrations_.find(seq);
+  if (it == migrations_.end()) return;
+  Migration m = std::move(it->second);
+  migrations_.erase(it);
+  const Time now = sim_->Now();
+  if (migrations_.empty() && !EngineBusy() && !SlicedBusy()) util_.Stop(now);
+  if (m.on_done) m.on_done(now);
+}
+
+void GpuDevice::DetachMigrations(const ContainerId& owner) {
+  for (auto& [seq, m] : migrations_) {
+    if (m.owner == owner) m.on_done = nullptr;
+  }
+}
+
 void GpuDevice::RecomputeRate() {
   if (running_.empty()) {
     rate_ = 0.0;
@@ -315,7 +347,7 @@ void GpuDevice::Reschedule() {
     completion_event_ = sim::kInvalidEvent;
   }
   if (running_.empty()) {
-    if (!group_ && !SlicedBusy()) util_.Stop(sim_->Now());
+    if (!group_ && !SlicedBusy() && !MigrationBusy()) util_.Stop(sim_->Now());
     return;
   }
   util_.Start(sim_->Now());
@@ -555,6 +587,7 @@ std::size_t GpuDevice::RepeatUnitsFinished(RepeatId id) const {
 
 void GpuDevice::DetachOwner(const ContainerId& owner) {
   DetachSlicedOwner(owner);
+  DetachMigrations(owner);
   if (group_ && group_->owner == owner) {
     SplitGroup(/*fire_callbacks=*/false);
   }

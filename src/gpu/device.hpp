@@ -183,6 +183,21 @@ class GpuDevice {
   /// Kernels currently in flight on slice lanes (subset of active_kernels).
   std::size_t sliced_active_kernels() const { return sliced_.size(); }
 
+  // --- Memory migrations ------------------------------------------------
+  /// Charges a host<->device page-migration interval to `owner`: the
+  /// device keeps its busy interval open for `duration` and fires
+  /// `on_done` (via the event queue) when the transfer lands. The
+  /// over-commitment layer routes swap traffic here so migration time is
+  /// part of the device's virtual-time accounting. Like the slice lane,
+  /// this lane lives in the base class and is used verbatim by the fused
+  /// and reference engines, so differential traces stay byte-equal.
+  void ChargeMigration(const ContainerId& owner, std::uint64_t bytes,
+                       Duration duration, UnitDoneFn on_done);
+  std::uint64_t migrations_charged() const { return migrations_charged_; }
+  std::uint64_t migration_bytes_total() const {
+    return migration_bytes_total_;
+  }
+
   // --- Isolation enforcement -------------------------------------------
   /// Hard token fencing, reusing the k8s::FencingGate idiom: each gated
   /// owner carries a (epoch, floor) pair and a submit is admitted only
@@ -263,6 +278,13 @@ class GpuDevice {
   std::size_t CancelSlicedTail(RepeatId id);
   std::size_t SlicedUnitsFinished(RepeatId id) const;
   void DetachSlicedOwner(const ContainerId& owner);
+
+  /// True while a charged migration is in flight; the device-level busy
+  /// interval stays open until the transfer lands.
+  bool MigrationBusy() const { return !migrations_.empty(); }
+  /// Drops the completion callbacks of `owner`'s in-flight migrations
+  /// (container teardown; the transfers themselves still finish).
+  void DetachMigrations(const ContainerId& owner);
 
   sim::Simulation* sim_;
   GpuUuid uuid_;
@@ -387,6 +409,19 @@ class GpuDevice {
   std::map<std::uint64_t, SlicedRunning> sliced_;
   RepeatId next_sliced_repeat_ = kSlicedRepeatBase;
   std::unordered_map<RepeatId, ChainTail> sliced_chains_;
+
+  // Migration-lane state (shared by both engines).
+  struct Migration {
+    ContainerId owner;
+    UnitDoneFn on_done;  // null once detached
+    sim::EventId event = sim::kInvalidEvent;
+  };
+  void OnMigrationComplete(std::uint64_t seq);
+
+  std::uint64_t next_migration_seq_ = 1;
+  std::map<std::uint64_t, Migration> migrations_;
+  std::uint64_t migrations_charged_ = 0;
+  std::uint64_t migration_bytes_total_ = 0;
 };
 
 }  // namespace ks::gpu

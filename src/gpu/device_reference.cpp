@@ -40,7 +40,7 @@ void GpuDeviceReference::Reschedule() {
     completion_event_ = sim::kInvalidEvent;
   }
   if (running_.empty()) {
-    if (!SlicedBusy()) util_.Stop(sim_->Now());
+    if (!SlicedBusy() && !MigrationBusy()) util_.Stop(sim_->Now());
     return;
   }
   util_.Start(sim_->Now());
@@ -151,6 +151,7 @@ std::size_t GpuDeviceReference::RepeatUnitsFinished(RepeatId id) const {
 
 void GpuDeviceReference::DetachOwner(const ContainerId& owner) {
   DetachSlicedOwner(owner);
+  DetachMigrations(owner);
   for (Running& r : running_) {
     if (r.owner == owner) r.on_done = nullptr;
   }

@@ -17,6 +17,7 @@
 #include "sim/simulation.hpp"
 #include "sim/tick_hub.hpp"
 #include "spatial/geometry.hpp"
+#include "vgpu/swap.hpp"
 #include "vgpu/token_backend.hpp"
 #include "vgpu/token_backend_reference.hpp"
 
@@ -37,6 +38,13 @@ struct ClusterConfig {
   /// fragmentation-aware placement). Disabled by default: the cluster
   /// behaves byte-identically to the temporal-only system.
   spatial::SpatialConfig spatial;
+  /// GPUswap-style memory oversubscription (ROADMAP item 2): cuMemAlloc
+  /// past physical capacity is served by a per-device SwapManager, token
+  /// grants pay page-migration time over the shared host<->device link,
+  /// and `backend.tq` can add the nvshare-style exclusive-time-quantum
+  /// anti-thrashing rotation. Disabled by default: the cluster behaves
+  /// byte-identically to the strict-quota system.
+  vgpu::OversubscriptionConfig oversub;
   /// Which token-renewal timer implementation the per-node daemons use:
   /// the hierarchical timer wheel (default) or the one-event-per-deadline
   /// reference backend kept as the differential-test oracle.

@@ -15,9 +15,11 @@ bool NodeAllowed(const ScheduleRequest& r, const std::string& node) {
 }
 
 bool FitsResources(const ScheduleRequest& r, const VgpuInfo& d,
-                   bool mem_overcommit) {
+                   double mem_capacity) {
   if (r.gpu.gpu_request > d.residual_util() + kEps) return false;
-  return mem_overcommit || r.gpu.gpu_mem <= d.residual_mem() + kEps;
+  // mem_capacity is 1.0 normally, the oversubscription factor (or
+  // infinity) under over-commitment — VgpuPool::mem_capacity().
+  return r.gpu.gpu_mem <= mem_capacity - d.used_mem + kEps;
 }
 
 /// Slice feasibility on spatial pools: the claim needs a free contiguous
@@ -98,7 +100,7 @@ Expected<GpuId> ScheduleSharePodReference(
         return RejectedError("anti-affinity conflict on affinity device " +
                              labelled->id.value());
       }
-      if (!FitsResources(r, *labelled, pool.memory_overcommit())) {
+      if (!FitsResources(r, *labelled, pool.mem_capacity())) {
         return RejectedError("insufficient resources on affinity device " +
                              labelled->id.value());
       }
@@ -140,7 +142,7 @@ Expected<GpuId> ScheduleSharePodReference(
         d->anti_affinity.count(*r.locality.anti_affinity) > 0) {
       continue;
     }
-    if (!FitsResources(r, *d, pool.memory_overcommit())) continue;
+    if (!FitsResources(r, *d, pool.mem_capacity())) continue;
     if (!FitsSlices(r, *d, pool.spatial_enabled())) continue;
     candidates.push_back(d);
   }
@@ -271,7 +273,7 @@ Expected<GpuId> ScheduleSharePod(VgpuPool& pool, const ScheduleRequest& r,
           return RejectedError("anti-affinity conflict on affinity device " +
                                labelled->id.value());
         }
-        if (!FitsResources(r, *labelled, pool.memory_overcommit())) {
+        if (!FitsResources(r, *labelled, pool.mem_capacity())) {
           return RejectedError("insufficient resources on affinity device " +
                                labelled->id.value());
         }
@@ -357,7 +359,7 @@ Expected<GpuId> ScheduleSharePod(VgpuPool& pool, const ScheduleRequest& r,
             d.anti_affinity.count(*r.locality.anti_affinity) > 0) {
           continue;
         }
-        if (!FitsResources(r, d, pool.memory_overcommit())) continue;
+        if (!FitsResources(r, d, pool.mem_capacity())) continue;
         if (!FitsSlices(r, d, pool.spatial_enabled())) continue;
       }
       if (variant == PlacementVariant::kFirstFit) {

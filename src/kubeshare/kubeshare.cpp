@@ -17,7 +17,8 @@ KubeShare::KubeShare(k8s::Cluster* cluster, KubeShareConfig config)
       sharepods_(&cluster->sim(), cluster->api().latency().watch_propagation,
                  cluster->api().watch_fanout(),
                  &cluster->api().watch_hub()) {
-  pool_.set_memory_overcommit(config_.allow_memory_overcommit);
+  pool_.set_memory_overcommit(config_.allow_memory_overcommit,
+                              config_.memory_overcommit_factor);
   if (cluster_->config().spatial.enabled) {
     pool_.EnableSpatial(cluster_->config().spatial.sm_groups);
   }

@@ -2,11 +2,20 @@
 
 #include <cassert>
 #include <cstdio>
+#include <limits>
 
 namespace ks::kubeshare {
 
 namespace {
 constexpr double kCapacityEps = 1e-9;
+}
+
+double VgpuPool::mem_capacity() const {
+  if (!memory_overcommit_) return 1.0;
+  if (overcommit_factor_ <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return overcommit_factor_;
 }
 
 void VgpuPool::EnableSpatial(int sm_groups) {
@@ -193,8 +202,7 @@ Status VgpuPool::Attach(const GpuId& id, const std::string& sharepod,
   if (gpu.gpu_request > dev->residual_util() + kCapacityEps) {
     return ResourceExhaustedError("insufficient compute on " + id.value());
   }
-  if (!memory_overcommit_ &&
-      gpu.gpu_mem > dev->residual_mem() + kCapacityEps) {
+  if (gpu.gpu_mem > mem_capacity() - dev->used_mem + kCapacityEps) {
     return ResourceExhaustedError("insufficient memory on " + id.value());
   }
   if (dev->exclusion.has_value() && locality.exclusion != dev->exclusion &&

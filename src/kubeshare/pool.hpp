@@ -58,10 +58,18 @@ struct VgpuInfo {
 /// and KubeShare-DevMgr drives each entry through its lifecycle.
 class VgpuPool {
  public:
-  /// With memory over-commitment on (GPUswap extension), Attach stops
-  /// enforcing the gpu_mem residual — the device library swaps instead.
-  void set_memory_overcommit(bool enabled) { memory_overcommit_ = enabled; }
+  /// With memory over-commitment on (GPUswap extension), Attach enforces
+  /// `factor` x capacity instead of the physical gpu_mem residual — the
+  /// device library swaps the overflow. factor 0 = unbounded (legacy).
+  void set_memory_overcommit(bool enabled, double factor = 0.0) {
+    memory_overcommit_ = enabled;
+    overcommit_factor_ = factor;
+  }
   bool memory_overcommit() const { return memory_overcommit_; }
+  double memory_overcommit_factor() const { return overcommit_factor_; }
+  /// The gpu_mem sum a device may carry: 1.0 normally, the configured
+  /// factor (or infinity when 0) under over-commitment.
+  double mem_capacity() const;
 
   /// Turns on MIG-style spatial sharing: every device (existing and
   /// future) carries a SliceMap of `sm_groups` SM groups, and Attach
@@ -195,6 +203,7 @@ class VgpuPool {
   std::map<std::string, Attachment> attachments_;
   std::uint64_t next_id_ = 1;
   bool memory_overcommit_ = false;
+  double overcommit_factor_ = 0.0;  // 0: unbounded when over-committing
   int sm_groups_ = 0;  // 0: spatial sharing off
 
   // Incremental indices — see the accessor block above.

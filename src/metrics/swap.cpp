@@ -1,0 +1,76 @@
+#include "metrics/swap.hpp"
+
+namespace ks::metrics {
+
+SwapMetrics CollectSwapMetrics(k8s::Cluster& cluster,
+                               const SwapLookupFn& swap_of) {
+  SwapMetrics out;
+  const Time now = cluster.sim().Now();
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    auto& node = cluster.node(n);
+    out.tq_engagements_total += node.token_backend->tq_engagements();
+    for (const auto& gpu : node.gpus) {
+      const vgpu::SwapManager* swap =
+          swap_of ? swap_of(gpu->uuid()) : nullptr;
+      if (swap == nullptr) continue;
+      SwapMetrics::DeviceEntry entry;
+      entry.uuid = gpu->uuid().value();
+      entry.allocated_bytes = swap->total_allocated();
+      entry.resident_bytes = swap->total_resident();
+      entry.swapped_bytes = swap->total_swapped();
+      entry.migrations = swap->swap_ins();
+      entry.bytes_migrated = swap->bytes_migrated();
+      entry.link_busy_fraction = swap->LinkBusyFraction(now);
+      entry.tq_engaged = node.token_backend->TqEngaged(gpu->uuid());
+      out.allocated_bytes += entry.allocated_bytes;
+      out.resident_bytes += entry.resident_bytes;
+      out.swapped_bytes += entry.swapped_bytes;
+      out.migrations_total += entry.migrations;
+      out.bytes_migrated_total += entry.bytes_migrated;
+      out.devices.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+void ExportSwapMetrics(const SwapMetrics& metrics,
+                       PrometheusExporter& exporter) {
+  exporter.Gauge("ks_swap_allocated_bytes",
+                 "Bytes allocated through over-committed SwapManagers", {},
+                 static_cast<double>(metrics.allocated_bytes));
+  exporter.Gauge("ks_swap_resident_bytes",
+                 "Bytes resident on device across over-committed GPUs", {},
+                 static_cast<double>(metrics.resident_bytes));
+  exporter.Gauge("ks_swap_swapped_bytes",
+                 "Bytes swapped out to host memory", {},
+                 static_cast<double>(metrics.swapped_bytes));
+  exporter.Gauge("ks_swap_migrations_total",
+                 "Swap-in migrations performed on token grants", {},
+                 static_cast<double>(metrics.migrations_total));
+  exporter.Gauge("ks_swap_bytes_migrated_total",
+                 "Bytes moved over host<->device links by migrations", {},
+                 static_cast<double>(metrics.bytes_migrated_total));
+  exporter.Gauge("ks_swap_tq_engagements_total",
+                 "Devices switched from sharing to TQ rotation", {},
+                 static_cast<double>(metrics.tq_engagements_total));
+  for (const SwapMetrics::DeviceEntry& d : metrics.devices) {
+    const PrometheusExporter::Labels labels{{"gpu", d.uuid}};
+    exporter.Gauge("ks_swap_device_resident_bytes",
+                   "Bytes resident on one over-committed device", labels,
+                   static_cast<double>(d.resident_bytes));
+    exporter.Gauge("ks_swap_device_swapped_bytes",
+                   "Bytes of one device swapped out to host memory", labels,
+                   static_cast<double>(d.swapped_bytes));
+    exporter.Gauge("ks_swap_device_migrations_total",
+                   "Swap-in migrations on one device", labels,
+                   static_cast<double>(d.migrations));
+    exporter.Gauge("ks_swap_device_link_busy_fraction",
+                   "Fraction of wall time the device link moved pages",
+                   labels, d.link_busy_fraction);
+    exporter.Gauge("ks_swap_device_tq_engaged",
+                   "1 while the device is serialized under the TQ quantum",
+                   labels, d.tq_engaged ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace ks::metrics

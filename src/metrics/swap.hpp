@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "k8s/cluster.hpp"
+#include "metrics/prometheus.hpp"
+#include "vgpu/swap.hpp"
+
+namespace ks::metrics {
+
+/// Snapshot of the memory-oversubscription machinery: page residency per
+/// device, migration traffic over the host<->device links, and the
+/// nvshare-TQ anti-thrashing state at the token backends. Plain data, like
+/// IsolationMetrics.
+struct SwapMetrics {
+  // Summed over every device with a SwapManager.
+  std::uint64_t allocated_bytes = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t swapped_bytes = 0;
+  std::uint64_t migrations_total = 0;
+  std::uint64_t bytes_migrated_total = 0;
+  /// TQ engagement transitions summed over node backends.
+  std::uint64_t tq_engagements_total = 0;
+
+  struct DeviceEntry {
+    std::string uuid;
+    std::uint64_t allocated_bytes = 0;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t swapped_bytes = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t bytes_migrated = 0;
+    /// Fraction of [0, now] this device's link spent transferring pages.
+    double link_busy_fraction = 0.0;
+    /// Device currently serialized under the exclusive time quantum.
+    bool tq_engaged = false;
+  };
+  /// One entry per device that has a SwapManager, in (node, gpu) order.
+  std::vector<DeviceEntry> devices;
+};
+
+/// `swap_of` maps a device to its SwapManager (or nullptr when the device
+/// never over-committed) — typically workload::WorkloadHost::SwapFor;
+/// ks_metrics takes a lookup instead of the host to stay independent of
+/// the workload layer.
+using SwapLookupFn =
+    std::function<const vgpu::SwapManager*(const GpuUuid&)>;
+
+SwapMetrics CollectSwapMetrics(k8s::Cluster& cluster,
+                               const SwapLookupFn& swap_of);
+
+/// Exports the snapshot as ks_swap_* gauges (per-device series carry a
+/// `gpu` label).
+void ExportSwapMetrics(const SwapMetrics& metrics,
+                       PrometheusExporter& exporter);
+
+}  // namespace ks::metrics

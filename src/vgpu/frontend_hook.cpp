@@ -31,7 +31,8 @@ FrontendHook::FrontendHook(cuda::CudaApi* inner, TokenBackendApi* backend,
 
 FrontendHook::~FrontendHook() {
   if (swap_ != nullptr) {
-    if (swap_event_ != sim::kInvalidEvent) sim_->Cancel(swap_event_);
+    // An in-flight migration lives in the inner driver's prefetch lane; the
+    // CudaContext destructor detaches its callback via DetachOwner.
     swap_->FreeAll(container_);
   }
   if (adv_event_ != sim::kInvalidEvent) adv_sim_->Cancel(adv_event_);
@@ -128,8 +129,14 @@ cuda::CudaResult FrontendHook::MemAlloc(gpu::DevicePtr* out,
   }
   if (swap_ != nullptr) {
     // Over-commitment mode: the SwapManager backs the allocation; host
-    // memory is the overflow, so only the per-container quota applies.
-    if (!swap_->Allocate(container_, bytes).ok()) {
+    // memory is the overflow, so only the per-container quota applies —
+    // plus the cluster's oversubscription bound, when one is configured.
+    const Status s = swap_->Allocate(container_, bytes);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kResourceExhausted) {
+        ++oom_rejections_;
+        return cuda::CudaResult::kErrorOutOfMemory;
+      }
       return cuda::CudaResult::kErrorInvalidValue;
     }
     *out = next_swap_ptr_++;
@@ -175,6 +182,14 @@ cuda::CudaResult FrontendHook::ArrayCreate(gpu::DevicePtr* out,
   // Route through our MemAlloc so the quota check covers array creation —
   // the paper's hook intercepts cuArrayCreate for the same reason.
   return MemAlloc(out, width * height * element_bytes);
+}
+
+cuda::CudaResult FrontendHook::MemPrefetch(std::uint64_t bytes,
+                                           Duration duration,
+                                           cuda::HostFn on_complete) {
+  // Pass-through: migrations charged by this hook (OnTokenGranted) or by a
+  // workload directly land in the driver's migration lane unchanged.
+  return inner_->MemPrefetch(bytes, duration, std::move(on_complete));
 }
 
 cuda::CudaResult FrontendHook::StreamCreate(cuda::StreamId* out) {
@@ -549,13 +564,19 @@ void FrontendHook::OnTokenGranted(Time expiry) {
     // Bring the working set on-device before any kernel runs. The quota is
     // extended by the migration time — the time slice covers compute;
     // otherwise a migration longer than the quota would expire every grant
-    // before a single kernel launches (thrash with zero progress).
+    // before a single kernel launches (thrash with zero progress). The
+    // returned duration already includes any queueing delay on the shared
+    // host<->device link (concurrent migrations serialize).
     const Duration migration = swap_->MakeResident(container_, sim_->Now());
+    const std::uint64_t moved = swap_->last_migration_bytes();
+    if (moved > 0) backend_->ReportSwapBytes(container_, moved);
     if (migration.count() > 0) {
       (void)backend_->ExtendQuota(container_, migration);
       swap_pending_ = true;
-      swap_event_ = sim_->ScheduleAfter(migration, [this] {
-        swap_event_ = sim::kInvalidEvent;
+      // Charge the transfer into the device's migration lane so both sim
+      // engines account the bus time identically (and NVML sees the device
+      // busy while pages move).
+      (void)inner_->MemPrefetch(moved, migration, [this] {
         swap_pending_ = false;
         Drain();  // no-ops if the token lapsed during the migration
       });

@@ -77,6 +77,8 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   cuda::CudaResult ArrayCreate(gpu::DevicePtr* out, std::uint64_t width,
                                std::uint64_t height,
                                std::uint64_t element_bytes) override;
+  cuda::CudaResult MemPrefetch(std::uint64_t bytes, Duration duration,
+                               cuda::HostFn on_complete) override;
   cuda::CudaResult StreamCreate(cuda::StreamId* out) override;
   cuda::CudaResult StreamDestroy(cuda::StreamId stream) override;
   cuda::CudaResult LaunchKernel(const gpu::KernelDesc& desc,
@@ -227,8 +229,9 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
 
   SwapManager* swap_ = nullptr;
   sim::Simulation* sim_ = nullptr;
+  /// A migration charged through the inner driver's MemPrefetch lane is in
+  /// flight; Drain() holds every kernel until it completes.
   bool swap_pending_ = false;
-  sim::EventId swap_event_ = sim::kInvalidEvent;
   gpu::DevicePtr next_swap_ptr_ = 1ull << 48;  // distinct from device ptrs
 
   std::optional<AdversarialSpec> adversarial_;

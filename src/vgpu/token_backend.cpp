@@ -10,7 +10,10 @@
 namespace ks::vgpu {
 
 TokenBackend::TokenBackend(sim::Simulation* sim, BackendConfig config)
-    : sim_(sim), config_(config), wheel_(sim, config.coalesce_window) {
+    : sim_(sim),
+      config_(config),
+      wheel_(sim, config.coalesce_window),
+      tq_(config.tq) {
   assert(sim_ != nullptr);
 }
 
@@ -440,7 +443,10 @@ void TokenBackend::GrantTo(DeviceState& dev, const GpuUuid& device_id,
     if (cit == containers_.end()) return;
     d.grant_in_flight = false;
     d.token_valid = true;
-    d.expiry = sim_->Now() + config_.quota;
+    // While the thrash detector has this device in TQ rotation the grant
+    // carries the nvshare-style exclusive quantum instead of the normal
+    // quota — long residency bursts instead of a migration per hand-off.
+    d.expiry = sim_->Now() + GrantQuotaFor(device_id);
     cit->second.grant_time = sim_->Now();
     ++cit->second.stats.grants;
     cit->second.usage.Start(sim_->Now());
@@ -790,6 +796,22 @@ void TokenBackend::ReportUsage(const ContainerId& container, double claimed) {
       RecordViolation(container, ViolationKind::kMetricsSpoof);
     }
   }
+}
+
+// --- Memory oversubscription (nvshare-TQ) --------------------------------
+
+Duration TokenBackend::GrantQuotaFor(const GpuUuid& device_id) {
+  if (!config_.tq.enabled) return config_.quota;
+  return tq_.Engaged(device_id, sim_->Now()) ? config_.tq.quantum
+                                             : config_.quota;
+}
+
+void TokenBackend::ReportSwapBytes(const ContainerId& container,
+                                   std::uint64_t bytes) {
+  if (!config_.tq.enabled || bytes == 0) return;
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return;
+  tq_.OnSwapBytes(it->second.device, bytes, sim_->Now());
 }
 
 void TokenBackend::OnFenceDeadline(const GpuUuid& device_id) {

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/nvshare_tq.hpp"
 #include "common/ids.hpp"
 #include "common/sliding_window.hpp"
 #include "common/status.hpp"
@@ -107,6 +108,14 @@ struct BackendConfig {
   /// Isolation enforcement knobs. TokenBackendReference ignores these —
   /// it stays the polite-tenant oracle.
   EnforcementConfig enforcement;
+  /// nvshare-style exclusive-time-quantum anti-thrashing for memory-
+  /// oversubscribed devices: frontends report swap traffic per grant, and
+  /// once a device's swap bytes per detection window cross the threshold
+  /// its grants switch from `quota` to the (much longer) `tq.quantum`
+  /// until the traffic calms. Temporal grant path only (a TQ rotation is
+  /// by definition exclusive); off by default, and TokenBackendReference
+  /// ignores it — it stays the quota-grant oracle.
+  baselines::NvshareTqConfig tq;
 };
 
 /// Callback surface of the per-container frontend, as seen by the backend.
@@ -288,6 +297,25 @@ class TokenBackendApi {
   virtual std::uint64_t clampdowns_total() const { return 0; }
   virtual std::uint64_t evictions_total() const { return 0; }
 
+  // --- Memory oversubscription (no-op defaults keep the reference
+  // --- backend the swap-blind oracle) -----------------------------------
+
+  /// Frontend report of swap traffic incurred on a token hand-off (the
+  /// bytes MakeResident migrated for this container). Feeds the nvshare-TQ
+  /// thrash detector when BackendConfig::tq is enabled.
+  virtual void ReportSwapBytes(const ContainerId& container,
+                               std::uint64_t bytes) {
+    (void)container;
+    (void)bytes;
+  }
+  /// Times any device switched from sharing to TQ rotation.
+  virtual std::uint64_t tq_engagements() const { return 0; }
+  /// True while `device` is under TQ rotation.
+  virtual bool TqEngaged(const GpuUuid& device) const {
+    (void)device;
+    return false;
+  }
+
   /// Frontend-sampler self-report of the container's usage rate. The
   /// untrusted input of the metrics-spoofing attack: without enforcement
   /// the daemon trusts it in grant decisions; with enforcement the daemon
@@ -381,6 +409,12 @@ class TokenBackend : public TokenBackendApi {
     return clampdowns_total_;
   }
   std::uint64_t evictions_total() const override { return evictions_total_; }
+  void ReportSwapBytes(const ContainerId& container,
+                       std::uint64_t bytes) override;
+  std::uint64_t tq_engagements() const override { return tq_.engagements(); }
+  bool TqEngaged(const GpuUuid& device) const override {
+    return tq_.EngagedNow(device);
+  }
   void ReportUsage(const ContainerId& container, double claimed) override;
   void SetEvictionFn(EvictionFn fn) override {
     eviction_fn_ = std::move(fn);
@@ -440,6 +474,10 @@ class TokenBackend : public TokenBackendApi {
   void TryGrant(const GpuUuid& device);
   void GrantTo(DeviceState& dev, const GpuUuid& device_id,
                const ContainerId& container);
+  /// Quota attached to the next grant on `device_id`: the TQ quantum while
+  /// the thrash detector has the device in rotation, the normal quota
+  /// otherwise. Identical to config_.quota whenever TQ is disabled.
+  Duration GrantQuotaFor(const GpuUuid& device_id);
   void OnExpiry(const GpuUuid& device);
   void ScheduleReeval(DeviceState& dev, const GpuUuid& device_id);
   void CancelIdleReeval(DeviceState& dev);
@@ -505,6 +543,11 @@ class TokenBackend : public TokenBackendApi {
   /// Monotonic token epoch admitted at the device gate on every grant.
   /// Never reset — a post-restart grant must out-rank every fenced epoch.
   std::uint64_t token_epoch_ = 0;
+  /// nvshare-TQ thrash detector. Deliberately NOT cleared by Restart():
+  /// like the violation ledger, engagement state is rebuilt-state, not
+  /// token-state — a daemon crash must not bounce a thrashing device back
+  /// into swap-storm sharing.
+  baselines::TqController tq_;
   EvictionFn eviction_fn_;
   DeviceResolver device_resolver_;
 };

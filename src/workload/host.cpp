@@ -9,6 +9,10 @@ namespace ks::workload {
 
 WorkloadHost::WorkloadHost(k8s::Cluster* cluster) : cluster_(cluster) {
   assert(cluster_ != nullptr);
+  if (cluster_->config().oversub.enabled) {
+    memory_overcommit_ = true;
+    swap_config_ = cluster_->config().oversub.swap;
+  }
   cluster_->SetContainerStartHook(
       [this](const k8s::ContainerInstance& inst) { OnContainerStart(inst); });
   cluster_->SetContainerStopHook(
@@ -17,7 +21,12 @@ WorkloadHost::WorkloadHost(k8s::Cluster* cluster) : cluster_(cluster) {
 
 void WorkloadHost::EnableMemoryOvercommit(double link_bandwidth_bytes_per_s) {
   memory_overcommit_ = true;
-  swap_bandwidth_ = link_bandwidth_bytes_per_s;
+  swap_config_.link_bandwidth_bytes_per_s = link_bandwidth_bytes_per_s;
+}
+
+const vgpu::SwapManager* WorkloadHost::SwapFor(const GpuUuid& uuid) const {
+  auto it = swaps_.find(uuid);
+  return it == swaps_.end() ? nullptr : it->second.get();
 }
 
 void WorkloadHost::ExpectJob(const std::string& name, JobFactory factory) {
@@ -67,8 +76,8 @@ void WorkloadHost::OnContainerStart(const k8s::ContainerInstance& inst) {
     if (memory_overcommit_) {
       auto& swap = swaps_[device->uuid()];
       if (swap == nullptr) {
-        swap = std::make_unique<vgpu::SwapManager>(
-            device->spec().memory_bytes, swap_bandwidth_);
+        swap = std::make_unique<vgpu::SwapManager>(device->spec().memory_bytes,
+                                                   swap_config_);
       }
       stack->hook->EnableMemoryOvercommit(swap.get(), &cluster_->sim());
     }

@@ -99,8 +99,15 @@ class WorkloadHost {
   /// Wires every future KubeShare container to a per-device SwapManager,
   /// enabling the GPUswap-style memory over-commitment extension. Pair
   /// with KubeShareConfig::allow_memory_overcommit so the scheduler also
-  /// stops rejecting over-committed placements.
+  /// stops rejecting over-committed placements. The declarative route is
+  /// ClusterConfig::oversub, which the constructor consumes; this
+  /// imperative call keeps the legacy unbounded backing store.
   void EnableMemoryOvercommit(double link_bandwidth_bytes_per_s = 12e9);
+
+  /// The shared SwapManager of the device `uuid`, or nullptr when
+  /// over-commitment is off or no container has started on it yet —
+  /// metrics exporters and benches read residency counters through this.
+  const vgpu::SwapManager* SwapFor(const GpuUuid& uuid) const;
 
  private:
   struct Stack {
@@ -123,7 +130,7 @@ class WorkloadHost {
   k8s::Cluster* cluster_;
   ApiDecorator decorator_;
   bool memory_overcommit_ = false;
-  double swap_bandwidth_ = 12e9;
+  vgpu::SwapConfig swap_config_;
   std::unordered_map<GpuUuid, std::unique_ptr<vgpu::SwapManager>> swaps_;
 
   std::unordered_map<std::string, JobFactory> factories_;

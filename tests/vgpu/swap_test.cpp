@@ -68,6 +68,37 @@ TEST(SwapManager, AlternatingHoldersThrashDeterministically) {
   EXPECT_EQ(swap.total_resident(), 16 * kGiB);
 }
 
+TEST(SwapManager, NeverRunVictimsEvictInRegistrationOrder) {
+  // Regression: among owners that have never run (all last_run == 0) the
+  // eviction victim is the earliest-registered one, not whichever sorts
+  // first lexically. Register "b" before "a": bringing "c" in must evict
+  // from "b" first.
+  SwapConfig cfg;
+  cfg.page_bytes = 2ull << 20;
+  SwapManager swap(16 * kGiB, cfg);
+  ASSERT_TRUE(swap.Allocate(ContainerId("b"), 8 * kGiB).ok());
+  ASSERT_TRUE(swap.Allocate(ContainerId("a"), 8 * kGiB).ok());
+  ASSERT_TRUE(swap.Allocate(ContainerId("c"), 8 * kGiB).ok());
+  (void)swap.MakeResident(ContainerId("c"), Seconds(1));
+  EXPECT_EQ(swap.ResidentOf(ContainerId("c")), 8 * kGiB);
+  EXPECT_EQ(swap.ResidentOf(ContainerId("b")), 0u)
+      << "first-registered never-run owner must be the first victim";
+  EXPECT_EQ(swap.ResidentOf(ContainerId("a")), 8 * kGiB);
+}
+
+TEST(SwapManager, OversubscriptionFactorBoundsAggregateAllocation) {
+  SwapConfig cfg;
+  cfg.oversubscription_factor = 2.0;
+  SwapManager swap(16 * kGiB, cfg);
+  ASSERT_TRUE(swap.Allocate(ContainerId("a"), 16 * kGiB).ok());
+  ASSERT_TRUE(swap.Allocate(ContainerId("b"), 16 * kGiB).ok());
+  const Status s = swap.Allocate(ContainerId("c"), 1 * kGiB);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // Freeing makes room again.
+  ASSERT_TRUE(swap.Free(ContainerId("a"), 8 * kGiB).ok());
+  EXPECT_TRUE(swap.Allocate(ContainerId("c"), 1 * kGiB).ok());
+}
+
 TEST(SwapManager, FreeReleasesResidentFirst) {
   SwapManager swap(16 * kGiB);
   ASSERT_TRUE(swap.Allocate(ContainerId("a"), 12 * kGiB).ok());
