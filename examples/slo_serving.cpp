@@ -1,0 +1,124 @@
+// SLO-driven serving under a flash crowd: admission control + autoscaler.
+//
+// One inference service (10 ms/request replicas, p99 SLO 250 ms) faces a
+// flash crowd: 50 rps baseline spiking to 300 rps for 25 seconds. Two
+// runs:
+//   static  two replicas, no admission — the backlog during the crowd
+//           pushes p99 to seconds and most crowd-era requests blow the
+//           SLO;
+//   auto    the token daemon sheds at the door once observed p99 crosses
+//           90% of the SLO, while the SloAutoscaler scales the replicaset
+//           toward 8 on p99 headroom — served requests stay near the
+//           target and the violation rate drops.
+// Ends with the ks_slo_* Prometheus families for the auto run.
+//
+//   $ ./examples/slo_serving
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "k8s/cluster.hpp"
+#include "kubeshare/autoscaler.hpp"
+#include "kubeshare/replicaset.hpp"
+#include "metrics/slo.hpp"
+#include "serving/service.hpp"
+#include "workload/host.hpp"
+
+using namespace ks;
+
+namespace {
+
+void RunMode(bool autoscale, bool dump_metrics) {
+  k8s::ClusterConfig ccfg;
+  ccfg.nodes = 2;
+  ccfg.gpus_per_node = 2;
+  if (autoscale) {
+    ccfg.backend.admission.enabled = true;
+    ccfg.backend.admission.policy = vgpu::AdmissionConfig::Policy::kShed;
+  }
+  k8s::Cluster cluster(ccfg);
+  kubeshare::KubeShare kubeshare(&cluster);
+  workload::WorkloadHost host(&cluster);
+  if (!cluster.Start().ok() || !kubeshare.Start().ok()) return;
+
+  serving::ServiceConfig cfg;
+  cfg.name = "bert-serve";
+  cfg.envelope = serving::RateEnvelope::FlashCrowd(
+      50.0, 300.0, Seconds(20.0), Seconds(2.0), Seconds(25.0));
+  cfg.clients = 3000;  // 0.1 rps per client at the crowd's peak
+  cfg.slo_p99 = Millis(250);
+  cfg.until = Seconds(60.0);
+  cfg.replica.kernel_per_request = Millis(10);
+  cfg.replica.model_bytes = 256ull << 20;
+  serving::ServiceFrontend frontend(&cluster, &host, cfg);
+
+  kubeshare::SharePodReplicaSet::Spec spec;
+  spec.name = "bert-serve";
+  spec.replicas = 2;
+  spec.template_spec.gpu.gpu_request = 0.45;
+  spec.template_spec.gpu.gpu_limit = 1.0;
+  spec.template_spec.gpu.gpu_mem = 0.15;
+  kubeshare::SharePodReplicaSet rs(&kubeshare, spec);
+  rs.SetReplicaHook(frontend.MakeReplicaHook());
+  if (!rs.Start().ok()) return;
+
+  std::unique_ptr<kubeshare::SloAutoscaler> scaler;
+  if (autoscale) {
+    kubeshare::AutoscalerConfig acfg;
+    acfg.slo_p99 = cfg.slo_p99;
+    acfg.min_replicas = 1;
+    acfg.max_replicas = 8;
+    scaler = std::make_unique<kubeshare::SloAutoscaler>(
+        &cluster.sim(), cluster.tick_hub(), &rs, acfg,
+        frontend.MakeAutoscalerProbe());
+    if (!scaler->Start().ok()) return;
+  }
+  frontend.Start();
+
+  std::printf("%s\n", autoscale
+                          ? "--- auto: admission (shed @ 90% of SLO) + "
+                            "autoscaler (1..8 replicas) ---"
+                          : "--- static: 2 replicas, no admission ---");
+  std::printf("%6s %9s %9s %6s %6s %9s %9s %8s\n", "t", "arrived", "served",
+              "shed", "repl", "p99(ms)", "win p99", "viol%");
+  for (int t = 10; t <= 120; t += 10) {
+    cluster.sim().RunUntil(Seconds(t));
+    const metrics::ServiceSloSample s = frontend.Sample();
+    std::printf("%5ds %9llu %9llu %6llu %6d %9.1f %9.1f %7.2f%%\n", t,
+                static_cast<unsigned long long>(s.arrived),
+                static_cast<unsigned long long>(s.served),
+                static_cast<unsigned long long>(s.shed), rs.desired(),
+                s.p99_s * 1e3, frontend.ObservedP99Seconds() * 1e3,
+                s.violation_rate * 100.0);
+    if (t > 60 && frontend.Drained()) break;
+  }
+
+  const metrics::ServiceSloSample s = frontend.Sample();
+  std::printf("final: p50 %.1f ms  p99 %.1f ms  p99.9 %.1f ms  "
+              "violation rate %.2f%%\n\n",
+              s.p50_s * 1e3, s.p99_s * 1e3, s.p999_s * 1e3,
+              s.violation_rate * 100.0);
+
+  if (dump_metrics) {
+    metrics::PrometheusExporter exporter;
+    metrics::ExportSloMetrics(
+        metrics::CollectSloMetrics(cluster, {frontend.Sample()}), exporter);
+    std::printf("--- ks_slo_* exposition (auto run) ---\n");
+    exporter.Write(std::cout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("flash crowd: 50 rps baseline, 300 rps for 25 s starting at "
+              "t=20 s;\n10 ms/request replicas, p99 SLO 250 ms.\n\n");
+  RunMode(/*autoscale=*/false, /*dump_metrics=*/false);
+  RunMode(/*autoscale=*/true, /*dump_metrics=*/true);
+  std::printf("\nStatic provisioning melts during the crowd (p99 in the "
+              "seconds); the\nadmission door plus the autoscaler keep served "
+              "latency near the target\nand cut the violation rate.\n");
+  return 0;
+}

@@ -46,6 +46,21 @@ Checks, per file:
     demonstrates swap-thrashing (>= 2x the tq time, or incomplete) — a
     report where TQ makes no difference means the anti-thrashing
     subsystem silently stopped working;
+  * serving rows come in two kinds. Cluster rows (pattern of
+    steady|diurnal|flash-crowd) carry a "mode" of static|auto, finite
+    non-negative latency percentiles (p50 <= p99 <= p99.9), a
+    "slo_violation_rate" in [0, 1], non-negative request counters with
+    arrived == served + shed + lost (every request reaches a terminal
+    state), and a positive "replicas_peak". Generator rows (pattern
+    "arrivals") carry a "mode" of per-request|batched, positive
+    "clients"/"arrivals"/"engine_events" and a positive
+    "events_per_request". Two acceptance gates are enforced on the
+    report itself: on the flash crowd the autoscaler+admission run's
+    violation rate beats static provisioning's, and at the largest
+    client count the batched generator costs >= 5x fewer engine events
+    per request than the per-request reference — a report where either
+    stops holding means the serving subsystem silently stopped earning
+    its keep;
   * scale rows (the 10k-node / 100k-sharePod soak) carry a non-empty
     "engine", finite positive "events_per_sec", finite non-negative
     "sched_p99_ms" and "speedup_vs_single", a positive integer
@@ -156,10 +171,70 @@ def check_oversub_gate(path, rows):
     return ok
 
 
+def check_serving_gate(path, rows):
+    """The serving study's acceptance gates: the autoscaler+admission run
+    beats static provisioning on flash-crowd SLO-violation rate, and the
+    batched arrival generator costs >= 5x fewer engine events per request
+    than the per-request reference at the largest client count."""
+    def rate(mode):
+        for r in rows:
+            if isinstance(r, dict) and r.get("pattern") == "flash-crowd" \
+                    and r.get("mode") == mode:
+                return r.get("slo_violation_rate")
+        return None
+
+    ok = True
+    static_rate = rate("static")
+    auto_rate = rate("auto")
+    rates_ok = all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                   for v in (static_rate, auto_rate))
+    if not rates_ok:
+        ok = fail(path, "serving report lacks the flash-crowd static/auto "
+                        "rows the gate compares")
+    elif auto_rate >= static_rate:
+        ok = fail(
+            path,
+            f"flash-crowd violation rate under autoscaler+admission "
+            f"({auto_rate}) does not beat static provisioning "
+            f"({static_rate}) — the control loop stopped earning its keep",
+        )
+
+    gen = [r for r in rows
+           if isinstance(r, dict) and r.get("pattern") == "arrivals"]
+    largest = 0
+    for r in gen:
+        clients = r.get("clients")
+        if isinstance(clients, int) and not isinstance(clients, bool):
+            largest = max(largest, clients)
+
+    def events(mode):
+        for r in gen:
+            if r.get("clients") == largest and r.get("mode") == mode:
+                return r.get("events_per_request")
+        return None
+
+    per_request = events("per-request")
+    batched = events("batched")
+    events_ok = all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                    and v > 0 for v in (per_request, batched))
+    if largest == 0 or not events_ok:
+        ok = fail(path, "serving report lacks the per-request/batched "
+                        "generator rows the gate compares")
+    elif batched * 5.0 > per_request:
+        ok = fail(
+            path,
+            f"batched generator at {largest} clients costs "
+            f"{batched} events/request vs {per_request} per-request — "
+            f"less than the 5x reduction the batching exists to deliver",
+        )
+    return ok
+
+
 # Studies whose every row is produced by a whole-cluster run and must carry
 # the engine's scheduled-event count.
 TOTAL_EVENTS_REQUIRED = {"study_chaos", "ablation_placement", "fig9",
-                         "spatial", "scale", "isolation", "oversub"}
+                         "spatial", "scale", "isolation", "oversub",
+                         "serving"}
 
 
 def check_file(path):
@@ -317,6 +392,102 @@ def check_file(path):
                     f"row {i} \"link_busy_fraction\" missing or outside "
                     f"[0, 1]: {busy!r}",
                 )
+        if study == "serving":
+            pattern = row.get("pattern")
+            if pattern == "arrivals":
+                if row.get("mode") not in ("per-request", "batched"):
+                    ok = fail(
+                        path,
+                        f"row {i} \"mode\" must be per-request|batched: "
+                        f"{row.get('mode')!r}",
+                    )
+                for field in ("clients", "arrivals", "engine_events"):
+                    value = row.get(field)
+                    if not isinstance(value, int) or isinstance(value, bool) \
+                            or value <= 0:
+                        ok = fail(
+                            path,
+                            f"row {i} {field!r} missing or not a positive "
+                            f"integer: {value!r}",
+                        )
+                epr = row.get("events_per_request")
+                if not isinstance(epr, (int, float)) \
+                        or isinstance(epr, bool) or epr <= 0:
+                    ok = fail(
+                        path,
+                        f"row {i} \"events_per_request\" missing or not a "
+                        f"positive number: {epr!r}",
+                    )
+            else:
+                if pattern not in ("steady", "diurnal", "flash-crowd"):
+                    ok = fail(
+                        path,
+                        f"row {i} \"pattern\" must be steady|diurnal|"
+                        f"flash-crowd|arrivals: {pattern!r}",
+                    )
+                if row.get("mode") not in ("static", "auto"):
+                    ok = fail(
+                        path,
+                        f"row {i} \"mode\" must be static|auto: "
+                        f"{row.get('mode')!r}",
+                    )
+                percentiles = []
+                for field in ("p50_ms", "p99_ms", "p999_ms"):
+                    value = row.get(field)
+                    if not isinstance(value, (int, float)) \
+                            or isinstance(value, bool) or value < 0:
+                        ok = fail(
+                            path,
+                            f"row {i} {field!r} missing or not a "
+                            f"non-negative number: {value!r}",
+                        )
+                    else:
+                        percentiles.append(value)
+                if len(percentiles) == 3 and \
+                        not (percentiles[0] <= percentiles[1]
+                             <= percentiles[2]):
+                    ok = fail(
+                        path,
+                        f"row {i} percentiles are not monotone: "
+                        f"{percentiles!r}",
+                    )
+                rate = row.get("slo_violation_rate")
+                if not isinstance(rate, (int, float)) \
+                        or isinstance(rate, bool) or rate < 0 or rate > 1:
+                    ok = fail(
+                        path,
+                        f"row {i} \"slo_violation_rate\" missing or outside "
+                        f"[0, 1]: {rate!r}",
+                    )
+                counters = {}
+                for field in ("arrived", "served", "shed", "lost"):
+                    value = row.get(field)
+                    if not isinstance(value, int) or isinstance(value, bool) \
+                            or value < 0:
+                        ok = fail(
+                            path,
+                            f"row {i} {field!r} missing or not a "
+                            f"non-negative integer: {value!r}",
+                        )
+                    else:
+                        counters[field] = value
+                if len(counters) == 4 and counters["arrived"] != \
+                        counters["served"] + counters["shed"] \
+                        + counters["lost"]:
+                    ok = fail(
+                        path,
+                        f"row {i} leaks requests: arrived "
+                        f"{counters['arrived']} != served + shed + lost "
+                        f"{counters['served'] + counters['shed'] + counters['lost']}",
+                    )
+                peak = row.get("replicas_peak")
+                if not isinstance(peak, int) or isinstance(peak, bool) \
+                        or peak <= 0:
+                    ok = fail(
+                        path,
+                        f"row {i} \"replicas_peak\" missing or not a "
+                        f"positive integer: {peak!r}",
+                    )
         if study == "scale":
             engine = row.get("engine")
             if not isinstance(engine, str) or not engine:
@@ -365,6 +536,8 @@ def check_file(path):
         ok = check_isolation_gate(path, rows) and ok
     if study == "oversub":
         ok = check_oversub_gate(path, rows) and ok
+    if study == "serving":
+        ok = check_serving_gate(path, rows) and ok
     return ok
 
 

@@ -154,6 +154,7 @@ class FrontendHook final : public cuda::CudaApi, public TokenClient {
   bool holds_valid_token() const { return token_valid_; }
   std::uint64_t memory_quota_bytes() const { return memory_quota_bytes_; }
   const ContainerId& container() const { return container_; }
+  const GpuUuid& device() const { return device_; }
   /// Count of launches rejected before reaching the driver (should stay 0;
   /// launches are queued, never rejected, but kept for failure injection).
   std::uint64_t oom_rejections() const { return oom_rejections_; }

@@ -798,6 +798,55 @@ void TokenBackend::ReportUsage(const ContainerId& container, double claimed) {
   }
 }
 
+// --- SLO admission control ------------------------------------------------
+
+void TokenBackend::SetServiceSlo(const ContainerId& container,
+                                 Duration slo_p99) {
+  if (!config_.admission.enabled) return;
+  auto [it, inserted] =
+      serving_.try_emplace(container, config_.admission.window);
+  it->second.slo = slo_p99;
+}
+
+void TokenBackend::ReportRequestLatency(const ContainerId& container, Time now,
+                                        Duration latency) {
+  if (!config_.admission.enabled) return;
+  auto it = serving_.find(container);
+  if (it == serving_.end()) return;
+  it->second.digest.Record(now, latency);
+}
+
+AdmissionDecision TokenBackend::AdmitRequest(const ContainerId& container,
+                                             Time now) {
+  if (!config_.admission.enabled) return AdmissionDecision::kAdmit;
+  auto it = serving_.find(container);
+  if (it == serving_.end() || it->second.slo.count() <= 0) {
+    return AdmissionDecision::kAdmit;
+  }
+  ServingState& state = it->second;
+  if (state.digest.WindowCount(now) < config_.admission.min_samples) {
+    return AdmissionDecision::kAdmit;  // cold start: no trustworthy estimate
+  }
+  const Duration p99 = state.digest.Quantile(now, 0.99);
+  if (ToSeconds(p99) < config_.admission.headroom * ToSeconds(state.slo)) {
+    return AdmissionDecision::kAdmit;
+  }
+  if (config_.admission.policy == AdmissionConfig::Policy::kQueue) {
+    ++state.queued;
+    ++admission_queued_;
+    return AdmissionDecision::kQueue;
+  }
+  ++state.sheds;
+  ++admission_sheds_;
+  return AdmissionDecision::kShed;
+}
+
+double TokenBackend::ObservedP99Of(const ContainerId& container, Time now) {
+  auto it = serving_.find(container);
+  if (it == serving_.end()) return 0.0;
+  return it->second.digest.QuantileSeconds(now, 0.99);
+}
+
 // --- Memory oversubscription (nvshare-TQ) --------------------------------
 
 Duration TokenBackend::GrantQuotaFor(const GpuUuid& device_id) {

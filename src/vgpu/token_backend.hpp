@@ -15,6 +15,7 @@
 #include "common/sliding_window.hpp"
 #include "common/status.hpp"
 #include "common/time.hpp"
+#include "metrics/latency_digest.hpp"
 #include "sim/simulation.hpp"
 #include "sim/timer_wheel.hpp"
 #include "vgpu/resource_spec.hpp"
@@ -70,6 +71,47 @@ inline const char* ViolationKindName(ViolationKind k) {
   return "unknown";
 }
 
+/// SLO-aware admission control at the daemon (ROADMAP item 4, SGDRC
+/// direction): when a service's observed p99 approaches its SLO, the
+/// daemon sheds or queues new requests instead of letting the backlog push
+/// every request past the deadline. Off by default — with `enabled ==
+/// false` the daemon stores no serving state and AdmitRequest always
+/// admits, so existing traces stay byte-identical and
+/// TokenBackendReference remains the admit-everything oracle.
+struct AdmissionConfig {
+  bool enabled = false;
+  enum class Policy {
+    kShed,   ///< reject at the door (client sees an immediate error)
+    kQueue,  ///< hold at the door; the frontend retries after a delay
+  };
+  Policy policy = Policy::kShed;
+  /// Admission trips once observed p99 >= headroom * slo.
+  double headroom = 0.9;
+  /// Sliding window of the per-service latency digest (two rotating
+  /// epochs; the estimate covers one to two windows of history).
+  Duration window = Seconds(5.0);
+  /// Samples required in the window before the p99 estimate is trusted;
+  /// below this the daemon admits unconditionally (cold start, quiet
+  /// service).
+  std::uint64_t min_samples = 20;
+};
+
+/// What the daemon tells a service frontend about one request at the door.
+enum class AdmissionDecision {
+  kAdmit,
+  kShed,
+  kQueue,
+};
+
+inline const char* AdmissionDecisionName(AdmissionDecision d) {
+  switch (d) {
+    case AdmissionDecision::kAdmit: return "admit";
+    case AdmissionDecision::kShed: return "shed";
+    case AdmissionDecision::kQueue: return "queue";
+  }
+  return "unknown";
+}
+
 /// Tuning knobs of the per-node backend daemon (paper §4.5).
 struct BackendConfig {
   /// Time quota attached to each valid token. The paper settles on 100 ms
@@ -116,6 +158,10 @@ struct BackendConfig {
   /// by definition exclusive); off by default, and TokenBackendReference
   /// ignores it — it stays the quota-grant oracle.
   baselines::NvshareTqConfig tq;
+  /// SLO-aware admission control at the daemon door. Off by default;
+  /// TokenBackendReference ignores it — it stays the admit-everything
+  /// oracle.
+  AdmissionConfig admission;
 };
 
 /// Callback surface of the per-container frontend, as seen by the backend.
@@ -316,6 +362,50 @@ class TokenBackendApi {
     return false;
   }
 
+  // --- SLO admission control (no-op defaults keep TokenBackendReference
+  // --- the admit-everything oracle) --------------------------------------
+
+  /// Declares the p99 SLO of the service a container replica belongs to.
+  /// Called by the serving frontend when a replica comes up; a no-op while
+  /// BackendConfig::admission is disabled (no serving state is kept, so
+  /// the disabled daemon is byte-identical to the pre-admission one).
+  virtual void SetServiceSlo(const ContainerId& container, Duration slo_p99) {
+    (void)container;
+    (void)slo_p99;
+  }
+
+  /// Per-request latency report feeding the daemon's windowed per-service
+  /// digest. Zero-allocation on the digest side; a no-op while admission
+  /// is disabled.
+  virtual void ReportRequestLatency(const ContainerId& container, Time now,
+                                    Duration latency) {
+    (void)container;
+    (void)now;
+    (void)latency;
+  }
+
+  /// The admission decision for one new request bound for `container`.
+  /// Always kAdmit while admission is disabled, during cold start
+  /// (fewer than AdmissionConfig::min_samples in the window), or while
+  /// observed p99 stays under headroom * SLO.
+  virtual AdmissionDecision AdmitRequest(const ContainerId& container,
+                                         Time now) {
+    (void)container;
+    (void)now;
+    return AdmissionDecision::kAdmit;
+  }
+
+  /// Observed windowed p99 of a container's service, in seconds; 0 when
+  /// unknown. Non-const: the lazy window rotation advances on access.
+  virtual double ObservedP99Of(const ContainerId& container, Time now) {
+    (void)container;
+    (void)now;
+    return 0.0;
+  }
+
+  virtual std::uint64_t admission_sheds() const { return 0; }
+  virtual std::uint64_t admission_queued() const { return 0; }
+
   /// Frontend-sampler self-report of the container's usage rate. The
   /// untrusted input of the metrics-spoofing attack: without enforcement
   /// the daemon trusts it in grant decisions; with enforcement the daemon
@@ -415,6 +505,14 @@ class TokenBackend : public TokenBackendApi {
   bool TqEngaged(const GpuUuid& device) const override {
     return tq_.EngagedNow(device);
   }
+  void SetServiceSlo(const ContainerId& container, Duration slo_p99) override;
+  void ReportRequestLatency(const ContainerId& container, Time now,
+                            Duration latency) override;
+  AdmissionDecision AdmitRequest(const ContainerId& container,
+                                 Time now) override;
+  double ObservedP99Of(const ContainerId& container, Time now) override;
+  std::uint64_t admission_sheds() const override { return admission_sheds_; }
+  std::uint64_t admission_queued() const override { return admission_queued_; }
   void ReportUsage(const ContainerId& container, double claimed) override;
   void SetEvictionFn(EvictionFn fn) override {
     eviction_fn_ = std::move(fn);
@@ -532,6 +630,24 @@ class TokenBackend : public TokenBackendApi {
   std::uint64_t reattached_ = 0;
   std::size_t peak_holders_ = 0;
   bool down_ = false;
+
+  /// Per-service admission state: SLO target and the windowed latency
+  /// digest p99 estimates come from. Keyed separately from containers_ —
+  /// like the violation ledger, it is rebuilt-state, not token-state, so a
+  /// daemon Restart() keeps the latency history that would otherwise blind
+  /// admission control exactly when a restart's backlog needs it. Only
+  /// populated while config_.admission.enabled (disabled daemons carry
+  /// zero serving state).
+  struct ServingState {
+    Duration slo{0};
+    metrics::WindowedLatencyDigest digest;
+    std::uint64_t sheds = 0;
+    std::uint64_t queued = 0;
+    explicit ServingState(Duration window) : digest(window) {}
+  };
+  std::map<ContainerId, ServingState> serving_;
+  std::uint64_t admission_sheds_ = 0;
+  std::uint64_t admission_queued_ = 0;
 
   /// Violation ledger, keyed separately from containers_ so Restart()
   /// (which clears container state) forgives nothing; sorted for

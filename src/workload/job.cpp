@@ -199,4 +199,60 @@ void InferenceJob::OnServed(Time arrival, Time finish) {
   }
 }
 
+// ---- RequestServerJob -----------------------------------------------------
+
+void RequestServerJob::Start(cuda::CudaApi* api, sim::Simulation* /*sim*/,
+                             DoneFn done) {
+  assert(api != nullptr);
+  api_ = api;
+  done_ = std::move(done);
+
+  gpu::DevicePtr model = 0;
+  if (api_->MemAlloc(&model, spec_.model_bytes) != cuda::CudaResult::kSuccess) {
+    if (done_) done_(false);
+    return;
+  }
+  // The server is up for good: `done` never fires on success — the replica
+  // runs until its container is torn down from outside.
+  up_ = true;
+  if (lifecycle_) lifecycle_(this, true);
+}
+
+void RequestServerJob::Stop() {
+  if (stopped_) return;
+  // Order matters: stopped_ first, so no ServedFn fires out of teardown
+  // (the lifecycle observer accounts the still-inflight requests as lost).
+  stopped_ = true;
+  const bool was_up = up_;
+  up_ = false;
+  if (api_ != nullptr) (void)api_->CancelPending(cuda::kDefaultStream);
+  if (was_up && lifecycle_) lifecycle_(this, false);
+}
+
+bool RequestServerJob::Submit(Time arrival, ServedFn on_served) {
+  if (!up_ || stopped_ || api_ == nullptr) return false;
+  gpu::KernelDesc kernel;
+  kernel.nominal_duration = spec_.kernel_per_request;
+  kernel.bandwidth_demand = spec_.bandwidth_demand;
+  kernel.sm_demand = spec_.sm_demand;
+  kernel.name = "serve";
+  ++inflight_;
+  // Same single-unit declared stream as InferenceJob: a backlog presents
+  // as a run of identical units the device can fuse, and the unit callback
+  // carries the exact finish time even when delivered in arrears.
+  const cuda::CudaResult r = api_->LaunchKernelStream(
+      kernel, 1, cuda::kDefaultStream,
+      [this, arrival, fn = std::move(on_served)](Time finish) {
+        if (stopped_) return;
+        --inflight_;
+        ++served_;
+        if (fn) fn(arrival, finish);
+      });
+  if (r != cuda::CudaResult::kSuccess) {
+    --inflight_;
+    return false;
+  }
+  return true;
+}
+
 }  // namespace ks::workload

@@ -189,4 +189,61 @@ class InferenceJob final : public Job {
   sim::EventId next_arrival_ = sim::kInvalidEvent;
 };
 
+/// One always-on replica of an inference service (TF-Serving process
+/// behind a load balancer). Unlike InferenceJob, which generates its own
+/// client arrivals, a RequestServerJob is externally fed: the serving
+/// frontend (src/serving/) pushes requests into it via Submit(), so the
+/// arrival process can live in one batched generator per service instead
+/// of one timer per replica. The job never completes on its own — it
+/// serves until its container is torn down (replicaset scale-down, node
+/// crash), which is what makes it the unit the autoscaler scales.
+struct RequestServerSpec {
+  Duration kernel_per_request = Millis(10);
+  std::uint64_t model_bytes = 1ull << 30;
+  double bandwidth_demand = 0.0;
+  /// Fraction of the device's SMs one request can saturate (KernelDesc::
+  /// sm_demand). Matters only on spatial slices.
+  double sm_demand = 1.0;
+};
+
+class RequestServerJob final : public Job {
+ public:
+  /// Fires when a submitted request's kernel retires. `arrival` is the
+  /// client-side arrival time the latency is measured from; `finish` is
+  /// the kernel's exact retire time (may be delivered in arrears under
+  /// fusion — use it, not the current simulation time).
+  using ServedFn = std::function<void(Time arrival, Time finish)>;
+  /// Replica lifecycle: up=true once the model is resident and the replica
+  /// can take requests; up=false when the container is being torn down
+  /// (any still-queued requests die with it).
+  using LifecycleFn = std::function<void(RequestServerJob* self, bool up)>;
+
+  RequestServerJob(RequestServerSpec spec, LifecycleFn lifecycle)
+      : spec_(spec), lifecycle_(std::move(lifecycle)) {}
+  ~RequestServerJob() override { Stop(); }
+
+  void Start(cuda::CudaApi* api, sim::Simulation* sim, DoneFn done) override;
+  void Stop() override;
+
+  /// Enqueues one request (one forward-propagation kernel). Returns false
+  /// if the replica is not up — the caller keeps ownership of the request
+  /// and must re-dispatch or account for it.
+  bool Submit(Time arrival, ServedFn on_served);
+
+  bool up() const { return up_; }
+  std::uint64_t served() const { return served_; }
+  /// Requests submitted but not yet retired.
+  std::uint64_t inflight() const { return inflight_; }
+
+ private:
+  RequestServerSpec spec_;
+  LifecycleFn lifecycle_;
+  cuda::CudaApi* api_ = nullptr;
+  DoneFn done_;
+  bool stopped_ = false;
+  bool up_ = false;
+  std::uint64_t served_ = 0;
+  std::uint64_t inflight_ = 0;
+};
+
 }  // namespace ks::workload

@@ -305,6 +305,127 @@ TEST(SchedulerEquivalence, SpatialEvictionReplacementsMatchReference) {
   }
 }
 
+/// Autoscaler-driven replica churn: a replicaset stamps IDENTICAL requests
+/// from one template, so scale-up bursts hand both schedulers runs of
+/// exactly-equal candidates — the regime where any tie-break divergence
+/// between the indexed scan and the reference scan shows up immediately.
+/// Scale-downs detach the newest replicas first (the replicaset's surplus
+/// deletion order), interleaved with unrelated tenant traffic so the pool
+/// shape keeps shifting under the bursts.
+void RunReplicaChurnSequence(PlacementVariant variant, std::uint64_t seed,
+                             bool spatial) {
+  Rng rng(seed);
+  VgpuPool indexed;
+  VgpuPool reference;
+  if (spatial) {
+    indexed.EnableSpatial(7);
+    reference.EnableSpatial(7);
+  }
+  const std::vector<NodeFreeGpus> supply = Supply(3, 3);
+
+  // The service template every replica copies (only the name differs).
+  ScheduleRequest tmpl;
+  tmpl.gpu.gpu_request = 0.45;
+  tmpl.gpu.gpu_limit = 1.0;
+  tmpl.gpu.gpu_mem = 0.15;
+  if (spatial) tmpl.gpu.slice_groups = 2;
+
+  std::vector<std::string> replicas;  // placement order = deletion order
+  std::vector<std::string> others;
+  int next_replica = 0;
+  int scale_ups = 0;
+  int scale_downs = 0;
+
+  for (int i = 0; i < 400; ++i) {
+    const std::string context = "seed " + std::to_string(seed) + " op " +
+                                std::to_string(i) + " (replica churn)";
+    const double roll = rng.Uniform(0.0, 1.0);
+    if (roll < 0.35) {
+      // Scale-up burst: the autoscaler's up_step stamps several identical
+      // requests back to back.
+      const int step = static_cast<int>(rng.UniformInt(1, 4));
+      for (int s = 0; s < step; ++s) {
+        ScheduleRequest r = tmpl;
+        r.sharepod = "svc-" + std::to_string(next_replica++);
+        auto ra = ScheduleSharePod(indexed, r, supply, variant);
+        auto rb = ScheduleSharePodReference(reference, r, supply, variant);
+        ASSERT_EQ(ra.status().code(), rb.status().code())
+            << context << " indexed=" << ra.status()
+            << " reference=" << rb.status();
+        if (ra.ok()) {
+          EXPECT_EQ(*ra, *rb) << context;
+          replicas.push_back(r.sharepod);
+        }
+      }
+      ++scale_ups;
+    } else if (roll < 0.60 && !replicas.empty()) {
+      // Scale-down: newest replicas detach first.
+      const int step = static_cast<int>(rng.UniformInt(
+          1, static_cast<std::int64_t>(std::min<std::size_t>(
+                 replicas.size(), 3))));
+      for (int s = 0; s < step; ++s) {
+        const std::string name = replicas.back();
+        replicas.pop_back();
+        auto da = indexed.Detach(name);
+        auto db = reference.Detach(name);
+        ASSERT_EQ(da.status().code(), db.status().code()) << context;
+        if (da.ok()) EXPECT_EQ(*da, *db) << context;
+      }
+      ++scale_downs;
+    } else if (roll < 0.72 && !others.empty()) {
+      // Unrelated tenant leaves.
+      const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(others.size()) - 1));
+      const std::string name = others[pick];
+      others.erase(others.begin() + static_cast<std::ptrdiff_t>(pick));
+      auto da = indexed.Detach(name);
+      auto db = reference.Detach(name);
+      ASSERT_EQ(da.status().code(), db.status().code()) << context;
+      if (da.ok()) EXPECT_EQ(*da, *db) << context;
+    } else {
+      // Unrelated tenant arrives and keeps reshaping the pool under the
+      // replica bursts.
+      const ScheduleRequest r =
+          spatial ? RandomSliceRequest(rng, i) : RandomRequest(rng, i);
+      auto ra = ScheduleSharePod(indexed, r, supply, variant);
+      auto rb = ScheduleSharePodReference(reference, r, supply, variant);
+      ASSERT_EQ(ra.status().code(), rb.status().code())
+          << context << " indexed=" << ra.status()
+          << " reference=" << rb.status();
+      if (ra.ok()) {
+        EXPECT_EQ(*ra, *rb) << context;
+        others.push_back(r.sharepod);
+      }
+    }
+    const Status inv = indexed.CheckIndexInvariants();
+    ASSERT_TRUE(inv.ok()) << context << ": " << inv;
+    ExpectPoolsEqual(indexed, reference, context);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GT(scale_ups, 20) << "seed " << seed;
+  EXPECT_GT(scale_downs, 20) << "seed " << seed;
+}
+
+TEST(SchedulerEquivalence, ReplicaChurnMatchesReference) {
+  for (const std::uint64_t seed : {71, 72, 73, 74}) {
+    RunReplicaChurnSequence(PlacementVariant::kPaper, seed,
+                            /*spatial=*/false);
+  }
+  RunReplicaChurnSequence(PlacementVariant::kWorstFitEverywhere, 75,
+                          /*spatial=*/false);
+  RunReplicaChurnSequence(PlacementVariant::kFirstFit, 76,
+                          /*spatial=*/false);
+}
+
+TEST(SchedulerEquivalence, SpatialReplicaChurnMatchesReference) {
+  // Sliced replicas: identical two-group claims force the
+  // fragmentation-aware tie-break through the same burst pattern.
+  for (const std::uint64_t seed : {81, 82}) {
+    RunReplicaChurnSequence(PlacementVariant::kPaper, seed,
+                            /*spatial=*/true);
+  }
+}
+
 TEST(SchedulerEquivalence, OvercommitPoolsStayEquivalent) {
   // Memory over-commitment changes Attach's admission rule; the indexed
   // scan must track the reference under it too.
